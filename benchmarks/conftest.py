@@ -1,0 +1,42 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure from the paper's
+evaluation (§4) and writes its artefact — the same rows/series the
+paper reports — to ``benchmarks/results/<name>.txt`` while also
+printing it (visible with ``pytest -s``).  Absolute numbers reflect the
+host cost model, not the authors' 2009 cluster; the *shapes* are what
+EXPERIMENTS.md validates.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.common.config import SimulationConfig
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def save_artifact(name: str, text: str) -> None:
+    """Persist one table/figure artefact and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n",
+                                             encoding="utf-8")
+    print(f"\n{text}\n[saved to benchmarks/results/{name}.txt]")
+
+
+def paper_config(num_tiles: int = 32, machines: int = 1,
+                 cores: int = 8, seed: int = 42) -> SimulationConfig:
+    """The Table 1 target on a given host cluster shape."""
+    config = SimulationConfig(num_tiles=num_tiles, seed=seed)
+    config.host.num_machines = machines
+    config.host.cores_per_machine = cores
+    config.validate()
+    return config
+
+
+@pytest.fixture
+def artifact():
+    return save_artifact

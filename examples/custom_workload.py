@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Writing your own target program.
+
+Target programs are generator functions taking a
+:class:`repro.ThreadContext` plus your own arguments, and they use the
+same application surface a pthreads program on Graphite sees: malloc,
+loads/stores, locks, barriers, spawn/join, the core-to-core messaging
+API and system calls.
+
+This example builds a small work-stealing pipeline: a producer thread
+writes jobs into a shared ring buffer guarded by a lock; consumers pull
+jobs, process them, and message their totals back to the producer.
+"""
+
+from repro import SimulationConfig, Simulator
+from repro.system.syscalls import O_CREAT
+
+RING_SLOTS = 8
+JOBS = 32
+CONSUMERS = 3
+
+
+def consumer(ctx, index, ring, lock, head, tail, done_flag):
+    """Pull jobs until the producer raises the done flag."""
+    total = 0
+    while True:
+        yield from ctx.lock(lock)
+        h = yield from ctx.load_u64(head)
+        t = yield from ctx.load_u64(tail)
+        if h < t:
+            job = yield from ctx.load_u64(ring + (h % RING_SLOTS) * 8)
+            yield from ctx.store_u64(head, h + 1)
+            yield from ctx.unlock(lock)
+            yield from ctx.compute(200)        # "process" the job
+            total += job
+        else:
+            done = yield from ctx.load_u64(done_flag)
+            yield from ctx.unlock(lock)
+            if done:
+                break
+            yield from ctx.compute(50)         # brief backoff
+    yield from ctx.send_u64(0, total, tag=1)   # report to the producer
+
+
+def producer(ctx):
+    ring = yield from ctx.calloc(RING_SLOTS * 8, align=64)
+    lock = yield from ctx.calloc(8, align=64)
+    head = yield from ctx.calloc(8, align=64)
+    tail = yield from ctx.calloc(8, align=64)
+    done_flag = yield from ctx.calloc(8, align=64)
+
+    workers = yield from ctx.spawn_workers(
+        consumer, CONSUMERS, ring, lock, head, tail, done_flag)
+
+    produced = 0
+    for job in range(1, JOBS + 1):
+        while True:
+            yield from ctx.lock(lock)
+            h = yield from ctx.load_u64(head)
+            t = yield from ctx.load_u64(tail)
+            if t - h < RING_SLOTS:
+                yield from ctx.store_u64(ring + (t % RING_SLOTS) * 8,
+                                         job)
+                yield from ctx.store_u64(tail, t + 1)
+                yield from ctx.unlock(lock)
+                produced += job
+                break
+            yield from ctx.unlock(lock)
+            yield from ctx.compute(50)
+    yield from ctx.lock(lock)
+    yield from ctx.store_u64(done_flag, 1)
+    yield from ctx.unlock(lock)
+
+    consumed = 0
+    for _ in range(CONSUMERS):
+        _, value = yield from ctx.recv_u64(tag=1)
+        consumed += value
+    yield from ctx.join_all(workers)
+
+    # Log the outcome through the (MCP-shared) filesystem.
+    fd = yield from ctx.open("/pipeline.log", O_CREAT)
+    yield from ctx.write(fd, f"produced={produced} "
+                             f"consumed={consumed}\n".encode())
+    yield from ctx.close(fd)
+    return produced == consumed
+
+
+def main() -> None:
+    simulator = Simulator(SimulationConfig(num_tiles=8))
+    result = simulator.run(producer)
+    print("custom pipeline workload")
+    print("========================")
+    print(f"all jobs accounted for: {result.main_result}")
+    print(f"simulated cycles:       {result.simulated_cycles:,}")
+    print(f"lock futex waits:       "
+          f"{result.counter('mcp.futex.futex_waits')}")
+    print(f"user messages:          "
+          f"{result.counter('network.user_net.packets')}")
+
+
+if __name__ == "__main__":
+    main()

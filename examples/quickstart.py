@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate a SPLASH-2 kernel on a 32-tile target.
+
+Runs the fft workload on the paper's default target architecture
+(Table 1) hosted on one simulated 8-core machine, then prints the
+headline numbers a Graphite run reports: simulated cycles, modelled
+wall-clock, and slowdown versus native execution.
+"""
+
+from repro import SimulationConfig, Simulator, get_workload
+from repro.common.units import pretty_seconds
+
+
+def main() -> None:
+    config = SimulationConfig(num_tiles=32)
+
+    simulator = Simulator(config)
+    program = get_workload("fft").main(nthreads=32, scale=0.25)
+    result = simulator.run(program)
+
+    print("Graphite reproduction - quickstart")
+    print("==================================")
+    print(f"target:      {config.num_tiles} tiles, "
+          f"{config.network.memory_model} interconnect, "
+          f"{config.memory.directory_type} directory MSI")
+    print(f"host:        {config.host.num_machines} machine(s) x "
+          f"{config.host.cores_per_machine} cores")
+    print(f"workload:    fft, 32 threads")
+    print()
+    print(f"simulated run-time:   {result.simulated_cycles:,} cycles "
+          f"({result.simulated_cycles / config.core.clock_hz * 1e3:.2f} ms "
+          "of target time)")
+    print(f"instructions:         {result.total_instructions:,}")
+    print(f"modelled wall-clock:  "
+          f"{pretty_seconds(result.wall_clock_seconds)}")
+    print(f"modelled native:      {pretty_seconds(result.native_seconds)}")
+    print(f"slowdown vs native:   {result.slowdown:,.0f}x")
+    print(f"L2 miss rate:         {result.cache_miss_rate('l2'):.2%}")
+    print(f"network messages:     "
+          f"{result.counter('transport.messages_sent'):,}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Synchronization-model trade-offs (paper §3.6, Table 3 in miniature).
+
+Runs one benchmark under Lax, LaxP2P and LaxBarrier and reports the
+three quantities the paper trades off: simulator wall-clock
+(performance), deviation of simulated run-time from the LaxBarrier
+baseline (error), and run-to-run coefficient of variation.
+"""
+
+from repro import SimulationConfig, get_workload, repeat_runs
+from repro.analysis.tables import Table
+
+MODELS = ["lax", "lax_p2p", "lax_barrier"]
+RUNS = 5
+
+
+def main() -> None:
+    stats = {}
+    for model in MODELS:
+        config = SimulationConfig(num_tiles=8)
+        config.sync.model = model
+        config.sync.barrier_interval = 1000
+        config.sync.p2p_slack = 100_000
+        program_factory = get_workload("ocean_cont")
+        stats[model] = repeat_runs(
+            config, program_factory.main(nthreads=8, scale=0.3),
+            runs=RUNS)
+
+    baseline = stats["lax_barrier"].mean_cycles
+    base_wall = stats["lax"].mean_wall_clock
+    table = Table(f"Sync models on ocean_cont ({RUNS} runs each)",
+                  ["model", "run-time (norm.)", "error %", "CoV %"])
+    for model in MODELS:
+        s = stats[model]
+        table.add_row(model, s.mean_wall_clock / base_wall,
+                      s.error_percent(baseline), s.cov_percent)
+    print(table.render())
+    print()
+    print("Expected shape (paper Table 3): lax fastest / least accurate;")
+    print("lax_barrier slowest / reference; lax_p2p close to lax in speed")
+    print("and close to lax_barrier in accuracy.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Legacy entry point so `setup.py develop` works without the wheel package."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,67 @@
+"""Text rendering of figure series.
+
+Every paper figure the benchmarks regenerate is also printed as a text
+chart so the *shape* (who wins, where curves cross) is visible straight
+from the benchmark log, with the raw numbers alongside.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+_BAR = "#"
+_WIDTH = 48
+
+
+def render_series(title: str, x_labels: Sequence[object],
+                  series: Dict[str, Sequence[float]],
+                  unit: str = "") -> str:
+    """Render one or more aligned horizontal-bar series.
+
+    ``series`` maps a legend name to one value per x label.  All series
+    share a common scale so relative magnitudes are comparable.
+    """
+    for name, values in series.items():
+        if len(values) != len(x_labels):
+            raise ValueError(
+                f"series {name!r} has {len(values)} points for "
+                f"{len(x_labels)} labels")
+    peak = max((abs(v) for vs in series.values() for v in vs),
+               default=1.0) or 1.0
+    label_width = max((len(str(x)) for x in x_labels), default=1)
+    name_width = max((len(n) for n in series), default=1)
+    lines: List[str] = [title, "=" * len(title)]
+    for i, x in enumerate(x_labels):
+        for j, (name, values) in enumerate(series.items()):
+            value = values[i]
+            bar = _BAR * max(int(abs(value) / peak * _WIDTH), 0)
+            x_text = str(x).rjust(label_width) if j == 0 \
+                else " " * label_width
+            lines.append(f"{x_text}  {name.ljust(name_width)} "
+                         f"{value:10.3f}{unit} |{bar}")
+        if len(series) > 1:
+            lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def render_skew_trace(title: str,
+                      trace: Sequence[tuple],
+                      buckets: int = 24) -> str:
+    """Render a clock-skew trace (Figure 7 style): max/min envelope.
+
+    ``trace`` holds (global_clock, max_dev, min_dev) samples.
+    """
+    if not trace:
+        return f"{title}\n(no samples)"
+    lines = [title, "=" * len(title),
+             f"{'global clock':>14}  {'min dev':>12}  {'max dev':>12}"]
+    step = max(len(trace) // buckets, 1)
+    for i in range(0, len(trace), step):
+        window = trace[i:i + step]
+        clock = window[-1][0]
+        hi = max(w[1] for w in window)
+        lo = min(w[2] for w in window)
+        lines.append(f"{clock:14.0f}  {lo:12.0f}  {hi:12.0f}")
+    peak = max(max(abs(w[1]), abs(w[2])) for w in trace)
+    lines.append(f"peak |skew|: {peak:.0f} cycles")
+    return "\n".join(lines)

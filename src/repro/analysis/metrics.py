@@ -1,0 +1,70 @@
+"""Derived metrics used across the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def normalize(values: Sequence[float], reference: float) -> List[float]:
+    """Divide every value by ``reference`` (e.g. single-core run-time)."""
+    if reference == 0:
+        raise ValueError("cannot normalize by zero")
+    return [v / reference for v in values]
+
+
+def speedup_series(wall_clocks: Sequence[float]) -> List[float]:
+    """Speedups relative to the first configuration.
+
+    The paper's Figures 4/5/9 plot speed-up normalized to the smallest
+    configuration (one host core / one machine / one tile).
+    """
+    if not wall_clocks:
+        return []
+    base = wall_clocks[0]
+    if base <= 0:
+        raise ValueError("baseline wall-clock must be positive")
+    return [base / w if w > 0 else float("inf") for w in wall_clocks]
+
+
+def slowdown(simulation_seconds: float, native_seconds: float) -> float:
+    """Simulation time over native time (Table 2's metric)."""
+    if native_seconds <= 0:
+        return float("inf")
+    return simulation_seconds / native_seconds
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    if not values:
+        return 0.0
+    product = 1.0
+    for v in values:
+        if v <= 0:
+            raise ValueError("geometric mean requires positive values")
+        product *= v
+    return product ** (1.0 / len(values))
+
+
+def mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def median(values: Sequence[float]) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def miss_rate_breakdown(miss_counts: Dict[str, int],
+                        total_accesses: int) -> Dict[str, float]:
+    """Per-type miss *rates* (misses of each type per access).
+
+    Figure 8 plots the stacked contribution of each miss type to the
+    overall miss rate as line size varies.
+    """
+    if total_accesses <= 0:
+        return {k: 0.0 for k in miss_counts}
+    return {k: v / total_accesses for k, v in miss_counts.items()}

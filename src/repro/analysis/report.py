@@ -1,0 +1,150 @@
+"""Full simulation report — the equivalent of Graphite's ``sim.out``.
+
+Renders one text document with everything a run measured: the target
+and host configuration, per-thread core statistics, the memory
+hierarchy (per-level hit rates, coherence activity, DRAM), per-class
+network traffic, synchronization-model activity, and host-side
+utilization.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.tables import Table
+from repro.common.config import SimulationConfig
+from repro.common.units import pretty_bytes, pretty_seconds
+from repro.sim.results import SimulationResult
+
+
+def _section(title: str) -> str:
+    return f"\n{title}\n{'-' * len(title)}"
+
+
+def _sum(result: SimulationResult, suffix: str) -> int:
+    return result.counter(suffix)
+
+
+def render_report(config: SimulationConfig,
+                  result: SimulationResult) -> str:
+    """Render the complete post-simulation report."""
+    lines: List[str] = ["Graphite reproduction - simulation report",
+                        "=" * 42]
+
+    # --- configuration ------------------------------------------------------
+    lines.append(_section("Target configuration"))
+    lines.append(f"tiles:           {config.num_tiles}")
+    lines.append(f"core model:      {config.core.model} @ "
+                 f"{config.core.clock_hz / 1e9:g} GHz")
+    memory = config.memory
+    lines.append(
+        f"L1I/L1D:         "
+        + (f"{pretty_bytes(memory.l1i.size_bytes)} "
+           f"{memory.l1i.associativity}-way"
+           if memory.l1i.enabled else "disabled"))
+    lines.append(f"L2:              {pretty_bytes(memory.l2.size_bytes)} "
+                 f"{memory.l2.associativity}-way, "
+                 f"{memory.l2.line_bytes} B lines")
+    lines.append(f"coherence:       {memory.directory_type} directory "
+                 f"MSI ({memory.directory_max_sharers} pointers)")
+    lines.append(f"network:         {config.network.memory_model} "
+                 f"(memory), {config.network.user_model} (user)")
+    lines.append(f"sync model:      {config.sync.model}")
+    lines.append(f"host:            {config.host.num_machines} machine(s)"
+                 f" x {config.host.cores_per_machine} cores, "
+                 f"{config.host.resolved_processes()} process(es)")
+
+    # --- headline -----------------------------------------------------------------
+    lines.append(_section("Run summary"))
+    lines.append(f"simulated run-time:   {result.simulated_cycles:,} "
+                 "cycles")
+    lines.append(f"parallel region:      {result.parallel_cycles:,} "
+                 "cycles")
+    lines.append(f"instructions:         {result.total_instructions:,}")
+    lines.append(f"host wall-clock:      "
+                 f"{pretty_seconds(result.wall_clock_seconds)}")
+    lines.append(f"native estimate:      "
+                 f"{pretty_seconds(result.native_seconds)}")
+    lines.append(f"slowdown:             {result.slowdown:,.1f}x")
+
+    # --- per-thread ------------------------------------------------------------------
+    lines.append(_section("Threads"))
+    threads = Table("", ["tile", "start cycle", "final cycle",
+                         "instructions", "CPI"])
+    for tile in sorted(result.thread_cycles):
+        cycles = result.thread_cycles[tile]
+        start = result.thread_start_cycles.get(tile, 0)
+        instructions = result.thread_instructions.get(tile, 0)
+        cpi = (cycles - start) / instructions if instructions else 0.0
+        threads.add_row(tile, start, cycles, instructions,
+                        f"{cpi:.1f}")
+    lines.append("\n".join(threads.render().splitlines()[2:]))
+
+    # --- memory -----------------------------------------------------------------------
+    lines.append(_section("Memory system"))
+    for level in ("l1i", "l1d", "l2"):
+        lookups = hits = 0
+        needle = f".{level}."
+        for key, value in result.counters.items():
+            if needle in key and key.endswith(".lookups"):
+                lookups += value
+            elif needle in key and key.endswith(".hits"):
+                hits += value
+        if lookups:
+            lines.append(f"{level.upper():4s} accesses: {lookups:>10,}  "
+                         f"hit rate {hits / lookups:7.2%}")
+    lines.append(f"read misses:      {_sum(result, '.read_misses'):,}")
+    lines.append(f"write misses:     {_sum(result, '.write_misses'):,}")
+    lines.append(f"upgrades:         {_sum(result, '.upgrades'):,}")
+    dram_reads = sum(v for k, v in result.counters.items()
+                     if "dram" in k and k.endswith(".reads"))
+    dram_writes = sum(v for k, v in result.counters.items()
+                      if "dram" in k and k.endswith(".writes"))
+    lines.append(f"DRAM reads/writes: {dram_reads:,} / {dram_writes:,}")
+    if result.miss_breakdown:
+        parts = ", ".join(f"{kind}={count:,}"
+                          for kind, count in
+                          sorted(result.miss_breakdown.items()))
+        lines.append(f"miss breakdown:   {parts}")
+
+    # --- network -------------------------------------------------------------------------
+    lines.append(_section("Network"))
+    for net in ("user_net", "memory_net", "system_net"):
+        packets = result.counters.get(
+            f"sim.network.{net}.packets", 0)
+        data = result.counters.get(f"sim.network.{net}.bytes", 0)
+        latency = result.counters.get(
+            f"sim.network.{net}.total_latency_cycles", 0)
+        mean = latency / packets if packets else 0.0
+        lines.append(f"{net:10s}: {packets:>10,} packets, "
+                     f"{pretty_bytes(data) if data else '0 B':>9}, "
+                     f"mean latency {mean:6.1f} cycles")
+    lines.append(f"transport:  "
+                 f"{_sum(result, 'transport.messages_sent'):,} messages "
+                 f"({_sum(result, 'messages_cross_machine'):,} "
+                 "cross-machine)")
+
+    # --- synchronization ------------------------------------------------------------------
+    lines.append(_section("Synchronization"))
+    lines.append(f"futex waits/wakes: {_sum(result, '.futex_waits'):,} / "
+                 f"{_sum(result, '.futex_wakes'):,}")
+    lines.append(f"app barriers released: "
+                 f"{_sum(result, 'mcp.barrier_releases'):,}")
+    lines.append(f"sync wait cycles: "
+                 f"{_sum(result, '.sync_wait_cycles'):,}")
+    p2p = _sum(result, ".p2p_sleeps")
+    barriers = _sum(result, ".barriers_released")
+    if p2p:
+        lines.append(f"LaxP2P sleeps:    {p2p:,}")
+    if barriers:
+        lines.append(f"LaxBarrier epochs: {barriers:,}")
+
+    # --- host ---------------------------------------------------------------------------------
+    lines.append(_section("Host"))
+    busy = sum(result.core_busy_seconds.values())
+    cores = max(len(result.core_busy_seconds), 1)
+    wall = result.wall_clock_seconds or 1.0
+    lines.append(f"core busy time:   {pretty_seconds(busy)} over "
+                 f"{cores} cores")
+    lines.append(f"utilization:      {busy / (wall * cores):7.2%}")
+    return "\n".join(lines)

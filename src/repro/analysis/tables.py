@@ -1,0 +1,63 @@
+"""Aligned text tables for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+
+class Table:
+    """A simple column-aligned table with a title.
+
+    Numeric cells may be pre-formatted strings or raw numbers; raw
+    floats render with 3 significant digits, which matches the
+    precision the paper reports.
+    """
+
+    def __init__(self, title: str, columns: Sequence[str]) -> None:
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+
+    @staticmethod
+    def _format(cell: Any) -> str:
+        if isinstance(cell, str):
+            return cell
+        if isinstance(cell, bool):
+            return "yes" if cell else "no"
+        if isinstance(cell, int):
+            return str(cell)
+        if isinstance(cell, float):
+            if cell == 0:
+                return "0"
+            magnitude = abs(cell)
+            if magnitude >= 1000:
+                return f"{cell:,.0f}"
+            if magnitude >= 1:
+                return f"{cell:.2f}"
+            return f"{cell:.4f}"
+        return repr(cell)
+
+    def add_row(self, *cells: Any) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has "
+                f"{len(self.columns)} columns")
+        self.rows.append([self._format(c) for c in cells])
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title, "=" * len(self.title)]
+        header = "  ".join(c.ljust(widths[i])
+                           for i, c in enumerate(self.columns))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append("  ".join(cell.rjust(widths[i])
+                                   for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,177 @@
+"""Command-line interface: run simulations without writing a script.
+
+Examples::
+
+    python -m repro list-workloads
+    python -m repro run --workload fft --tiles 32 --machines 2
+    python -m repro run --workload blackscholes --tiles 64 \\
+        --directory limited --sharers 4 --quantum 100
+    python -m repro show-config
+
+Mirrors how the real Graphite is driven: a target architecture and a
+host configuration selected at run time around an unmodified program.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.common.config import (
+    DIRECTORY_TYPES,
+    NETWORK_MODELS,
+    SYNC_MODELS,
+    SimulationConfig,
+)
+from repro.common.units import pretty_seconds
+from repro.sim.simulator import Simulator
+from repro.workloads import WORKLOADS, get_workload
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Graphite reproduction: a parallel distributed "
+                    "multicore simulator")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate one workload")
+    run.add_argument("--workload", required=True,
+                     help=f"one of: {', '.join(sorted(WORKLOADS))}")
+    run.add_argument("--tiles", type=int, default=32,
+                     help="target tiles (default 32)")
+    run.add_argument("--threads", type=int, default=0,
+                     help="application threads (default: = tiles)")
+    run.add_argument("--scale", type=float, default=1.0,
+                     help="problem-size multiplier (default 1.0)")
+    run.add_argument("--machines", type=int, default=1,
+                     help="host machines (default 1)")
+    run.add_argument("--cores", type=int, default=8,
+                     help="host cores per machine (default 8)")
+    run.add_argument("--sync", choices=SYNC_MODELS, default="lax",
+                     help="synchronization model (default lax)")
+    run.add_argument("--directory", choices=DIRECTORY_TYPES,
+                     default="full_map",
+                     help="coherence directory (default full_map)")
+    run.add_argument("--sharers", type=int, default=4,
+                     help="pointers for limited/limitless directories")
+    run.add_argument("--network", choices=NETWORK_MODELS,
+                     default="mesh", help="memory network model")
+    run.add_argument("--quantum", type=int, default=0,
+                     help="scheduler quantum in instructions")
+    run.add_argument("--seed", type=int, default=42)
+    run.add_argument("--classify-misses", action="store_true",
+                     help="report the miss-type breakdown (Figure 8)")
+    run.add_argument("--json", action="store_true",
+                     help="emit machine-readable JSON instead of text")
+    run.add_argument("--report", action="store_true",
+                     help="print the full sim.out-style report")
+
+    sub.add_parser("list-workloads", help="list available workloads")
+    sub.add_parser("show-config",
+                   help="print the default configuration as JSON")
+    return parser
+
+
+def _configure(args: argparse.Namespace) -> SimulationConfig:
+    config = SimulationConfig(num_tiles=args.tiles, seed=args.seed)
+    config.host.num_machines = args.machines
+    config.host.cores_per_machine = args.cores
+    config.sync.model = args.sync
+    config.memory.directory_type = args.directory
+    config.memory.directory_max_sharers = args.sharers
+    config.network.memory_model = args.network
+    config.memory.classify_misses = args.classify_misses
+    if args.quantum:
+        config.host.quantum_instructions = args.quantum
+    config.validate()
+    return config
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    config = _configure(args)
+    threads = args.threads or args.tiles
+    factory = get_workload(args.workload)
+    simulator = Simulator(config)
+    result = simulator.run(factory.main(nthreads=threads,
+                                        scale=args.scale))
+    simulator.engine.check_coherence_invariants()
+
+    if args.report:
+        from repro.analysis.report import render_report
+        print(render_report(config, result))
+        return 0
+
+    if args.json:
+        payload = {
+            "workload": args.workload,
+            "tiles": args.tiles,
+            "threads": threads,
+            "machines": args.machines,
+            "sync": args.sync,
+            "simulated_cycles": result.simulated_cycles,
+            "parallel_cycles": result.parallel_cycles,
+            "instructions": result.total_instructions,
+            "wall_clock_seconds": result.wall_clock_seconds,
+            "native_seconds": result.native_seconds,
+            "slowdown": result.slowdown,
+            "l2_miss_rate": result.cache_miss_rate("l2"),
+            "messages": result.counter("transport.messages_sent"),
+            "miss_breakdown": result.miss_breakdown,
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    print(f"workload:            {args.workload} "
+          f"({threads} threads, scale {args.scale})")
+    print(f"target:              {args.tiles} tiles, "
+          f"{args.directory} directory, {args.network} network, "
+          f"{args.sync} sync")
+    print(f"host:                {args.machines} machine(s) x "
+          f"{args.cores} cores")
+    print(f"simulated run-time:  {result.simulated_cycles:,} cycles "
+          f"(parallel region {result.parallel_cycles:,})")
+    print(f"instructions:        {result.total_instructions:,}")
+    print(f"wall-clock (model):  "
+          f"{pretty_seconds(result.wall_clock_seconds)}")
+    print(f"native (model):      {pretty_seconds(result.native_seconds)}")
+    print(f"slowdown:            {result.slowdown:,.0f}x")
+    print(f"L2 miss rate:        {result.cache_miss_rate('l2'):.2%}")
+    print(f"messages:            "
+          f"{result.counter('transport.messages_sent'):,}")
+    if result.miss_breakdown:
+        parts = ", ".join(f"{k}={v}" for k, v in
+                          sorted(result.miss_breakdown.items()) if v)
+        print(f"miss breakdown:      {parts}")
+    return 0
+
+
+def _command_list() -> int:
+    width = max(len(name) for name in WORKLOADS)
+    for name in sorted(WORKLOADS):
+        factory = WORKLOADS[name]
+        print(f"{name.ljust(width)}  {factory.description} "
+              f"[communication: {factory.comm_intensity}]")
+    return 0
+
+
+def _command_show_config() -> int:
+    print(json.dumps(SimulationConfig().to_dict(), indent=2))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "list-workloads":
+        return _command_list()
+    if args.command == "show-config":
+        return _command_show_config()
+    raise AssertionError(f"unhandled command {args.command}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

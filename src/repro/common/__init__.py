@@ -1,0 +1,49 @@
+"""Shared infrastructure: configuration, units, RNG streams, statistics.
+
+These utilities underpin every other subpackage.  Nothing in here knows
+about simulation semantics; it is deliberately dependency-free.
+"""
+
+from repro.common.config import (
+    CacheConfig,
+    CoreConfig,
+    DramConfig,
+    HostConfig,
+    MemoryConfig,
+    NetworkConfig,
+    SimulationConfig,
+    SyncConfig,
+)
+from repro.common.errors import (
+    ConfigError,
+    DeadlockError,
+    SimulationError,
+    TargetFault,
+)
+from repro.common.ids import CoreId, ProcessId, ThreadId, TileId
+from repro.common.rng import RngStreams
+from repro.common.stats import Counter, Histogram, StatGroup, TimeSeries
+
+__all__ = [
+    "CacheConfig",
+    "ConfigError",
+    "CoreConfig",
+    "CoreId",
+    "Counter",
+    "DeadlockError",
+    "DramConfig",
+    "Histogram",
+    "HostConfig",
+    "MemoryConfig",
+    "NetworkConfig",
+    "ProcessId",
+    "RngStreams",
+    "SimulationConfig",
+    "SimulationError",
+    "StatGroup",
+    "SyncConfig",
+    "TargetFault",
+    "ThreadId",
+    "TileId",
+    "TimeSeries",
+]

@@ -1,0 +1,419 @@
+"""Runtime configuration for a Graphite simulation.
+
+Graphite is configured entirely through run-time parameters (paper §2):
+every model is a swappable module selected and parameterized here.  The
+defaults reproduce Table 1 of the paper:
+
+======================  =====================================================
+Clock frequency         1 GHz
+L1 caches               private, 32 KB per tile, 64 B lines, 8-way, LRU
+L2 cache                private, 3 MB per tile, 64 B lines, 24-way, LRU
+Cache coherence         full-map directory based MSI
+DRAM bandwidth          5.13 GB/s (total off-chip, split across controllers)
+Interconnect            mesh network
+======================  =====================================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.common.errors import ConfigError
+from repro.common.units import DEFAULT_CLOCK_HZ, GB, KB, MB
+
+#: Network model registry keys (see :mod:`repro.network.model`).
+NETWORK_MODELS = ("magic", "mesh", "mesh_contention", "ring", "torus")
+
+#: Directory organisations (see :mod:`repro.memory.directory`).
+DIRECTORY_TYPES = ("full_map", "limited", "limitless")
+
+#: Synchronization models (paper §3.6).
+SYNC_MODELS = ("lax", "lax_barrier", "lax_p2p")
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigError(message)
+
+
+@dataclass
+class CacheConfig:
+    """Geometry and policy of one cache level."""
+
+    size_bytes: int = 32 * KB
+    line_bytes: int = 64
+    associativity: int = 8
+    #: Access latency charged by the performance model, in target cycles.
+    access_latency: int = 1
+    #: Whether this level exists at all (Figure 8 disables the L1s).
+    enabled: bool = True
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.line_bytes * self.associativity)
+
+    def validate(self, name: str = "cache") -> None:
+        _require(self.line_bytes > 0 and (self.line_bytes & (self.line_bytes - 1)) == 0,
+                 f"{name}: line size must be a positive power of two")
+        _require(self.associativity >= 1, f"{name}: associativity must be >= 1")
+        _require(self.size_bytes % (self.line_bytes * self.associativity) == 0,
+                 f"{name}: size must be a multiple of line * associativity")
+        _require(self.num_sets >= 1, f"{name}: must have at least one set")
+        _require(self.access_latency >= 0, f"{name}: latency must be >= 0")
+
+
+@dataclass
+class DramConfig:
+    """One DRAM controller slice; the paper places one at every tile."""
+
+    #: Total off-chip bandwidth (Table 1), statically partitioned across
+    #: all tiles' controllers (paper §4.4, Cache Coherence Study).
+    total_bandwidth_bytes_per_s: float = 5.13 * GB
+    #: Fixed access latency in target cycles (row access + channel).
+    access_latency: int = 100
+    #: Queue-model window size scale factor: window = factor * num_tiles.
+    progress_window_factor: int = 1
+
+    def validate(self) -> None:
+        _require(self.total_bandwidth_bytes_per_s > 0,
+                 "dram: bandwidth must be positive")
+        _require(self.access_latency >= 0, "dram: latency must be >= 0")
+
+
+@dataclass
+class MemoryConfig:
+    """Memory subsystem: cache hierarchy, coherence, DRAM."""
+
+    l1i: CacheConfig = field(default_factory=lambda: CacheConfig(
+        size_bytes=32 * KB, line_bytes=64, associativity=8, access_latency=1))
+    l1d: CacheConfig = field(default_factory=lambda: CacheConfig(
+        size_bytes=32 * KB, line_bytes=64, associativity=8, access_latency=1))
+    l2: CacheConfig = field(default_factory=lambda: CacheConfig(
+        size_bytes=3 * MB, line_bytes=64, associativity=24, access_latency=8))
+    dram: DramConfig = field(default_factory=DramConfig)
+
+    #: Coherence protocol: "msi" (the paper's baseline) or "mesi"
+    #: (adds the Exclusive state: an uncontended read miss returns the
+    #: line exclusively, so a subsequent store needs no upgrade round
+    #: trip — the classic private read-then-write optimisation).
+    protocol: str = "msi"
+    #: Directory organisation: full_map | limited (Dir_iNB) | limitless.
+    directory_type: str = "full_map"
+    #: Hardware sharer pointers for limited/limitless directories (the
+    #: ``i`` in Dir_iNB and LimitLESS(i)).
+    directory_max_sharers: int = 4
+    #: Software-trap latency for LimitLESS overflow handling, in cycles.
+    limitless_trap_latency: int = 100
+    #: Directory lookup latency in cycles.
+    directory_latency: int = 10
+    #: Forward clean-shared lines cache-to-cache on read misses instead
+    #: of re-reading the home DRAM controller.  On: the default (modern
+    #: directory protocols; required for the Figure 9 scaling knee).
+    #: Off: every S-state read pays the home controller's bandwidth
+    #: slice — the ablation showing why forwarding matters.
+    forward_shared_reads: bool = True
+    #: Track per-line miss classification (needed for Figure 8; costs
+    #: memory, so off by default).
+    classify_misses: bool = False
+
+    def validate(self) -> None:
+        self.l1i.validate("l1i")
+        self.l1d.validate("l1d")
+        self.l2.validate("l2")
+        self.dram.validate()
+        _require(self.protocol in ("msi", "mesi"),
+                 f"memory: unknown protocol {self.protocol!r}")
+        _require(self.directory_type in DIRECTORY_TYPES,
+                 f"memory: unknown directory type {self.directory_type!r}")
+        _require(self.directory_max_sharers >= 1,
+                 "memory: directory_max_sharers must be >= 1")
+        if self.l1d.enabled or self.l1i.enabled:
+            _require(self.l1d.line_bytes == self.l2.line_bytes,
+                     "memory: L1 and L2 line sizes must match")
+
+
+@dataclass
+class CoreConfig:
+    """Core performance model parameters (paper §3.1).
+
+    Two swappable timing models are provided, selected by ``model``:
+    ``in_order`` (the paper's default: in-order pipeline with an
+    out-of-order memory interface via store buffer / load queue) and
+    ``out_of_order`` (a window-based OoO model demonstrating the
+    paper's claim that the core model can differ drastically from the
+    in-order, sequentially consistent functional simulator).
+    """
+
+    clock_hz: int = DEFAULT_CLOCK_HZ
+    #: Timing model: "in_order" or "out_of_order".
+    model: str = "in_order"
+    #: OoO model: reorder-buffer window entries.
+    rob_entries: int = 64
+    #: OoO model: instructions dispatched per cycle.
+    dispatch_width: int = 2
+    #: Per-class instruction costs in cycles.  Classes not listed cost 1.
+    instruction_costs: Dict[str, int] = field(default_factory=lambda: {
+        "generic": 1,
+        "ialu": 1,
+        "imul": 3,
+        "idiv": 18,
+        "fpu_add": 3,
+        "fpu_mul": 5,
+        "fpu_div": 30,
+        "branch": 1,
+        "jmp": 1,
+    })
+    #: Branch misprediction penalty, cycles.
+    branch_mispredict_penalty: int = 14
+    #: Two-bit saturating-counter predictor table size (entries).
+    branch_predictor_entries: int = 1024
+    #: Store buffer depth; stores retire without stalling until full.
+    store_buffer_entries: int = 8
+    #: Outstanding loads the load unit tracks.
+    load_queue_entries: int = 8
+
+    def validate(self) -> None:
+        _require(self.clock_hz > 0, "core: clock must be positive")
+        _require(self.model in ("in_order", "out_of_order"),
+                 f"core: unknown model {self.model!r}")
+        _require(self.rob_entries >= 1, "core: rob_entries must be >= 1")
+        _require(self.dispatch_width >= 1,
+                 "core: dispatch_width must be >= 1")
+        _require(self.branch_predictor_entries > 0,
+                 "core: predictor must have entries")
+        _require(self.store_buffer_entries >= 1,
+                 "core: store buffer must hold >= 1 entry")
+        for name, cost in self.instruction_costs.items():
+            _require(cost >= 0, f"core: cost of {name} must be >= 0")
+
+
+@dataclass
+class NetworkConfig:
+    """On-chip network models (paper §3.3).
+
+    Graphite keeps several distinct models keyed by traffic class; system
+    traffic always uses the zero-delay ``magic`` model so it cannot
+    perturb results.
+    """
+
+    #: Model for application message-passing traffic.
+    user_model: str = "mesh"
+    #: Model for memory-system traffic (commonly a separate physical
+    #: network in tiled multicores).
+    memory_model: str = "mesh"
+    #: Model for simulator-internal system traffic — always magic.
+    system_model: str = "magic"
+    #: Per-hop latency of the mesh, cycles.
+    hop_latency: int = 2
+    #: Link width in bytes per cycle (serialisation delay = size/width).
+    link_bytes_per_cycle: int = 8
+    #: Fixed packet processing overhead at source and destination.
+    endpoint_latency: int = 2
+    #: Contention model: window size factor for global-progress estimate.
+    progress_window_factor: int = 1
+
+    def validate(self) -> None:
+        for name in (self.user_model, self.memory_model, self.system_model):
+            _require(name in NETWORK_MODELS,
+                     f"network: unknown model {name!r}")
+        _require(self.hop_latency >= 0, "network: hop latency must be >= 0")
+        _require(self.link_bytes_per_cycle > 0,
+                 "network: link width must be positive")
+
+
+@dataclass
+class SyncConfig:
+    """Synchronization model selection and tuning (paper §3.6)."""
+
+    model: str = "lax"
+    #: LaxBarrier: barrier quantum in target cycles (paper uses 1000 for
+    #: the accuracy studies).
+    barrier_interval: int = 1000
+    #: LaxP2P: maximum tolerated clock difference ("slack"), cycles.
+    p2p_slack: int = 100_000
+    #: LaxP2P: how often each tile initiates a random pairwise check.
+    p2p_interval: int = 10_000
+
+    def validate(self) -> None:
+        _require(self.model in SYNC_MODELS,
+                 f"sync: unknown model {self.model!r}")
+        _require(self.barrier_interval > 0,
+                 "sync: barrier interval must be positive")
+        _require(self.p2p_slack > 0, "sync: slack must be positive")
+        _require(self.p2p_interval > 0, "sync: interval must be positive")
+
+
+@dataclass
+class HostConfig:
+    """The simulated host cluster (paper §4.1 testbed substitute).
+
+    Models the paper's cluster of dual-quad-core Xeon machines on a
+    Gigabit switch.  Wall-clock outputs are produced by the cost model in
+    :mod:`repro.host.costmodel` using these parameters.
+    """
+
+    num_machines: int = 1
+    cores_per_machine: int = 8
+    #: Host processes participating in the simulation; by default one per
+    #: machine, as in the paper's experiments.
+    num_processes: Optional[int] = None
+    #: Host core clock, Hz (3.16 GHz Xeon X5460).
+    host_clock_hz: float = 3.16e9
+    #: Cost in host seconds of one natively executed target instruction.
+    native_instruction_cost: float = 1.0 / 3.16e9
+    #: Multiplier on instruction cost when running under instrumentation
+    #: (the DBT adds basic-block dispatch overhead).
+    instrumentation_overhead: float = 30.0
+    #: Host cost of a trap into a back-end model (memory/core/network).
+    model_trap_cost: float = 25e-9
+    #: Host cost of servicing a cache-hierarchy access model.
+    memory_model_cost: float = 50e-9
+    #: One-way message CPU costs by locality: the host cycles spent in
+    #: the sender/receiver paths (queue ops, kernel TCP stack).  These
+    #: consume host-core time.
+    intra_process_message_cost: float = 0.3e-6
+    inter_process_message_cost: float = 0.5e-6
+    inter_machine_message_cost: float = 0.6e-6
+    #: One-way message *latencies* by locality: wire/stack time during
+    #: which the waiting host thread is blocked but its core is free to
+    #: run other tile threads.  This is what lets Graphite overlap
+    #: remote stalls with other tiles' simulation work.
+    intra_process_message_latency: float = 0.0
+    inter_process_message_latency: float = 1.0e-6
+    inter_machine_message_latency: float = 3.0e-6
+    #: Per-byte latency on top of the fixed cost (GbE ~ 1 Gb/s).
+    inter_machine_byte_cost: float = 1.0e-9
+    #: Fixed per-process start-up cost (sequential; limits Figure 5
+    #: scaling at high machine counts).
+    process_startup_cost: float = 0.00015
+    #: Host cost of creating one target thread (MCP + LCP + pthread).
+    thread_spawn_cost: float = 2e-6
+    #: Relative stddev of multiplicative jitter applied to host costs;
+    #: models OS noise and is the source of run-to-run variation.
+    jitter: float = 0.02
+    #: Scheduler quantum: target instructions a tile runs per turn.
+    quantum_instructions: int = 2000
+
+    def resolved_processes(self) -> int:
+        return self.num_processes if self.num_processes else self.num_machines
+
+    @property
+    def total_cores(self) -> int:
+        return self.num_machines * self.cores_per_machine
+
+    def validate(self) -> None:
+        _require(self.num_machines >= 1, "host: need at least one machine")
+        _require(self.cores_per_machine >= 1,
+                 "host: need at least one core per machine")
+        procs = self.resolved_processes()
+        _require(procs >= 1, "host: need at least one process")
+        _require(procs >= self.num_machines,
+                 "host: need at least one process per machine")
+        _require(0.0 <= self.jitter < 1.0, "host: jitter must be in [0, 1)")
+        _require(self.quantum_instructions >= 1,
+                 "host: quantum must be >= 1 instruction")
+
+
+@dataclass
+class SimulationConfig:
+    """Top-level configuration: the target architecture plus the host."""
+
+    num_tiles: int = 32
+    core: CoreConfig = field(default_factory=CoreConfig)
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    sync: SyncConfig = field(default_factory=SyncConfig)
+    host: HostConfig = field(default_factory=HostConfig)
+    #: Master seed for all RNG streams.
+    seed: int = 42
+    #: Heterogeneous tiles (paper §2: "tiles may be homogeneous or
+    #: heterogeneous"): per-tile overrides of CoreConfig fields, e.g.
+    #: ``{0: {"dispatch_width": 4, "model": "out_of_order"}}`` makes
+    #: tile 0 a big core.  Unlisted tiles use ``core`` as-is.
+    tile_core_overrides: Dict[int, Dict[str, Any]] = field(
+        default_factory=dict)
+    #: Sample per-tile clocks for skew traces (Figure 7); adds overhead.
+    trace_clock_skew: bool = False
+    #: Skew sampling period in scheduler turns.
+    skew_sample_period: int = 64
+
+    def core_config_for(self, tile: int) -> CoreConfig:
+        """The effective core configuration of one tile."""
+        overrides = self.tile_core_overrides.get(tile)
+        if not overrides:
+            return self.core
+        merged = dataclasses.replace(self.core, **overrides)
+        merged.validate()
+        return merged
+
+    def validate(self) -> None:
+        _require(self.num_tiles >= 1, "simulation: need at least one tile")
+        self.core.validate()
+        for tile, overrides in self.tile_core_overrides.items():
+            _require(0 <= int(tile) < self.num_tiles,
+                     f"simulation: override for missing tile {tile}")
+            unknown = set(overrides) - {
+                f.name for f in dataclasses.fields(CoreConfig)}
+            _require(not unknown,
+                     f"simulation: unknown core fields {sorted(unknown)}")
+            self.core_config_for(int(tile))
+        self.memory.validate()
+        self.network.validate()
+        self.sync.validate()
+        self.host.validate()
+
+    # -- (de)serialisation --------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Flatten to plain nested dicts (JSON-compatible)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SimulationConfig":
+        """Build a config from nested dicts, applying defaults elsewhere."""
+
+        def build(klass: type, section: Mapping[str, Any]) -> Any:
+            names = {f.name for f in dataclasses.fields(klass)}
+            unknown = set(section) - names
+            if unknown:
+                raise ConfigError(
+                    f"{klass.__name__}: unknown keys {sorted(unknown)}")
+            return klass(**dict(section))
+
+        data = dict(data)
+        if "tile_core_overrides" in data:
+            data["tile_core_overrides"] = {
+                int(tile): dict(overrides) for tile, overrides
+                in data["tile_core_overrides"].items()}
+        sections: Dict[str, Tuple[type, ...]] = {
+            "core": (CoreConfig,),
+            "network": (NetworkConfig,),
+            "sync": (SyncConfig,),
+            "host": (HostConfig,),
+            "dram": (DramConfig,),
+        }
+        kwargs: Dict[str, Any] = {}
+        for key, value in data.items():
+            if key == "memory":
+                mem = dict(value)
+                mkwargs: Dict[str, Any] = {}
+                for ck in ("l1i", "l1d", "l2"):
+                    if ck in mem:
+                        mkwargs[ck] = build(CacheConfig, mem.pop(ck))
+                if "dram" in mem:
+                    mkwargs["dram"] = build(DramConfig, mem.pop("dram"))
+                mkwargs.update(mem)
+                kwargs["memory"] = MemoryConfig(**mkwargs)
+            elif key in sections:
+                kwargs[key] = build(sections[key][0], value)
+            else:
+                kwargs[key] = value
+        config = cls(**kwargs)
+        config.validate()
+        return config
+
+    def copy(self) -> "SimulationConfig":
+        """Deep-copy via round-trip so sweeps can mutate safely."""
+        return SimulationConfig.from_dict(self.to_dict())

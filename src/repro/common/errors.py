@@ -1,0 +1,34 @@
+"""Exception hierarchy for the simulator.
+
+Every error raised by the simulator derives from :class:`SimulationError`
+so callers can catch simulator faults without masking ordinary Python
+bugs.
+"""
+
+
+class SimulationError(Exception):
+    """Base class for all simulator-raised errors."""
+
+
+class ConfigError(SimulationError):
+    """An invalid or inconsistent configuration was supplied."""
+
+
+class TargetFault(SimulationError):
+    """The simulated application performed an illegal operation.
+
+    Examples: access to an unmapped target address, double-free in the
+    target heap, joining a thread that was never spawned.
+    """
+
+
+class DeadlockError(SimulationError):
+    """No runnable thread remains but the simulation has not finished."""
+
+
+class TransportError(SimulationError):
+    """A failure in the physical transport layer."""
+
+
+class ProtocolError(SimulationError):
+    """The cache-coherence engine reached an illegal protocol state."""

@@ -1,0 +1,42 @@
+"""Typed identifiers for simulation entities.
+
+All identifiers are small integers.  Wrapping them in distinct ``int``
+subclasses costs nothing at runtime but makes signatures self-documenting
+and lets tests assert that the right *kind* of id flows through an
+interface.
+"""
+
+from __future__ import annotations
+
+
+class TileId(int):
+    """Index of a tile in the target architecture (0-based)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TileId({int(self)})"
+
+
+class CoreId(int):
+    """Index of a host core within the host cluster (0-based, global)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CoreId({int(self)})"
+
+
+class ProcessId(int):
+    """Index of a host process participating in the simulation."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ProcessId({int(self)})"
+
+
+class ThreadId(int):
+    """Identifier of an application thread (matches its tile id).
+
+    Graphite maps each application thread to exactly one target tile, so
+    thread ids share the tile id space.  The distinct type documents
+    whether an API is about the *thread* or the *tile*.
+    """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ThreadId({int(self)})"

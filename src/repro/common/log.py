@@ -1,0 +1,33 @@
+"""Lightweight simulation logging.
+
+Wraps :mod:`logging` with a namespaced logger per subsystem and a single
+switch to enable verbose tracing during debugging.  Disabled by default
+so hot paths pay only an ``isEnabledFor`` check.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_ROOT = "repro"
+
+
+def get_logger(subsystem: str) -> logging.Logger:
+    """Return the logger for a subsystem, e.g. ``memory.coherence``."""
+    return logging.getLogger(f"{_ROOT}.{subsystem}")
+
+
+def enable_tracing(level: int = logging.DEBUG) -> None:
+    """Turn on console tracing for all simulator subsystems."""
+    logger = logging.getLogger(_ROOT)
+    logger.setLevel(level)
+    if not logger.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter(
+            "%(name)s: %(message)s"))
+        logger.addHandler(handler)
+
+
+def disable_tracing() -> None:
+    """Silence simulator logging (the default state)."""
+    logging.getLogger(_ROOT).setLevel(logging.WARNING)

@@ -1,0 +1,183 @@
+"""Statistics primitives used by every model.
+
+Models accumulate raw counts during simulation; the analysis layer
+(:mod:`repro.analysis`) turns them into the rows the paper reports.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class Counter:
+    """A named monotonically increasing counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: int = 0) -> None:
+        self.name = name
+        self.value = value
+
+    def add(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Counter({self.name}={self.value})"
+
+
+class Histogram:
+    """A streaming histogram tracking count/sum/min/max and moments.
+
+    Sufficient for means, standard deviations and coefficients of
+    variation without retaining every sample.
+    """
+
+    __slots__ = ("name", "count", "total", "sq_total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.sq_total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def record(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.sq_total += value * value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        if self.count < 2:
+            return 0.0
+        mean = self.mean
+        var = self.sq_total / self.count - mean * mean
+        return max(var, 0.0)
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def cov(self) -> float:
+        """Coefficient of variation (stddev / mean), 0 if mean is 0."""
+        mean = self.mean
+        return self.stddev / mean if mean else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Histogram({self.name}: n={self.count}, "
+                f"mean={self.mean:.3g})")
+
+
+class TimeSeries:
+    """An append-only (time, value) series, e.g. clock-skew samples."""
+
+    __slots__ = ("name", "times", "values")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.times: List[float] = []
+        self.values: List[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def window_extrema(self, buckets: int) -> List[Tuple[float, float, float]]:
+        """Split the series into ``buckets`` intervals of equal time.
+
+        Returns ``(interval_midpoint, min, max)`` triples — the format
+        used by the paper's Figure 7 clock-skew plots.
+        """
+        if not self.times or buckets <= 0:
+            return []
+        t0, t1 = self.times[0], self.times[-1]
+        span = (t1 - t0) or 1.0
+        out: List[Tuple[float, float, float]] = []
+        lo = [math.inf] * buckets
+        hi = [-math.inf] * buckets
+        seen = [False] * buckets
+        for t, v in zip(self.times, self.values):
+            i = min(int((t - t0) / span * buckets), buckets - 1)
+            seen[i] = True
+            lo[i] = min(lo[i], v)
+            hi[i] = max(hi[i], v)
+        for i in range(buckets):
+            if seen[i]:
+                mid = t0 + span * (i + 0.5) / buckets
+                out.append((mid, lo[i], hi[i]))
+        return out
+
+
+class StatGroup:
+    """A named bag of counters/histograms/series plus child groups.
+
+    Each model owns a group; the simulator stitches them into one tree
+    which :mod:`repro.sim.results` snapshots at the end of a run.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.counters: Dict[str, Counter] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        self.series: Dict[str, TimeSeries] = {}
+        self.children: Dict[str, "StatGroup"] = {}
+
+    def counter(self, name: str) -> Counter:
+        c = self.counters.get(name)
+        if c is None:
+            c = Counter(name)
+            self.counters[name] = c
+        return c
+
+    def histogram(self, name: str) -> Histogram:
+        h = self.histograms.get(name)
+        if h is None:
+            h = Histogram(name)
+            self.histograms[name] = h
+        return h
+
+    def timeseries(self, name: str) -> TimeSeries:
+        s = self.series.get(name)
+        if s is None:
+            s = TimeSeries(name)
+            self.series[name] = s
+        return s
+
+    def child(self, name: str) -> "StatGroup":
+        g = self.children.get(name)
+        if g is None:
+            g = StatGroup(name)
+            self.children[name] = g
+        return g
+
+    def walk(self, prefix: str = "") -> Iterable[Tuple[str, Counter]]:
+        """Yield (dotted-path, counter) for the whole subtree."""
+        base = f"{prefix}{self.name}"
+        for c in self.counters.values():
+            yield f"{base}.{c.name}", c
+        for child in self.children.values():
+            yield from child.walk(f"{base}.")
+
+    def to_dict(self) -> Dict[str, object]:
+        """Flatten into a plain dict snapshot (for results objects)."""
+        out: Dict[str, object] = {}
+        for path, c in self.walk():
+            out[path] = c.value
+        return out

@@ -1,0 +1,59 @@
+"""Unit constants and conversion helpers.
+
+Target time is measured in *cycles* of the target clock (Table 1:
+1 GHz, so 1 cycle == 1 ns of target time).  Host time is measured in
+*seconds* (floats).  Data sizes are in bytes.
+"""
+
+from __future__ import annotations
+
+# --- data sizes -----------------------------------------------------------
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+# --- time -----------------------------------------------------------------
+NS = 1e-9
+US = 1e-6
+MS = 1e-3
+
+#: Target clock frequency from Table 1.
+DEFAULT_CLOCK_HZ = 1_000_000_000
+
+
+def cycles_to_seconds(cycles: int, clock_hz: int = DEFAULT_CLOCK_HZ) -> float:
+    """Convert a target cycle count into seconds of target time."""
+    return cycles / float(clock_hz)
+
+
+def seconds_to_cycles(seconds: float, clock_hz: int = DEFAULT_CLOCK_HZ) -> int:
+    """Convert seconds of target time into (truncated) target cycles."""
+    return int(seconds * clock_hz)
+
+
+def bytes_per_cycle(bandwidth_bytes_per_s: float,
+                    clock_hz: int = DEFAULT_CLOCK_HZ) -> float:
+    """Convert a bandwidth in bytes/second into bytes/target-cycle."""
+    return bandwidth_bytes_per_s / float(clock_hz)
+
+
+def pretty_bytes(n: int) -> str:
+    """Render a byte count with a binary suffix (``32 KB``, ``3 MB``)."""
+    if n >= GB and n % GB == 0:
+        return f"{n // GB} GB"
+    if n >= MB and n % MB == 0:
+        return f"{n // MB} MB"
+    if n >= KB and n % KB == 0:
+        return f"{n // KB} KB"
+    return f"{n} B"
+
+
+def pretty_seconds(s: float) -> str:
+    """Render a duration with an appropriate suffix."""
+    if s >= 1.0:
+        return f"{s:.2f} s"
+    if s >= MS:
+        return f"{s / MS:.2f} ms"
+    if s >= US:
+        return f"{s / US:.2f} us"
+    return f"{s / NS:.0f} ns"

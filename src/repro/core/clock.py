@@ -1,0 +1,45 @@
+"""The per-tile local clock.
+
+Under lax synchronization each tile maintains its own simulated clock,
+running independently of all other tiles (paper §3.6.1).  The clock only
+moves forward: synchronization events *forward* it to the event's
+timestamp; events in the local past leave it unchanged.
+"""
+
+from __future__ import annotations
+
+
+class TileClock:
+    """Monotonic simulated-cycle counter local to one tile."""
+
+    __slots__ = ("cycles",)
+
+    def __init__(self, start: int = 0) -> None:
+        self.cycles = start
+
+    def advance(self, cycles: int) -> int:
+        """Add ``cycles`` of local progress; returns the new time."""
+        if cycles < 0:
+            raise ValueError("clock cannot move backwards")
+        self.cycles += cycles
+        return self.cycles
+
+    def forward_to(self, time: int) -> bool:
+        """Forward the clock to ``time`` if it lies in the local future.
+
+        Returns True if the clock moved.  This implements the lax rule:
+        "the clock of the tile is forwarded to the time that the event
+        occurred; if the event occurred earlier in simulated time, then
+        no updates take place."
+        """
+        if time > self.cycles:
+            self.cycles = time
+            return True
+        return False
+
+    @property
+    def now(self) -> int:
+        return self.cycles
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TileClock({self.cycles})"

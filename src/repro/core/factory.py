@@ -1,0 +1,31 @@
+"""Core-model factory: the swappable-module point of paper §3.1.
+
+"Because the core performance model is isolated from the functional
+portion of the simulator, there is great flexibility in implementing it
+to match the target architecture."  Both models consume the same
+instruction / pseudo-instruction streams and expose the same interface,
+so swapping them changes every downstream clock-derived quantity —
+memory and network utilization included — without touching functional
+execution.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.common.config import CoreConfig
+from repro.common.errors import ConfigError
+from repro.common.stats import StatGroup
+from repro.core.ooo_model import OutOfOrderCoreModel
+from repro.core.perf_model import CorePerfModel
+
+CoreModel = Union[CorePerfModel, OutOfOrderCoreModel]
+
+
+def create_core_model(config: CoreConfig, stats: StatGroup) -> CoreModel:
+    """Instantiate the configured core timing model."""
+    if config.model == "in_order":
+        return CorePerfModel(config, stats)
+    if config.model == "out_of_order":
+        return OutOfOrderCoreModel(config, stats)
+    raise ConfigError(f"unknown core model {config.model!r}")

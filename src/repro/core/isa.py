@@ -1,0 +1,37 @@
+"""Instruction classification for the core performance model.
+
+The front-end does not carry real opcodes; it classifies instructions
+into cost classes.  Classes not present in the configured cost table
+default to one cycle (paper: "instruction costs are all modeled and
+configurable").
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Mapping
+
+
+class InstructionClass(enum.Enum):
+    """Cost class of a dynamic instruction."""
+
+    GENERIC = "generic"
+    IALU = "ialu"
+    IMUL = "imul"
+    IDIV = "idiv"
+    FPU_ADD = "fpu_add"
+    FPU_MUL = "fpu_mul"
+    FPU_DIV = "fpu_div"
+    BRANCH = "branch"
+    JMP = "jmp"
+    LOAD = "load"
+    STORE = "store"
+
+
+#: Cost charged when a class is missing from the config table.
+DEFAULT_COST = 1
+
+
+def cost_of(klass: InstructionClass, table: Mapping[str, int]) -> int:
+    """Look up the configured cycle cost of an instruction class."""
+    return table.get(klass.value, DEFAULT_COST)

@@ -1,0 +1,141 @@
+"""Ops yielded by target thread programs.
+
+Each op corresponds to a class of event the DBT front-end would trap in
+real Graphite: instruction retirement, memory references, messaging,
+synchronization, thread management and system calls.  Blocking ops
+(``Recv``, ``Lock``, ``BarrierWait``, ``Join``) may be re-executed by
+the interpreter after a wake-up; they carry mutable progress flags so a
+retry does not repeat side effects such as MCP registration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Tuple
+
+from repro.common.ids import ThreadId
+from repro.core.isa import InstructionClass
+
+
+@dataclass
+class Compute:
+    """A batch of ``count`` computational instructions of one class."""
+
+    count: int = 1
+    klass: InstructionClass = InstructionClass.GENERIC
+
+
+@dataclass
+class Branch:
+    """A conditional branch with its dynamic outcome."""
+
+    taken: bool
+    #: Static identity of the branch for the predictor; the API layer
+    #: synthesises one from the yield site when omitted.
+    pc: Optional[int] = None
+
+
+@dataclass
+class Load:
+    """Read ``size`` bytes of target memory; yields the bytes back."""
+
+    address: int
+    size: int
+
+
+@dataclass
+class Store:
+    """Write bytes to target memory."""
+
+    address: int
+    data: bytes
+
+
+@dataclass
+class Malloc:
+    """Allocate target heap memory; yields the address back."""
+
+    size: int
+    align: int = 8
+
+
+@dataclass
+class Free:
+    """Release a Malloc'd block."""
+
+    address: int
+
+
+@dataclass
+class Send:
+    """Send a user-level message to another thread (paper §3.3)."""
+
+    dst: ThreadId
+    payload: bytes
+    tag: Optional[int] = None
+
+
+@dataclass
+class Recv:
+    """Receive a user-level message; blocks until one matches.
+
+    Yields back ``(src_thread, payload)``.
+    """
+
+    src: Optional[ThreadId] = None
+    tag: Optional[int] = None
+
+
+@dataclass
+class Lock:
+    """Acquire the mutex whose lock word lives at ``address``."""
+
+    address: int
+
+
+@dataclass
+class Unlock:
+    """Release the mutex at ``address``."""
+
+    address: int
+
+
+@dataclass
+class BarrierWait:
+    """Wait on the application barrier at ``address``.
+
+    ``participants`` is the total number of threads that must arrive.
+    """
+
+    address: int
+    participants: int
+    #: Interpreter progress flag: arrival already registered at the MCP.
+    registered: bool = field(default=False, compare=False)
+
+
+@dataclass
+class Spawn:
+    """Create a new application thread; yields back its ThreadId.
+
+    ``program`` is a generator function ``program(ctx, *args)``.
+    """
+
+    program: Callable[..., Any]
+    args: Tuple = ()
+
+
+@dataclass
+class Join:
+    """Wait for another thread to finish."""
+
+    thread: ThreadId
+    #: Interpreter progress flag: joiner registered with the MCP.
+    registered: bool = field(default=False, compare=False)
+
+
+@dataclass
+class Syscall:
+    """An intercepted system call, forwarded to the MCP."""
+
+    name: str
+    args: Tuple = ()

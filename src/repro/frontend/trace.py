@@ -1,0 +1,217 @@
+"""Trace capture and replay: trace-driven simulation mode.
+
+The front-end's producer-consumer split (paper §3.1) means the back-end
+does not care *who* produces the op stream.  This module records the
+per-thread op streams of a live run and replays them later — the
+classic trace-driven mode: capture a workload once, then re-simulate it
+under different target architectures without re-executing the program
+logic.
+
+Semantics of replay: the recorded ops are re-issued verbatim (same
+addresses, same data, same synchronization), and yielded results are
+discarded — control flow was already resolved at capture time.  Replay
+therefore produces identical functional state and instruction counts,
+while timing responds to whatever architecture the replay runs on.
+
+``Spawn`` ops cannot serialize a program callable; the recorder instead
+notes the spawned thread's id, and the replayer substitutes a replay
+program for that thread's recorded trace.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+from repro.common.errors import SimulationError
+from repro.common.ids import ThreadId
+from repro.core.isa import InstructionClass
+from repro.frontend import ops
+
+#: Op-type registry for (de)serialisation.
+_OP_TYPES = {
+    "compute": ops.Compute,
+    "branch": ops.Branch,
+    "load": ops.Load,
+    "store": ops.Store,
+    "malloc": ops.Malloc,
+    "free": ops.Free,
+    "send": ops.Send,
+    "recv": ops.Recv,
+    "lock": ops.Lock,
+    "unlock": ops.Unlock,
+    "barrier": ops.BarrierWait,
+    "spawn": ops.Spawn,
+    "join": ops.Join,
+    "syscall": ops.Syscall,
+}
+_OP_NAMES = {cls: name for name, cls in _OP_TYPES.items()}
+
+
+def _encode_op(op: Any, spawned_thread: Optional[int] = None) -> Dict:
+    """One op -> a JSON-compatible record."""
+    name = _OP_NAMES.get(type(op))
+    if name is None:
+        raise SimulationError(f"cannot trace op {op!r}")
+    record: Dict[str, Any] = {"op": name}
+    if isinstance(op, ops.Compute):
+        record.update(count=op.count, klass=op.klass.value)
+    elif isinstance(op, ops.Branch):
+        record.update(taken=op.taken, pc=op.pc)
+    elif isinstance(op, ops.Load):
+        record.update(address=op.address, size=op.size)
+    elif isinstance(op, ops.Store):
+        record.update(address=op.address, data=op.data.hex())
+    elif isinstance(op, ops.Malloc):
+        record.update(size=op.size, align=op.align)
+    elif isinstance(op, ops.Free):
+        record.update(address=op.address)
+    elif isinstance(op, ops.Send):
+        record.update(dst=int(op.dst), payload=op.payload.hex(),
+                      tag=op.tag)
+    elif isinstance(op, ops.Recv):
+        record.update(src=None if op.src is None else int(op.src),
+                      tag=op.tag)
+    elif isinstance(op, (ops.Lock, ops.Unlock)):
+        record.update(address=op.address)
+    elif isinstance(op, ops.BarrierWait):
+        record.update(address=op.address, participants=op.participants)
+    elif isinstance(op, ops.Spawn):
+        record.update(child=spawned_thread)
+    elif isinstance(op, ops.Join):
+        record.update(thread=int(op.thread))
+    elif isinstance(op, ops.Syscall):
+        encoded = [{"b": a.hex()} if isinstance(a, bytes) else a
+                   for a in op.args]
+        record.update(name=op.name, args=encoded)
+    return record
+
+
+def _decode_op(record: Dict,
+               spawn_factory: Callable[[int], Any]) -> Any:
+    """A JSON record -> an op instance (Spawn via the factory)."""
+    kind = record["op"]
+    if kind == "compute":
+        return ops.Compute(record["count"],
+                           InstructionClass(record["klass"]))
+    if kind == "branch":
+        return ops.Branch(record["taken"], record["pc"])
+    if kind == "load":
+        return ops.Load(record["address"], record["size"])
+    if kind == "store":
+        return ops.Store(record["address"], bytes.fromhex(record["data"]))
+    if kind == "malloc":
+        return ops.Malloc(record["size"], record["align"])
+    if kind == "free":
+        return ops.Free(record["address"])
+    if kind == "send":
+        return ops.Send(ThreadId(record["dst"]),
+                        bytes.fromhex(record["payload"]), record["tag"])
+    if kind == "recv":
+        src = record["src"]
+        return ops.Recv(None if src is None else ThreadId(src),
+                        record["tag"])
+    if kind == "lock":
+        return ops.Lock(record["address"])
+    if kind == "unlock":
+        return ops.Unlock(record["address"])
+    if kind == "barrier":
+        return ops.BarrierWait(record["address"],
+                               record["participants"])
+    if kind == "spawn":
+        return spawn_factory(record["child"])
+    if kind == "join":
+        return ops.Join(ThreadId(record["thread"]))
+    if kind == "syscall":
+        args = tuple(bytes.fromhex(a["b"])
+                     if isinstance(a, dict) and "b" in a else a
+                     for a in record["args"])
+        return ops.Syscall(record["name"], args)
+    raise SimulationError(f"unknown traced op kind {kind!r}")
+
+
+class Trace:
+    """A captured multi-thread op trace."""
+
+    def __init__(self) -> None:
+        #: thread id -> list of op records.
+        self.threads: Dict[int, List[Dict]] = {}
+
+    def to_json(self) -> str:
+        return json.dumps({"threads": {str(t): records for t, records
+                                       in self.threads.items()}})
+
+    @classmethod
+    def from_json(cls, text: str) -> "Trace":
+        trace = cls()
+        data = json.loads(text)
+        trace.threads = {int(t): records
+                         for t, records in data["threads"].items()}
+        return trace
+
+    @property
+    def total_ops(self) -> int:
+        return sum(len(records) for records in self.threads.values())
+
+
+class TraceRecorder:
+    """Wraps programs so every yielded op is logged per thread."""
+
+    def __init__(self) -> None:
+        self.trace = Trace()
+
+    def wrap(self, program: Callable[..., Generator]) -> Callable:
+        """A program factory whose threads log their op streams."""
+
+        recorder = self
+
+        def traced_program(ctx, *args):
+            thread = int(ctx.thread_id)
+            log = recorder.trace.threads.setdefault(thread, [])
+            generator = program(ctx, *args)
+            reply = None
+            while True:
+                try:
+                    op = generator.send(reply)
+                except StopIteration as stop:
+                    return stop.value
+                if isinstance(op, ops.Spawn):
+                    wrapped = ops.Spawn(recorder.wrap(op.program),
+                                        op.args)
+                    child = yield wrapped
+                    log.append(_encode_op(op,
+                                          spawned_thread=int(child)))
+                    reply = child
+                else:
+                    reply = yield op
+                    log.append(_encode_op(op))
+
+        return traced_program
+
+
+def replay_program(trace: Trace, thread: int = 0) -> Callable:
+    """Build a program that replays one thread's trace.
+
+    Spawn records substitute replay programs of the recorded children,
+    so replaying thread 0 reproduces the whole simulation.  Replay
+    requires the spawned tile assignment to be reproducible (it is: the
+    MCP allocates the lowest free tile deterministically).
+    """
+
+    records = trace.threads.get(thread)
+    if records is None:
+        raise SimulationError(f"trace has no thread {thread}")
+
+    def spawn_factory(child: int) -> ops.Spawn:
+        return ops.Spawn(replay_program(trace, child), ())
+
+    def program(ctx, *args):
+        for record in records:
+            op = _decode_op(record, spawn_factory)
+            result = yield op
+            if record["op"] == "spawn" and int(result) != record["child"]:
+                raise SimulationError(
+                    "replay divergence: spawn landed on tile "
+                    f"{int(result)}, trace recorded {record['child']}")
+
+    return program

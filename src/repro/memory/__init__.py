@@ -1,0 +1,46 @@
+"""Memory system (paper §3.2).
+
+Plays a dual role.  *Functionally* it maintains the single target
+address space shared by all application threads — caches and DRAM hold
+real bytes and the coherence protocol really moves them, so a protocol
+bug breaks the simulated program rather than silently skewing numbers
+(the paper leans on exactly this property to validate its protocols).
+*For modeling* it computes the latency of every access: L1/L2 lookups,
+directory MSI coherence (full-map, limited Dir_iNB, or LimitLESS),
+network round trips, and DRAM controllers with lax-compatible queue
+models.
+"""
+
+from repro.memory.address import AddressSpace, Segment
+from repro.memory.allocator import DynamicMemoryManager
+from repro.memory.backing import BackingStore
+from repro.memory.cache import Cache, CacheLine, LineState
+from repro.memory.coherence import CoherenceEngine
+from repro.memory.controller import MemoryController
+from repro.memory.directory import (
+    Directory,
+    DirectoryEntry,
+    create_directory,
+)
+from repro.memory.dram import DramController
+from repro.memory.hierarchy import CacheHierarchy
+from repro.memory.miss_classifier import MissClassifier, MissType
+
+__all__ = [
+    "AddressSpace",
+    "BackingStore",
+    "Cache",
+    "CacheHierarchy",
+    "CacheLine",
+    "CoherenceEngine",
+    "Directory",
+    "DirectoryEntry",
+    "DramController",
+    "DynamicMemoryManager",
+    "LineState",
+    "MemoryController",
+    "MissClassifier",
+    "MissType",
+    "Segment",
+    "create_directory",
+]

@@ -1,0 +1,135 @@
+"""Dynamic memory management for the target (paper §3.2.1).
+
+Graphite implements memory-management functions normally provided by
+the OS: it intercepts ``brk``, ``mmap`` and ``munmap`` and serves them
+from designated parts of the target address space, and it carves the
+stack segment into per-thread stacks.  On top of the raw system calls
+this module also provides the ``malloc``/``free`` pair the user API
+exposes, implemented as a first-fit free-list allocator over the heap
+segment so workloads exercise realistic allocation patterns.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.common.errors import TargetFault
+from repro.common.ids import TileId
+from repro.memory.address import AddressSpace
+
+#: Allocation granularity; keeps separately allocated blocks from
+#: sharing a cache line only when the caller asks for aligned blocks.
+MIN_ALIGN = 8
+
+
+def _align_up(value: int, align: int) -> int:
+    return (value + align - 1) & ~(align - 1)
+
+
+class DynamicMemoryManager:
+    """brk/mmap emulation plus a heap allocator for the target."""
+
+    def __init__(self, space: AddressSpace) -> None:
+        self.space = space
+        self._brk = space.HEAP_BASE
+        self._mmap_next = space.DYNAMIC_BASE
+        self._mmap_regions: Dict[int, int] = {}  # base -> size
+        #: Free list of (base, size) holes in brk'd heap space, sorted.
+        self._free: List[Tuple[int, int]] = []
+        self._allocated: Dict[int, int] = {}  # base -> size
+
+    # -- system-call level ---------------------------------------------------
+
+    def brk(self, new_break: int = 0) -> int:
+        """Emulate ``brk``: move (or query) the program break."""
+        if new_break == 0:
+            return self._brk
+        if not self.space.HEAP_BASE <= new_break < self.space.DYNAMIC_BASE:
+            raise TargetFault(f"brk to {new_break:#x} outside heap segment")
+        self._brk = new_break
+        return self._brk
+
+    def mmap(self, length: int) -> int:
+        """Emulate anonymous ``mmap``: map a fresh dynamic region."""
+        if length <= 0:
+            raise TargetFault("mmap of non-positive length")
+        length = _align_up(length, 4096)
+        base = self._mmap_next
+        if base + length > self.space.STACK_BASE:
+            raise TargetFault("target dynamic segment exhausted")
+        self._mmap_next = base + length
+        self._mmap_regions[base] = length
+        return base
+
+    def munmap(self, base: int, length: int) -> None:
+        """Emulate ``munmap`` of a region returned by :meth:`mmap`."""
+        size = self._mmap_regions.get(base)
+        if size is None or size != _align_up(length, 4096):
+            raise TargetFault(f"munmap of unmapped region {base:#x}")
+        del self._mmap_regions[base]
+
+    # -- malloc/free ------------------------------------------------------------
+
+    def malloc(self, size: int, align: int = MIN_ALIGN) -> int:
+        """Allocate target heap memory (first fit, then grow via brk)."""
+        if size <= 0:
+            raise TargetFault("malloc of non-positive size")
+        if align < MIN_ALIGN or align & (align - 1):
+            raise TargetFault("malloc alignment must be a power of two >= 8")
+        size = _align_up(size, MIN_ALIGN)
+        for i, (base, hole) in enumerate(self._free):
+            aligned = _align_up(base, align)
+            waste = aligned - base
+            if hole >= size + waste:
+                remainder = hole - size - waste
+                del self._free[i]
+                if waste:
+                    self._free.insert(i, (base, waste))
+                if remainder:
+                    self._free.append((aligned + size, remainder))
+                    self._free.sort()
+                self._allocated[aligned] = size
+                return aligned
+        # Grow the heap.
+        aligned = _align_up(self._brk, align)
+        waste = aligned - self._brk
+        if waste:
+            self._free.append((self._brk, waste))
+            self._free.sort()
+        self.brk(aligned + size)
+        self._allocated[aligned] = size
+        return aligned
+
+    def free(self, address: int) -> None:
+        """Release a block returned by :meth:`malloc`."""
+        size = self._allocated.pop(address, None)
+        if size is None:
+            raise TargetFault(f"free of unallocated address {address:#x}")
+        self._free.append((address, size))
+        self._free.sort()
+        self._coalesce()
+
+    def _coalesce(self) -> None:
+        merged: List[Tuple[int, int]] = []
+        for base, size in self._free:
+            if merged and merged[-1][0] + merged[-1][1] == base:
+                merged[-1] = (merged[-1][0], merged[-1][1] + size)
+            else:
+                merged.append((base, size))
+        self._free = merged
+
+    # -- stacks ------------------------------------------------------------------
+
+    def stack_top(self, tile: TileId) -> int:
+        """Initial stack pointer for the thread on ``tile``."""
+        return self.space.stack_range(tile).limit - MIN_ALIGN
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def heap_bytes_in_use(self) -> int:
+        return sum(self._allocated.values())
+
+    @property
+    def live_allocations(self) -> int:
+        return len(self._allocated)

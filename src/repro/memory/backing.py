@@ -1,0 +1,44 @@
+"""The functional backing store for target memory.
+
+Holds the authoritative bytes of every target cache line that is not
+currently exclusively owned by some tile's cache.  Lines materialise
+zero-filled on first touch, mirroring demand-zero pages.  In the real
+Graphite this store is partitioned across host machines ("homed");
+here a single structure suffices functionally, while the *cost* of
+reaching a remote home is charged through the transport layer when
+coherence messages travel between tiles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class BackingStore:
+    """Line-granular byte storage for the whole target address space."""
+
+    def __init__(self, line_bytes: int) -> None:
+        if line_bytes <= 0 or line_bytes & (line_bytes - 1):
+            raise ValueError("line size must be a positive power of two")
+        self.line_bytes = line_bytes
+        self._lines: Dict[int, bytearray] = {}
+
+    def read_line(self, line_address: int) -> bytearray:
+        """A *copy* of the line's bytes (zero-filled if never written)."""
+        line = self._lines.get(line_address)
+        if line is None:
+            return bytearray(self.line_bytes)
+        return bytearray(line)
+
+    def write_line(self, line_address: int, data: bytes) -> None:
+        """Replace the line's bytes (cache writeback)."""
+        if len(data) != self.line_bytes:
+            raise ValueError(
+                f"writeback of {len(data)} bytes to a "
+                f"{self.line_bytes}-byte line")
+        self._lines[line_address] = bytearray(data)
+
+    @property
+    def resident_lines(self) -> int:
+        """Number of lines ever written back (memory footprint proxy)."""
+        return len(self._lines)

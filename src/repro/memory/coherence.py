@@ -1,0 +1,379 @@
+"""The directory-based MSI cache-coherence engine (paper §3.2).
+
+Cache coherence is maintained using a directory-based MSI protocol in
+which the directory is uniformly distributed across all the tiles.  The
+engine unifies the *functional* and *modeling* roles: the software
+structures that keep the target address space consistent are organised
+like the target memory architecture, so each application memory request
+generates exactly one set of protocol actions that both move real bytes
+and accumulate modelled latency.  This mirrors the paper's key design
+point — correct simulated execution doubles as verification of the
+coherence protocol.
+
+All protocol messages are serviced synchronously ("the network forwards
+messages immediately"), with simulated time carried by timestamps:
+each leg adds the memory network model's latency, directories add their
+lookup latency, and DRAM adds queue-model delay computed against the
+windowed global-progress estimate.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.common.config import MemoryConfig
+from repro.common.errors import ProtocolError
+from repro.common.ids import TileId
+from repro.common.stats import StatGroup
+from repro.memory.address import AddressSpace
+from repro.memory.backing import BackingStore
+from repro.memory.cache import CacheLine, LineState
+from repro.memory.directory import Directory, DirState, create_directory
+from repro.memory.dram import DramController
+from repro.memory.hierarchy import CacheHierarchy
+from repro.memory.miss_classifier import MissClassifier
+from repro.network.interface import NetworkFabric
+from repro.sync.progress import ProgressEstimator
+from repro.transport.message import MessageKind
+
+#: Size of a coherence control message (request, inv, ack) on the wire.
+CONTROL_BYTES = 8
+#: Header added to a data-carrying coherence message.
+HEADER_BYTES = 8
+
+
+class CoherenceEngine:
+    """Global protocol engine owning all per-tile memory structures."""
+
+    def __init__(self, num_tiles: int, config: MemoryConfig,
+                 space: AddressSpace, backing: BackingStore,
+                 fabric: NetworkFabric, clock_hz: int,
+                 stats: StatGroup,
+                 classifier: Optional[MissClassifier] = None) -> None:
+        config.validate()
+        self.num_tiles = num_tiles
+        self.config = config
+        self.space = space
+        self.backing = backing
+        self.fabric = fabric
+        self.classifier = classifier
+        self.line_bytes = config.l2.line_bytes
+        self.stats = stats
+        window = max(num_tiles * config.dram.progress_window_factor, 8)
+        self.progress = ProgressEstimator(window)
+        self.hierarchies: List[CacheHierarchy] = [
+            CacheHierarchy(TileId(t), config, stats.child(f"tile{t}"))
+            for t in range(num_tiles)]
+        self.directories: List[Directory] = [
+            create_directory(TileId(t), config,
+                             stats.child(f"dir{t}"))
+            for t in range(num_tiles)]
+        self.drams: List[DramController] = [
+            DramController(TileId(t), config.dram, num_tiles, clock_hz,
+                           self.progress, stats.child(f"dram{t}"))
+            for t in range(num_tiles)]
+        self._read_misses = stats.counter("read_misses")
+        self._write_misses = stats.counter("write_misses")
+        self._upgrades = stats.counter("upgrades")
+
+    # -- network helper -----------------------------------------------------------
+
+    def _transfer(self, src: TileId, dst: TileId, size_bytes: int,
+                  timestamp: int) -> int:
+        return self.fabric.transfer(src, dst, MessageKind.MEMORY,
+                                    size_bytes, timestamp)
+
+    # -- public protocol operations --------------------------------------------------
+
+    def read_access(self, tile: TileId, address: int, size: int,
+                    timestamp: int) -> "tuple[CacheLine, int]":
+        """Ensure a readable (S or M) copy at ``tile``; returns latency.
+
+        ``address``/``size`` must lie within one cache line (the memory
+        controller splits larger accesses).
+        """
+        line_address = self.space.line_of(address)
+        hierarchy = self.hierarchies[int(tile)]
+        latency = self.config.l2.access_latency
+        line = hierarchy.l2_line(line_address)
+        if line is not None:
+            return line, latency
+        self._read_misses.add()
+        if self.classifier is not None:
+            self.classifier.classify(tile, address, size)
+        home = self.space.home_tile(line_address)
+        directory = self.directories[int(home)]
+        now = timestamp + latency
+        now += self._transfer(tile, home, CONTROL_BYTES, now)
+        now += self.config.directory_latency
+        entry = directory.entry(line_address)
+
+        data_forwarded = False
+        # MESI: an uncontended miss returns the line *exclusively*, so
+        # a later store by this tile needs no upgrade round trip.
+        grant_exclusive = (self.config.protocol == "mesi"
+                           and entry.state is DirState.UNCACHED)
+        if entry.state is DirState.MODIFIED:
+            owner = entry.owner
+            if owner == tile:
+                raise ProtocolError(
+                    f"tile {int(tile)} missed on a line the directory "
+                    f"says it owns ({line_address:#x})")
+            # Recall the dirty line: home -> owner -> home, then the
+            # owner keeps a shared copy (M -> S downgrade).
+            now += self._transfer(home, owner, CONTROL_BYTES, now)
+            owner_line = self.hierarchies[int(owner)].downgrade(line_address)
+            if owner_line is None or owner_line.data is None:
+                raise ProtocolError(
+                    f"directory owner {int(owner)} does not hold "
+                    f"{line_address:#x}")
+            self.backing.write_line(line_address, owner_line.data)
+            now += self._transfer(owner, home,
+                                  self.line_bytes + HEADER_BYTES, now)
+            self.drams[int(home)].post_write(now, self.line_bytes)
+            entry.state = DirState.SHARED
+        elif entry.state is DirState.SHARED and entry.sharers \
+                and self.config.forward_shared_reads:
+            # Clean-shared data is forwarded cache-to-cache from an
+            # existing sharer (home -> sharer control, sharer ->
+            # requester data), sparing the DRAM controller: without
+            # forwarding, widely read-shared lines serialize every new
+            # sharer behind one controller's bandwidth slice.
+            forwarder = next(iter(entry.sharers))
+            now += self._transfer(home, forwarder, CONTROL_BYTES, now)
+            now += self._transfer(forwarder, tile,
+                                  self.line_bytes + HEADER_BYTES, now)
+            data_forwarded = True
+        elif entry.state is not DirState.MODIFIED:
+            # Data comes from the home memory controller.
+            now += self.drams[int(home)].read(now, self.line_bytes)
+
+        result = directory.add_sharer(entry, tile)
+        now += result.extra_latency
+        for victim_tile in result.evict:
+            now += self._invalidate_one(home, victim_tile, line_address,
+                                        now, due_to_write=False)
+        # An exclusive grant is recorded as directory-owned: the holder
+        # may silently dirty the line, so recalls must go through it.
+        entry.state = DirState.MODIFIED if grant_exclusive \
+            else DirState.SHARED
+        if data_forwarded:
+            # Completion acknowledgement only; the data already arrived.
+            now += self._transfer(home, tile, CONTROL_BYTES, now)
+        else:
+            now += self._transfer(home, tile,
+                                  self.line_bytes + HEADER_BYTES, now)
+        data = self.backing.read_line(line_address)
+        fill_state = LineState.EXCLUSIVE if grant_exclusive \
+            else LineState.SHARED
+        line = self._install(tile, line_address, fill_state, data, now)
+        return line, now - timestamp
+
+    def write_access(self, tile: TileId, address: int, size: int,
+                     timestamp: int) -> "tuple[CacheLine, int]":
+        """Ensure an exclusive (M) copy at ``tile``; returns latency."""
+        line_address = self.space.line_of(address)
+        hierarchy = self.hierarchies[int(tile)]
+        latency = self.config.l2.access_latency
+        line = hierarchy.l2_line(line_address)
+        if line is not None and line.state is LineState.MODIFIED:
+            return line, latency
+        if line is not None and line.state is LineState.EXCLUSIVE:
+            # MESI's payoff: the directory already records this tile as
+            # the owner, so dirtying the line is a silent transition.
+            line.state = LineState.MODIFIED
+            return line, latency
+
+        home = self.space.home_tile(line_address)
+        directory = self.directories[int(home)]
+        now = timestamp + latency
+
+        if line is not None:
+            # Upgrade: we hold S; invalidate the other sharers.
+            self._upgrades.add()
+            now += self._transfer(tile, home, CONTROL_BYTES, now)
+            now += self.config.directory_latency
+            entry = directory.entry(line_address)
+            now += directory.invalidation_latency(entry)
+            now += self._invalidate_sharers(home, entry.sharer_list(),
+                                            line_address, now,
+                                            exclude=tile)
+            entry.sharers.clear()
+            entry.sharers[tile] = None
+            entry.state = DirState.MODIFIED
+            now += self._transfer(home, tile, CONTROL_BYTES, now)
+            line.state = LineState.MODIFIED
+            return line, now - timestamp
+
+        # Write miss.
+        self._write_misses.add()
+        if self.classifier is not None:
+            self.classifier.classify(tile, address, size)
+        now += self._transfer(tile, home, CONTROL_BYTES, now)
+        now += self.config.directory_latency
+        entry = directory.entry(line_address)
+
+        if entry.state is DirState.MODIFIED:
+            owner = entry.owner
+            if owner == tile:
+                raise ProtocolError(
+                    f"tile {int(tile)} write-missed on a line the "
+                    f"directory says it owns ({line_address:#x})")
+            now += self._transfer(home, owner, CONTROL_BYTES, now)
+            owner_line = self.hierarchies[int(owner)].invalidate(line_address)
+            if owner_line is None or owner_line.data is None:
+                raise ProtocolError(
+                    f"directory owner {int(owner)} does not hold "
+                    f"{line_address:#x}")
+            self.backing.write_line(line_address, owner_line.data)
+            if self.classifier is not None:
+                self.classifier.note_invalidation(owner, line_address,
+                                                  due_to_write=True)
+            now += self._transfer(owner, home,
+                                  self.line_bytes + HEADER_BYTES, now)
+            self.drams[int(home)].post_write(now, self.line_bytes)
+            entry.sharers.clear()
+        elif entry.state is DirState.SHARED:
+            now += directory.invalidation_latency(entry)
+            now += self._invalidate_sharers(home, entry.sharer_list(),
+                                            line_address, now,
+                                            exclude=None)
+            entry.sharers.clear()
+            now += self.drams[int(home)].read(now, self.line_bytes)
+        else:
+            now += self.drams[int(home)].read(now, self.line_bytes)
+
+        result = directory.add_sharer(entry, tile)
+        now += result.extra_latency
+        entry.state = DirState.MODIFIED
+        now += self._transfer(home, tile,
+                              self.line_bytes + HEADER_BYTES, now)
+        data = self.backing.read_line(line_address)
+        line = self._install(tile, line_address, LineState.MODIFIED,
+                             data, now)
+        return line, now - timestamp
+
+    # -- invalidations -----------------------------------------------------------------
+
+    def _invalidate_sharers(self, home: TileId, sharers: List[TileId],
+                            line_address: int, timestamp: int,
+                            exclude: Optional[TileId]) -> int:
+        """Invalidate all sharers in parallel; latency is the worst leg."""
+        worst = 0
+        for sharer in sharers:
+            if exclude is not None and sharer == exclude:
+                continue
+            worst = max(worst, self._invalidate_one(
+                home, sharer, line_address, timestamp, due_to_write=True))
+        return worst
+
+    def _invalidate_one(self, home: TileId, sharer: TileId,
+                        line_address: int, timestamp: int,
+                        due_to_write: bool) -> int:
+        leg = self._transfer(home, sharer, CONTROL_BYTES, timestamp)
+        removed = self.hierarchies[int(sharer)].invalidate(line_address)
+        if removed is None:
+            raise ProtocolError(
+                f"invalidation of {line_address:#x} at tile {int(sharer)}"
+                " which does not hold it")
+        if removed.state is LineState.MODIFIED:
+            raise ProtocolError(
+                f"shared-state invalidation found a dirty line at tile "
+                f"{int(sharer)} for {line_address:#x}")
+        if self.classifier is not None:
+            self.classifier.note_invalidation(sharer, line_address,
+                                              due_to_write)
+        leg += self._transfer(sharer, home, CONTROL_BYTES,
+                              timestamp + leg)
+        return leg
+
+    # -- fills and evictions ---------------------------------------------------------------
+
+    def _install(self, tile: TileId, line_address: int, state: LineState,
+                 data: bytearray, timestamp: int) -> CacheLine:
+        hierarchy = self.hierarchies[int(tile)]
+        victim = hierarchy.fill_l2(line_address, state, data)
+        if victim is not None:
+            self._handle_victim(tile, victim, timestamp)
+        if self.classifier is not None:
+            self.classifier.note_fill(tile, line_address)
+        line = hierarchy.l2.peek(line_address)
+        assert line is not None
+        return line
+
+    def _handle_victim(self, tile: TileId, victim: CacheLine,
+                       timestamp: int) -> None:
+        """Writeback or evict-notify for an L2 replacement victim.
+
+        Posted off the critical path: the requester does not wait, but
+        bandwidth and host transfer costs are consumed.
+        """
+        victim_home = self.space.home_tile(victim.address)
+        directory = self.directories[int(victim_home)]
+        entry = directory.entry(victim.address)
+        if victim.state is LineState.MODIFIED:
+            if victim.data is None:
+                raise ProtocolError("dirty victim with no data")
+            self._transfer(tile, victim_home,
+                           self.line_bytes + HEADER_BYTES, timestamp)
+            self.backing.write_line(victim.address, victim.data)
+            self.drams[int(victim_home)].post_write(timestamp,
+                                                    self.line_bytes)
+        else:
+            # Evict notice keeps the full-map sharer list precise.
+            self._transfer(tile, victim_home, CONTROL_BYTES, timestamp)
+        directory.remove_sharer(entry, tile)
+        if self.classifier is not None:
+            self.classifier.note_eviction(tile, victim.address)
+
+    # -- invariant checking (tests) ----------------------------------------------------------
+
+    def check_coherence_invariants(self) -> None:
+        """Raise ProtocolError on any directory/cache inconsistency."""
+        for home, directory in enumerate(self.directories):
+            for line_address, entry in directory.entries.items():
+                if self.space.home_tile(line_address) != home:
+                    raise ProtocolError(
+                        f"{line_address:#x} homed at wrong tile {home}")
+                if entry.state is DirState.MODIFIED:
+                    owner = entry.owner
+                    line = self.hierarchies[int(owner)].l2.peek(line_address)
+                    owned_states = (LineState.MODIFIED,
+                                    LineState.EXCLUSIVE)
+                    if line is None or line.state not in owned_states:
+                        raise ProtocolError(
+                            f"owner {int(owner)} of {line_address:#x} "
+                            "does not hold it exclusively")
+                    if line.state is LineState.EXCLUSIVE \
+                            and self.config.protocol != "mesi":
+                        raise ProtocolError(
+                            "EXCLUSIVE line under the MSI protocol")
+                elif entry.state is DirState.SHARED:
+                    if not entry.sharers:
+                        raise ProtocolError(
+                            f"SHARED entry with no sharers "
+                            f"({line_address:#x})")
+                    for sharer in entry.sharers:
+                        line = self.hierarchies[int(sharer)].l2.peek(
+                            line_address)
+                        if line is None or \
+                                line.state is not LineState.SHARED:
+                            raise ProtocolError(
+                                f"sharer {int(sharer)} of "
+                                f"{line_address:#x} inconsistent")
+                else:
+                    if entry.sharers:
+                        raise ProtocolError(
+                            f"UNCACHED entry with sharers "
+                            f"({line_address:#x})")
+        # No line may be cached anywhere without a directory record.
+        for t, hierarchy in enumerate(self.hierarchies):
+            for line in hierarchy.resident_l2_lines():
+                home = self.space.home_tile(line.address)
+                entry = self.directories[int(home)].entries.get(line.address)
+                if entry is None or TileId(t) not in entry.sharers:
+                    raise ProtocolError(
+                        f"tile {t} caches {line.address:#x} without a "
+                        "directory record")
+            if not hierarchy.check_inclusion():
+                raise ProtocolError(f"inclusion violated at tile {t}")

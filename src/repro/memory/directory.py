@@ -1,0 +1,182 @@
+"""Directory organisations for cache coherence (paper §4.4).
+
+Graphite supports a limited directory MSI protocol with ``i`` sharers,
+denoted Dir_iNB [Agarwal et al., ISCA'88], as the baseline, plus
+full-map directories and the LimitLESS protocol [Chaiken et al.,
+ASPLOS'91].  In LimitLESS a limited number of hardware pointers exist
+for the first ``i`` sharers, and additional requests to shared data are
+handled by a software trap, preventing the need to evict existing
+sharers.
+
+The directory for each line is physically distributed: every tile holds
+the slice for the lines it homes (uniform interleaving).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.config import MemoryConfig
+from repro.common.errors import ConfigError, ProtocolError
+from repro.common.ids import TileId
+from repro.common.stats import StatGroup
+
+
+class DirState(enum.Enum):
+    """Directory-visible state of one line."""
+
+    UNCACHED = "U"
+    SHARED = "S"
+    MODIFIED = "M"
+
+
+@dataclass
+class DirectoryEntry:
+    """Directory knowledge about one line."""
+
+    state: DirState = DirState.UNCACHED
+    #: Sharer tiles in insertion order (dict used as an ordered set).
+    sharers: Dict[TileId, None] = field(default_factory=dict)
+
+    @property
+    def owner(self) -> Optional[TileId]:
+        """Owning tile when MODIFIED (exactly one sharer)."""
+        if self.state is not DirState.MODIFIED:
+            return None
+        if len(self.sharers) != 1:
+            raise ProtocolError(
+                f"MODIFIED entry with {len(self.sharers)} sharers")
+        return next(iter(self.sharers))
+
+    def sharer_list(self) -> List[TileId]:
+        return list(self.sharers)
+
+
+@dataclass
+class AddResult:
+    """Outcome of registering a sharer with a directory organisation."""
+
+    #: Sharers that must be invalidated to make room (Dir_iNB eviction).
+    evict: List[TileId] = field(default_factory=list)
+    #: Extra latency charged (LimitLESS software trap).
+    extra_latency: int = 0
+
+
+class Directory:
+    """One tile's directory slice under a pluggable organisation."""
+
+    kind = "full_map"
+
+    def __init__(self, home: TileId, config: MemoryConfig,
+                 stats: StatGroup) -> None:
+        self.home = home
+        self.config = config
+        self.entries: Dict[int, DirectoryEntry] = {}
+        self.stats = stats
+        self._lookups = stats.counter("lookups")
+
+    def entry(self, line_address: int) -> DirectoryEntry:
+        """Fetch (or create) the entry for a line homed here."""
+        e = self.entries.get(line_address)
+        if e is None:
+            e = DirectoryEntry()
+            self.entries[line_address] = e
+        self._lookups.add()
+        return e
+
+    def add_sharer(self, entry: DirectoryEntry, tile: TileId) -> AddResult:
+        """Register ``tile`` as a sharer; organisation-specific limits."""
+        entry.sharers[tile] = None
+        return AddResult()
+
+    def remove_sharer(self, entry: DirectoryEntry, tile: TileId) -> None:
+        entry.sharers.pop(tile, None)
+        if not entry.sharers:
+            entry.state = DirState.UNCACHED
+
+    def invalidation_latency(self, entry: DirectoryEntry) -> int:
+        """Extra directory-side latency for invalidating all sharers."""
+        return 0
+
+
+class FullMapDirectory(Directory):
+    """Unbounded sharer bit-vector: never evicts, never traps."""
+
+    kind = "full_map"
+
+
+class LimitedDirectory(Directory):
+    """Dir_iNB: at most ``i`` sharer pointers, no broadcast.
+
+    When an ``i+1``-th sharer arrives, an existing sharer is evicted
+    (invalidated) to free a pointer.  Heavily shared read data therefore
+    thrashes: this is the protocol whose scaling collapses in Figure 9.
+    """
+
+    kind = "limited"
+
+    def __init__(self, home: TileId, config: MemoryConfig,
+                 stats: StatGroup) -> None:
+        super().__init__(home, config, stats)
+        self.max_sharers = config.directory_max_sharers
+        self._pointer_evictions = stats.counter("pointer_evictions")
+
+    def add_sharer(self, entry: DirectoryEntry, tile: TileId) -> AddResult:
+        result = AddResult()
+        if tile not in entry.sharers:
+            while len(entry.sharers) >= self.max_sharers:
+                victim = next(iter(entry.sharers))  # oldest pointer
+                del entry.sharers[victim]
+                result.evict.append(victim)
+                self._pointer_evictions.add()
+        entry.sharers[tile] = None
+        return result
+
+
+class LimitLessDirectory(Directory):
+    """LimitLESS(i): hardware pointers for ``i`` sharers, software beyond.
+
+    Overflowing sharers are retained (no eviction); instead, directory
+    operations touching the overflowed entry pay a software-trap latency.
+    Once read-only data is cached everywhere, LimitLESS behaves like
+    full-map (paper §4.4) — the trap cost is paid only while the sharer
+    set is still growing or on invalidation.
+    """
+
+    kind = "limitless"
+
+    def __init__(self, home: TileId, config: MemoryConfig,
+                 stats: StatGroup) -> None:
+        super().__init__(home, config, stats)
+        self.hw_pointers = config.directory_max_sharers
+        self.trap_latency = config.limitless_trap_latency
+        self._traps = stats.counter("software_traps")
+
+    def add_sharer(self, entry: DirectoryEntry, tile: TileId) -> AddResult:
+        result = AddResult()
+        if tile not in entry.sharers and \
+                len(entry.sharers) >= self.hw_pointers:
+            result.extra_latency = self.trap_latency
+            self._traps.add()
+        entry.sharers[tile] = None
+        return result
+
+    def invalidation_latency(self, entry: DirectoryEntry) -> int:
+        if len(entry.sharers) > self.hw_pointers:
+            self._traps.add()
+            return self.trap_latency
+        return 0
+
+
+def create_directory(home: TileId, config: MemoryConfig,
+                     stats: StatGroup) -> Directory:
+    """Instantiate the configured directory organisation for one tile."""
+    if config.directory_type == "full_map":
+        return FullMapDirectory(home, config, stats)
+    if config.directory_type == "limited":
+        return LimitedDirectory(home, config, stats)
+    if config.directory_type == "limitless":
+        return LimitLessDirectory(home, config, stats)
+    raise ConfigError(f"unknown directory type {config.directory_type!r}")

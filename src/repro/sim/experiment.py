@@ -1,0 +1,83 @@
+"""Sweep and repetition helpers for experiments.
+
+The paper's accuracy studies (Table 3, Figure 6) run each configuration
+ten times and report the mean simulated run-time, its percentage
+deviation from a baseline ("error"), and the run-to-run coefficient of
+variation.  These helpers implement exactly that protocol.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.common.config import SimulationConfig
+from repro.sim.results import SimulationResult
+from repro.sim.simulator import Simulator
+
+
+@dataclass
+class RunStatistics:
+    """Aggregate of repeated runs of one configuration."""
+
+    results: List[SimulationResult]
+
+    @property
+    def simulated_cycles(self) -> List[int]:
+        return [r.simulated_cycles for r in self.results]
+
+    @property
+    def mean_cycles(self) -> float:
+        cycles = self.simulated_cycles
+        return sum(cycles) / len(cycles)
+
+    @property
+    def mean_wall_clock(self) -> float:
+        return (sum(r.wall_clock_seconds for r in self.results)
+                / len(self.results))
+
+    @property
+    def cov_percent(self) -> float:
+        """Coefficient of variation of simulated run-time, percent."""
+        cycles = self.simulated_cycles
+        mean = self.mean_cycles
+        if len(cycles) < 2 or mean == 0:
+            return 0.0
+        var = sum((c - mean) ** 2 for c in cycles) / len(cycles)
+        return math.sqrt(var) / mean * 100.0
+
+    def error_percent(self, baseline_mean_cycles: float) -> float:
+        """Percentage deviation of mean run-time from a baseline."""
+        if baseline_mean_cycles == 0:
+            return 0.0
+        return abs(self.mean_cycles - baseline_mean_cycles) \
+            / baseline_mean_cycles * 100.0
+
+
+def repeat_runs(config: SimulationConfig,
+                program: Callable[..., Any],
+                args: tuple = (),
+                runs: int = 10,
+                base_seed: Optional[int] = None) -> RunStatistics:
+    """Run the same program ``runs`` times with varied seeds.
+
+    Varying only the seed reproduces the paper's protocol: the target
+    program and architecture are fixed while host-side nondeterminism
+    (scheduling, OS noise) differs run to run.
+    """
+    results: List[SimulationResult] = []
+    seed0 = config.seed if base_seed is None else base_seed
+    for run_index in range(runs):
+        run_config = config.copy()
+        run_config.seed = seed0 + 7919 * run_index
+        simulator = Simulator(run_config)
+        results.append(simulator.run(program, args))
+    return RunStatistics(results)
+
+
+def sweep(configs: Sequence[SimulationConfig],
+          program: Callable[..., Any],
+          args: tuple = ()) -> List[SimulationResult]:
+    """Run one program across a sequence of configurations."""
+    return [Simulator(c).run(program, args) for c in configs]

@@ -1,0 +1,83 @@
+"""Result objects produced by a simulation run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass
+class SimulationResult:
+    """Everything a run reports; the analysis layer consumes this."""
+
+    #: Simulated application run-time in target cycles (the maximum
+    #: final clock across all threads) — the paper's headline metric.
+    simulated_cycles: int
+    #: Modelled host wall-clock of the whole simulation, seconds
+    #: (includes sequential process start-up).
+    wall_clock_seconds: float
+    #: Modelled wall-clock of an uninstrumented native run, seconds.
+    native_seconds: float
+    #: Final clock of each thread, by tile id.
+    thread_cycles: Dict[int, int]
+    #: Dynamic instructions retired per thread.
+    thread_instructions: Dict[int, int]
+    #: Flat counter snapshot (dotted paths -> values).
+    counters: Dict[str, int]
+    #: Clock at which each thread started (its spawn timestamp); used
+    #: for region-of-interest measurements.
+    thread_start_cycles: Dict[int, int] = field(default_factory=dict)
+    #: Host-core busy seconds (parallel efficiency diagnostics).
+    core_busy_seconds: Dict[int, float] = field(default_factory=dict)
+    #: Clock-skew samples, present when tracing was enabled:
+    #: (approx global clock, max deviation, min deviation).
+    skew_trace: List[Tuple[float, float, float]] = field(
+        default_factory=list)
+    #: Miss classification counts by type name (Figure 8), if enabled.
+    miss_breakdown: Dict[str, int] = field(default_factory=dict)
+    #: Value returned by the target's main thread, if any.
+    main_result: object = None
+
+    # -- derived metrics -------------------------------------------------------
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(self.thread_instructions.values())
+
+    @property
+    def parallel_cycles(self) -> int:
+        """Region-of-interest run-time: fork of the first worker to the
+        last thread's completion.
+
+        PARSEC/SPLASH studies measure the parallel region, excluding
+        serial input generation; with one thread this is simply the
+        whole run.
+        """
+        workers = [t for t in self.thread_start_cycles if t != 0]
+        if not workers:
+            return self.simulated_cycles
+        start = min(self.thread_start_cycles[t] for t in workers)
+        return max(self.simulated_cycles - start, 1)
+
+    @property
+    def slowdown(self) -> float:
+        """Simulation wall-clock over native wall-clock."""
+        if self.native_seconds <= 0:
+            return float("inf")
+        return self.wall_clock_seconds / self.native_seconds
+
+    def counter(self, suffix: str) -> int:
+        """Sum all counters whose dotted path ends with ``suffix``."""
+        return sum(v for k, v in self.counters.items()
+                   if k.endswith(suffix))
+
+    def cache_miss_rate(self, level: str = "l2") -> float:
+        """Aggregate miss rate of one cache level across tiles."""
+        lookups = hits = 0
+        needle = f".{level}."
+        for key, value in self.counters.items():
+            if needle in key and key.endswith(".lookups"):
+                lookups += value
+            elif needle in key and key.endswith(".hits"):
+                hits += value
+        return (lookups - hits) / lookups if lookups else 0.0

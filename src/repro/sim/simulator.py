@@ -1,0 +1,238 @@
+"""The Simulator: assembles all subsystems and runs a target program.
+
+One :class:`Simulator` instance is one simulation of one application on
+one target architecture over one (simulated) host cluster.  It doubles
+as the *kernel* object the interpreters call back into for spawning
+threads, charging host costs, reaching the MCP, and waking blocked
+threads.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.common.config import SimulationConfig
+from repro.common.ids import ProcessId, ThreadId, TileId
+from repro.common.rng import RngStreams
+from repro.common.stats import StatGroup
+from repro.frontend.interpreter import ThreadInterpreter
+from repro.host.cluster import ClusterLayout
+from repro.host.costmodel import HostCostModel
+from repro.host.scheduler import Scheduler
+from repro.memory.address import AddressSpace
+from repro.memory.allocator import DynamicMemoryManager
+from repro.memory.backing import BackingStore
+from repro.memory.coherence import CoherenceEngine
+from repro.memory.controller import MemoryController
+from repro.memory.miss_classifier import MissClassifier
+from repro.network.interface import NetworkFabric
+from repro.sim.results import SimulationResult
+from repro.sync.model import create_sync_model
+from repro.system.lcp import create_lcps
+from repro.system.mcp import MCP_TILE, MasterControlProgram
+from repro.transport.message import MessageKind
+from repro.transport.transport import Transport
+
+#: Synthetic code placement: each distinct program gets a 64 KB region.
+_CODE_REGION_BYTES = 64 * 1024
+
+
+class Simulator:
+    """One fully wired simulation instance."""
+
+    def __init__(self, config: SimulationConfig) -> None:
+        config.validate()
+        self.config = config
+        self.rngs = RngStreams(config.seed)
+        self.stats = StatGroup("sim")
+
+        # Host platform.
+        self.layout = ClusterLayout(config.num_tiles, config.host)
+        self.cost_model = HostCostModel(
+            config.host, rng=self.rngs.stream("host_jitter"))
+        self.sync_model = create_sync_model(
+            config.sync, self.stats.child("sync"),
+            self.rngs.stream("lax_p2p"))
+        self.scheduler = Scheduler(
+            self.layout, self.cost_model, self.sync_model,
+            self.stats.child("scheduler"),
+            quantum_instructions=config.host.quantum_instructions,
+            rng=self.rngs.stream("scheduler"))
+
+        # Communication.
+        self.transport = Transport(self.layout,
+                                   self.stats.child("transport"))
+        self.transport.add_delivery_hook(self._charge_message)
+        self.fabric = NetworkFabric(config.num_tiles, config.network,
+                                    self.transport,
+                                    self.stats.child("network"))
+
+        # Memory system.
+        line_bytes = config.memory.l2.line_bytes
+        self.space = AddressSpace(config.num_tiles, line_bytes)
+        self.backing = BackingStore(line_bytes)
+        self.classifier: Optional[MissClassifier] = None
+        if config.memory.classify_misses:
+            self.classifier = MissClassifier(
+                config.num_tiles, line_bytes,
+                self.stats.child("miss_classes"))
+        self.engine = CoherenceEngine(
+            config.num_tiles, config.memory, self.space, self.backing,
+            self.fabric, config.core.clock_hz, self.stats.child("memory"),
+            self.classifier)
+        self.controllers: List[MemoryController] = [
+            MemoryController(TileId(t), self.engine,
+                             self._charge_memory_access,
+                             self.stats.child(f"mc{t}"))
+            for t in range(config.num_tiles)]
+
+        # System layer.
+        self.allocator = DynamicMemoryManager(self.space)
+        self.mcp = MasterControlProgram(
+            config.num_tiles, self.allocator, self._wake_thread,
+            self.stats.child("mcp"))
+        self.lcps = create_lcps(self.layout, self.stats.child("system"))
+
+        # Threads.
+        self.interpreters: Dict[TileId, ThreadInterpreter] = {}
+        self._code_bases: Dict[int, int] = {}
+
+        # Clock-skew tracing (Figure 7).
+        self.skew_trace: List[Tuple[float, float, float]] = []
+        if config.trace_clock_skew:
+            self.scheduler.add_skew_sampler(self._sample_skew,
+                                            config.skew_sample_period)
+
+    # -- kernel interface (called by the interpreters) ---------------------------
+
+    def charge(self, seconds: float) -> None:
+        self.scheduler.charge(seconds)
+
+    def code_base(self, program: Callable[..., Any]) -> int:
+        """Stable synthetic code address for a program function."""
+        key = id(program)
+        base = self._code_bases.get(key)
+        if base is None:
+            base = (self.space.CODE_BASE
+                    + len(self._code_bases) * _CODE_REGION_BYTES)
+            self._code_bases[key] = base
+        return base
+
+    def spawn_thread(self, program: Callable[..., Any], args: tuple,
+                     parent_tile: Optional[TileId],
+                     parent_clock: int) -> ThreadId:
+        """The spawn protocol: caller -> MCP -> owning LCP -> new thread."""
+        tile = self.mcp.threads.allocate_tile()
+        self.mcp.threads.register_spawn(tile)
+        process = self.layout.process_of_tile(tile)
+        lcp = self.lcps[ProcessId(int(process))]
+        if not lcp.initialized:
+            lcp.initialize_process()
+        lcp.handle_spawn(tile)
+        # MCP -> LCP control hop plus host thread creation.
+        self.fabric.transfer(MCP_TILE, tile, MessageKind.SYSTEM, 64,
+                             parent_clock)
+        self.charge(self.config.host.thread_spawn_cost)
+        interpreter = ThreadInterpreter(self, tile, program, args,
+                                        start_clock=parent_clock)
+        self.interpreters[tile] = interpreter
+        self.scheduler.add_thread(
+            interpreter,
+            start_host_time=self.scheduler.current_host_time())
+        return ThreadId(int(tile))
+
+    def thread_finished(self, tile: TileId, final_clock: int) -> None:
+        self.mcp.threads.on_thread_exit(tile, final_clock)
+
+    def wake_scheduler(self, tile: TileId) -> None:
+        """Poke a possibly-blocked thread to re-check its condition."""
+        if tile in self.interpreters:
+            self.scheduler.wake(tile)
+
+    # -- internal hooks -------------------------------------------------------------
+
+    def _wake_thread(self, tile: TileId, timestamp: int) -> None:
+        """System-layer wake: deliver the timestamp, then unblock."""
+        interpreter = self.interpreters.get(tile)
+        if interpreter is None:
+            return
+        # The wake notification travels MCP -> tile on the system net.
+        self.fabric.transfer(MCP_TILE, tile, MessageKind.SYSTEM, 32,
+                             timestamp)
+        interpreter.notify_wake(timestamp)
+        self.scheduler.wake(tile)
+
+    def _charge_message(self, message, locality) -> None:
+        self.scheduler.charge(
+            self.cost_model.message(locality, message.size_bytes))
+        # Application-visible traffic blocks the waiting host thread for
+        # the wire latency.  The simulator's own control plane (SYSTEM:
+        # spawn, futex, syscall forwarding) is pipelined in Graphite and
+        # charged CPU cost only — otherwise a 1024-thread spawn loop
+        # would serialize a thousand TCP round trips through one core.
+        if message.kind is MessageKind.SYSTEM:
+            return
+        latency = self.cost_model.message_latency(locality,
+                                                  message.size_bytes)
+        if latency > 0.0:
+            self.scheduler.charge_blocking(latency)
+
+    def _charge_memory_access(self) -> None:
+        self.scheduler.charge(self.cost_model.memory_access())
+
+    def _sample_skew(self, scheduler: Scheduler) -> None:
+        clocks = scheduler.active_thread_clocks()
+        if len(clocks) < 2:
+            return
+        mean = sum(clocks) / len(clocks)
+        self.skew_trace.append((mean, max(clocks) - mean,
+                                min(clocks) - mean))
+
+    # -- running --------------------------------------------------------------------------
+
+    def run(self, main_program: Callable[..., Any],
+            args: tuple = ()) -> SimulationResult:
+        """Execute ``main_program(ctx, *args)`` to completion."""
+        main_thread = self.spawn_thread(main_program, args, None, 0)
+        report = self.scheduler.run()
+        del main_thread
+
+        thread_cycles = {int(t): i.core.cycles
+                         for t, i in self.interpreters.items()}
+        thread_starts = {int(t): i.start_clock
+                         for t, i in self.interpreters.items()}
+        thread_instructions = {int(t): i.core.instruction_count
+                               for t, i in self.interpreters.items()}
+        startup = self.cost_model.process_startup(
+            self.layout.num_processes)
+        main_interp = self.interpreters.get(TileId(0))
+        return SimulationResult(
+            simulated_cycles=max(thread_cycles.values()),
+            wall_clock_seconds=report.wall_clock_seconds + startup,
+            native_seconds=self._native_seconds(thread_instructions),
+            thread_cycles=thread_cycles,
+            thread_start_cycles=thread_starts,
+            thread_instructions=thread_instructions,
+            counters=self.stats.to_dict(),
+            core_busy_seconds=report.core_busy_seconds,
+            skew_trace=list(self.skew_trace),
+            miss_breakdown=(
+                {t.value: n for t, n in self.classifier.counts().items()}
+                if self.classifier is not None else {}),
+            main_result=main_interp.result if main_interp else None,
+        )
+
+    def _native_seconds(self,
+                        thread_instructions: Dict[int, int]) -> float:
+        """Model the native run: uninstrumented, one 8-core machine.
+
+        Threads are striped over the native machine's cores; the native
+        run-time is the busiest core's instruction time (no simulation
+        overheads, no instrumentation multiplier).
+        """
+        cores = self.config.host.cores_per_machine
+        busy = [0.0] * cores
+        for tile, instructions in sorted(thread_instructions.items()):
+            busy[tile % cores] += self.cost_model.native_instructions(
+                instructions)
+        return max(busy) if busy else 0.0

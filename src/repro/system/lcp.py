@@ -1,0 +1,61 @@
+"""The Local Control Program (paper §2.2).
+
+Each host process runs one LCP.  Its functional duties in real Graphite
+— receiving spawn requests from the MCP, creating the host thread for a
+newly assigned tile, and replicating process initialisation (stack
+copying, TLS set-up) — collapse to bookkeeping in this in-memory
+engine, but the protocol shape is preserved: a spawn travels
+caller → MCP → owning process's LCP → new thread, and each hop is
+charged through the transport layer by the caller.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.common.ids import ProcessId, TileId
+from repro.common.stats import StatGroup
+from repro.host.cluster import ClusterLayout
+
+
+class LocalControlProgram:
+    """Per-process control thread bookkeeping."""
+
+    def __init__(self, process: ProcessId, layout: ClusterLayout,
+                 stats: StatGroup) -> None:
+        self.process = process
+        self.layout = layout
+        self._spawned: List[TileId] = []
+        self._spawn_count = stats.counter("spawns_handled")
+        self.initialized = False
+
+    def initialize_process(self) -> None:
+        """Replicate process start-up state (stack copy, TLS set-up).
+
+        Performed once per process before any thread lands on it; the
+        sequential start-up cost is charged by the host cost model.
+        """
+        self.initialized = True
+
+    def handle_spawn(self, tile: TileId) -> None:
+        """The MCP assigned ``tile`` (owned by this process) a thread."""
+        if self.layout.process_of_tile(tile) != self.process:
+            raise ValueError(
+                f"LCP {int(self.process)} asked to spawn on foreign tile "
+                f"{int(tile)}")
+        self._spawned.append(tile)
+        self._spawn_count.add()
+
+    @property
+    def threads_spawned(self) -> int:
+        return len(self._spawned)
+
+
+def create_lcps(layout: ClusterLayout,
+                stats: StatGroup) -> Dict[ProcessId, LocalControlProgram]:
+    """One LCP per host process, as in the paper."""
+    return {
+        ProcessId(p): LocalControlProgram(ProcessId(p), layout,
+                                          stats.child(f"lcp{p}"))
+        for p in range(layout.num_processes)
+    }

@@ -1,0 +1,99 @@
+"""The Master Control Program (paper §2.2).
+
+There is exactly one MCP per simulation.  It owns every service that
+needs a globally consistent view: the futex wait queues, the
+thread-to-tile mapping, the shared file-descriptor table, and
+application barrier state.  Tiles reach it over the system network
+(zero modelled latency, real host transfer cost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.common.errors import TargetFault
+from repro.common.ids import TileId
+from repro.common.stats import StatGroup
+from repro.memory.allocator import DynamicMemoryManager
+from repro.system.futex import FutexManager
+from repro.system.syscalls import SyscallInterface
+from repro.system.threading_api import ThreadManager
+
+#: Tile hosting the MCP thread (process 0's first tile).
+MCP_TILE = TileId(0)
+
+#: Simulated cycles of barrier release bookkeeping at the MCP.
+BARRIER_RELEASE_CYCLES = 30
+
+WakeFn = Callable[[TileId, int], None]
+
+
+@dataclass
+class _BarrierState:
+    """One application barrier, keyed by its target address."""
+
+    total: int
+    arrivals: List[Tuple[TileId, int]] = field(default_factory=list)
+    generation: int = 0
+
+
+class MasterControlProgram:
+    """The simulation-wide control point."""
+
+    def __init__(self, num_tiles: int, allocator: DynamicMemoryManager,
+                 wake_thread: WakeFn, stats: StatGroup) -> None:
+        self.num_tiles = num_tiles
+        self.futex = FutexManager(wake_thread, stats.child("futex"))
+        self.threads = ThreadManager(num_tiles, wake_thread,
+                                     stats.child("threads"))
+        self.syscalls = SyscallInterface(allocator, stats.child("syscalls"))
+        self._wake_thread = wake_thread
+        self._barriers: Dict[int, _BarrierState] = {}
+        self._barrier_releases = stats.counter("barrier_releases")
+
+    # -- application barriers ----------------------------------------------------
+
+    def barrier_arrive(self, address: int, total: int, tile: TileId,
+                       clock: int) -> Optional[int]:
+        """Register arrival at an application barrier.
+
+        Returns the release timestamp if this arrival completes the
+        barrier (the caller proceeds and everyone else has been woken),
+        or None if the caller must block.
+        """
+        if total < 1:
+            raise TargetFault("barrier needs at least one participant")
+        state = self._barriers.get(address)
+        if state is None:
+            state = _BarrierState(total=total)
+            self._barriers[address] = state
+        elif state.total != total:
+            raise TargetFault(
+                f"barrier at {address:#x} reinitialised with a different "
+                f"participant count ({state.total} vs {total})")
+        if any(t == tile for t, _ in state.arrivals):
+            raise TargetFault(
+                f"tile {int(tile)} arrived twice at barrier {address:#x}")
+        state.arrivals.append((tile, clock))
+        if len(state.arrivals) < state.total:
+            return None
+        release = max(c for _, c in state.arrivals) + BARRIER_RELEASE_CYCLES
+        for t, _ in state.arrivals:
+            if t != tile:
+                self._wake_thread(t, release)
+        state.arrivals.clear()
+        state.generation += 1
+        self._barrier_releases.add()
+        return release
+
+    def barrier_waiting(self, address: int) -> int:
+        state = self._barriers.get(address)
+        return len(state.arrivals) if state else 0
+
+    def barrier_is_waiting(self, address: int, tile: TileId) -> bool:
+        """Whether ``tile`` is still registered (not yet released)."""
+        state = self._barriers.get(address)
+        if state is None:
+            return False
+        return any(t == tile for t, _ in state.arrivals)

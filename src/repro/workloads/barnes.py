@@ -1,0 +1,129 @@
+"""Barnes-Hut n-body (SPLASH-2 ``barnes``).
+
+Pattern fidelity:
+
+* particles are 64-byte records in a shared array, owned in contiguous
+  per-thread chunks; each thread writes only its own records but reads
+  position fields of tree nodes and remote particles — the record-
+  grained sharing of Figure 8e (true sharing falls, false sharing rises
+  with line size);
+* the force phase traverses a shared tree whose nodes are read by every
+  thread (heavy read sharing, like the octree cells of the original);
+* each iteration rebuilds the tree (thread 0 writes every node),
+  invalidating all readers — the true-sharing component.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.api import ThreadContext
+from repro.workloads.base import WorkloadFactory, register_workload
+
+RECORD_BYTES = 64
+_POS = 0
+_ACC = 32
+NODE_BYTES = 64   # centre-of-mass + mass + child summary
+
+
+def _particle(base: int, i: int) -> int:
+    return base + i * RECORD_BYTES
+
+
+def _node(base: int, i: int) -> int:
+    return base + i * NODE_BYTES
+
+
+def _worker(ctx: ThreadContext, index: int, shared: dict):
+    nthreads = shared["nthreads"]
+    per = shared["particles_per_thread"]
+    particles = shared["particles"]
+    tree = shared["tree"]
+    tree_nodes = shared["tree_nodes"]
+    barrier = shared["barrier"]
+    iterations = shared["iterations"]
+    my_first = index * per
+
+    for it in range(iterations):
+        # Tree build: thread 0 recomputes every node from a sample of
+        # particles (serial, as a stand-in for the locked octree insert).
+        if index == 0:
+            total = per * nthreads
+            for n in range(tree_nodes):
+                i = (n * 7) % total
+                pos = yield from ctx.load_f64(_particle(particles, i)
+                                              + _POS)
+                yield from ctx.fp_compute(80)
+                yield from ctx.store_f64(_node(tree, n), pos * 0.5)
+                yield from ctx.store_f64(_node(tree, n) + 8,
+                                         float(total) / tree_nodes)
+        yield from ctx.barrier(barrier + 128 * it, nthreads)
+
+        # Force computation: walk the shared tree for each owned
+        # particle (read-mostly traversal), then store accelerations.
+        for i in range(my_first, my_first + per):
+            my_pos = yield from ctx.load_f64(_particle(particles, i)
+                                             + _POS)
+            acc = 0.0
+            # Walk a root-to-leaf path whose shape depends on the
+            # particle (different subsets of nodes per particle).
+            n = 0
+            while n < tree_nodes:
+                centre = yield from ctx.load_f64(_node(tree, n))
+                mass = yield from ctx.load_f64(_node(tree, n) + 8)
+                yield from ctx.fp_compute(200)
+                acc += mass / (abs(centre - my_pos) + 1.0)
+                far = abs(centre - my_pos) > 1.0
+                yield from ctx.branch(far)
+                n = 2 * n + (1 if far else 2)
+            yield from ctx.store_f64(_particle(particles, i) + _ACC, acc)
+        yield from ctx.barrier(barrier + 128 * it + 64, nthreads)
+
+        # Update: integrate owned particles (local read-modify-write).
+        for i in range(my_first, my_first + per):
+            acc = yield from ctx.load_f64(_particle(particles, i) + _ACC)
+            pos = yield from ctx.load_f64(_particle(particles, i) + _POS)
+            yield from ctx.fp_compute(150)
+            yield from ctx.store_f64(_particle(particles, i) + _POS,
+                                     pos + acc * 0.001)
+
+
+def build(nthreads: int, scale: float = 1.0, particles: int = 0,
+          iterations: int = 2, tree_nodes: int = 63):
+    if particles <= 0:
+        particles = max(int(16 * nthreads * scale), 2 * nthreads)
+    per = max(particles // nthreads, 1)
+
+    def main(ctx: ThreadContext):
+        total = per * nthreads
+        array = yield from ctx.malloc(total * RECORD_BYTES, align=64)
+        tree = yield from ctx.malloc(tree_nodes * NODE_BYTES, align=64)
+        barrier = yield from ctx.malloc(128 * iterations + 64, align=64)
+        for i in range(total):
+            yield from ctx.store_f64(_particle(array, i) + _POS,
+                                     float((i * 37) % 101) * 0.07)
+        shared = {
+            "nthreads": nthreads,
+            "particles_per_thread": per,
+            "particles": array,
+            "tree": tree,
+            "tree_nodes": tree_nodes,
+            "barrier": barrier,
+            "iterations": iterations,
+        }
+        threads = []
+        for index in range(1, nthreads):
+            thread = yield from ctx.spawn(_worker, index, shared)
+            threads.append(thread)
+        yield from _worker(ctx, 0, shared)
+        yield from ctx.join_all(threads)
+        pos = yield from ctx.load_f64(_particle(array, 0) + _POS)
+        return pos
+
+    return main
+
+
+register_workload(WorkloadFactory(
+    name="barnes",
+    build=build,
+    description="Barnes-Hut n-body with a shared read-mostly tree",
+    comm_intensity="medium",
+))

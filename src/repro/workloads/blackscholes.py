@@ -1,0 +1,117 @@
+"""Black-Scholes option pricing (PARSEC ``blackscholes``).
+
+The Figure 9 coherence-study workload.  Pattern fidelity:
+
+* nearly perfectly parallel — each thread prices its own contiguous
+  chunk of option records with a long floating-point kernel and writes
+  only its own results;
+* a small table of global constants (the paper observed heavily
+  read-shared read-only addresses in system libraries) is read by
+  *every* thread for *every* option.  Under a full-map or LimitLESS
+  directory this costs one miss per thread; under Dir_iNB the sharer
+  pointers thrash and every read turns into a protocol round trip —
+  exactly the scaling collapse Figure 9 shows for Dir4NB/Dir16NB.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.frontend.api import ThreadContext
+from repro.workloads.base import WorkloadFactory, register_workload
+
+#: One option record: spot, strike, rate, volatility, time, type, pad.
+OPTION_BYTES = 64
+_F64 = 8
+#: Global constants table: 8 doubles (one cache line by default).
+GLOBALS_DOUBLES = 8
+
+
+def _cdf(x: float) -> float:
+    """Abramowitz-Stegun style normal CDF (the actual PARSEC math)."""
+    return 0.5 * (1.0 + math.erf(x / math.sqrt(2.0)))
+
+
+def _worker(ctx: ThreadContext, index: int, shared: dict):
+    per = shared["options_per_thread"]
+    options = shared["options"]
+    prices = shared["prices"]
+    globals_table = shared["globals"]
+    barrier = shared["barrier"]
+    nthreads = shared["nthreads"]
+    my_first = index * per
+
+    for i in range(my_first, my_first + per):
+        record = options + i * OPTION_BYTES
+        spot = yield from ctx.load_f64(record)
+        strike = yield from ctx.load_f64(record + 8)
+        # Read-only globals touched for every option (shared by all
+        # threads; the Figure 9 differentiator between directories).
+        rate = yield from ctx.load_f64(
+            globals_table + (i % GLOBALS_DOUBLES) * _F64)
+        volatility = yield from ctx.load_f64(
+            globals_table + ((i + 1) % GLOBALS_DOUBLES) * _F64)
+        # Math-library constant tables are hit on every exp/log/CNDF
+        # call, interleaved with the floating-point work: under
+        # full-map these hit in cache after the first fetch; under
+        # Dir_iNB the sharer pointers thrash and every read becomes a
+        # protocol round trip (the Figure 9 collapse).
+        for step in range(8):
+            yield from ctx.fp_compute(25)
+            yield from ctx.load_f64(
+                globals_table + ((i + step) % GLOBALS_DOUBLES) * _F64)
+        sqrt_t = math.sqrt(1.0)
+        d1 = (math.log(max(spot / strike, 1e-9))
+              + (rate + 0.5 * volatility * volatility)) \
+            / max(volatility * sqrt_t, 1e-9)
+        d2 = d1 - volatility * sqrt_t
+        price = spot * _cdf(d1) - strike * math.exp(-rate) * _cdf(d2)
+        yield from ctx.store_f64(prices + i * _F64, price)
+    yield from ctx.barrier(barrier, nthreads)
+
+
+def build(nthreads: int, scale: float = 1.0, options: int = 0):
+    if options <= 0:
+        options = max(int(16 * nthreads * scale), nthreads)
+    per = max(options // nthreads, 1)
+
+    def main(ctx: ThreadContext):
+        total = per * nthreads
+        array = yield from ctx.malloc(total * OPTION_BYTES, align=64)
+        prices = yield from ctx.calloc(total * _F64, align=64)
+        globals_table = yield from ctx.malloc(
+            GLOBALS_DOUBLES * _F64, align=64)
+        barrier = yield from ctx.malloc(64, align=64)
+        for g in range(GLOBALS_DOUBLES):
+            yield from ctx.store_f64(globals_table + g * _F64,
+                                     0.02 + 0.01 * g)
+        for i in range(total):
+            record = array + i * OPTION_BYTES
+            yield from ctx.store_f64(record, 90.0 + (i % 21))
+            yield from ctx.store_f64(record + 8, 100.0)
+        shared = {
+            "nthreads": nthreads,
+            "options_per_thread": per,
+            "options": array,
+            "prices": prices,
+            "globals": globals_table,
+            "barrier": barrier,
+        }
+        threads = []
+        for index in range(1, nthreads):
+            thread = yield from ctx.spawn(_worker, index, shared)
+            threads.append(thread)
+        yield from _worker(ctx, 0, shared)
+        yield from ctx.join_all(threads)
+        first_price = yield from ctx.load_f64(prices)
+        return first_price
+
+    return main
+
+
+register_workload(WorkloadFactory(
+    name="blackscholes",
+    build=build,
+    description="option pricing with read-only broadcast globals",
+    comm_intensity="very low",
+))

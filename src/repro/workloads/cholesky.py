@@ -1,0 +1,97 @@
+"""Sparse Cholesky factorization (SPLASH-2 ``cholesky``).
+
+Pattern fidelity: supernodal column tasks pulled from a shared,
+lock-protected task queue (self-scheduling) — irregular parallelism
+with lock contention and load imbalance, unlike the barrier-phased
+kernels.  Each column task reads a dependency set of earlier columns
+(remote, owner-varying) and writes its own column block.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.api import ThreadContext
+from repro.workloads.base import WorkloadFactory, register_workload
+
+_F64 = 8
+
+
+def _worker(ctx: ThreadContext, index: int, shared: dict):
+    nthreads = shared["nthreads"]
+    columns = shared["columns"]
+    column_height = shared["column_height"]
+    matrix = shared["matrix"]
+    queue_lock = shared["queue_lock"]
+    next_task = shared["next_task"]
+    barrier = shared["barrier"]
+
+    def column_base(k: int) -> int:
+        return matrix + k * column_height * _F64
+
+    while True:
+        # Self-scheduling: pop the next column index under the lock.
+        yield from ctx.lock(queue_lock)
+        k = yield from ctx.load_u64(next_task)
+        if k < columns:
+            yield from ctx.store_u64(next_task, k + 1)
+        yield from ctx.unlock(queue_lock)
+        if k >= columns:
+            break
+
+        # Read a (sparse) dependency set of earlier columns.
+        dep = k
+        deps_read = 0
+        while dep > 0 and deps_read < 3:
+            dep = (dep * 5) // 7  # pseudo-random earlier column
+            base = column_base(dep)
+            for r in range(0, column_height, 2):
+                value = yield from ctx.load_f64(base + r * _F64)
+                yield from ctx.fp_compute(100)
+            deps_read += 1
+
+        # Factor and write the own column.
+        base = column_base(k)
+        for r in range(column_height):
+            value = yield from ctx.load_f64(base + r * _F64)
+            yield from ctx.fp_compute(120)
+            yield from ctx.store_f64(base + r * _F64, value * 0.5 + 1.0)
+    yield from ctx.barrier(barrier, nthreads)
+
+
+def build(nthreads: int, scale: float = 1.0, columns: int = 0,
+          column_height: int = 24):
+    if columns <= 0:
+        columns = max(int(4 * nthreads * scale), nthreads)
+
+    def main(ctx: ThreadContext):
+        matrix = yield from ctx.calloc(columns * column_height * _F64,
+                                       align=64)
+        queue_lock = yield from ctx.calloc(8, align=64)
+        next_task = yield from ctx.calloc(8, align=64)
+        barrier = yield from ctx.malloc(64, align=64)
+        shared = {
+            "nthreads": nthreads,
+            "columns": columns,
+            "column_height": column_height,
+            "matrix": matrix,
+            "queue_lock": queue_lock,
+            "next_task": next_task,
+            "barrier": barrier,
+        }
+        threads = []
+        for index in range(1, nthreads):
+            thread = yield from ctx.spawn(_worker, index, shared)
+            threads.append(thread)
+        yield from _worker(ctx, 0, shared)
+        yield from ctx.join_all(threads)
+        done = yield from ctx.load_u64(next_task)
+        return done == columns
+
+    return main
+
+
+register_workload(WorkloadFactory(
+    name="cholesky",
+    build=build,
+    description="task-queue supernodal factorization",
+    comm_intensity="medium (lock-bound)",
+))

@@ -1,0 +1,114 @@
+"""FFT kernel (SPLASH-2 ``fft``): six-step 1D FFT with all-to-all transpose.
+
+Pattern fidelity:
+
+* each thread owns a **contiguous** chunk of the complex data array, so
+  local phases have perfect spatial locality — miss rates drop linearly
+  with line size (Figure 8f);
+* the transpose phase reads a block from *every other* thread's chunk
+  (all-to-all communication) — the lowest computation-to-communication
+  ratio in the suite, which is why fft shows the worst simulation
+  speedup in Figure 4 and the largest slowdown in Table 2;
+* phases are separated by global barriers.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.api import ThreadContext
+from repro.workloads.base import WorkloadFactory, register_workload
+
+_COMPLEX_BYTES = 16  # two f64: re, im
+
+
+def _worker(ctx: ThreadContext, index: int, shared: dict):
+    nthreads = shared["nthreads"]
+    points_per_thread = shared["points_per_thread"]
+    data = shared["data"]
+    scratch = shared["scratch"]
+    barrier = shared["barrier"]
+    my_base = data + index * points_per_thread * _COMPLEX_BYTES
+    my_scratch = scratch + index * points_per_thread * _COMPLEX_BYTES
+
+    # Step 1: local butterflies over the owned chunk (streaming).
+    for i in range(points_per_thread):
+        address = my_base + i * _COMPLEX_BYTES
+        re = yield from ctx.load_f64(address)
+        im = yield from ctx.load_f64(address + 8)
+        yield from ctx.fp_compute(60)
+        yield from ctx.store_f64(address, re + im)
+        yield from ctx.store_f64(address + 8, re - im)
+    yield from ctx.barrier(barrier, nthreads)
+
+    # Step 2: transpose — read a block from every thread's chunk.
+    block = points_per_thread // nthreads
+    cursor = my_scratch
+    for other in range(nthreads):
+        src_index = (index + other) % nthreads  # stagger to avoid hotspots
+        other_base = (data
+                      + src_index * points_per_thread * _COMPLEX_BYTES
+                      + index * block * _COMPLEX_BYTES)
+        for i in range(block):
+            re = yield from ctx.load_f64(other_base + i * _COMPLEX_BYTES)
+            im = yield from ctx.load_f64(other_base + i * _COMPLEX_BYTES + 8)
+            yield from ctx.fp_compute(20)
+            yield from ctx.store_f64(cursor, re)
+            yield from ctx.store_f64(cursor + 8, im)
+            cursor += _COMPLEX_BYTES
+    yield from ctx.barrier(barrier + 64, nthreads)
+
+    # Step 3: second local butterfly pass over the transposed data.
+    for i in range(points_per_thread):
+        address = my_scratch + i * _COMPLEX_BYTES
+        re = yield from ctx.load_f64(address)
+        yield from ctx.fp_compute(60)
+        yield from ctx.store_f64(address, re * 0.5)
+    yield from ctx.barrier(barrier + 128, nthreads)
+
+
+def _setup(ctx: ThreadContext, nthreads: int, total_points: int):
+    data = yield from ctx.malloc(total_points * _COMPLEX_BYTES, align=64)
+    scratch = yield from ctx.malloc(total_points * _COMPLEX_BYTES, align=64)
+    barrier = yield from ctx.malloc(256, align=64)
+    # Initialise the owned data (main writes everything; later phases
+    # re-distribute ownership through the coherence protocol).
+    per = total_points // nthreads
+    for i in range(0, total_points, max(per // 8, 1)):
+        yield from ctx.store_f64(data + i * _COMPLEX_BYTES, float(i % 97))
+        yield from ctx.store_f64(data + i * _COMPLEX_BYTES + 8, 1.0)
+    return {
+        "nthreads": nthreads,
+        "points_per_thread": per,
+        "data": data,
+        "scratch": scratch,
+        "barrier": barrier,
+    }
+
+
+def build(nthreads: int, scale: float = 1.0, points: int = 0):
+    """Main program factory; ``points`` overrides the scaled default."""
+    if points <= 0:
+        points = max(int(256 * nthreads * scale), 4 * nthreads * nthreads)
+    # points_per_thread must be divisible by nthreads for the transpose.
+    per = max((points // nthreads // nthreads) * nthreads, nthreads)
+    total = per * nthreads
+
+    def main(ctx: ThreadContext):
+        shared = yield from _setup(ctx, nthreads, total)
+        threads = []
+        for index in range(1, nthreads):
+            thread = yield from ctx.spawn(_worker, index, shared)
+            threads.append(thread)
+        yield from _worker(ctx, 0, shared)
+        yield from ctx.join_all(threads)
+        checksum = yield from ctx.load_f64(shared["scratch"])
+        return checksum
+
+    return main
+
+
+register_workload(WorkloadFactory(
+    name="fft",
+    build=build,
+    description="1D FFT with all-to-all inter-thread transpose",
+    comm_intensity="very high",
+))

@@ -1,0 +1,100 @@
+"""Fast multipole method (SPLASH-2 ``fmm``).
+
+Pattern fidelity: the highest computation-to-communication ratio in the
+suite.  Each thread owns a set of cells with multipole expansions; the
+upward and downward passes are long floating-point loops over *owned*
+data, and only the interaction-list phase reads a handful of other
+threads' expansion records.  This is why fmm parallelises almost
+ideally in Figure 4 and reaches the paper's best slowdown (41x on
+8 machines, Table 2).
+"""
+
+from __future__ import annotations
+
+from repro.frontend.api import ThreadContext
+from repro.workloads.base import WorkloadFactory, register_workload
+
+#: One cell: 8 expansion coefficients (f64).
+CELL_BYTES = 64
+_F64 = 8
+
+
+def _cell(base: int, i: int) -> int:
+    return base + i * CELL_BYTES
+
+
+def _worker(ctx: ThreadContext, index: int, shared: dict):
+    nthreads = shared["nthreads"]
+    per = shared["cells_per_thread"]
+    cells = shared["cells"]
+    barrier = shared["barrier"]
+    compute_per_term = shared["compute_per_term"]
+    my_first = index * per
+
+    # Upward pass: build expansions of owned cells (compute-heavy).
+    for i in range(my_first, my_first + per):
+        for term in range(8):
+            address = _cell(cells, i) + term * _F64
+            value = yield from ctx.load_f64(address)
+            yield from ctx.fp_compute(compute_per_term)
+            yield from ctx.store_f64(address, value + 1.0 / (term + 1))
+    yield from ctx.barrier(barrier, nthreads)
+
+    # Interaction lists: read a few remote cells' expansions.
+    interactions = max(per // 2, 1)
+    total = per * nthreads
+    for i in range(interactions):
+        remote = (my_first + per + i * 13) % total
+        for term in range(0, 8, 2):
+            value = yield from ctx.load_f64(_cell(cells, remote)
+                                            + term * _F64)
+            yield from ctx.fp_compute(compute_per_term)
+    yield from ctx.barrier(barrier + 64, nthreads)
+
+    # Downward pass: evaluate local expansions (compute-heavy, local).
+    for i in range(my_first, my_first + per):
+        accumulated = 0.0
+        for term in range(8):
+            value = yield from ctx.load_f64(_cell(cells, i)
+                                            + term * _F64)
+            yield from ctx.fp_compute(compute_per_term)
+            accumulated += value / (term + 1)
+        yield from ctx.store_f64(_cell(cells, i), accumulated)
+    yield from ctx.barrier(barrier + 128, nthreads)
+
+
+def build(nthreads: int, scale: float = 1.0, cells: int = 0,
+          compute_per_term: int = 600):
+    if cells <= 0:
+        cells = max(int(24 * nthreads * scale), nthreads)
+    per = max(cells // nthreads, 1)
+
+    def main(ctx: ThreadContext):
+        total = per * nthreads
+        array = yield from ctx.calloc(total * CELL_BYTES, align=64)
+        barrier = yield from ctx.malloc(256, align=64)
+        shared = {
+            "nthreads": nthreads,
+            "cells_per_thread": per,
+            "cells": array,
+            "barrier": barrier,
+            "compute_per_term": compute_per_term,
+        }
+        threads = []
+        for index in range(1, nthreads):
+            thread = yield from ctx.spawn(_worker, index, shared)
+            threads.append(thread)
+        yield from _worker(ctx, 0, shared)
+        yield from ctx.join_all(threads)
+        value = yield from ctx.load_f64(array)
+        return value
+
+    return main
+
+
+register_workload(WorkloadFactory(
+    name="fmm",
+    build=build,
+    description="fast multipole method, compute-dominated",
+    comm_intensity="very low",
+))

@@ -1,0 +1,160 @@
+"""Ocean current simulation (SPLASH-2 ``ocean_cont`` / ``ocean_non_cont``).
+
+A 5-point stencil relaxation over a 2D grid, iterated with global
+barriers.  Pattern fidelity:
+
+* **contiguous** variant: each thread's partition is separately
+  allocated (SPLASH's "4D array" trick), so sweeps stream through whole
+  cache lines; only partition *boundary rows* are read by the
+  neighbouring thread — true sharing that shrinks as line size grows
+  (Figure 8g);
+* **non-contiguous** variant: one row-major grid partitioned by
+  *columns*, so every element a thread touches sits on a line it shares
+  with its horizontal neighbours — strided access, many more misses and
+  boundary false sharing;
+* nearest-neighbour communication only, so ocean scales well with added
+  host machines (Figure 4).
+"""
+
+from __future__ import annotations
+
+from repro.frontend.api import ThreadContext
+from repro.workloads.base import WorkloadFactory, register_workload
+
+_F64 = 8
+
+
+def _worker_cont(ctx: ThreadContext, index: int, shared: dict):
+    nthreads = shared["nthreads"]
+    n = shared["n"]
+    rows = shared["rows_per_thread"]
+    grids = shared["grids"]      # grids[phase][thread] strip bases
+    barrier = shared["barrier"]
+    iterations = shared["iterations"]
+
+    def element(phase: int, thread: int, r: int, c: int) -> int:
+        return grids[phase][thread] + (r * n + c) * _F64
+
+    for it in range(iterations):
+        src, dst = it % 2, (it + 1) % 2
+        for r in range(rows):
+            for c in range(1, n - 1):
+                centre = yield from ctx.load_f64(element(src, index, r, c))
+                left = yield from ctx.load_f64(element(src, index, r, c - 1))
+                right = yield from ctx.load_f64(element(src, index, r, c + 1))
+                if r > 0:
+                    up = yield from ctx.load_f64(
+                        element(src, index, r - 1, c))
+                elif index > 0:
+                    up = yield from ctx.load_f64(
+                        element(src, index - 1, rows - 1, c))
+                else:
+                    up = 0.0
+                if r < rows - 1:
+                    down = yield from ctx.load_f64(
+                        element(src, index, r + 1, c))
+                elif index < nthreads - 1:
+                    down = yield from ctx.load_f64(
+                        element(src, index + 1, 0, c))
+                else:
+                    down = 0.0
+                yield from ctx.fp_compute(120)
+                yield from ctx.store_f64(
+                    element(dst, index, r, c),
+                    0.2 * (centre + left + right + up + down))
+        yield from ctx.barrier(barrier + 64 * it, nthreads)
+
+
+def _worker_non_cont(ctx: ThreadContext, index: int, shared: dict):
+    nthreads = shared["nthreads"]
+    n = shared["n"]
+    cols = shared["cols_per_thread"]
+    grids = shared["grids"]      # grids[phase] single row-major bases
+    barrier = shared["barrier"]
+    iterations = shared["iterations"]
+    col0 = index * cols
+
+    def element(phase: int, r: int, c: int) -> int:
+        return grids[phase] + (r * n + c) * _F64
+
+    for it in range(iterations):
+        src, dst = it % 2, (it + 1) % 2
+        for r in range(1, n - 1):
+            for c in range(col0, col0 + cols):
+                centre = yield from ctx.load_f64(element(src, r, c))
+                up = yield from ctx.load_f64(element(src, r - 1, c))
+                down = yield from ctx.load_f64(element(src, r + 1, c))
+                left = (yield from ctx.load_f64(element(src, r, c - 1))) \
+                    if c > 0 else 0.0
+                right = (yield from ctx.load_f64(element(src, r, c + 1))) \
+                    if c < n - 1 else 0.0
+                yield from ctx.fp_compute(120)
+                yield from ctx.store_f64(
+                    element(dst, r, c),
+                    0.2 * (centre + up + down + left + right))
+        yield from ctx.barrier(barrier + 64 * it, nthreads)
+
+
+def _build(contiguous: bool):
+    def build(nthreads: int, scale: float = 1.0, n: int = 0,
+              iterations: int = 2):
+        if n <= 0:
+            n = max(int(24 * scale * (nthreads ** 0.5)), 2 * nthreads)
+
+        def main(ctx: ThreadContext):
+            barrier = yield from ctx.malloc(
+                64 * max(iterations, 1) + 64, align=64)
+            if contiguous:
+                rows = max(n // nthreads, 1)
+                grids = [[0] * nthreads, [0] * nthreads]
+                for phase in range(2):
+                    for t in range(nthreads):
+                        strip = yield from ctx.malloc(rows * n * _F64,
+                                                      align=64)
+                        grids[phase][t] = strip
+                # Seed one value per strip so the stencil reads real data.
+                for t in range(nthreads):
+                    yield from ctx.store_f64(grids[0][t], float(t + 1))
+                shared = {
+                    "nthreads": nthreads, "n": n,
+                    "rows_per_thread": rows, "grids": grids,
+                    "barrier": barrier, "iterations": iterations,
+                }
+                worker = _worker_cont
+            else:
+                cols = max(n // nthreads, 1)
+                g0 = yield from ctx.malloc(n * n * _F64, align=64)
+                g1 = yield from ctx.malloc(n * n * _F64, align=64)
+                yield from ctx.store_f64(g0, 1.0)
+                shared = {
+                    "nthreads": nthreads, "n": n,
+                    "cols_per_thread": cols, "grids": [g0, g1],
+                    "barrier": barrier, "iterations": iterations,
+                }
+                worker = _worker_non_cont
+            threads = []
+            for index in range(1, nthreads):
+                thread = yield from ctx.spawn(worker, index, shared)
+                threads.append(thread)
+            yield from worker(ctx, 0, shared)
+            yield from ctx.join_all(threads)
+            return True
+
+        return main
+
+    return build
+
+
+register_workload(WorkloadFactory(
+    name="ocean_cont",
+    build=_build(contiguous=True),
+    description="stencil relaxation, separately allocated partitions",
+    comm_intensity="low-medium",
+))
+
+register_workload(WorkloadFactory(
+    name="ocean_non_cont",
+    build=_build(contiguous=False),
+    description="stencil relaxation, strided column partitions",
+    comm_intensity="medium",
+))

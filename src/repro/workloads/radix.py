@@ -1,0 +1,160 @@
+"""Parallel radix sort (SPLASH-2 ``radix``).
+
+Pattern fidelity:
+
+* each thread histograms its **contiguous** chunk of keys (streaming
+  reads — miss rate drops with line size);
+* per-thread histogram columns are written into one global
+  ``hist[digit][thread]`` array whose rows interleave different
+  threads' slots at 8-byte granularity;
+* the permutation phase writes each key to a shared global output
+  array at positions interleaved between threads with a granularity of
+  roughly ``n / (radix * threads)`` keys.  When the cache line grows
+  past that granularity, multiple threads write the same lines and the
+  false-sharing miss rate blows up — the Figure 8d signature at 256 B;
+* a serial prefix-sum step on thread 0 between barriers (as in the
+  SPLASH tree-summed version's final pass).
+"""
+
+from __future__ import annotations
+
+from repro.frontend.api import ThreadContext
+from repro.workloads.base import WorkloadFactory, register_workload
+
+_U64 = 8
+
+
+def _worker(ctx: ThreadContext, index: int, shared: dict):
+    nthreads = shared["nthreads"]
+    per = shared["keys_per_thread"]
+    radix = shared["radix"]
+    keys_in = shared["keys_in"]
+    keys_out = shared["keys_out"]
+    hist = shared["hist"]        # [digit][thread] of u64
+    offsets = shared["offsets"]  # [digit][thread] of u64
+    barrier = shared["barrier"]
+    my_keys = keys_in + index * per * _U64
+
+    # Phase 1: local histogram over the owned chunk.
+    local_hist = [0] * radix
+    for i in range(per):
+        key = yield from ctx.load_u64(my_keys + i * _U64)
+        local_hist[key % radix] += 1
+        yield from ctx.compute(100)
+    # Publish the column: hist[d][index] — neighbours' slots share
+    # lines once lines exceed 8 * threads bytes.
+    for digit in range(radix):
+        slot = hist + (digit * nthreads + index) * _U64
+        yield from ctx.store_u64(slot, local_hist[digit])
+    yield from ctx.barrier(barrier, nthreads)
+
+    # Phase 2a: tree-style parallel prefix (as SPLASH-2 radix does).
+    # Each thread owns a contiguous digit range: it computes the
+    # within-range running offsets and publishes its range total.
+    digits_per_thread = max(radix // nthreads, 1)
+    first_digit = index * digits_per_thread
+    my_digits = range(first_digit,
+                      min(first_digit + digits_per_thread, radix))
+    running = 0
+    for digit in my_digits:
+        for t in range(nthreads):
+            slot = hist + (digit * nthreads + t) * _U64
+            count = yield from ctx.load_u64(slot)
+            dst = offsets + (digit * nthreads + t) * _U64
+            yield from ctx.store_u64(dst, running)
+            running += count
+            yield from ctx.compute(4)
+    totals = shared["range_totals"]
+    yield from ctx.store_u64(totals + index * _U64, running)
+    yield from ctx.barrier(barrier + 192, nthreads)
+    # Phase 2b: thread 0 prefixes the per-range totals (tiny serial).
+    if index == 0:
+        base = 0
+        for t in range(nthreads):
+            total = yield from ctx.load_u64(totals + t * _U64)
+            yield from ctx.store_u64(totals + t * _U64, base)
+            base += total
+    yield from ctx.barrier(barrier + 64, nthreads)
+    # Phase 2c: each thread rebases its digit range's offsets.
+    my_base = yield from ctx.load_u64(totals + index * _U64)
+    if my_base:
+        for digit in my_digits:
+            for t in range(nthreads):
+                dst = offsets + (digit * nthreads + t) * _U64
+                value = yield from ctx.load_u64(dst)
+                yield from ctx.store_u64(dst, value + my_base)
+    yield from ctx.barrier(barrier + 256, nthreads)
+
+    # Phase 3: permutation into the shared output array.
+    my_offsets = [0] * radix
+    for digit in range(radix):
+        slot = offsets + (digit * nthreads + index) * _U64
+        my_offsets[digit] = yield from ctx.load_u64(slot)
+    for i in range(per):
+        key = yield from ctx.load_u64(my_keys + i * _U64)
+        digit = key % radix
+        position = my_offsets[digit]
+        my_offsets[digit] += 1
+        yield from ctx.store_u64(keys_out + position * _U64, key)
+        yield from ctx.compute(80)
+    yield from ctx.barrier(barrier + 128, nthreads)
+
+
+def build(nthreads: int, scale: float = 1.0, keys: int = 0,
+          radix: int = 32):
+    if keys <= 0:
+        keys = max(int(1024 * nthreads * scale), 64 * nthreads)
+    per = max(keys // nthreads, 1)
+    total = per * nthreads
+
+    def main(ctx: ThreadContext):
+        keys_in = yield from ctx.malloc(total * _U64, align=64)
+        keys_out = yield from ctx.malloc(total * _U64, align=64)
+        hist = yield from ctx.calloc(radix * nthreads * _U64, align=64)
+        offsets = yield from ctx.calloc(radix * nthreads * _U64, align=64)
+        range_totals = yield from ctx.calloc(nthreads * _U64, align=64)
+        barrier = yield from ctx.malloc(320, align=64)
+        # Pseudo-random keys, written sequentially (spatial locality).
+        state = 0x9E3779B97F4A7C15
+        for i in range(total):
+            state = (state * 6364136223846793005 + 1442695040888963407) \
+                & 0xFFFFFFFFFFFFFFFF
+            yield from ctx.store_u64(keys_in + i * _U64, state >> 16)
+        shared = {
+            "nthreads": nthreads,
+            "keys_per_thread": per,
+            "radix": radix,
+            "keys_in": keys_in,
+            "keys_out": keys_out,
+            "hist": hist,
+            "offsets": offsets,
+            "range_totals": range_totals,
+            "barrier": barrier,
+        }
+        threads = []
+        for index in range(1, nthreads):
+            thread = yield from ctx.spawn(_worker, index, shared)
+            threads.append(thread)
+        yield from _worker(ctx, 0, shared)
+        yield from ctx.join_all(threads)
+        # Verify: sample the output and check digits are non-decreasing.
+        previous = -1
+        ok = True
+        step = max(total // 64, 1)
+        for i in range(0, total, step):
+            key = yield from ctx.load_u64(keys_out + i * _U64)
+            digit = key % radix
+            if digit < previous:
+                ok = False
+            previous = digit
+        return ok
+
+    return main
+
+
+register_workload(WorkloadFactory(
+    name="radix",
+    build=build,
+    description="radix sort with globally interleaved permutation writes",
+    comm_intensity="high",
+))

@@ -1,0 +1,181 @@
+"""Molecular dynamics (SPLASH-2 ``water_nsquared`` / ``water_spatial``).
+
+Molecules are fixed-size records in one shared array, each *owned* by
+one thread (contiguous chunks).  A thread may write any record it owns
+and read position fields of records it does not — the record-grained
+sharing whose signature Figure 8c shows: true-sharing misses decrease
+with line size (one miss fetches more of a record) while false-sharing
+misses increase (one line spans several differently-owned records).
+
+* ``water_nsquared``: every thread's molecules interact with *all*
+  molecules (O(n^2) pair loop); inter-molecule force updates write the
+  *other* molecule's force field under its per-molecule lock.  The lock
+  and remote-write traffic is why n-squared gains nothing from extra
+  machines in Table 2;
+* ``water_spatial``: molecules interact only with a neighbourhood of
+  cells, so remote reads touch just the two adjacent threads' chunks —
+  far less communication, hence the better Table 2 slowdown.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.api import ThreadContext
+from repro.workloads.base import WorkloadFactory, register_workload
+
+#: Record layout: 3 position + 3 velocity + 2 force doubles = 64 bytes.
+RECORD_BYTES = 64
+_POS = 0        # offsets of fields within a record
+_FORCE = 48
+
+
+def _record(base: int, index: int) -> int:
+    return base + index * RECORD_BYTES
+
+
+def _worker_nsquared(ctx: ThreadContext, index: int, shared: dict):
+    nthreads = shared["nthreads"]
+    per = shared["molecules_per_thread"]
+    total = per * nthreads
+    molecules = shared["molecules"]
+    locks = shared["locks"]
+    barrier = shared["barrier"]
+    lock_every = shared["lock_every"]
+    my_first = index * per
+
+    # Force computation: all pairs (i in mine, j in everyone).
+    for i in range(my_first, my_first + per):
+        my_pos = yield from ctx.load_f64(_record(molecules, i) + _POS)
+        accumulated = 0.0
+        for j in range(total):
+            if j == i:
+                continue
+            other_pos = yield from ctx.load_f64(
+                _record(molecules, j) + _POS)
+            yield from ctx.fp_compute(200)
+            accumulated += other_pos - my_pos
+            if j % lock_every == index % lock_every:
+                # Symmetric force update into the *other* molecule,
+                # guarded by its lock (SPLASH's inter-molecule forces).
+                yield from ctx.lock(locks + j * 8)
+                force = yield from ctx.load_f64(
+                    _record(molecules, j) + _FORCE)
+                yield from ctx.store_f64(
+                    _record(molecules, j) + _FORCE, force + 0.001)
+                yield from ctx.unlock(locks + j * 8)
+        yield from ctx.store_f64(_record(molecules, i) + _FORCE,
+                                 accumulated)
+    yield from ctx.barrier(barrier, nthreads)
+
+    # Update phase: integrate owned molecules (local writes only).
+    for i in range(my_first, my_first + per):
+        force = yield from ctx.load_f64(_record(molecules, i) + _FORCE)
+        yield from ctx.fp_compute(150)
+        yield from ctx.store_f64(_record(molecules, i) + _POS,
+                                 force * 0.01)
+    yield from ctx.barrier(barrier + 64, nthreads)
+
+
+def _worker_spatial(ctx: ThreadContext, index: int, shared: dict):
+    nthreads = shared["nthreads"]
+    per = shared["molecules_per_thread"]
+    molecules = shared["molecules"]
+    barrier = shared["barrier"]
+    iterations = shared["iterations"]
+    my_first = index * per
+    # Neighbourhood: own chunk plus a boundary band of the two adjacent
+    # threads' chunks (spatial cell decomposition).
+    band = max(per // 4, 1)
+    neighbours = []
+    if index > 0:
+        neighbours.extend(range(my_first - band, my_first))
+    if index < nthreads - 1:
+        neighbours.extend(range(my_first + per, my_first + per + band))
+
+    for it in range(iterations):
+        for i in range(my_first, my_first + per):
+            my_pos = yield from ctx.load_f64(_record(molecules, i) + _POS)
+            accumulated = 0.0
+            # Intra-cell interactions (own records, cached after first
+            # pass of each timestep).
+            for j in range(my_first, my_first + per):
+                if j == i:
+                    continue
+                other = yield from ctx.load_f64(
+                    _record(molecules, j) + _POS)
+                yield from ctx.fp_compute(200)
+                accumulated += other - my_pos
+            # Boundary interactions: neighbours' records, re-read every
+            # timestep after their owners updated them (true sharing at
+            # small lines, false sharing once lines span records).
+            for j in neighbours:
+                other = yield from ctx.load_f64(
+                    _record(molecules, j) + _POS)
+                yield from ctx.fp_compute(200)
+                accumulated += other - my_pos
+            yield from ctx.store_f64(_record(molecules, i) + _FORCE,
+                                     accumulated)
+        yield from ctx.barrier(barrier + 128 * it, nthreads)
+        for i in range(my_first, my_first + per):
+            force = yield from ctx.load_f64(_record(molecules, i)
+                                            + _FORCE)
+            yield from ctx.fp_compute(150)
+            yield from ctx.store_f64(_record(molecules, i) + _POS,
+                                     force * 0.01)
+        yield from ctx.barrier(barrier + 128 * it + 64, nthreads)
+
+
+def _build(spatial: bool):
+    def build(nthreads: int, scale: float = 1.0, molecules: int = 0,
+              lock_every: int = 16, iterations: int = 1):
+        if molecules <= 0:
+            base_count = 14 if spatial else 8
+            molecules = max(int(base_count * nthreads * scale),
+                            2 * nthreads)
+        per = max(molecules // nthreads, 2)
+
+        def main(ctx: ThreadContext):
+            total = per * nthreads
+            array = yield from ctx.malloc(total * RECORD_BYTES, align=64)
+            locks = yield from ctx.calloc(total * 8, align=64)
+            barrier = yield from ctx.malloc(
+                128 * max(iterations, 2) + 64, align=64)
+            for i in range(total):
+                yield from ctx.store_f64(_record(array, i) + _POS,
+                                         float(i % 13) * 0.1)
+            shared = {
+                "nthreads": nthreads,
+                "molecules_per_thread": per,
+                "molecules": array,
+                "locks": locks,
+                "barrier": barrier,
+                "lock_every": max(lock_every, 1),
+                "iterations": max(iterations, 1),
+            }
+            worker = _worker_spatial if spatial else _worker_nsquared
+            threads = []
+            for index in range(1, nthreads):
+                thread = yield from ctx.spawn(worker, index, shared)
+                threads.append(thread)
+            yield from worker(ctx, 0, shared)
+            yield from ctx.join_all(threads)
+            force = yield from ctx.load_f64(_record(array, 0) + _POS)
+            return force
+
+        return main
+
+    return build
+
+
+register_workload(WorkloadFactory(
+    name="water_nsquared",
+    build=_build(spatial=False),
+    description="O(n^2) molecular dynamics with per-molecule locks",
+    comm_intensity="high (locks)",
+))
+
+register_workload(WorkloadFactory(
+    name="water_spatial",
+    build=_build(spatial=True),
+    description="cell-decomposed molecular dynamics",
+    comm_intensity="low",
+))

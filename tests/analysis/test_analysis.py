@@ -1,0 +1,107 @@
+"""Analysis helpers: metrics, tables, figure rendering."""
+
+import pytest
+
+from repro.analysis.figures import render_series, render_skew_trace
+from repro.analysis.metrics import (
+    geometric_mean,
+    mean,
+    median,
+    miss_rate_breakdown,
+    normalize,
+    slowdown,
+    speedup_series,
+)
+from repro.analysis.tables import Table
+
+
+class TestMetrics:
+    def test_speedup_series_normalized_to_first(self):
+        assert speedup_series([10.0, 5.0, 2.5]) == \
+            pytest.approx([1.0, 2.0, 4.0])
+
+    def test_speedup_requires_positive_base(self):
+        with pytest.raises(ValueError):
+            speedup_series([0.0, 1.0])
+
+    def test_normalize(self):
+        assert normalize([2.0, 4.0], 2.0) == [1.0, 2.0]
+
+    def test_slowdown(self):
+        assert slowdown(600.0, 1.0) == 600.0
+        assert slowdown(1.0, 0.0) == float("inf")
+
+    def test_median_even_odd(self):
+        assert median([3, 1, 2]) == 2
+        assert median([4, 1, 2, 3]) == 2.5
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_mean_empty(self):
+        assert mean([]) == 0.0
+
+    def test_miss_rate_breakdown(self):
+        rates = miss_rate_breakdown({"cold": 10, "capacity": 20}, 1000)
+        assert rates == {"cold": 0.01, "capacity": 0.02}
+
+    def test_miss_rate_zero_accesses(self):
+        assert miss_rate_breakdown({"cold": 10}, 0) == {"cold": 0.0}
+
+
+class TestTable:
+    def test_render_contains_all_cells(self):
+        table = Table("Table 2: Slowdowns", ["app", "native", "slowdown"])
+        table.add_row("fft", 0.02, 3930)
+        table.add_row("fmm", 7.11, 41)
+        text = table.render()
+        assert "Table 2" in text
+        assert "fft" in text and "3930" in text
+        assert "fmm" in text and "41" in text
+
+    def test_row_arity_checked(self):
+        table = Table("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_float_formatting(self):
+        table = Table("t", ["v"])
+        table.add_row(0.12345)
+        table.add_row(12.345)
+        text = table.render()
+        assert "0.1235" in text  # small floats keep 4 decimals
+        assert "12.35" in text   # medium floats keep 2
+
+    def test_columns_aligned(self):
+        table = Table("t", ["name", "value"])
+        table.add_row("x", 1)
+        table.add_row("longer", 100)
+        lines = table.render().splitlines()
+        assert len(lines[-1]) == len(lines[-2])
+
+
+class TestFigures:
+    def test_render_series_shape(self):
+        text = render_series("Figure 4", [1, 2, 4],
+                             {"fft": [1.0, 1.5, 2.0],
+                              "radix": [1.0, 3.0, 9.0]})
+        assert "Figure 4" in text
+        assert "radix" in text
+        assert text.count("|") == 6  # one bar per point
+
+    def test_render_series_arity_check(self):
+        with pytest.raises(ValueError):
+            render_series("f", [1, 2], {"a": [1.0]})
+
+    def test_render_skew_trace(self):
+        trace = [(float(i * 100), 50.0, -50.0) for i in range(100)]
+        text = render_skew_trace("Figure 7a", trace)
+        assert "Figure 7a" in text
+        assert "peak |skew|" in text
+
+    def test_render_skew_empty(self):
+        assert "no samples" in render_skew_trace("f", [])

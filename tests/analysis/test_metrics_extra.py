@@ -1,0 +1,49 @@
+"""Additional analysis coverage: skew rendering, normalization edges."""
+
+import pytest
+
+from repro.analysis.figures import render_series, render_skew_trace
+from repro.analysis.metrics import normalize
+
+
+class TestNormalizeEdges:
+    def test_zero_reference_rejected(self):
+        with pytest.raises(ValueError):
+            normalize([1.0], 0.0)
+
+    def test_empty_sequence(self):
+        assert normalize([], 2.0) == []
+
+
+class TestRenderSeries:
+    def test_single_point(self):
+        text = render_series("t", ["x"], {"s": [1.0]})
+        assert "x" in text and "1.000" in text
+
+    def test_all_zero_values(self):
+        text = render_series("t", [1, 2], {"s": [0.0, 0.0]})
+        assert text.count("|") == 2  # bars render (empty) without crash
+
+    def test_negative_values_render(self):
+        text = render_series("t", [1], {"s": [-5.0]})
+        assert "-5.000" in text
+
+    def test_multi_series_blank_separators(self):
+        text = render_series("t", [1, 2], {"a": [1.0, 2.0],
+                                           "b": [3.0, 4.0]})
+        assert "" in text.splitlines()  # groups separated
+
+
+class TestRenderSkewTrace:
+    def test_buckets_bound_output(self):
+        trace = [(float(i), 10.0, -10.0) for i in range(1000)]
+        text = render_skew_trace("f", trace, buckets=10)
+        rows = [line for line in text.splitlines()
+                if line.strip() and line.strip()[0].isdigit()]
+        assert len(rows) <= 12
+
+    def test_envelope_covers_extremes(self):
+        trace = [(0.0, 1.0, -1.0), (1.0, 99.0, -3.0), (2.0, 2.0, -2.0)]
+        text = render_skew_trace("f", trace, buckets=1)
+        assert "99" in text
+        assert "peak |skew|: 99" in text

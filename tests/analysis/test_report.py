@@ -1,0 +1,89 @@
+"""The sim.out-style report renderer."""
+
+import pytest
+
+from repro.analysis.report import render_report
+from repro.common.config import SimulationConfig
+from repro.sim.simulator import Simulator
+from tests.conftest import tiny_config
+
+
+@pytest.fixture(scope="module")
+def run():
+    def worker(ctx, index, base):
+        for i in range(20):
+            value = yield from ctx.load_u64(base + (index * 8 + i % 4) * 8)
+            yield from ctx.compute(30)
+            yield from ctx.store_u64(base + (index * 8 + i % 4) * 8,
+                                     value + 1)
+
+    def main(ctx):
+        base = yield from ctx.calloc(512, align=64)
+        threads = yield from ctx.spawn_workers(worker, 2, base)
+        yield from worker(ctx, 2, base)
+        yield from ctx.join_all(threads)
+
+    config = tiny_config(4)
+    config.memory.classify_misses = True
+    simulator = Simulator(config)
+    result = simulator.run(main)
+    return config, result
+
+
+class TestReport:
+    def test_contains_all_sections(self, run):
+        config, result = run
+        text = render_report(config, result)
+        for section in ("Target configuration", "Run summary",
+                        "Threads", "Memory system", "Network",
+                        "Synchronization", "Host"):
+            assert section in text
+
+    def test_reflects_configuration(self, run):
+        config, result = run
+        text = render_report(config, result)
+        assert "4" in text  # tile count
+        assert "full_map" in text
+        assert "in_order" in text
+        assert "3 MB 24-way" in text
+
+    def test_per_thread_rows(self, run):
+        config, result = run
+        text = render_report(config, result)
+        # One row per tile with a start and final cycle.
+        threads_section = text.split("Threads")[1].split("Memory")[0]
+        rows = [line for line in threads_section.splitlines()
+                if line.strip() and line.strip()[0].isdigit()]
+        assert len(rows) == len(result.thread_cycles)
+
+    def test_miss_breakdown_included_when_classified(self, run):
+        config, result = run
+        text = render_report(config, result)
+        assert "miss breakdown" in text
+        assert "cold" in text
+
+    def test_headline_numbers_present(self, run):
+        config, result = run
+        text = render_report(config, result)
+        assert f"{result.simulated_cycles:,}" in text
+        assert f"{result.total_instructions:,}" in text
+
+    def test_disabled_l1_reported(self):
+        config = tiny_config(2)
+        config.memory.l1i.enabled = False
+        config.memory.l1d.enabled = False
+
+        def tiny(ctx):
+            yield from ctx.compute(10)
+
+        result = Simulator(config).run(tiny)
+        text = render_report(config, result)
+        assert "disabled" in text
+
+    def test_cli_report_flag(self, capsys):
+        from repro.cli import main as cli_main
+        cli_main(["run", "--workload", "fmm", "--tiles", "4",
+                  "--scale", "0.2", "--report"])
+        out = capsys.readouterr().out
+        assert "simulation report" in out
+        assert "Memory system" in out

@@ -1,0 +1,22 @@
+"""Typed identifiers."""
+
+from repro.common.ids import CoreId, ProcessId, ThreadId, TileId
+
+
+class TestIds:
+    def test_ids_are_ints(self):
+        assert TileId(3) == 3
+        assert int(CoreId(5)) == 5
+
+    def test_ids_usable_as_indices(self):
+        values = ["a", "b", "c"]
+        assert values[TileId(1)] == "b"
+
+    def test_ids_hashable_like_ints(self):
+        mapping = {TileId(2): "x"}
+        assert mapping[2] == "x"
+
+    def test_distinct_reprs(self):
+        assert "TileId" in repr(TileId(1))
+        assert "ThreadId" in repr(ThreadId(1))
+        assert "ProcessId" in repr(ProcessId(1))

@@ -1,0 +1,23 @@
+"""Logging helpers."""
+
+import logging
+
+from repro.common import log
+
+
+class TestLogging:
+    def test_loggers_namespaced(self):
+        logger = log.get_logger("memory.coherence")
+        assert logger.name == "repro.memory.coherence"
+
+    def test_enable_then_disable(self):
+        log.enable_tracing()
+        assert logging.getLogger("repro").level == logging.DEBUG
+        log.disable_tracing()
+        assert logging.getLogger("repro").level == logging.WARNING
+
+    def test_enable_idempotent_handlers(self):
+        log.enable_tracing()
+        log.enable_tracing()
+        assert len(logging.getLogger("repro").handlers) == 1
+        log.disable_tracing()

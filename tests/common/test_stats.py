@@ -1,0 +1,127 @@
+"""Statistics primitives."""
+
+import pytest
+
+from repro.common.stats import Counter, Histogram, StatGroup, TimeSeries
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        assert Counter("c").value == 0
+
+    def test_add_default_one(self):
+        c = Counter("c")
+        c.add()
+        c.add()
+        assert c.value == 2
+
+    def test_add_amount(self):
+        c = Counter("c")
+        c.add(41)
+        c.add(1)
+        assert c.value == 42
+
+    def test_reset(self):
+        c = Counter("c", 5)
+        c.reset()
+        assert c.value == 0
+
+
+class TestHistogram:
+    def test_empty_moments(self):
+        h = Histogram("h")
+        assert h.mean == 0.0
+        assert h.stddev == 0.0
+        assert h.cov == 0.0
+
+    def test_mean(self):
+        h = Histogram("h")
+        for v in (1.0, 2.0, 3.0):
+            h.record(v)
+        assert h.mean == pytest.approx(2.0)
+
+    def test_min_max(self):
+        h = Histogram("h")
+        for v in (5.0, -1.0, 3.0):
+            h.record(v)
+        assert h.min == -1.0
+        assert h.max == 5.0
+
+    def test_stddev(self):
+        h = Histogram("h")
+        for v in (2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0):
+            h.record(v)
+        assert h.stddev == pytest.approx(2.0)
+
+    def test_cov_is_relative(self):
+        a = Histogram("a")
+        b = Histogram("b")
+        for v in (9.0, 10.0, 11.0):
+            a.record(v)
+            b.record(v * 100)
+        assert a.cov == pytest.approx(b.cov)
+
+    def test_constant_samples_zero_cov(self):
+        h = Histogram("h")
+        for _ in range(10):
+            h.record(3.5)
+        assert h.cov == pytest.approx(0.0, abs=1e-12)
+
+
+class TestTimeSeries:
+    def test_record_and_len(self):
+        s = TimeSeries("s")
+        s.record(0.0, 1.0)
+        s.record(1.0, 2.0)
+        assert len(s) == 2
+
+    def test_window_extrema_shape(self):
+        s = TimeSeries("s")
+        for i in range(100):
+            s.record(float(i), float(i % 10))
+        buckets = s.window_extrema(10)
+        assert len(buckets) == 10
+        for _, lo, hi in buckets:
+            assert lo <= hi
+
+    def test_window_extrema_captures_range(self):
+        s = TimeSeries("s")
+        s.record(0.0, -5.0)
+        s.record(0.5, 7.0)
+        s.record(1.0, 1.0)
+        [(_, lo, hi)] = s.window_extrema(1)
+        assert lo == -5.0
+        assert hi == 7.0
+
+    def test_empty_series(self):
+        assert TimeSeries("s").window_extrema(4) == []
+
+
+class TestStatGroup:
+    def test_counter_is_memoized(self):
+        g = StatGroup("g")
+        assert g.counter("x") is g.counter("x")
+
+    def test_child_is_memoized(self):
+        g = StatGroup("g")
+        assert g.child("sub") is g.child("sub")
+
+    def test_walk_produces_dotted_paths(self):
+        g = StatGroup("root")
+        g.counter("a").add(1)
+        g.child("sub").counter("b").add(2)
+        paths = dict(g.walk())
+        assert paths["root.a"].value == 1
+        assert paths["root.sub.b"].value == 2
+
+    def test_to_dict_flattens(self):
+        g = StatGroup("root")
+        g.child("x").child("y").counter("deep").add(9)
+        assert g.to_dict()["root.x.y.deep"] == 9
+
+    def test_histogram_and_series_coexist(self):
+        g = StatGroup("g")
+        g.histogram("h").record(1.0)
+        g.timeseries("t").record(0.0, 1.0)
+        assert g.histogram("h").count == 1
+        assert len(g.timeseries("t")) == 1

@@ -1,0 +1,40 @@
+"""Unit conversions."""
+
+import pytest
+
+from repro.common import units
+
+
+class TestConversions:
+    def test_cycles_to_seconds_at_1ghz(self):
+        assert units.cycles_to_seconds(1_000_000_000) == pytest.approx(1.0)
+
+    def test_seconds_to_cycles_truncates(self):
+        assert units.seconds_to_cycles(1.5e-9) == 1
+
+    def test_round_trip(self):
+        cycles = 123_456
+        assert units.seconds_to_cycles(
+            units.cycles_to_seconds(cycles)) == cycles
+
+    def test_bytes_per_cycle(self):
+        # 5.13 GB/s at 1 GHz = 5.13 bytes per cycle (binary GB).
+        bpc = units.bytes_per_cycle(5.13 * units.GB)
+        assert bpc == pytest.approx(5.13 * 1.0737, rel=0.01)
+
+
+class TestPretty:
+    def test_pretty_bytes_kb(self):
+        assert units.pretty_bytes(32 * units.KB) == "32 KB"
+
+    def test_pretty_bytes_mb(self):
+        assert units.pretty_bytes(3 * units.MB) == "3 MB"
+
+    def test_pretty_bytes_odd(self):
+        assert units.pretty_bytes(100) == "100 B"
+
+    def test_pretty_seconds_scales(self):
+        assert units.pretty_seconds(2.0) == "2.00 s"
+        assert units.pretty_seconds(2e-3) == "2.00 ms"
+        assert units.pretty_seconds(2e-6) == "2.00 us"
+        assert units.pretty_seconds(2e-9) == "2 ns"

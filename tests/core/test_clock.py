@@ -1,0 +1,38 @@
+"""Tile-local clocks: monotonic, forward-only."""
+
+import pytest
+
+from repro.core.clock import TileClock
+
+
+class TestTileClock:
+    def test_starts_at_zero(self):
+        assert TileClock().now == 0
+
+    def test_advance(self):
+        clock = TileClock()
+        clock.advance(10)
+        clock.advance(5)
+        assert clock.now == 15
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(ValueError):
+            TileClock().advance(-1)
+
+    def test_forward_to_future_moves(self):
+        clock = TileClock(100)
+        assert clock.forward_to(200) is True
+        assert clock.now == 200
+
+    def test_forward_to_past_is_noop(self):
+        """Lax rule: events in the local past leave the clock alone."""
+        clock = TileClock(100)
+        assert clock.forward_to(50) is False
+        assert clock.now == 100
+
+    def test_forward_to_present_is_noop(self):
+        clock = TileClock(100)
+        assert clock.forward_to(100) is False
+
+    def test_start_value(self):
+        assert TileClock(42).now == 42

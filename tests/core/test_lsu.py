@@ -1,0 +1,67 @@
+"""Store buffer and load queue."""
+
+import pytest
+
+from repro.common.stats import StatGroup
+from repro.core.lsu import LoadQueue, StoreBuffer
+
+
+class TestStoreBuffer:
+    def test_stores_buffer_without_stall(self):
+        sb = StoreBuffer(4, StatGroup("sb"))
+        for i in range(4):
+            assert sb.issue(now=0, address=i * 64, latency=100) == 0
+
+    def test_full_buffer_stalls_until_oldest_drains(self):
+        sb = StoreBuffer(2, StatGroup("sb"))
+        sb.issue(0, 0x0, 100)   # completes at 100
+        sb.issue(0, 0x40, 100)  # completes at 100
+        stall = sb.issue(10, 0x80, 100)
+        assert stall == 90  # waited for the store finishing at t=100
+
+    def test_drained_entries_free_slots(self):
+        sb = StoreBuffer(1, StatGroup("sb"))
+        sb.issue(0, 0x0, 50)
+        assert sb.issue(60, 0x40, 50) == 0  # first store already done
+
+    def test_forwarding_detects_buffered_address(self):
+        sb = StoreBuffer(4, StatGroup("sb"))
+        sb.issue(0, 0x1000, 100)
+        assert sb.forwards(0x1000)
+        assert not sb.forwards(0x2000)
+
+    def test_occupancy_tracks_time(self):
+        sb = StoreBuffer(4, StatGroup("sb"))
+        sb.issue(0, 0x0, 100)
+        sb.issue(0, 0x40, 200)
+        assert sb.occupancy(150) == 1
+        assert sb.occupancy(250) == 0
+
+    def test_zero_entries_rejected(self):
+        with pytest.raises(ValueError):
+            StoreBuffer(0, StatGroup("sb"))
+
+
+class TestLoadQueue:
+    def test_loads_under_limit_no_stall(self):
+        lq = LoadQueue(4, StatGroup("lq"))
+        for _ in range(4):
+            assert lq.issue(0, 100) == 0
+
+    def test_full_queue_stalls(self):
+        lq = LoadQueue(2, StatGroup("lq"))
+        lq.issue(0, 100)
+        lq.issue(0, 100)
+        assert lq.issue(0, 100) == 100
+
+    def test_completed_loads_retire(self):
+        lq = LoadQueue(1, StatGroup("lq"))
+        lq.issue(0, 10)
+        assert lq.issue(20, 10) == 0
+
+    def test_stall_statistics_recorded(self):
+        stats = StatGroup("lq")
+        lq = LoadQueue(1, stats)
+        lq.issue(0, 100)
+        lq.issue(0, 100)
+        assert stats.counter("load_queue_stall_cycles").value == 100

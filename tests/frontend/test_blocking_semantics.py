@@ -1,0 +1,163 @@
+"""Blocking-op retry semantics: spurious wakes, re-registration, races.
+
+The interpreter retries the *same op object* after a wake; these tests
+target the subtle paths: a wake for one condition arriving while a
+thread is blocked on another, re-checks that must not repeat side
+effects, and contended-lock handoff chains.
+"""
+
+import pytest
+
+from repro.common.errors import DeadlockError
+from repro.sim.simulator import Simulator
+from tests.conftest import tiny_config
+
+
+def run(program, tiles=4):
+    simulator = Simulator(tiny_config(tiles))
+    result = simulator.run(program)
+    simulator.engine.check_coherence_invariants()
+    return result
+
+
+class TestSpuriousWakes:
+    def test_message_wake_does_not_break_lock_wait(self):
+        """A user message arriving at a thread blocked on a lock is a
+        spurious wake: the thread must re-block until the real unlock."""
+        def holder(ctx, lock, flag):
+            yield from ctx.lock(lock)
+            # Hold the lock long enough for the waiter to block, get
+            # poked by a message, and re-block.
+            yield from ctx.compute(100_000)
+            yield from ctx.store_u64(flag, 1)
+            yield from ctx.unlock(lock)
+
+        def poker(ctx, waiter_tile):
+            for _ in range(20):
+                yield from ctx.send_u64(waiter_tile, 0, tag=1)
+                yield from ctx.compute(2_000)
+
+        def main(ctx):
+            lock = yield from ctx.calloc(8, align=64)
+            flag = yield from ctx.calloc(8, align=64)
+            holder_thread = yield from ctx.spawn(holder, lock, flag)
+            yield from ctx.compute(5_000)  # let the holder acquire
+            poker_thread = yield from ctx.spawn(poker, 0)
+            yield from ctx.lock(lock)      # block; poked repeatedly
+            value = yield from ctx.load_u64(flag)
+            yield from ctx.unlock(lock)
+            yield from ctx.join(holder_thread)
+            yield from ctx.join(poker_thread)
+            return value
+
+        # The flag is 1: the lock was only granted after the holder's
+        # critical section finished, despite the message wake-ups.
+        assert run(main).main_result == 1
+
+    def test_message_wake_does_not_break_barrier_wait(self):
+        def arriver(ctx, barrier, order, slot):
+            yield from ctx.barrier(barrier, 3)
+            yield from ctx.store_u64(order + slot * 8, 1)
+
+        def poker_then_arrive(ctx, barrier, target):
+            for _ in range(10):
+                yield from ctx.send_u64(target, 0, tag=9)
+                yield from ctx.compute(3_000)
+            yield from ctx.barrier(barrier, 3)
+
+        def main(ctx):
+            barrier = yield from ctx.calloc(8, align=64)
+            order = yield from ctx.calloc(16, align=64)
+            a = yield from ctx.spawn(arriver, barrier, order, 0)
+            b = yield from ctx.spawn(poker_then_arrive, barrier, 1)
+            yield from ctx.barrier(barrier, 3)
+            yield from ctx.join(a)
+            yield from ctx.join(b)
+            return (yield from ctx.load_u64(order))
+
+        assert run(main).main_result == 1
+
+    def test_join_survives_spurious_message(self):
+        def slow_child(ctx):
+            yield from ctx.compute(80_000)
+
+        def poker(ctx, target):
+            for _ in range(10):
+                yield from ctx.send_u64(target, 7, tag=3)
+                yield from ctx.compute(2_000)
+
+        def main(ctx):
+            child = yield from ctx.spawn(slow_child)
+            poker_thread = yield from ctx.spawn(poker, 0)
+            yield from ctx.join(child)      # poked while joining
+            yield from ctx.join(poker_thread)
+            # The messages are still all queued afterwards.
+            total = 0
+            for _ in range(10):
+                _, value = yield from ctx.recv_u64(tag=3)
+                total += value
+            return total
+
+        assert run(main).main_result == 70
+
+
+class TestLockHandoff:
+    def test_fifo_chain_of_waiters(self):
+        """Three threads contend; each eventually gets the lock once."""
+        def worker(ctx, index, lock, log, cursor):
+            yield from ctx.lock(lock)
+            position = yield from ctx.load_u64(cursor)
+            yield from ctx.store_u64(log + position * 8, index + 1)
+            yield from ctx.store_u64(cursor, position + 1)
+            yield from ctx.compute(10_000)  # long critical section
+            yield from ctx.unlock(lock)
+
+        def main(ctx):
+            lock = yield from ctx.calloc(8, align=64)
+            log = yield from ctx.calloc(64, align=64)
+            cursor = yield from ctx.calloc(8, align=64)
+            threads = yield from ctx.spawn_workers(worker, 3, lock, log,
+                                                   cursor)
+            yield from ctx.join_all(threads)
+            entries = []
+            for i in range(3):
+                entries.append((yield from ctx.load_u64(log + i * 8)))
+            return sorted(entries)
+
+        # All three critical sections executed exactly once.
+        assert run(main).main_result == [1, 2, 3]
+
+    def test_unlock_without_waiters_is_cheap(self):
+        def main(ctx):
+            lock = yield from ctx.calloc(8, align=64)
+            for _ in range(10):
+                yield from ctx.lock(lock)
+                yield from ctx.unlock(lock)
+            return True
+
+        result = run(main)
+        assert result.main_result is True
+        assert result.counter("mcp.futex.futex_waits") == 0
+
+
+class TestRecvOrderingUnderContention:
+    def test_multiple_senders_one_receiver(self):
+        def sender(ctx, index, target):
+            for i in range(5):
+                yield from ctx.send_u64(target, index * 10 + i, tag=4)
+
+        def main(ctx):
+            threads = yield from ctx.spawn_workers(sender, 3, 0)
+            got = []
+            for _ in range(15):
+                _, value = yield from ctx.recv_u64(tag=4)
+                got.append(value)
+            yield from ctx.join_all(threads)
+            # Per-sender FIFO: each sender's values appear in order.
+            for sender_index in range(3):
+                own = [v for v in got
+                       if v // 10 == sender_index]
+                assert own == sorted(own)
+            return len(got)
+
+        assert run(main).main_result == 15

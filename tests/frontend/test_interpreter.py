@@ -1,0 +1,218 @@
+"""The interpreter: op execution, timing, blocking semantics."""
+
+import pytest
+
+from repro.common.config import SimulationConfig
+from repro.common.errors import DeadlockError, SimulationError, TargetFault
+from repro.core.isa import InstructionClass
+from repro.sim.simulator import Simulator
+from tests.conftest import tiny_config
+
+
+def run(program, args=(), tiles=4, config=None):
+    cfg = config if config is not None else tiny_config(tiles)
+    simulator = Simulator(cfg)
+    result = simulator.run(program, args)
+    return simulator, result
+
+
+class TestCompute:
+    def test_compute_advances_clock(self):
+        def main(ctx):
+            yield from ctx.compute(100)
+        _, result = run(main)
+        assert result.simulated_cycles >= 100
+
+    def test_instruction_classes_have_costs(self):
+        def cheap(ctx):
+            yield from ctx.compute(100, InstructionClass.IALU)
+
+        def expensive(ctx):
+            yield from ctx.compute(100, InstructionClass.FPU_DIV)
+
+        _, a = run(cheap)
+        _, b = run(expensive)
+        assert b.simulated_cycles > a.simulated_cycles
+
+    def test_instruction_counting(self):
+        def main(ctx):
+            yield from ctx.compute(250)
+        _, result = run(main)
+        assert result.total_instructions >= 250
+
+    def test_branches_feed_predictor(self):
+        def main(ctx):
+            for i in range(50):
+                yield from ctx.branch(True, pc=0x400)
+        _, result = run(main)
+        assert result.counter("branch.branches") == 50
+        assert result.counter("branch.mispredictions") >= 1
+
+
+class TestMemoryOps:
+    def test_load_returns_stored_bytes(self):
+        def main(ctx):
+            address = yield from ctx.malloc(64)
+            yield from ctx.store(address, b"ABCD1234")
+            data = yield from ctx.load(address, 8)
+            return data
+        _, result = run(main)
+        assert result.main_result == b"ABCD1234"
+
+    def test_typed_helpers_round_trip(self):
+        def main(ctx):
+            address = yield from ctx.malloc(64)
+            yield from ctx.store_f64(address, 3.5)
+            yield from ctx.store_i64(address + 8, -42)
+            yield from ctx.store_u32(address + 16, 7)
+            f = yield from ctx.load_f64(address)
+            i = yield from ctx.load_i64(address + 8)
+            u = yield from ctx.load_u32(address + 16)
+            return (f, i, u)
+        _, result = run(main)
+        assert result.main_result == (3.5, -42, 7)
+
+    def test_memset_memcpy(self):
+        def main(ctx):
+            src = yield from ctx.calloc(128)
+            dst = yield from ctx.malloc(128)
+            yield from ctx.memset(src, 0xAB, 128)
+            yield from ctx.memcpy(dst, src, 128)
+            data = yield from ctx.load(dst + 100, 4)
+            return data
+        _, result = run(main)
+        assert result.main_result == b"\xab" * 4
+
+    def test_free_then_use_other_allocation(self):
+        def main(ctx):
+            a = yield from ctx.malloc(64)
+            yield from ctx.free(a)
+            b = yield from ctx.malloc(64)
+            yield from ctx.store_u64(b, 9)
+            return (yield from ctx.load_u64(b))
+        _, result = run(main)
+        assert result.main_result == 9
+
+    def test_kernel_access_faults(self):
+        def main(ctx):
+            yield from ctx.load(0xF000_0000, 8)
+        with pytest.raises(TargetFault):
+            run(main)
+
+
+class TestSpawnJoin:
+    def test_child_runs_and_joins(self):
+        def child(ctx, value, cell):
+            yield from ctx.store_u64(cell, value * 2)
+
+        def main(ctx):
+            cell = yield from ctx.malloc(8)
+            thread = yield from ctx.spawn(child, 21, cell)
+            yield from ctx.join(thread)
+            return (yield from ctx.load_u64(cell))
+        _, result = run(main)
+        assert result.main_result == 42
+
+    def test_join_forwards_clock(self):
+        def child(ctx):
+            yield from ctx.compute(50_000)
+
+        def main(ctx):
+            thread = yield from ctx.spawn(child)
+            yield from ctx.join(thread)
+        _, result = run(main)
+        # Main's final clock must be at least the child's work.
+        assert result.thread_cycles[0] >= 50_000
+
+    def test_spawn_beyond_tiles_faults(self):
+        def child(ctx):
+            yield from ctx.compute(10)
+
+        def main(ctx):
+            for _ in range(10):  # only 4 tiles exist
+                yield from ctx.spawn(child)
+        with pytest.raises(TargetFault):
+            run(main, tiles=4)
+
+    def test_tile_reuse_after_completion(self):
+        def child(ctx):
+            yield from ctx.compute(10)
+
+        def main(ctx):
+            for _ in range(6):  # sequential spawn/join: reuse is fine
+                thread = yield from ctx.spawn(child)
+                yield from ctx.join(thread)
+            return True
+        _, result = run(main, tiles=3)
+        assert result.main_result is True
+
+    def test_spawned_thread_clock_starts_at_parent(self):
+        def child(ctx, cell):
+            yield from ctx.store_u64(cell, 1)
+
+        def main(ctx):
+            yield from ctx.compute(10_000)
+            cell = yield from ctx.malloc(8)
+            thread = yield from ctx.spawn(child, cell)
+            yield from ctx.join(thread)
+        simulator, _ = run(main)
+        # The child's final clock includes the parent's 10k cycles.
+        child_clock = [i.core.cycles
+                       for t, i in simulator.interpreters.items()
+                       if int(t) == 1]
+        assert child_clock[0] >= 10_000
+
+
+class TestSyscallsFromPrograms:
+    def test_file_round_trip(self):
+        from repro.system.syscalls import O_CREAT
+
+        def main(ctx):
+            fd = yield from ctx.open("/data.bin", O_CREAT)
+            yield from ctx.write(fd, b"payload")
+            yield from ctx.syscall("lseek", fd, 0)
+            data = yield from ctx.read(fd, 7)
+            stat = yield from ctx.fstat(fd)
+            yield from ctx.close(fd)
+            return (data, stat["st_size"])
+        _, result = run(main)
+        assert result.main_result == (b"payload", 7)
+
+    def test_cross_thread_file_descriptor(self):
+        """One thread writes, another reads the same fd (paper §3.4)."""
+        from repro.system.syscalls import O_CREAT
+
+        def reader(ctx, fd, cell):
+            yield from ctx.syscall("lseek", fd, 0)
+            data = yield from ctx.read(fd, 2)
+            yield from ctx.store(cell, data)
+
+        def main(ctx):
+            cell = yield from ctx.calloc(8)
+            fd = yield from ctx.open("/shared", O_CREAT)
+            yield from ctx.write(fd, b"OK")
+            thread = yield from ctx.spawn(reader, fd, cell)
+            yield from ctx.join(thread)
+            return (yield from ctx.load(cell, 2))
+        _, result = run(main)
+        assert result.main_result == b"OK"
+
+    def test_syscall_charges_cycles(self):
+        def noop(ctx):
+            yield from ctx.compute(1)
+
+        def with_syscalls(ctx):
+            yield from ctx.compute(1)
+            for _ in range(10):
+                yield from ctx.syscall("brk", 0)
+        _, a = run(noop)
+        _, b = run(with_syscalls)
+        assert b.simulated_cycles > a.simulated_cycles + 1000
+
+
+class TestUnknownOp:
+    def test_unknown_op_rejected(self):
+        def main(ctx):
+            yield "not an op"
+        with pytest.raises(SimulationError):
+            run(main)

@@ -1,0 +1,147 @@
+"""Interpreter internals: fetch modeling, code placement, costs."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim.simulator import Simulator
+from tests.conftest import tiny_config
+
+
+class TestInstructionFetch:
+    def test_fetch_modeled_when_l1i_enabled(self):
+        def main(ctx):
+            yield from ctx.compute(2000)
+
+        config = tiny_config(2)
+        simulator = Simulator(config)
+        result = simulator.run(main)
+        assert result.counter(".fetches") > 0
+
+    def test_fetch_skipped_when_l1i_disabled(self):
+        def main(ctx):
+            yield from ctx.compute(2000)
+
+        config = tiny_config(2)
+        config.memory.l1i.enabled = False
+        config.memory.l1d.enabled = False
+        simulator = Simulator(config)
+        result = simulator.run(main)
+        assert result.counter(".fetches") == 0
+
+    def test_hot_loop_hits_l1i(self):
+        def main(ctx):
+            for _ in range(200):
+                yield from ctx.compute(10)
+
+        simulator = Simulator(tiny_config(2))
+        result = simulator.run(main)
+        counters = result.counters
+        lookups = sum(v for k, v in counters.items()
+                      if ".l1i.lookups" in k)
+        hits = sum(v for k, v in counters.items()
+                   if ".l1i.hits" in k)
+        assert lookups > 100
+        assert hits / lookups > 0.9  # warm loop
+
+
+class TestCodePlacement:
+    def test_distinct_programs_distinct_code(self):
+        simulator = Simulator(tiny_config(2))
+
+        def a(ctx):
+            yield from ctx.compute(1)
+
+        def b(ctx):
+            yield from ctx.compute(1)
+
+        base_a = simulator.code_base(a)
+        base_b = simulator.code_base(b)
+        assert base_a != base_b
+
+    def test_same_program_same_code(self):
+        simulator = Simulator(tiny_config(2))
+
+        def a(ctx):
+            yield from ctx.compute(1)
+
+        assert simulator.code_base(a) == simulator.code_base(a)
+
+    def test_code_lands_in_code_segment(self):
+        from repro.memory.address import Segment
+        simulator = Simulator(tiny_config(2))
+
+        def a(ctx):
+            yield from ctx.compute(1)
+
+        base = simulator.code_base(a)
+        assert simulator.space.segment_of(base) is Segment.CODE
+
+    def test_threads_share_program_code(self):
+        """Workers running the same program share its code lines."""
+        def worker(ctx, index):
+            for _ in range(50):
+                yield from ctx.compute(20)
+
+        def main(ctx):
+            threads = yield from ctx.spawn_workers(worker, 2)
+            yield from ctx.join_all(threads)
+
+        simulator = Simulator(tiny_config(4))
+        simulator.run(main)
+        # Worker code lines have 2 sharers in some directory entry.
+        from repro.memory.directory import DirState
+        shared_code = 0
+        for directory in simulator.engine.directories:
+            for address, entry in directory.entries.items():
+                if address < simulator.space.STATIC_BASE and \
+                        len(entry.sharers) >= 2:
+                    shared_code += 1
+        assert shared_code > 0
+
+
+class TestErrorPropagation:
+    def test_target_fault_surfaces_from_run(self):
+        from repro.common.errors import TargetFault
+
+        def main(ctx):
+            yield from ctx.free(0xDEAD)
+
+        with pytest.raises(TargetFault):
+            Simulator(tiny_config(2)).run(main)
+
+    def test_python_error_in_program_surfaces(self):
+        def main(ctx):
+            yield from ctx.compute(1)
+            raise RuntimeError("bug in target program")
+
+        with pytest.raises(RuntimeError):
+            Simulator(tiny_config(2)).run(main)
+
+
+class TestHostCharging:
+    def test_memory_ops_charge_host_time(self):
+        def light(ctx):
+            yield from ctx.compute(100)
+
+        def heavy(ctx):
+            base = yield from ctx.malloc(8192, align=64)
+            for i in range(128):
+                yield from ctx.store_u64(base + i * 64, i)
+
+        light_result = Simulator(tiny_config(2)).run(light)
+        heavy_result = Simulator(tiny_config(2)).run(heavy)
+        assert sum(heavy_result.core_busy_seconds.values()) > \
+            sum(light_result.core_busy_seconds.values())
+
+    def test_send_charges_wake(self):
+        def main(ctx):
+            def receiver(ctx):
+                yield from ctx.recv_u64()
+
+            thread = yield from ctx.spawn(receiver)
+            yield from ctx.compute(1000)
+            yield from ctx.send_u64(thread, 1)
+            yield from ctx.join(thread)
+
+        result = Simulator(tiny_config(2)).run(main)
+        assert result.counter("network.user_net.packets") == 1

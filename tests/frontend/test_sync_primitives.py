@@ -1,0 +1,201 @@
+"""Locks, barriers and messaging through the full stack."""
+
+import pytest
+
+from repro.common.errors import DeadlockError
+from repro.sim.simulator import Simulator
+from tests.conftest import tiny_config
+
+
+def run(program, args=(), tiles=4):
+    simulator = Simulator(tiny_config(tiles))
+    return simulator.run(program, args)
+
+
+class TestLocks:
+    def test_mutual_exclusion_under_contention(self):
+        """N threads x M lock-protected increments == N*M."""
+        def worker(ctx, index, lock, counter):
+            for _ in range(10):
+                yield from ctx.lock(lock)
+                value = yield from ctx.load_u64(counter)
+                yield from ctx.compute(20)  # widen the race window
+                yield from ctx.store_u64(counter, value + 1)
+                yield from ctx.unlock(lock)
+
+        def main(ctx):
+            lock = yield from ctx.calloc(8)
+            counter = yield from ctx.calloc(8)
+            threads = yield from ctx.spawn_workers(worker, 3, lock,
+                                                   counter)
+            yield from worker(ctx, 99, lock, counter)
+            yield from ctx.join_all(threads)
+            return (yield from ctx.load_u64(counter))
+
+        result = run(main)
+        assert result.main_result == 40
+
+    def test_uncontended_lock_is_fast(self):
+        def main(ctx):
+            lock = yield from ctx.calloc(8)
+            yield from ctx.lock(lock)
+            yield from ctx.unlock(lock)
+            return True
+        assert run(main).main_result is True
+
+    def test_two_locks_no_interference(self):
+        def worker(ctx, index, lock_a, lock_b, cell):
+            lock = lock_a if index % 2 == 0 else lock_b
+            for _ in range(5):
+                yield from ctx.lock(lock)
+                v = yield from ctx.load_u64(cell + 8 * (index % 2))
+                yield from ctx.store_u64(cell + 8 * (index % 2), v + 1)
+                yield from ctx.unlock(lock)
+
+        def main(ctx):
+            lock_a = yield from ctx.calloc(8, align=64)
+            lock_b = yield from ctx.calloc(8, align=64)
+            cell = yield from ctx.calloc(16, align=64)
+            threads = yield from ctx.spawn_workers(
+                worker, 3, lock_a, lock_b, cell)
+            yield from worker(ctx, 3, lock_a, lock_b, cell)
+            yield from ctx.join_all(threads)
+            a = yield from ctx.load_u64(cell)
+            b = yield from ctx.load_u64(cell + 8)
+            return (a, b)
+
+        assert run(main).main_result == (10, 10)
+
+    def test_deadlock_detected(self):
+        def main(ctx):
+            lock = yield from ctx.calloc(8)
+            yield from ctx.lock(lock)
+            yield from ctx.lock(lock)  # self-deadlock
+        with pytest.raises(DeadlockError):
+            run(main)
+
+
+class TestBarriers:
+    def test_barrier_synchronizes_clocks(self):
+        """After a barrier, no thread's clock may precede the arrival
+        clock of the slowest participant."""
+        def worker(ctx, index, barrier, out):
+            yield from ctx.compute(100 if index else 50_000)
+            yield from ctx.barrier(barrier, 2)
+            yield from ctx.store_u64(out + 8 * index, 1)
+
+        def main(ctx):
+            barrier = yield from ctx.calloc(8)
+            out = yield from ctx.calloc(16)
+            threads = yield from ctx.spawn_workers(worker, 1, barrier,
+                                                   out)
+            yield from worker(ctx, 0, barrier, out)
+            yield from ctx.join_all(threads)
+            return True
+
+        simulator = Simulator(tiny_config(4))
+        simulator.run(main)
+        clocks = [i.core.cycles for i in simulator.interpreters.values()]
+        assert min(clocks) >= 50_000
+
+    def test_barrier_repeated_use(self):
+        def worker(ctx, index, barrier, cell):
+            for round_ in range(5):
+                yield from ctx.barrier(barrier, 3)
+                if index == 0:
+                    v = yield from ctx.load_u64(cell)
+                    yield from ctx.store_u64(cell, v + 1)
+                yield from ctx.barrier(barrier + 64, 3)
+
+        def main(ctx):
+            barrier = yield from ctx.calloc(128, align=64)
+            cell = yield from ctx.calloc(8)
+            threads = yield from ctx.spawn_workers(worker, 2, barrier,
+                                                   cell)
+            yield from worker(ctx, 2, barrier, cell)
+            yield from ctx.join_all(threads)
+            return (yield from ctx.load_u64(cell))
+
+        assert run(main).main_result == 5
+
+    def test_missing_participant_deadlocks(self):
+        def main(ctx):
+            barrier = yield from ctx.calloc(8)
+            yield from ctx.barrier(barrier, 2)  # nobody else arrives
+        with pytest.raises(DeadlockError):
+            run(main)
+
+
+class TestMessaging:
+    def test_ping_pong(self):
+        def pong(ctx):
+            src, value = yield from ctx.recv_u64()
+            yield from ctx.send_u64(src, value + 1)
+
+        def main(ctx):
+            thread = yield from ctx.spawn(pong)
+            yield from ctx.send_u64(thread, 41)
+            _, value = yield from ctx.recv_u64(src=thread)
+            yield from ctx.join(thread)
+            return value
+        assert run(main).main_result == 42
+
+    def test_receive_forwards_clock_to_arrival(self):
+        """A receiver waiting on a slow sender inherits its timestamp."""
+        def sender(ctx, peer):
+            yield from ctx.compute(30_000)
+            yield from ctx.send_u64(peer, 1)
+
+        def main(ctx):
+            thread = yield from ctx.spawn(sender, 0)
+            yield from ctx.recv_u64()
+            yield from ctx.join(thread)
+
+        simulator = Simulator(tiny_config(4))
+        result = simulator.run(main)
+        assert result.thread_cycles[0] >= 30_000
+
+    def test_messages_ordered_per_sender(self):
+        def sender(ctx, peer):
+            for i in range(10):
+                yield from ctx.send_u64(peer, i)
+
+        def main(ctx):
+            thread = yield from ctx.spawn(sender, 0)
+            received = []
+            for _ in range(10):
+                _, value = yield from ctx.recv_u64(src=thread)
+                received.append(value)
+            yield from ctx.join(thread)
+            return received
+        assert run(main).main_result == list(range(10))
+
+    def test_tagged_receive_selects(self):
+        def sender(ctx, peer):
+            yield from ctx.send_u64(peer, 1, tag=1)
+            yield from ctx.send_u64(peer, 2, tag=2)
+
+        def main(ctx):
+            thread = yield from ctx.spawn(sender, 0)
+            _, second = yield from ctx.recv_u64(tag=2)
+            _, first = yield from ctx.recv_u64(tag=1)
+            yield from ctx.join(thread)
+            return (first, second)
+        assert run(main).main_result == (1, 2)
+
+    def test_payload_bytes_roundtrip(self):
+        def sender(ctx, peer):
+            yield from ctx.send(peer, b"\x00\x01binary\xff", tag=3)
+
+        def main(ctx):
+            thread = yield from ctx.spawn(sender, 0)
+            src, payload = yield from ctx.recv(tag=3)
+            yield from ctx.join(thread)
+            return payload
+        assert run(main).main_result == b"\x00\x01binary\xff"
+
+    def test_recv_without_sender_deadlocks(self):
+        def main(ctx):
+            yield from ctx.recv()
+        with pytest.raises(DeadlockError):
+            run(main)

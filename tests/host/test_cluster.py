@@ -1,0 +1,101 @@
+"""Cluster layout: striping, machine placement, locality."""
+
+import pytest
+
+from repro.common.config import HostConfig
+from repro.common.errors import ConfigError
+from repro.common.ids import TileId
+from repro.host.cluster import ClusterLayout, Locality
+
+
+def layout(tiles=32, machines=1, cores=8, processes=None):
+    host = HostConfig(num_machines=machines, cores_per_machine=cores,
+                      num_processes=processes)
+    return ClusterLayout(tiles, host)
+
+
+class TestStriping:
+    """Tiles stripe across processes (paper §3.5)."""
+
+    def test_tiles_stripe_round_robin(self):
+        lay = layout(tiles=8, machines=2)
+        assert lay.process_of_tile(TileId(0)) == 0
+        assert lay.process_of_tile(TileId(1)) == 1
+        assert lay.process_of_tile(TileId(2)) == 0
+
+    def test_tiles_of_process_matches_striping(self):
+        lay = layout(tiles=10, machines=2)
+        assert lay.tiles_of_process(lay.process_of_tile(TileId(3))) == \
+            [1, 3, 5, 7, 9]
+
+    def test_every_tile_in_exactly_one_process(self):
+        lay = layout(tiles=33, machines=4)
+        seen = []
+        for p in range(lay.num_processes):
+            seen.extend(lay.tiles_of_process(p))
+        assert sorted(seen) == list(range(33))
+
+
+class TestPlacement:
+    def test_single_machine_all_tiles_local(self):
+        lay = layout(tiles=16, machines=1)
+        assert all(lay.machine_of_tile(TileId(t)) == 0 for t in range(16))
+
+    def test_machine_balance(self):
+        lay = layout(tiles=32, machines=4)
+        counts = [len(lay.tiles_on_machine(m)) for m in range(4)]
+        assert counts == [8, 8, 8, 8]
+
+    def test_core_within_machine_range(self):
+        lay = layout(tiles=32, machines=2)
+        for t in range(32):
+            core = lay.core_of_tile(TileId(t))
+            machine = lay.machine_of_tile(TileId(t))
+            assert machine * 8 <= int(core) < (machine + 1) * 8
+
+    def test_cores_shared_fairly(self):
+        lay = layout(tiles=32, machines=1)
+        loads = {}
+        for t in range(32):
+            core = int(lay.core_of_tile(TileId(t)))
+            loads[core] = loads.get(core, 0) + 1
+        assert set(loads.values()) == {4}  # 32 tiles / 8 cores
+
+    def test_more_tiles_than_cores_allowed(self):
+        lay = layout(tiles=1024, machines=1, cores=1)
+        assert lay.core_of_tile(TileId(1023)) == 0
+
+
+class TestLocality:
+    def test_same_process(self):
+        lay = layout(tiles=8, machines=2)
+        assert lay.locality(TileId(0), TileId(2)) is Locality.SAME_PROCESS
+
+    def test_cross_machine(self):
+        lay = layout(tiles=8, machines=2)
+        assert lay.locality(TileId(0), TileId(1)) is Locality.CROSS_MACHINE
+
+    def test_same_machine_different_process(self):
+        lay = layout(tiles=8, machines=1, processes=2)
+        assert lay.locality(TileId(0), TileId(1)) is Locality.SAME_MACHINE
+
+    def test_locality_symmetric(self):
+        lay = layout(tiles=16, machines=2, processes=4)
+        for a in range(16):
+            for b in range(16):
+                assert lay.locality(TileId(a), TileId(b)) is \
+                    lay.locality(TileId(b), TileId(a))
+
+    def test_self_locality_is_same_process(self):
+        lay = layout(tiles=8, machines=2)
+        assert lay.locality(TileId(3), TileId(3)) is Locality.SAME_PROCESS
+
+
+class TestValidation:
+    def test_zero_tiles_rejected(self):
+        with pytest.raises(ConfigError):
+            layout(tiles=0)
+
+    def test_fewer_processes_than_machines_rejected(self):
+        with pytest.raises(ConfigError):
+            layout(tiles=8, machines=4, processes=2)

@@ -1,0 +1,86 @@
+"""Host cost model."""
+
+import random
+
+import pytest
+
+from repro.common.config import HostConfig
+from repro.host.cluster import Locality
+from repro.host.costmodel import HostCostModel
+
+
+def model(jitter=0.0, rng=None, **kwargs):
+    return HostCostModel(HostConfig(jitter=jitter, **kwargs), rng=rng)
+
+
+class TestInstructionCosts:
+    def test_instrumentation_overhead_applied(self):
+        m = model()
+        native = m.native_instructions(1000)
+        instrumented = m.instructions(1000)
+        assert instrumented == pytest.approx(
+            native * HostConfig().instrumentation_overhead)
+
+    def test_costs_scale_linearly(self):
+        m = model()
+        assert m.instructions(200) == pytest.approx(2 * m.instructions(100))
+
+    def test_native_cost_matches_host_clock(self):
+        m = model()
+        assert m.native_instructions(int(3.16e9)) == pytest.approx(1.0)
+
+
+class TestMessageCosts:
+    def test_locality_ordering(self):
+        """intra-process < inter-process < inter-machine (GbE)."""
+        m = model()
+        intra = m.message(Locality.SAME_PROCESS, 64)
+        inter = m.message(Locality.SAME_MACHINE, 64)
+        cross = m.message(Locality.CROSS_MACHINE, 64)
+        assert intra < inter < cross
+
+    def test_cross_machine_latency_pays_per_byte(self):
+        m = model()
+        small = m.message_latency(Locality.CROSS_MACHINE, 8)
+        large = m.message_latency(Locality.CROSS_MACHINE, 8192)
+        assert large > small
+
+    def test_cpu_cost_size_independent(self):
+        m = model()
+        assert m.message(Locality.CROSS_MACHINE, 8) == \
+            pytest.approx(m.message(Locality.CROSS_MACHINE, 8192))
+
+    def test_latency_ordering(self):
+        """Local queues have no wire latency; TCP does."""
+        m = model()
+        assert m.message_latency(Locality.SAME_PROCESS, 64) == 0.0
+        assert m.message_latency(Locality.SAME_MACHINE, 64) < \
+            m.message_latency(Locality.CROSS_MACHINE, 64)
+
+
+class TestJitter:
+    def test_zero_jitter_deterministic(self):
+        m = model(jitter=0.0, rng=random.Random(1))
+        assert m.instructions(100) == m.instructions(100)
+
+    def test_jitter_varies_costs(self):
+        m = model(jitter=0.05, rng=random.Random(1))
+        samples = {m.instructions(100) for _ in range(20)}
+        assert len(samples) > 1
+
+    def test_jitter_centred_on_nominal(self):
+        m = model(jitter=0.02, rng=random.Random(7))
+        nominal = model(jitter=0.0).instructions(100)
+        mean = sum(m.instructions(100) for _ in range(500)) / 500
+        assert mean == pytest.approx(nominal, rel=0.01)
+
+    def test_no_rng_means_no_jitter(self):
+        m = HostCostModel(HostConfig(jitter=0.5), rng=None)
+        assert m.instructions(100) == m.instructions(100)
+
+
+class TestStartup:
+    def test_startup_sequential_in_processes(self):
+        m = model()
+        assert m.process_startup(10) == pytest.approx(
+            10 * HostConfig().process_startup_cost)

@@ -1,0 +1,249 @@
+"""The engine: scheduling, host-time accounting, blocking/waking."""
+
+import pytest
+
+from repro.common.config import HostConfig, SyncConfig
+from repro.common.errors import DeadlockError, SimulationError
+from repro.common.ids import TileId
+from repro.common.stats import StatGroup
+from repro.host.cluster import ClusterLayout
+from repro.host.costmodel import HostCostModel
+from repro.host.scheduler import (
+    QuantumResult,
+    QuantumStatus,
+    Scheduler,
+    ThreadState,
+    ThreadTask,
+)
+from repro.sync.lax import LaxModel
+
+
+class ScriptedTask(ThreadTask):
+    """A task that runs a fixed number of quanta, charging fixed cost.
+
+    Optionally blocks at a given quantum until explicitly woken.
+    """
+
+    def __init__(self, tile, scheduler_ref, quanta=3, cost=1.0,
+                 block_at=None, cycles_per_quantum=100):
+        self.tile = TileId(tile)
+        self._scheduler_ref = scheduler_ref
+        self.remaining = quanta
+        self.cost = cost
+        self.block_at = block_at
+        self.blocked_once = False
+        self._cycles = 0
+        self.cycles_per_quantum = cycles_per_quantum
+
+    def run(self, budget_instructions, cycle_limit=None):
+        scheduler = self._scheduler_ref[0]
+        scheduler.charge(self.cost)
+        if self.block_at is not None and not self.blocked_once and \
+                self.remaining == self.block_at:
+            self.blocked_once = True
+            return QuantumResult(QuantumStatus.BLOCKED, 0)
+        self._cycles += self.cycles_per_quantum
+        self.remaining -= 1
+        if self.remaining <= 0:
+            return QuantumResult(QuantumStatus.DONE, budget_instructions)
+        return QuantumResult(QuantumStatus.RAN, budget_instructions)
+
+    @property
+    def cycles(self):
+        return self._cycles
+
+
+def make_scheduler(tiles=4, machines=1, cores=2):
+    host = HostConfig(num_machines=machines, cores_per_machine=cores,
+                      jitter=0.0)
+    layout = ClusterLayout(tiles, host)
+    cost = HostCostModel(host)
+    sync = LaxModel(SyncConfig(), StatGroup("sync"))
+    scheduler = Scheduler(layout, cost, sync, StatGroup("sched"),
+                          quantum_instructions=100)
+    return scheduler
+
+
+class TestBasicRuns:
+    def test_single_thread_runs_to_completion(self):
+        s = make_scheduler()
+        ref = [s]
+        s.add_thread(ScriptedTask(0, ref, quanta=5))
+        report = s.run()
+        assert report.total_quanta == 5
+        assert s.threads[TileId(0)].state is ThreadState.DONE
+
+    def test_wall_clock_is_makespan(self):
+        """Two threads on different cores run in parallel."""
+        s = make_scheduler(tiles=2, cores=2)
+        ref = [s]
+        s.add_thread(ScriptedTask(0, ref, quanta=4, cost=1.0))
+        s.add_thread(ScriptedTask(1, ref, quanta=4, cost=1.0))
+        report = s.run()
+        assert report.wall_clock_seconds == pytest.approx(4.0)
+        assert report.busy_seconds == pytest.approx(8.0)
+
+    def test_one_core_serializes(self):
+        s = make_scheduler(tiles=2, cores=1)
+        ref = [s]
+        s.add_thread(ScriptedTask(0, ref, quanta=4, cost=1.0))
+        s.add_thread(ScriptedTask(1, ref, quanta=4, cost=1.0))
+        report = s.run()
+        assert report.wall_clock_seconds == pytest.approx(8.0)
+
+    def test_instructions_accumulated(self):
+        s = make_scheduler()
+        ref = [s]
+        s.add_thread(ScriptedTask(0, ref, quanta=3))
+        report = s.run()
+        assert report.total_instructions == 300
+
+    def test_least_loaded_core_advances_first(self):
+        """Cores interleave: total busy spreads across both cores."""
+        s = make_scheduler(tiles=4, cores=2)
+        ref = [s]
+        for t in range(4):
+            s.add_thread(ScriptedTask(t, ref, quanta=2, cost=1.0))
+        report = s.run()
+        assert report.core_busy_seconds[0] == pytest.approx(4.0)
+        assert report.core_busy_seconds[1] == pytest.approx(4.0)
+
+
+class TestBlockingAndWaking:
+    def test_blocked_thread_deadlocks_without_wake(self):
+        s = make_scheduler(tiles=1)
+        ref = [s]
+        s.add_thread(ScriptedTask(0, ref, quanta=3, block_at=2))
+        with pytest.raises(DeadlockError):
+            s.run()
+
+    def test_wake_resumes_blocked_thread(self):
+        s = make_scheduler(tiles=2, cores=2)
+        ref = [s]
+        blocker = ScriptedTask(0, ref, quanta=3, block_at=2)
+
+        class Waker(ScriptedTask):
+            def run(self, budget, cycle_limit=None):
+                result = super().run(budget, cycle_limit)
+                scheduler = self._scheduler_ref[0]
+                blocked = scheduler.threads.get(TileId(0))
+                if blocked and blocked.state is ThreadState.BLOCKED:
+                    scheduler.wake(TileId(0))
+                return result
+
+        s.add_thread(blocker)
+        s.add_thread(Waker(1, ref, quanta=5))
+        report = s.run()
+        assert s.threads[TileId(0)].state is ThreadState.DONE
+        assert report.total_quanta >= 8
+
+    def test_wake_sets_ready_time_to_waker_now(self):
+        s = make_scheduler(tiles=2, cores=2)
+        ref = [s]
+        s.add_thread(ScriptedTask(0, ref, quanta=2, block_at=2))
+        # Run until the thread blocks.
+        with pytest.raises(DeadlockError):
+            s.run()
+        s.core_time[1] = 5.0  # pretend the waker is far ahead
+        s.wake(TileId(0))
+        thread = s.threads[TileId(0)]
+        assert thread.state is ThreadState.RUNNABLE
+        assert thread.ready_host_time >= 5.0
+
+    def test_wake_unknown_tile_raises(self):
+        s = make_scheduler()
+        with pytest.raises(SimulationError):
+            s.wake(TileId(3))
+
+
+class TestSleep:
+    def test_sleeping_thread_fast_forwards_core(self):
+        s = make_scheduler(tiles=1)
+        ref = [s]
+        task = ScriptedTask(0, ref, quanta=2, cost=1.0)
+        thread = s.add_thread(task)
+        s.sleep_thread(thread, 10.0)
+        report = s.run()
+        # The core idled 10 s, then ran 2 quanta of 1 s.
+        assert report.wall_clock_seconds == pytest.approx(12.0)
+
+    def test_sleep_does_not_count_as_busy(self):
+        s = make_scheduler(tiles=1)
+        ref = [s]
+        thread = s.add_thread(ScriptedTask(0, ref, quanta=1, cost=1.0))
+        s.sleep_thread(thread, 5.0)
+        report = s.run()
+        assert report.busy_seconds == pytest.approx(1.0)
+
+
+class TestBlocking:
+    def test_blocking_defers_thread_not_core(self):
+        """Wire latency delays the thread; the core stays available."""
+        s = make_scheduler(tiles=2, cores=1)
+        ref = [s]
+
+        class BlockingTask(ScriptedTask):
+            def run(self, budget, cycle_limit=None):
+                result = super().run(budget, cycle_limit)
+                self._scheduler_ref[0].charge_blocking(10.0)
+                return result
+
+        a = BlockingTask(0, ref, quanta=2, cost=1.0)
+        b = ScriptedTask(1, ref, quanta=2, cost=1.0)
+        s.add_thread(a)
+        s.add_thread(b)
+        report = s.run()
+        # Core busy is only the CPU charges; wall includes a's waits
+        # overlapped with b's execution.
+        assert report.busy_seconds == pytest.approx(4.0)
+        assert report.wall_clock_seconds < 4.0 + 2 * 10.0
+
+    def test_blocking_alone_stretches_wall(self):
+        s = make_scheduler(tiles=1, cores=1)
+        ref = [s]
+
+        class BlockingTask(ScriptedTask):
+            def run(self, budget, cycle_limit=None):
+                result = super().run(budget, cycle_limit)
+                self._scheduler_ref[0].charge_blocking(5.0)
+                return result
+
+        s.add_thread(BlockingTask(0, ref, quanta=2, cost=1.0))
+        report = s.run()
+        # Two quanta of 1s plus one inter-quantum blocking gap of 5s
+        # (the final quantum's blocking ends the run).
+        assert report.wall_clock_seconds >= 7.0
+        assert report.busy_seconds == pytest.approx(2.0)
+
+    def test_negative_blocking_rejected(self):
+        s = make_scheduler()
+        with pytest.raises(SimulationError):
+            s.charge_blocking(-1.0)
+
+
+class TestCharging:
+    def test_charge_outside_quantum_goes_to_core0(self):
+        s = make_scheduler()
+        s.charge(2.5)
+        assert s.core_time[0] == pytest.approx(2.5)
+
+    def test_negative_charge_rejected(self):
+        s = make_scheduler()
+        with pytest.raises(SimulationError):
+            s.charge(-1.0)
+
+    def test_duplicate_live_thread_rejected(self):
+        s = make_scheduler()
+        ref = [s]
+        s.add_thread(ScriptedTask(0, ref))
+        with pytest.raises(SimulationError):
+            s.add_thread(ScriptedTask(0, ref))
+
+
+class TestMaxTurns:
+    def test_livelock_guard(self):
+        s = make_scheduler()
+        ref = [s]
+        s.add_thread(ScriptedTask(0, ref, quanta=10**9))
+        with pytest.raises(SimulationError):
+            s.run(max_turns=10)

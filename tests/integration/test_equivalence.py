@@ -1,0 +1,169 @@
+"""Functional equivalence across modeling configurations.
+
+The paper's central functional claim: the same unmodified program runs
+correctly whatever the host distribution, synchronization model, or
+target architecture parameters — those choices affect *timing*, never
+*results*.  These tests run one program with a deterministic functional
+outcome under many configurations and require identical answers.
+"""
+
+import pytest
+
+from repro.common.config import SimulationConfig
+from repro.sim.simulator import Simulator
+
+
+def deterministic_program(ctx):
+    """Locks, barriers, messages and shared memory with a fixed answer."""
+    counter = yield from ctx.calloc(8)
+    lock = yield from ctx.calloc(8, align=64)
+    barrier = yield from ctx.calloc(8, align=64)
+    data = yield from ctx.calloc(256, align=64)
+
+    def worker(ctx, index, counter, lock, barrier, data):
+        for i in range(8):
+            yield from ctx.lock(lock)
+            value = yield from ctx.load_u64(counter)
+            yield from ctx.store_u64(counter, value + index + 1)
+            yield from ctx.unlock(lock)
+            yield from ctx.store_u64(data + (index * 8 + i % 4) * 8,
+                                     index * 100 + i)
+        yield from ctx.barrier(barrier, 4)
+        yield from ctx.send_u64(0, index, tag=5)
+
+    threads = yield from ctx.spawn_workers(worker, 3, counter, lock,
+                                           barrier, data)
+    # The main thread participates as worker 3 (spawned workers got
+    # indices 0-2); it also sends, to itself, and then drains all four
+    # tagged messages, so every output is deterministic.
+    yield from worker(ctx, 3, counter, lock, barrier, data)
+    received = 0
+    for _ in range(4):
+        _, value = yield from ctx.recv_u64(tag=5)
+        received += value
+    yield from ctx.join_all(threads)
+    total = yield from ctx.load_u64(counter)
+    sample = yield from ctx.load_u64(data + 8 * 8)
+    return (total, received, sample)
+
+
+EXPECTED = (8 * (1 + 2 + 3 + 4), 0 + 1 + 2 + 3, 100 + 4)
+
+
+def run_with(mutate):
+    config = SimulationConfig(num_tiles=4)
+    config.host.quantum_instructions = 300
+    mutate(config)
+    config.validate()
+    simulator = Simulator(config)
+    result = simulator.run(deterministic_program)
+    simulator.engine.check_coherence_invariants()
+    return result
+
+
+class TestHostLayoutInvariance:
+    @pytest.mark.parametrize("machines,cores", [(1, 1), (1, 4), (2, 2),
+                                                (4, 1), (2, 8)])
+    def test_result_independent_of_cluster_shape(self, machines, cores):
+        def mutate(config):
+            config.host.num_machines = machines
+            config.host.cores_per_machine = cores
+        assert run_with(mutate).main_result == EXPECTED
+
+    def test_result_independent_of_process_count(self):
+        def mutate(config):
+            config.host.num_processes = 4
+        assert run_with(mutate).main_result == EXPECTED
+
+
+class TestSyncModelInvariance:
+    @pytest.mark.parametrize("model", ["lax", "lax_barrier", "lax_p2p"])
+    def test_result_independent_of_sync_model(self, model):
+        def mutate(config):
+            config.sync.model = model
+            config.sync.barrier_interval = 500
+            config.sync.p2p_slack = 2000
+            config.sync.p2p_interval = 500
+        assert run_with(mutate).main_result == EXPECTED
+
+
+class TestMemoryModelInvariance:
+    @pytest.mark.parametrize("directory", ["full_map", "limited",
+                                           "limitless"])
+    def test_result_independent_of_directory(self, directory):
+        def mutate(config):
+            config.memory.directory_type = directory
+            config.memory.directory_max_sharers = 2
+        assert run_with(mutate).main_result == EXPECTED
+
+    @pytest.mark.parametrize("line", [16, 32, 64, 128])
+    def test_result_independent_of_line_size(self, line):
+        def mutate(config):
+            config.memory.l1i.line_bytes = line
+            config.memory.l1d.line_bytes = line
+            config.memory.l2.line_bytes = line
+        assert run_with(mutate).main_result == EXPECTED
+
+    def test_result_independent_of_forwarding(self):
+        def mutate(config):
+            config.memory.forward_shared_reads = False
+        assert run_with(mutate).main_result == EXPECTED
+
+    def test_result_with_tiny_cache(self):
+        def mutate(config):
+            config.memory.l2.size_bytes = 4096
+            config.memory.l2.associativity = 2
+        assert run_with(mutate).main_result == EXPECTED
+
+    def test_result_without_l1(self):
+        def mutate(config):
+            config.memory.l1i.enabled = False
+            config.memory.l1d.enabled = False
+        assert run_with(mutate).main_result == EXPECTED
+
+
+class TestNetworkModelInvariance:
+    @pytest.mark.parametrize("model", ["magic", "mesh",
+                                       "mesh_contention"])
+    def test_result_independent_of_network(self, model):
+        def mutate(config):
+            config.network.memory_model = model
+            config.network.user_model = model
+        assert run_with(mutate).main_result == EXPECTED
+
+
+class TestInstructionInvariance:
+    def test_instruction_counts_config_independent(self):
+        """Timing configs cannot change the dynamic instruction path.
+
+        Uses a lock-free program: contended locks legitimately retry a
+        schedule-dependent number of times, so only programs without
+        contended acquisition have schedule-invariant instruction
+        counts.
+        """
+        def lockfree(ctx):
+            data = yield from ctx.calloc(512, align=64)
+
+            def worker(ctx, index, data):
+                for i in range(20):
+                    value = yield from ctx.load_u64(data + index * 64)
+                    yield from ctx.compute(30)
+                    yield from ctx.store_u64(data + index * 64,
+                                             value + i)
+
+            threads = yield from ctx.spawn_workers(worker, 3, data)
+            yield from worker(ctx, 3, data)
+            yield from ctx.join_all(threads)
+
+        counts = set()
+        for mutate in (
+            lambda c: None,
+            lambda c: setattr(c.host, "num_machines", 4),
+            lambda c: setattr(c.memory, "directory_type", "limited"),
+        ):
+            config = SimulationConfig(num_tiles=4)
+            config.host.quantum_instructions = 300
+            mutate(config)
+            result = Simulator(config).run(lockfree)
+            counts.add(result.total_instructions)
+        assert len(counts) == 1

@@ -1,0 +1,102 @@
+"""Target address space: segments, homing, line arithmetic."""
+
+import pytest
+
+from repro.common.errors import TargetFault
+from repro.common.ids import TileId
+from repro.memory.address import AddressSpace, Segment
+
+
+@pytest.fixture
+def space():
+    return AddressSpace(num_tiles=8, line_bytes=64)
+
+
+class TestSegments:
+    def test_code_segment(self, space):
+        assert space.segment_of(0x100) is Segment.CODE
+
+    def test_heap_segment(self, space):
+        assert space.segment_of(space.HEAP_BASE) is Segment.HEAP
+
+    def test_stack_segment(self, space):
+        assert space.segment_of(space.STACK_BASE + 100) is Segment.STACK
+
+    def test_kernel_segment(self, space):
+        assert space.segment_of(space.KERNEL_BASE) is Segment.KERNEL
+
+    def test_segments_cover_space_without_overlap(self, space):
+        previous_limit = 0
+        for srange in space.segments:
+            assert srange.base == previous_limit
+            previous_limit = srange.limit
+        assert previous_limit == space.LIMIT
+
+    def test_address_outside_space_faults(self, space):
+        with pytest.raises(TargetFault):
+            space.segment_of(space.LIMIT)
+        with pytest.raises(TargetFault):
+            space.segment_of(-1)
+
+
+class TestAccessChecks:
+    def test_valid_access_passes(self, space):
+        space.check_access(space.HEAP_BASE, 8)
+
+    def test_kernel_access_faults(self, space):
+        with pytest.raises(TargetFault):
+            space.check_access(space.KERNEL_BASE, 8)
+
+    def test_access_straddling_into_kernel_faults(self, space):
+        with pytest.raises(TargetFault):
+            space.check_access(space.KERNEL_BASE - 4, 8)
+
+    def test_zero_size_faults(self, space):
+        with pytest.raises(TargetFault):
+            space.check_access(space.HEAP_BASE, 0)
+
+
+class TestLines:
+    def test_line_of_aligns_down(self, space):
+        assert space.line_of(0x1007) == 0x1000 + 0  # 64-aligned
+        assert space.line_of(0x1049) == 0x1040
+
+    def test_line_index(self, space):
+        assert space.line_index(0) == 0
+        assert space.line_index(64) == 1
+        assert space.line_index(63) == 0
+
+
+class TestHoming:
+    def test_lines_interleave_round_robin(self, space):
+        """The directory is uniformly distributed across the tiles."""
+        homes = [int(space.home_tile(line * 64)) for line in range(16)]
+        assert homes == [line % 8 for line in range(16)]
+
+    def test_same_line_same_home(self, space):
+        assert space.home_tile(0x1000) == space.home_tile(0x1030)
+
+    def test_homes_balanced(self, space):
+        counts = {}
+        for line in range(800):
+            home = int(space.home_tile(line * 64))
+            counts[home] = counts.get(home, 0) + 1
+        assert set(counts.values()) == {100}
+
+
+class TestStacks:
+    def test_stacks_disjoint(self, space):
+        ranges = [space.stack_range(TileId(t)) for t in range(8)]
+        for i, a in enumerate(ranges):
+            for b in ranges[i + 1:]:
+                assert a.limit <= b.base or b.limit <= a.base
+
+    def test_stacks_inside_stack_segment(self, space):
+        for t in range(8):
+            srange = space.stack_range(TileId(t))
+            assert space.segment_of(srange.base) is Segment.STACK
+            assert space.segment_of(srange.limit - 1) is Segment.STACK
+
+    def test_too_many_tiles_rejected(self):
+        with pytest.raises(ValueError):
+            AddressSpace(num_tiles=100_000, line_bytes=64)

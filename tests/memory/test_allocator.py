@@ -1,0 +1,114 @@
+"""Dynamic memory manager: brk, mmap, malloc/free."""
+
+import pytest
+
+from repro.common.errors import TargetFault
+from repro.common.ids import TileId
+from repro.memory.address import AddressSpace
+from repro.memory.allocator import DynamicMemoryManager
+
+
+@pytest.fixture
+def manager():
+    return DynamicMemoryManager(AddressSpace(8, 64))
+
+
+class TestBrk:
+    def test_query_returns_current_break(self, manager):
+        assert manager.brk(0) == manager.space.HEAP_BASE
+
+    def test_move_break(self, manager):
+        target = manager.space.HEAP_BASE + 4096
+        assert manager.brk(target) == target
+        assert manager.brk(0) == target
+
+    def test_break_outside_heap_faults(self, manager):
+        with pytest.raises(TargetFault):
+            manager.brk(manager.space.DYNAMIC_BASE)
+
+
+class TestMmap:
+    def test_mmap_returns_dynamic_address(self, manager):
+        base = manager.mmap(8192)
+        assert manager.space.DYNAMIC_BASE <= base < \
+            manager.space.STACK_BASE
+
+    def test_mmap_regions_disjoint(self, manager):
+        a = manager.mmap(4096)
+        b = manager.mmap(4096)
+        assert b >= a + 4096
+
+    def test_munmap_releases(self, manager):
+        base = manager.mmap(4096)
+        manager.munmap(base, 4096)
+        with pytest.raises(TargetFault):
+            manager.munmap(base, 4096)
+
+    def test_munmap_unknown_faults(self, manager):
+        with pytest.raises(TargetFault):
+            manager.munmap(0x4000_0000, 4096)
+
+    def test_mmap_zero_faults(self, manager):
+        with pytest.raises(TargetFault):
+            manager.mmap(0)
+
+
+class TestMalloc:
+    def test_blocks_disjoint(self, manager):
+        blocks = [(manager.malloc(100), 100) for _ in range(10)]
+        for i, (a, asize) in enumerate(blocks):
+            for b, bsize in blocks[i + 1:]:
+                assert a + asize <= b or b + bsize <= a
+
+    def test_alignment_honoured(self, manager):
+        manager.malloc(24)  # misalign the break
+        address = manager.malloc(64, align=64)
+        assert address % 64 == 0
+
+    def test_free_allows_reuse(self, manager):
+        a = manager.malloc(64, align=64)
+        manager.free(a)
+        b = manager.malloc(64, align=64)
+        assert b == a
+
+    def test_double_free_faults(self, manager):
+        a = manager.malloc(64)
+        manager.free(a)
+        with pytest.raises(TargetFault):
+            manager.free(a)
+
+    def test_free_unknown_faults(self, manager):
+        with pytest.raises(TargetFault):
+            manager.free(0x1234_5678)
+
+    def test_zero_size_faults(self, manager):
+        with pytest.raises(TargetFault):
+            manager.malloc(0)
+
+    def test_bad_alignment_faults(self, manager):
+        with pytest.raises(TargetFault):
+            manager.malloc(64, align=24)
+
+    def test_coalescing_reassembles_holes(self, manager):
+        blocks = [manager.malloc(64, align=64) for _ in range(4)]
+        for b in blocks:
+            manager.free(b)
+        # After coalescing, one big block fits where four small ones were.
+        big = manager.malloc(256, align=64)
+        assert big == blocks[0]
+
+    def test_accounting(self, manager):
+        a = manager.malloc(100)
+        assert manager.live_allocations == 1
+        assert manager.heap_bytes_in_use >= 100
+        manager.free(a)
+        assert manager.live_allocations == 0
+        assert manager.heap_bytes_in_use == 0
+
+
+class TestStacks:
+    def test_stack_top_in_own_range(self, manager):
+        for t in range(8):
+            top = manager.stack_top(TileId(t))
+            srange = manager.space.stack_range(TileId(t))
+            assert srange.base < top < srange.limit

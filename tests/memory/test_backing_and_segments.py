@@ -1,0 +1,89 @@
+"""Backing store behaviour and cross-segment simulations."""
+
+import pytest
+
+from repro.common.config import SimulationConfig
+from repro.memory.backing import BackingStore
+from repro.sim.simulator import Simulator
+from tests.conftest import MemoryRig, tiny_config
+
+
+class TestBackingStore:
+    def test_unwritten_lines_zero(self):
+        store = BackingStore(64)
+        assert store.read_line(0x1000) == bytearray(64)
+
+    def test_write_then_read(self):
+        store = BackingStore(64)
+        store.write_line(0x1000, b"\x42" * 64)
+        assert bytes(store.read_line(0x1000)) == b"\x42" * 64
+
+    def test_reads_are_copies(self):
+        store = BackingStore(64)
+        store.write_line(0, b"\x01" * 64)
+        copy = store.read_line(0)
+        copy[0] = 0xFF
+        assert store.read_line(0)[0] == 0x01
+
+    def test_wrong_size_writeback_rejected(self):
+        store = BackingStore(64)
+        with pytest.raises(ValueError):
+            store.write_line(0, b"\x00" * 32)
+
+    def test_resident_count(self):
+        store = BackingStore(64)
+        store.write_line(0, bytes(64))
+        store.write_line(64, bytes(64))
+        store.write_line(0, bytes(64))  # overwrite, not new
+        assert store.resident_lines == 2
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            BackingStore(48)
+
+
+class TestCrossSegmentPrograms:
+    def test_mmap_memory_is_cached_and_coherent(self):
+        def main(ctx):
+            region = yield from ctx.syscall("mmap", 8192)
+
+            def child(ctx, region):
+                value = yield from ctx.load_u64(region)
+                yield from ctx.store_u64(region + 8, value * 2)
+
+            yield from ctx.store_u64(region, 21)
+            thread = yield from ctx.spawn(child, region)
+            yield from ctx.join(thread)
+            result = yield from ctx.load_u64(region + 8)
+            yield from ctx.syscall("munmap", region, 8192)
+            return result
+
+        assert Simulator(tiny_config(2)).run(main).main_result == 42
+
+    def test_static_segment_access(self):
+        rig = MemoryRig(SimulationConfig(num_tiles=2))
+        static = rig.space.STATIC_BASE + 0x100
+        rig.store_int(0, static, 17)
+        value, _ = rig.load_int(1, static)
+        assert value == 17
+
+    def test_stack_segment_access(self):
+        rig = MemoryRig(SimulationConfig(num_tiles=2))
+        from repro.common.ids import TileId
+        from repro.memory.allocator import DynamicMemoryManager
+
+        allocator = DynamicMemoryManager(rig.space)
+        top = allocator.stack_top(TileId(1))
+        rig.store_int(1, top - 64, 99)
+        value, _ = rig.load_int(0, top - 64)
+        assert value == 99
+
+    def test_heap_and_mmap_lines_home_across_tiles(self):
+        """Homing interleaves across all tiles for every segment."""
+        rig = MemoryRig(SimulationConfig(num_tiles=4))
+        homes = set()
+        for segment_base in (rig.space.HEAP_BASE, rig.space.DYNAMIC_BASE,
+                             rig.space.STACK_BASE):
+            for i in range(8):
+                homes.add(int(rig.space.home_tile(segment_base + i * 64)))
+        assert homes == {0, 1, 2, 3}

@@ -1,0 +1,136 @@
+"""Set-associative cache with LRU replacement."""
+
+import pytest
+
+from repro.common.config import CacheConfig
+from repro.common.stats import StatGroup
+from repro.memory.cache import Cache, LineState
+
+
+def make_cache(size=1024, line=64, ways=2):
+    config = CacheConfig(size_bytes=size, line_bytes=line,
+                         associativity=ways)
+    return Cache("test", config, StatGroup("c"))
+
+
+def addresses_in_same_set(cache, count):
+    """Generate distinct line addresses that map to set 0."""
+    step = cache.num_sets * cache.line_bytes
+    return [i * step for i in range(count)]
+
+
+class TestLookupInsert:
+    def test_miss_then_hit(self):
+        cache = make_cache()
+        assert cache.lookup(0x0) is None
+        cache.insert(0x0, LineState.SHARED)
+        assert cache.lookup(0x0) is not None
+
+    def test_hit_statistics(self):
+        cache = make_cache()
+        cache.lookup(0x0)
+        cache.insert(0x0, LineState.SHARED)
+        cache.lookup(0x0)
+        assert cache.stats.counter("lookups").value == 2
+        assert cache.stats.counter("hits").value == 1
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_uncounted_probe(self):
+        cache = make_cache()
+        cache.lookup(0x0, count=False)
+        assert cache.stats.counter("lookups").value == 0
+
+    def test_insert_existing_updates_in_place(self):
+        cache = make_cache()
+        cache.insert(0x0, LineState.SHARED)
+        victim = cache.insert(0x0, LineState.MODIFIED)
+        assert victim is None
+        assert cache.peek(0x0).state is LineState.MODIFIED
+        assert cache.resident_lines == 1
+
+    def test_data_stored(self):
+        cache = make_cache()
+        cache.insert(0x0, LineState.SHARED, bytearray(b"x" * 64))
+        assert bytes(cache.peek(0x0).data) == b"x" * 64
+
+
+class TestLru:
+    def test_lru_victim_is_oldest(self):
+        cache = make_cache(ways=2)
+        a, b, c = addresses_in_same_set(cache, 3)
+        cache.insert(a, LineState.SHARED)
+        cache.insert(b, LineState.SHARED)
+        victim = cache.insert(c, LineState.SHARED)
+        assert victim.address == a
+
+    def test_touch_refreshes_lru(self):
+        cache = make_cache(ways=2)
+        a, b, c = addresses_in_same_set(cache, 3)
+        cache.insert(a, LineState.SHARED)
+        cache.insert(b, LineState.SHARED)
+        cache.lookup(a)  # refresh a; b becomes LRU
+        victim = cache.insert(c, LineState.SHARED)
+        assert victim.address == b
+
+    def test_peek_does_not_refresh(self):
+        cache = make_cache(ways=2)
+        a, b, c = addresses_in_same_set(cache, 3)
+        cache.insert(a, LineState.SHARED)
+        cache.insert(b, LineState.SHARED)
+        cache.peek(a)  # must NOT refresh
+        victim = cache.insert(c, LineState.SHARED)
+        assert victim.address == a
+
+    def test_set_isolation(self):
+        """Filling one set never evicts from another."""
+        cache = make_cache(ways=2)
+        other_set = cache.line_bytes  # maps to set 1
+        cache.insert(other_set, LineState.SHARED)
+        for address in addresses_in_same_set(cache, 5):
+            cache.insert(address, LineState.SHARED)
+        assert cache.peek(other_set) is not None
+
+    def test_capacity_bound(self):
+        cache = make_cache(size=1024, line=64, ways=2)  # 16 lines
+        for i in range(64):
+            cache.insert(i * 64, LineState.SHARED)
+        assert cache.resident_lines <= 16
+
+
+class TestRemove:
+    def test_remove_returns_line(self):
+        cache = make_cache()
+        cache.insert(0x0, LineState.MODIFIED)
+        line = cache.remove(0x0)
+        assert line.state is LineState.MODIFIED
+        assert cache.peek(0x0) is None
+
+    def test_remove_absent_returns_none(self):
+        assert make_cache().remove(0x0) is None
+
+    def test_invalidation_counter(self):
+        cache = make_cache()
+        cache.insert(0x0, LineState.SHARED)
+        cache.remove(0x0)
+        assert cache.stats.counter("invalidations").value == 1
+
+
+class TestDirtyness:
+    def test_modified_is_dirty(self):
+        cache = make_cache()
+        cache.insert(0x0, LineState.MODIFIED)
+        assert cache.peek(0x0).dirty
+
+    def test_shared_is_clean(self):
+        cache = make_cache()
+        cache.insert(0x0, LineState.SHARED)
+        assert not cache.peek(0x0).dirty
+
+
+class TestIteration:
+    def test_iterates_all_residents(self):
+        cache = make_cache()
+        for i in range(5):
+            cache.insert(i * 64, LineState.SHARED)
+        assert {line.address for line in cache} == \
+            {i * 64 for i in range(5)}

@@ -1,0 +1,70 @@
+"""DRAM controller: bandwidth partitioning and queueing."""
+
+import pytest
+
+from repro.common.config import DramConfig
+from repro.common.ids import TileId
+from repro.common.stats import StatGroup
+from repro.memory.dram import DramController
+from repro.sync.progress import ProgressEstimator
+
+
+def make(num_tiles=32, **overrides):
+    config = DramConfig(**overrides)
+    return DramController(TileId(0), config, num_tiles,
+                          clock_hz=1_000_000_000,
+                          progress=ProgressEstimator(num_tiles),
+                          stats=StatGroup("dram"))
+
+
+class TestBandwidthPartitioning:
+    """Total off-chip bandwidth is statically split (paper §4.4)."""
+
+    def test_per_controller_share(self):
+        total = DramConfig().total_bandwidth_bytes_per_s
+        dram = make(num_tiles=32)
+        assert dram.bytes_per_cycle == pytest.approx(total / 1e9 / 32)
+
+    def test_more_tiles_less_bandwidth_each(self):
+        few = make(num_tiles=16)
+        many = make(num_tiles=256)
+        assert many.bytes_per_cycle < few.bytes_per_cycle
+
+    def test_service_time_grows_with_tile_count(self):
+        """The Figure 9 mechanism: service time rises with tiles."""
+        few = make(num_tiles=16)
+        many = make(num_tiles=256)
+        assert many.service_cycles(64) > few.service_cycles(64)
+
+    def test_service_time_at_least_one_cycle(self):
+        dram = make(num_tiles=1)
+        assert dram.service_cycles(1) >= 1
+
+
+class TestLatency:
+    def test_read_includes_access_latency(self):
+        dram = make()
+        assert dram.read(1000, 64) >= DramConfig().access_latency
+
+    def test_queueing_under_load(self):
+        dram = make()
+        first = dram.read(1000, 64)
+        for _ in range(10):
+            dram.read(1000, 64)
+        assert dram.read(1000, 64) > first
+
+    def test_posted_writes_consume_bandwidth(self):
+        dram = make()
+        baseline = dram.read(1000, 64)
+        for _ in range(10):
+            dram.post_write(1000, 64)
+        assert dram.read(1000, 64) > baseline
+
+    def test_statistics(self):
+        stats = StatGroup("dram")
+        dram = DramController(TileId(0), DramConfig(), 32, 10**9,
+                              ProgressEstimator(8), stats)
+        dram.read(0, 64)
+        dram.post_write(0, 64)
+        assert stats.counter("reads").value == 1
+        assert stats.counter("writes").value == 1

@@ -1,0 +1,115 @@
+"""Miss classification: cold / capacity / true / false sharing."""
+
+import pytest
+
+from repro.common.ids import TileId
+from repro.common.stats import StatGroup
+from repro.memory.miss_classifier import MissClassifier, MissType
+
+
+@pytest.fixture
+def classifier():
+    return MissClassifier(num_tiles=4, line_bytes=64,
+                          stats=StatGroup("cls"))
+
+
+T0, T1, T2 = TileId(0), TileId(1), TileId(2)
+LINE = 0x1000
+
+
+class TestCold:
+    def test_first_access_is_cold(self, classifier):
+        assert classifier.classify(T0, LINE, 8) is MissType.COLD
+
+    def test_cold_per_tile(self, classifier):
+        classifier.classify(T0, LINE, 8)
+        classifier.note_fill(T0, LINE)
+        assert classifier.classify(T1, LINE, 8) is MissType.COLD
+
+    def test_distinct_lines_each_cold(self, classifier):
+        classifier.classify(T0, LINE, 8)
+        assert classifier.classify(T0, LINE + 64, 8) is MissType.COLD
+
+
+class TestCapacity:
+    def test_eviction_then_miss_is_capacity(self, classifier):
+        classifier.note_fill(T0, LINE)
+        classifier.note_eviction(T0, LINE)
+        assert classifier.classify(T0, LINE, 8) is MissType.CAPACITY
+
+    def test_refill_resets_removal(self, classifier):
+        classifier.note_fill(T0, LINE)
+        classifier.note_eviction(T0, LINE)
+        classifier.note_fill(T0, LINE)
+        classifier.note_eviction(T0, LINE)
+        assert classifier.classify(T0, LINE, 8) is MissType.CAPACITY
+
+
+class TestSharing:
+    def test_true_sharing(self, classifier):
+        """Remote write to the word we then read -> true sharing."""
+        classifier.note_fill(T0, LINE)
+        classifier.note_invalidation(T0, LINE, due_to_write=True)
+        classifier.note_store(T1, LINE + 8, 8)  # writes words 2-3
+        assert classifier.classify(T0, LINE + 8, 8) is \
+            MissType.TRUE_SHARING
+
+    def test_false_sharing(self, classifier):
+        """Remote write to a different word -> false sharing."""
+        classifier.note_fill(T0, LINE)
+        classifier.note_invalidation(T0, LINE, due_to_write=True)
+        classifier.note_store(T1, LINE + 32, 8)
+        assert classifier.classify(T0, LINE, 8) is \
+            MissType.FALSE_SHARING
+
+    def test_write_before_invalidation_not_counted(self, classifier):
+        classifier.note_store(T1, LINE, 8)  # old write
+        classifier.note_fill(T0, LINE)
+        classifier.note_invalidation(T0, LINE, due_to_write=True)
+        classifier.note_store(T1, LINE + 32, 8)  # the relevant write
+        assert classifier.classify(T0, LINE, 8) is \
+            MissType.FALSE_SHARING
+
+    def test_overlapping_multiword_access(self, classifier):
+        classifier.note_fill(T0, LINE)
+        classifier.note_invalidation(T0, LINE, due_to_write=True)
+        classifier.note_store(T1, LINE + 12, 4)
+        # A 16-byte read covering the written word is true sharing.
+        assert classifier.classify(T0, LINE, 16) is \
+            MissType.TRUE_SHARING
+
+    def test_pointer_eviction_is_coherence(self, classifier):
+        classifier.note_fill(T0, LINE)
+        classifier.note_invalidation(T0, LINE, due_to_write=False)
+        assert classifier.classify(T0, LINE, 8) is MissType.COHERENCE
+
+
+class TestCounts:
+    def test_counts_accumulate(self, classifier):
+        classifier.classify(T0, LINE, 8)
+        classifier.note_fill(T0, LINE)
+        classifier.note_eviction(T0, LINE)
+        classifier.classify(T0, LINE, 8)
+        counts = classifier.counts()
+        assert counts[MissType.COLD] == 1
+        assert counts[MissType.CAPACITY] == 1
+        assert classifier.total_misses == 2
+
+
+class TestLineGranularity:
+    def test_small_lines_cannot_false_share(self):
+        """With 8-byte lines a word *is* the line: sharing is true."""
+        classifier = MissClassifier(2, 8, StatGroup("c"))
+        classifier.note_fill(T0, LINE)
+        classifier.note_invalidation(T0, LINE, due_to_write=True)
+        classifier.note_store(T1, LINE, 8)
+        assert classifier.classify(T0, LINE, 8) is MissType.TRUE_SHARING
+
+    def test_large_lines_false_share_across_records(self):
+        classifier = MissClassifier(2, 256, StatGroup("c"))
+        base = 0x2000
+        classifier.note_fill(T0, base)
+        classifier.note_invalidation(T0, base, due_to_write=True)
+        classifier.note_store(T1, base + 128, 8)  # far word, same line
+        assert classifier.classify(T0, base, 8) is \
+            MissType.FALSE_SHARING

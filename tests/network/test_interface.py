@@ -1,0 +1,79 @@
+"""The network fabric: traffic-class multiplexing and timestamps."""
+
+import pytest
+
+from repro.common.config import HostConfig, NetworkConfig
+from repro.common.ids import TileId
+from repro.common.stats import StatGroup
+from repro.host.cluster import ClusterLayout
+from repro.network.interface import NetworkFabric
+from repro.transport.message import MessageKind
+from repro.transport.transport import Transport
+
+
+@pytest.fixture
+def fabric():
+    layout = ClusterLayout(16, HostConfig())
+    transport = Transport(layout)
+    return NetworkFabric(16, NetworkConfig(), transport, StatGroup("net"))
+
+
+class TestSend:
+    def test_arrival_time_is_timestamp_plus_latency(self, fabric):
+        message = fabric.send(TileId(0), TileId(15), MessageKind.USER,
+                              size_bytes=64, timestamp=1000)
+        assert message.arrival_time == 1000 + message.latency
+        assert message.latency > 0
+
+    def test_system_messages_have_zero_latency(self, fabric):
+        message = fabric.send(TileId(0), TileId(15), MessageKind.SYSTEM,
+                              size_bytes=64, timestamp=1000)
+        assert message.latency == 0
+
+    def test_message_lands_in_destination_queue(self, fabric):
+        fabric.send(TileId(0), TileId(3), MessageKind.USER, payload="hi")
+        got = fabric.transport.poll(TileId(3), MessageKind.USER)
+        assert got.payload == "hi"
+
+    def test_traffic_classes_use_own_models(self, fabric):
+        fabric.send(TileId(0), TileId(1), MessageKind.USER)
+        fabric.send(TileId(0), TileId(1), MessageKind.MEMORY)
+        user = fabric.stats.child("user_net").counter("packets")
+        memory = fabric.stats.child("memory_net").counter("packets")
+        assert user.value == 1
+        assert memory.value == 1
+
+
+class TestTransfer:
+    def test_transfer_returns_latency_without_enqueue(self, fabric):
+        latency = fabric.transfer(TileId(0), TileId(15),
+                                  MessageKind.MEMORY, 64, 0)
+        assert latency > 0
+        assert fabric.transport.total_pending() == 0
+
+    def test_transfer_counts_in_model_stats(self, fabric):
+        fabric.transfer(TileId(0), TileId(1), MessageKind.MEMORY, 64, 0)
+        assert fabric.stats.child("memory_net").counter(
+            "packets").value == 1
+
+
+class TestInterface:
+    def test_interface_send_and_poll(self, fabric):
+        a = fabric.interface(TileId(0))
+        b = fabric.interface(TileId(1))
+        a.send(TileId(1), payload="ping", timestamp=10)
+        got = b.poll(MessageKind.USER)
+        assert got.payload == "ping"
+        assert got.src == TileId(0)
+
+    def test_interface_poll_match_tag(self, fabric):
+        a = fabric.interface(TileId(0))
+        b = fabric.interface(TileId(1))
+        a.send(TileId(1), payload="x", tag=1)
+        a.send(TileId(1), payload="y", tag=2)
+        assert b.poll_match(MessageKind.USER, tag=2).payload == "y"
+
+    def test_pending_count(self, fabric):
+        a = fabric.interface(TileId(0))
+        a.send(TileId(1), payload="x")
+        assert fabric.interface(TileId(1)).pending(MessageKind.USER) == 1

@@ -1,0 +1,61 @@
+"""Deeper behaviour of the analytical contention mesh."""
+
+import pytest
+
+from repro.common.config import NetworkConfig
+from repro.common.ids import TileId
+from repro.common.stats import StatGroup
+from repro.network.model import create_network_model
+
+
+def make(tiles=16, **overrides):
+    config = NetworkConfig(**overrides)
+    return create_network_model("mesh_contention", tiles, config,
+                                StatGroup("n"))
+
+
+class TestContention:
+    def test_hot_link_saturates_only_its_route(self):
+        model = make()
+        # Saturate the 0 -> 1 link.
+        for _ in range(30):
+            model.route(TileId(0), TileId(1), 512, 1000)
+        hot = model.route(TileId(0), TileId(1), 512, 1000)
+        # A route using only distant links is unaffected.
+        cold = model.route(TileId(10), TileId(11), 512, 1000)
+        assert hot > 2 * cold
+
+    def test_narrow_links_contend_harder(self):
+        def total_latency(width):
+            model = make(link_bytes_per_cycle=width)
+            return sum(model.route(TileId(0), TileId(3), 512, 1000)
+                       for _ in range(10))
+
+        assert total_latency(2) > total_latency(16)
+
+    def test_queues_drain_over_simulated_time(self):
+        model = make()
+        for _ in range(20):
+            model.route(TileId(0), TileId(3), 512, 1000)
+        loaded = model.route(TileId(0), TileId(3), 512, 1000)
+        relaxed = model.route(TileId(0), TileId(3), 512, 500_000)
+        assert relaxed < loaded
+
+    def test_zero_distance_has_no_link_contention(self):
+        model = make()
+        first = model.route(TileId(5), TileId(5), 512, 1000)
+        for _ in range(20):
+            model.route(TileId(5), TileId(5), 512, 1000)
+        again = model.route(TileId(5), TileId(5), 512, 1000)
+        assert again == first  # no links traversed, nothing queues
+
+    def test_per_link_clocks_lazy(self):
+        model = make(tiles=64)
+        model.route(TileId(0), TileId(1), 64, 0)
+        # Only the links actually traversed were materialized.
+        assert len(model._links) <= 2
+
+    def test_shared_progress_window_scales_with_tiles(self):
+        small = make(tiles=4)
+        large = make(tiles=64)
+        assert large.progress.window_size > small.progress.window_size

@@ -1,0 +1,93 @@
+"""Mesh geometry and XY routing."""
+
+import pytest
+
+from repro.common.ids import TileId
+from repro.network.routing import MeshGeometry
+
+
+class TestGeometry:
+    def test_square_grid(self):
+        mesh = MeshGeometry(16)
+        assert (mesh.width, mesh.height) == (4, 4)
+
+    def test_non_square_counts(self):
+        mesh = MeshGeometry(10)
+        assert mesh.width * mesh.height >= 10
+
+    def test_single_tile(self):
+        mesh = MeshGeometry(1)
+        assert mesh.distance(TileId(0), TileId(0)) == 0
+
+    def test_coordinates_row_major(self):
+        mesh = MeshGeometry(16)
+        assert mesh.coordinates(TileId(0)) == (0, 0)
+        assert mesh.coordinates(TileId(5)) == (1, 1)
+
+    def test_out_of_range_tile(self):
+        with pytest.raises(ValueError):
+            MeshGeometry(4).coordinates(TileId(4))
+
+
+class TestDistance:
+    def test_manhattan(self):
+        mesh = MeshGeometry(16)
+        assert mesh.distance(TileId(0), TileId(15)) == 6  # (0,0)->(3,3)
+
+    def test_symmetric(self):
+        mesh = MeshGeometry(16)
+        for a in range(16):
+            for b in range(16):
+                assert mesh.distance(TileId(a), TileId(b)) == \
+                    mesh.distance(TileId(b), TileId(a))
+
+    def test_neighbors_distance_one(self):
+        mesh = MeshGeometry(16)
+        for t in range(16):
+            for n in mesh.neighbors(TileId(t)):
+                assert mesh.distance(TileId(t), n) == 1
+
+
+class TestRouting:
+    def test_route_length_equals_distance(self):
+        mesh = MeshGeometry(16)
+        for a in range(16):
+            for b in range(16):
+                assert len(mesh.route(TileId(a), TileId(b))) == \
+                    mesh.distance(TileId(a), TileId(b))
+
+    def test_route_to_self_empty(self):
+        assert MeshGeometry(16).route(TileId(5), TileId(5)) == []
+
+    def test_xy_routes_deterministic(self):
+        mesh = MeshGeometry(16)
+        assert mesh.route(TileId(0), TileId(15)) == \
+            mesh.route(TileId(0), TileId(15))
+
+    def test_link_ids_unique_along_route(self):
+        mesh = MeshGeometry(64)
+        route = mesh.route(TileId(0), TileId(63))
+        assert len(set(route)) == len(route)
+
+    def test_opposite_routes_use_different_links(self):
+        """Directed links: A->B and B->A never share a link id."""
+        mesh = MeshGeometry(16)
+        forward = set(mesh.route(TileId(0), TileId(15)))
+        backward = set(mesh.route(TileId(15), TileId(0)))
+        assert not forward & backward
+
+
+class TestNeighbors:
+    def test_corner_has_two(self):
+        mesh = MeshGeometry(16)
+        assert len(list(mesh.neighbors(TileId(0)))) == 2
+
+    def test_centre_has_four(self):
+        mesh = MeshGeometry(16)
+        assert len(list(mesh.neighbors(TileId(5)))) == 4
+
+    def test_neighbors_within_tile_count(self):
+        mesh = MeshGeometry(10)  # ragged last row
+        for t in range(10):
+            for n in mesh.neighbors(TileId(t)):
+                assert 0 <= int(n) < 10

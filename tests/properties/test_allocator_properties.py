@@ -1,0 +1,73 @@
+"""Property-based tests of the target heap allocator."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.address import AddressSpace
+from repro.memory.allocator import DynamicMemoryManager
+
+
+def manager():
+    return DynamicMemoryManager(AddressSpace(8, 64))
+
+
+sizes = st.integers(min_value=1, max_value=4096)
+aligns = st.sampled_from([8, 16, 32, 64, 128])
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(sizes, aligns), min_size=1, max_size=80))
+def test_live_blocks_never_overlap(requests):
+    mgr = manager()
+    live = []
+    for i, (size, align) in enumerate(requests):
+        address = mgr.malloc(size, align)
+        assert address % align == 0
+        for other, other_size in live:
+            assert address + size <= other or \
+                other + other_size <= address
+        live.append((address, size))
+        if i % 3 == 2:  # free every third allocation
+            victim = live.pop(0)
+            mgr.free(victim[0])
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(sizes, min_size=1, max_size=60))
+def test_free_all_returns_all_bytes(requested):
+    mgr = manager()
+    blocks = [mgr.malloc(size) for size in requested]
+    for block in blocks:
+        mgr.free(block)
+    assert mgr.heap_bytes_in_use == 0
+    assert mgr.live_allocations == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(sizes, min_size=1, max_size=60))
+def test_blocks_stay_in_heap_segment(requested):
+    mgr = manager()
+    space = mgr.space
+    for size in requested:
+        address = mgr.malloc(size)
+        assert space.HEAP_BASE <= address
+        assert address + size <= space.DYNAMIC_BASE
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(sizes, st.booleans()), min_size=2,
+                max_size=60))
+def test_alloc_free_alloc_reuse_is_consistent(script):
+    """Interleaved alloc/free: every address handed out twice must have
+    been freed in between."""
+    mgr = manager()
+    live = set()
+    ever = {}
+    for size, do_free in script:
+        if do_free and live:
+            address = live.pop()
+            mgr.free(address)
+        address = mgr.malloc(size)
+        assert address not in live
+        live.add(address)
+        ever[address] = ever.get(address, 0) + 1

@@ -1,0 +1,103 @@
+"""Property-based tests of the cache (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import CacheConfig
+from repro.common.stats import StatGroup
+from repro.memory.cache import Cache, LineState
+
+
+def make_cache(size=2048, line=64, ways=2):
+    return Cache("prop", CacheConfig(size_bytes=size, line_bytes=line,
+                                     associativity=ways),
+                 StatGroup("c"))
+
+
+line_addresses = st.integers(min_value=0, max_value=255).map(
+    lambda i: i * 64)
+operations = st.lists(
+    st.tuples(st.sampled_from(["insert", "lookup", "remove"]),
+              line_addresses),
+    min_size=1, max_size=300)
+
+
+@settings(max_examples=60, deadline=None)
+@given(operations)
+def test_capacity_never_exceeded(ops):
+    """Residency can never exceed sets * ways, whatever the workload."""
+    cache = make_cache()
+    capacity = cache.num_sets * cache.associativity
+    for op, address in ops:
+        if op == "insert":
+            cache.insert(address, LineState.SHARED)
+        elif op == "lookup":
+            cache.lookup(address)
+        else:
+            cache.remove(address)
+        assert cache.resident_lines <= capacity
+
+
+@settings(max_examples=60, deadline=None)
+@given(operations)
+def test_no_duplicate_lines(ops):
+    """The same line address is never resident twice."""
+    cache = make_cache()
+    for op, address in ops:
+        if op == "insert":
+            cache.insert(address, LineState.SHARED)
+        elif op == "remove":
+            cache.remove(address)
+        addresses = [line.address for line in cache]
+        assert len(addresses) == len(set(addresses))
+
+
+@settings(max_examples=60, deadline=None)
+@given(operations)
+def test_model_matches_reference_presence(ops):
+    """Cache presence agrees with an LRU reference model."""
+    cache = make_cache(size=512, line=64, ways=2)  # 4 sets
+    reference = {}  # set index -> list of addresses, LRU first
+
+    def set_of(address):
+        return (address // 64) % cache.num_sets
+
+    for op, address in ops:
+        index = set_of(address)
+        entries = reference.setdefault(index, [])
+        if op == "insert":
+            cache.insert(address, LineState.SHARED)
+            if address in entries:
+                entries.remove(address)
+            elif len(entries) >= 2:
+                entries.pop(0)
+            entries.append(address)
+        elif op == "lookup":
+            hit = cache.lookup(address) is not None
+            assert hit == (address in entries)
+            if address in entries:
+                entries.remove(address)
+                entries.append(address)
+        else:
+            cache.remove(address)
+            if address in entries:
+                entries.remove(address)
+
+    for index, entries in reference.items():
+        for address in entries:
+            assert cache.peek(address) is not None
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(line_addresses,
+                          st.binary(min_size=64, max_size=64)),
+                min_size=1, max_size=100))
+def test_data_integrity(writes):
+    """The last data inserted for a resident line is what we read."""
+    cache = make_cache(size=16 * 1024, line=64, ways=8)
+    latest = {}
+    for address, data in writes:
+        cache.insert(address, LineState.MODIFIED, bytearray(data))
+        latest[address] = data
+    for line in cache:
+        assert bytes(line.data) == latest[line.address]

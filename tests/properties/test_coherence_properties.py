@@ -1,0 +1,101 @@
+"""Property-based tests of the coherence protocol.
+
+The key invariant suite: after ANY sequence of loads and stores from
+any tiles, (a) every load observes the value of the most recent store
+to that location (sequential consistency of the functional memory),
+and (b) the directory/cache cross-invariants hold.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import SimulationConfig
+from repro.common.units import KB
+from tests.conftest import MemoryRig
+
+HEAP = 0x1000_0000
+
+tiles = st.integers(min_value=0, max_value=3)
+offsets = st.integers(min_value=0, max_value=63).map(lambda i: i * 8)
+values = st.integers(min_value=0, max_value=2**64 - 1)
+accesses = st.lists(
+    st.tuples(st.booleans(), tiles, offsets, values),
+    min_size=1, max_size=200)
+
+
+def build_rig(l2_size=None, directory="full_map", max_sharers=4):
+    config = SimulationConfig(num_tiles=4)
+    config.memory.directory_type = directory
+    config.memory.directory_max_sharers = max_sharers
+    if l2_size is not None:
+        config.memory.l1i.enabled = False
+        config.memory.l1d.enabled = False
+        config.memory.l2.size_bytes = l2_size
+        config.memory.l2.associativity = 2
+    return MemoryRig(config)
+
+
+@settings(max_examples=40, deadline=None)
+@given(accesses)
+def test_loads_see_latest_store(accesses):
+    rig = build_rig()
+    shadow = {}
+    for is_store, tile, offset, value in accesses:
+        address = HEAP + offset
+        if is_store:
+            rig.store_int(tile, address, value)
+            shadow[offset] = value
+        else:
+            got, _ = rig.load_int(tile, address)
+            assert got == shadow.get(offset, 0)
+    rig.engine.check_coherence_invariants()
+
+
+@settings(max_examples=25, deadline=None)
+@given(accesses)
+def test_invariants_with_tiny_l2(accesses):
+    """Evictions and writebacks interleave with coherence traffic."""
+    rig = build_rig(l2_size=2 * KB)
+    shadow = {}
+    for is_store, tile, offset, value in accesses:
+        address = HEAP + offset * 64  # spread across many lines
+        if is_store:
+            rig.store_int(tile, address, value)
+            shadow[offset] = value
+        else:
+            got, _ = rig.load_int(tile, address)
+            assert got == shadow.get(offset, 0)
+    rig.engine.check_coherence_invariants()
+
+
+@settings(max_examples=25, deadline=None)
+@given(accesses, st.sampled_from(["limited", "limitless"]))
+def test_invariants_under_alternate_directories(accesses, directory):
+    rig = build_rig(directory=directory, max_sharers=2)
+    shadow = {}
+    for is_store, tile, offset, value in accesses:
+        address = HEAP + offset
+        if is_store:
+            rig.store_int(tile, address, value)
+            shadow[offset] = value
+        else:
+            got, _ = rig.load_int(tile, address)
+            assert got == shadow.get(offset, 0)
+    rig.engine.check_coherence_invariants()
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(tiles, st.integers(0, 511), st.binary(
+    min_size=1, max_size=16)), min_size=1, max_size=120))
+def test_byte_level_consistency(writes):
+    """Unaligned, variable-size writes: memory behaves like one big
+    byte array regardless of which tile wrote what."""
+    rig = build_rig()
+    shadow = bytearray(1024)
+    for tile, offset, data in writes:
+        offset = min(offset, 1024 - len(data))
+        rig.store(tile, HEAP + offset, bytes(data))
+        shadow[offset:offset + len(data)] = data
+    got, _ = rig.load(0, HEAP, 1024)
+    assert got == bytes(shadow)
+    rig.engine.check_coherence_invariants()

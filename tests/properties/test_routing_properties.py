@@ -1,0 +1,61 @@
+"""Property-based tests: mesh routing and progress estimation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.ids import TileId
+from repro.network.routing import MeshGeometry
+from repro.sync.progress import ProgressEstimator
+
+
+mesh_sizes = st.integers(min_value=1, max_value=100)
+
+
+@settings(max_examples=60, deadline=None)
+@given(mesh_sizes, st.data())
+def test_route_length_is_manhattan_distance(n, data):
+    mesh = MeshGeometry(n)
+    a = TileId(data.draw(st.integers(0, n - 1)))
+    b = TileId(data.draw(st.integers(0, n - 1)))
+    assert len(mesh.route(a, b)) == mesh.distance(a, b)
+
+
+@settings(max_examples=60, deadline=None)
+@given(mesh_sizes, st.data())
+def test_triangle_inequality(n, data):
+    mesh = MeshGeometry(n)
+    a = TileId(data.draw(st.integers(0, n - 1)))
+    b = TileId(data.draw(st.integers(0, n - 1)))
+    c = TileId(data.draw(st.integers(0, n - 1)))
+    assert mesh.distance(a, c) <= mesh.distance(a, b) + \
+        mesh.distance(b, c)
+
+
+@settings(max_examples=60, deadline=None)
+@given(mesh_sizes)
+def test_grid_holds_all_tiles(n):
+    mesh = MeshGeometry(n)
+    assert mesh.width * mesh.height >= n
+    # Near-square: never more than one extra row's worth of slack.
+    assert mesh.width * (mesh.height - 1) < n or mesh.height == 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(0, 10**9), min_size=1, max_size=200),
+       st.integers(1, 64))
+def test_progress_estimate_bounded_by_window(samples, window):
+    estimator = ProgressEstimator(window)
+    for sample in samples:
+        estimator.observe(sample)
+    tail = samples[-window:]
+    assert min(tail) <= estimator.estimate() <= max(tail)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(0, 10**6), min_size=1, max_size=100))
+def test_progress_estimate_matches_mean(samples):
+    estimator = ProgressEstimator(len(samples))
+    for sample in samples:
+        estimator.observe(sample)
+    assert abs(estimator.estimate()
+               - sum(samples) / len(samples)) < 1e-6

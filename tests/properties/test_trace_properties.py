@@ -1,0 +1,64 @@
+"""Property-based tests of trace encode/decode."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.ids import ThreadId
+from repro.core.isa import InstructionClass
+from repro.frontend import ops
+from repro.frontend.trace import Trace, _decode_op, _encode_op
+
+
+def op_strategy():
+    addresses = st.integers(0x1000_0000, 0x1100_0000)
+    return st.one_of(
+        st.builds(ops.Compute, st.integers(1, 256),
+                  st.sampled_from(list(InstructionClass))),
+        st.builds(ops.Branch, st.booleans(),
+                  st.integers(0, 2**20)),
+        st.builds(ops.Load, addresses, st.integers(1, 64)),
+        st.builds(ops.Store, addresses, st.binary(min_size=1,
+                                                  max_size=64)),
+        st.builds(ops.Malloc, st.integers(1, 4096),
+                  st.sampled_from([8, 16, 64])),
+        st.builds(ops.Free, addresses),
+        st.builds(ops.Send, st.integers(0, 63).map(ThreadId),
+                  st.binary(min_size=0, max_size=32),
+                  st.one_of(st.none(), st.integers(0, 100))),
+        st.builds(ops.Recv,
+                  st.one_of(st.none(),
+                            st.integers(0, 63).map(ThreadId)),
+                  st.one_of(st.none(), st.integers(0, 100))),
+        st.builds(ops.Lock, addresses),
+        st.builds(ops.Unlock, addresses),
+        st.builds(ops.BarrierWait, addresses, st.integers(1, 64)),
+        st.builds(ops.Join, st.integers(0, 63).map(ThreadId)),
+        st.builds(ops.Syscall, st.sampled_from(["brk", "write", "read"]),
+                  st.tuples(st.one_of(st.integers(0, 100),
+                                      st.binary(max_size=16),
+                                      st.text(max_size=8)))),
+    )
+
+
+def canonical(op):
+    """Comparable form (dataclass equality ignores typed-int classes)."""
+    record = _encode_op(op, spawned_thread=0)
+    return record
+
+
+@settings(max_examples=150, deadline=None)
+@given(op_strategy())
+def test_encode_decode_round_trip(op):
+    record = _encode_op(op)
+    decoded = _decode_op(record, spawn_factory=lambda child: None)
+    assert _encode_op(decoded) == record
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(op_strategy(), min_size=0, max_size=50))
+def test_trace_json_round_trip(op_list):
+    trace = Trace()
+    trace.threads[0] = [_encode_op(op) for op in op_list]
+    restored = Trace.from_json(trace.to_json())
+    assert restored.threads == trace.threads
+    assert restored.total_ops == len(op_list)

@@ -1,0 +1,67 @@
+"""Round-trip serialization across every configuration extension."""
+
+import json
+
+import pytest
+
+from repro.common.config import SimulationConfig
+
+
+def full_config():
+    config = SimulationConfig(num_tiles=16, seed=7)
+    config.memory.protocol = "mesi"
+    config.memory.directory_type = "limitless"
+    config.memory.directory_max_sharers = 8
+    config.memory.forward_shared_reads = False
+    config.memory.classify_misses = True
+    config.memory.l2.line_bytes = 128
+    config.memory.l1i.line_bytes = 128
+    config.memory.l1d.line_bytes = 128
+    config.network.memory_model = "torus"
+    config.network.user_model = "ring"
+    config.sync.model = "lax_p2p"
+    config.sync.p2p_slack = 12_345
+    config.core.model = "out_of_order"
+    config.core.rob_entries = 128
+    config.host.num_machines = 4
+    config.host.num_processes = 8
+    config.tile_core_overrides = {3: {"dispatch_width": 4}}
+    config.validate()
+    return config
+
+
+class TestFullRoundTrip:
+    def test_to_dict_from_dict_identity(self):
+        original = full_config()
+        restored = SimulationConfig.from_dict(original.to_dict())
+        assert restored.to_dict() == original.to_dict()
+
+    def test_json_round_trip(self):
+        """The exact path the CLI's show-config output would take."""
+        original = full_config()
+        blob = json.dumps(original.to_dict())
+        restored = SimulationConfig.from_dict(json.loads(blob))
+        assert restored.memory.protocol == "mesi"
+        assert restored.network.user_model == "ring"
+        assert restored.core.rob_entries == 128
+        assert restored.core_config_for(3).dispatch_width == 4
+        assert restored.host.resolved_processes() == 8
+
+    def test_copy_preserves_extensions(self):
+        original = full_config()
+        clone = original.copy()
+        assert clone.memory.protocol == "mesi"
+        clone.memory.protocol = "msi"
+        assert original.memory.protocol == "mesi"
+
+    def test_restored_config_simulates(self):
+        from repro.sim.simulator import Simulator
+
+        def program(ctx):
+            base = yield from ctx.calloc(64)
+            yield from ctx.store_u64(base, 5)
+            return (yield from ctx.load_u64(base))
+
+        config = SimulationConfig.from_dict(full_config().to_dict())
+        config.host.quantum_instructions = 300
+        assert Simulator(config).run(program).main_result == 5

@@ -1,0 +1,74 @@
+"""Repeat-run statistics (the Table 3 protocol)."""
+
+import pytest
+
+from repro.sim.experiment import RunStatistics, repeat_runs, sweep
+from repro.sim.results import SimulationResult
+from tests.conftest import tiny_config
+
+
+def noisy_program(ctx):
+    base = yield from ctx.malloc(256)
+    for i in range(50):
+        yield from ctx.store_u64(base + (i % 8) * 8, i)
+        yield from ctx.compute(10)
+
+
+def fake_result(cycles):
+    return SimulationResult(
+        simulated_cycles=cycles, wall_clock_seconds=1.0,
+        native_seconds=0.1, thread_cycles={0: cycles},
+        thread_instructions={0: 100}, counters={})
+
+
+class TestRunStatistics:
+    def test_mean(self):
+        stats = RunStatistics([fake_result(c)
+                               for c in (100, 200, 300)])
+        assert stats.mean_cycles == pytest.approx(200.0)
+
+    def test_cov_zero_for_identical(self):
+        stats = RunStatistics([fake_result(100)] * 5)
+        assert stats.cov_percent == pytest.approx(0.0)
+
+    def test_cov_scale_invariant(self):
+        a = RunStatistics([fake_result(c) for c in (90, 100, 110)])
+        b = RunStatistics([fake_result(c) for c in (900, 1000, 1100)])
+        assert a.cov_percent == pytest.approx(b.cov_percent)
+
+    def test_error_percent(self):
+        stats = RunStatistics([fake_result(110)])
+        assert stats.error_percent(100.0) == pytest.approx(10.0)
+
+    def test_error_symmetric(self):
+        stats = RunStatistics([fake_result(90)])
+        assert stats.error_percent(100.0) == pytest.approx(10.0)
+
+
+class TestRepeatRuns:
+    def test_runs_vary_by_seed(self):
+        stats = repeat_runs(tiny_config(2), noisy_program, runs=3)
+        assert len(stats.results) == 3
+        walls = [r.wall_clock_seconds for r in stats.results]
+        assert len(set(walls)) > 1  # jitter differs per seed
+
+    def test_simulated_cycles_functionally_stable(self):
+        """All runs execute the same program; cycle counts may differ
+        slightly (interleaving) but instructions are identical."""
+        stats = repeat_runs(tiny_config(2), noisy_program, runs=3)
+        instr = {r.total_instructions for r in stats.results}
+        assert len(instr) == 1
+
+    def test_base_seed_reproducible(self):
+        a = repeat_runs(tiny_config(2), noisy_program, runs=2,
+                        base_seed=5)
+        b = repeat_runs(tiny_config(2), noisy_program, runs=2,
+                        base_seed=5)
+        assert a.simulated_cycles == b.simulated_cycles
+
+
+class TestSweep:
+    def test_sweep_runs_each_config(self):
+        configs = [tiny_config(2), tiny_config(4)]
+        results = sweep(configs, noisy_program)
+        assert len(results) == 2

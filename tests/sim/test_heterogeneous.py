@@ -1,0 +1,102 @@
+"""Heterogeneous tiles (per-tile core-model overrides)."""
+
+import pytest
+
+from repro.common.config import SimulationConfig
+from repro.common.errors import ConfigError
+from repro.sim.simulator import Simulator
+from tests.conftest import tiny_config
+
+
+class TestConfig:
+    def test_override_merges_fields(self):
+        config = SimulationConfig(num_tiles=4)
+        config.tile_core_overrides = {1: {"dispatch_width": 4,
+                                          "model": "out_of_order"}}
+        config.validate()
+        assert config.core_config_for(1).dispatch_width == 4
+        assert config.core_config_for(1).model == "out_of_order"
+        assert config.core_config_for(0).model == "in_order"
+
+    def test_base_config_untouched(self):
+        config = SimulationConfig(num_tiles=4)
+        config.tile_core_overrides = {1: {"dispatch_width": 4}}
+        config.core_config_for(1)
+        assert config.core.dispatch_width == 2
+
+    def test_override_for_missing_tile_rejected(self):
+        config = SimulationConfig(num_tiles=4)
+        config.tile_core_overrides = {7: {"dispatch_width": 4}}
+        with pytest.raises(ConfigError):
+            config.validate()
+
+    def test_unknown_field_rejected(self):
+        config = SimulationConfig(num_tiles=4)
+        config.tile_core_overrides = {0: {"turbo": True}}
+        with pytest.raises(ConfigError):
+            config.validate()
+
+    def test_invalid_override_value_rejected(self):
+        config = SimulationConfig(num_tiles=4)
+        config.tile_core_overrides = {0: {"model": "quantum"}}
+        with pytest.raises(ConfigError):
+            config.validate()
+
+    def test_from_dict_normalizes_keys(self):
+        config = SimulationConfig.from_dict({
+            "num_tiles": 4,
+            "tile_core_overrides": {"2": {"dispatch_width": 8}},
+        })
+        assert config.core_config_for(2).dispatch_width == 8
+
+    def test_round_trip(self):
+        config = SimulationConfig(num_tiles=4)
+        config.tile_core_overrides = {3: {"rob_entries": 128}}
+        restored = SimulationConfig.from_dict(config.to_dict())
+        assert restored.core_config_for(3).rob_entries == 128
+
+
+class TestSimulation:
+    def test_big_little_timing(self):
+        """A faster tile finishes the same per-thread work earlier."""
+        def worker(ctx, index, base):
+            for i in range(64):
+                yield from ctx.load_u64(base + (index * 64 + i % 8) * 8)
+                yield from ctx.compute(100)
+
+        def main(ctx):
+            base = yield from ctx.calloc(4096, align=64)
+            threads = yield from ctx.spawn_workers(worker, 3, base)
+            yield from worker(ctx, 3, base)
+            yield from ctx.join_all(threads)
+
+        config = tiny_config(4)
+        # Tile 2: an out-of-order "big" core.
+        config.tile_core_overrides = {
+            2: {"model": "out_of_order", "dispatch_width": 4}}
+        config.validate()
+        simulator = Simulator(config)
+        result = simulator.run(main)
+        # The big core's own progress (start -> final, before join
+        # forwarding) is faster than a little core's.
+        big = result.thread_cycles[2] - result.thread_start_cycles[2]
+        little = result.thread_cycles[1] - result.thread_start_cycles[1]
+        assert big < little
+
+    def test_functional_result_unchanged(self):
+        def main(ctx):
+            base = yield from ctx.calloc(64)
+            yield from ctx.store_u64(base, 41)
+
+            def child(ctx, base):
+                value = yield from ctx.load_u64(base)
+                yield from ctx.store_u64(base, value + 1)
+
+            thread = yield from ctx.spawn(child, base)
+            yield from ctx.join(thread)
+            return (yield from ctx.load_u64(base))
+
+        config = tiny_config(2)
+        config.tile_core_overrides = {1: {"model": "out_of_order"}}
+        config.validate()
+        assert Simulator(config).run(main).main_result == 42

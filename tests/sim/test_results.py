@@ -1,0 +1,82 @@
+"""SimulationResult derived metrics."""
+
+import pytest
+
+from repro.sim.results import SimulationResult
+
+
+def result(**overrides):
+    base = dict(
+        simulated_cycles=1000,
+        wall_clock_seconds=2.0,
+        native_seconds=0.01,
+        thread_cycles={0: 1000, 1: 900},
+        thread_instructions={0: 500, 1: 400},
+        counters={},
+    )
+    base.update(overrides)
+    return SimulationResult(**base)
+
+
+class TestDerived:
+    def test_total_instructions(self):
+        assert result().total_instructions == 900
+
+    def test_slowdown(self):
+        assert result().slowdown == pytest.approx(200.0)
+
+    def test_slowdown_zero_native(self):
+        assert result(native_seconds=0.0).slowdown == float("inf")
+
+    def test_counter_suffix_sum(self):
+        r = result(counters={"sim.mc0.loads": 5, "sim.mc1.loads": 7,
+                             "sim.mc0.stores": 3})
+        assert r.counter(".loads") == 12
+        assert r.counter(".stores") == 3
+        assert r.counter(".misses") == 0
+
+    def test_cache_miss_rate(self):
+        r = result(counters={
+            "sim.memory.tile0.l2.lookups": 100,
+            "sim.memory.tile0.l2.hits": 80,
+            "sim.memory.tile1.l2.lookups": 100,
+            "sim.memory.tile1.l2.hits": 60,
+        })
+        assert r.cache_miss_rate("l2") == pytest.approx(0.3)
+
+    def test_cache_miss_rate_no_lookups(self):
+        assert result().cache_miss_rate("l2") == 0.0
+
+
+class TestParallelCycles:
+    def test_single_thread_is_whole_run(self):
+        r = result(thread_start_cycles={0: 0},
+                   thread_cycles={0: 1000})
+        assert r.parallel_cycles == 1000
+
+    def test_excludes_serial_prefix(self):
+        r = result(simulated_cycles=10_000,
+                   thread_start_cycles={0: 0, 1: 4000, 2: 4100})
+        assert r.parallel_cycles == 6000
+
+    def test_never_below_one(self):
+        r = result(simulated_cycles=100,
+                   thread_start_cycles={0: 0, 1: 100})
+        assert r.parallel_cycles == 1
+
+    def test_roi_tracked_by_simulator(self):
+        """End-to-end: start clocks recorded and ROI < total."""
+        from repro.sim.simulator import Simulator
+        from tests.conftest import tiny_config
+
+        def child(ctx):
+            yield from ctx.compute(500)
+
+        def main(ctx):
+            yield from ctx.compute(20_000)  # serial prefix
+            thread = yield from ctx.spawn(child)
+            yield from ctx.join(thread)
+
+        res = Simulator(tiny_config(2)).run(main)
+        assert res.thread_start_cycles[1] >= 20_000
+        assert res.parallel_cycles < res.simulated_cycles

@@ -1,0 +1,142 @@
+"""The Simulator facade: wiring, determinism, results."""
+
+import pytest
+
+from repro.common.config import SimulationConfig
+from repro.sim.simulator import Simulator
+from tests.conftest import tiny_config
+
+
+def busy_program(ctx):
+    address = yield from ctx.malloc(1024)
+    for i in range(100):
+        yield from ctx.store_u64(address + (i % 16) * 8, i)
+        yield from ctx.compute(20)
+    total = 0
+    for i in range(16):
+        total += yield from ctx.load_u64(address + i * 8)
+    return total
+
+
+class TestDeterminism:
+    def test_same_seed_same_cycles(self):
+        a = Simulator(tiny_config(4)).run(busy_program)
+        b = Simulator(tiny_config(4)).run(busy_program)
+        assert a.simulated_cycles == b.simulated_cycles
+        assert a.wall_clock_seconds == b.wall_clock_seconds
+
+    def test_different_seed_different_wall_clock(self):
+        cfg_a = tiny_config(4)
+        cfg_b = tiny_config(4)
+        cfg_b.seed = cfg_a.seed + 1
+        a = Simulator(cfg_a).run(busy_program)
+        b = Simulator(cfg_b).run(busy_program)
+        assert a.wall_clock_seconds != b.wall_clock_seconds
+
+    def test_functional_result_seed_independent(self):
+        cfg_a = tiny_config(4)
+        cfg_b = tiny_config(4)
+        cfg_b.seed = 999
+        a = Simulator(cfg_a).run(busy_program)
+        b = Simulator(cfg_b).run(busy_program)
+        assert a.main_result == b.main_result
+
+
+class TestResults:
+    def test_wall_clock_includes_startup(self):
+        cfg = tiny_config(4)
+        result = Simulator(cfg).run(busy_program)
+        assert result.wall_clock_seconds >= \
+            cfg.host.process_startup_cost
+
+    def test_native_model_positive(self):
+        result = Simulator(tiny_config(4)).run(busy_program)
+        assert result.native_seconds > 0
+        assert result.slowdown > 1.0
+
+    def test_thread_bookkeeping(self):
+        def child(ctx):
+            yield from ctx.compute(10)
+
+        def main(ctx):
+            thread = yield from ctx.spawn(child)
+            yield from ctx.join(thread)
+            yield from ctx.compute(5)
+
+        result = Simulator(tiny_config(4)).run(main)
+        assert set(result.thread_cycles) == {0, 1}
+        assert result.total_instructions >= 15
+
+    def test_counters_snapshot(self):
+        result = Simulator(tiny_config(4)).run(busy_program)
+        assert result.counter("transport.messages_sent") > 0
+        assert result.cache_miss_rate("l2") > 0
+
+    def test_miss_breakdown_when_enabled(self):
+        cfg = tiny_config(4)
+        cfg.memory.classify_misses = True
+        result = Simulator(cfg).run(busy_program)
+        assert sum(result.miss_breakdown.values()) > 0
+        assert "cold" in result.miss_breakdown
+
+
+class TestSkewTracing:
+    def test_trace_collected_when_enabled(self):
+        def worker(ctx, index):
+            yield from ctx.compute(200_000)
+
+        def main(ctx):
+            threads = yield from ctx.spawn_workers(worker, 2)
+            yield from worker(ctx, 0)
+            yield from ctx.join_all(threads)
+
+        cfg = tiny_config(4)
+        cfg.trace_clock_skew = True
+        cfg.skew_sample_period = 4
+        result = Simulator(cfg).run(main)
+        assert len(result.skew_trace) > 5
+        for _, hi, lo in result.skew_trace:
+            assert hi >= lo
+
+    def test_trace_absent_by_default(self):
+        result = Simulator(tiny_config(4)).run(busy_program)
+        assert result.skew_trace == []
+
+
+class TestHostScaling:
+    def test_more_cores_faster_wall_clock(self):
+        def worker(ctx, index, base):
+            for i in range(60):
+                yield from ctx.store_u64(base + (index * 64 + i % 8) * 8,
+                                         i)
+                yield from ctx.compute(50)
+
+        def main(ctx):
+            base = yield from ctx.malloc(8 * 64 * 8, align=64)
+            threads = yield from ctx.spawn_workers(worker, 7, base)
+            yield from worker(ctx, 7, base)
+            yield from ctx.join_all(threads)
+
+        slow_cfg = tiny_config(8, cores_per_machine=1)
+        fast_cfg = tiny_config(8, cores_per_machine=8)
+        slow = Simulator(slow_cfg).run(main)
+        fast = Simulator(fast_cfg).run(main)
+        assert fast.wall_clock_seconds < slow.wall_clock_seconds
+
+    def test_cross_machine_communication_costs_more(self):
+        def worker(ctx, index, peer_cell):
+            for i in range(40):
+                yield from ctx.store_u64(peer_cell, i)
+
+        def main(ctx):
+            cell = yield from ctx.malloc(8)
+            threads = yield from ctx.spawn_workers(worker, 3, cell)
+            yield from worker(ctx, 0, cell)
+            yield from ctx.join_all(threads)
+
+        one_cfg = tiny_config(4, num_machines=1)
+        two_cfg = tiny_config(4, num_machines=2)
+        one = Simulator(one_cfg).run(main)
+        two = Simulator(two_cfg).run(main)
+        # Heavy fine-grained sharing across machines is slower.
+        assert two.wall_clock_seconds > one.wall_clock_seconds

@@ -1,0 +1,95 @@
+"""LaxBarrier model edge cases around blocked threads and stalls."""
+
+import pytest
+
+from repro.common.errors import DeadlockError
+from repro.sim.simulator import Simulator
+from tests.conftest import tiny_config
+
+
+def barrier_config(tiles=4, interval=500):
+    config = tiny_config(tiles)
+    config.sync.model = "lax_barrier"
+    config.sync.barrier_interval = interval
+    return config
+
+
+class TestBlockedThreadsAndEpochs:
+    def test_lock_holder_parked_at_barrier_does_not_deadlock(self):
+        """A waiter blocked on a lock is exempt from the sync barrier;
+        the holder parks at the epoch boundary and must be released so
+        it can eventually unlock."""
+        def holder(ctx, lock):
+            yield from ctx.lock(lock)
+            yield from ctx.compute(5_000)  # spans many 500-cycle epochs
+            yield from ctx.unlock(lock)
+
+        def waiter(ctx, lock, flag):
+            yield from ctx.lock(lock)
+            yield from ctx.store_u64(flag, 1)
+            yield from ctx.unlock(lock)
+
+        def main(ctx):
+            lock = yield from ctx.calloc(8, align=64)
+            flag = yield from ctx.calloc(8, align=64)
+            h = yield from ctx.spawn(holder, lock)
+            yield from ctx.compute(1_000)
+            w = yield from ctx.spawn(waiter, lock, flag)
+            yield from ctx.join(h)
+            yield from ctx.join(w)
+            return (yield from ctx.load_u64(flag))
+
+        result = Simulator(barrier_config()).run(main)
+        assert result.main_result == 1
+
+    def test_app_barrier_under_sync_barrier(self):
+        """Application barriers interleaved with epoch barriers."""
+        def worker(ctx, index, app_barrier, out):
+            for round_ in range(3):
+                yield from ctx.compute(700 * (index + 1))  # skewed work
+                yield from ctx.barrier(app_barrier + 64 * round_, 3)
+            yield from ctx.store_u64(out + index * 8, 1)
+
+        def main(ctx):
+            app_barrier = yield from ctx.calloc(256, align=64)
+            out = yield from ctx.calloc(24, align=64)
+            threads = yield from ctx.spawn_workers(worker, 2,
+                                                   app_barrier, out)
+            yield from worker(ctx, 2, app_barrier, out)
+            yield from ctx.join_all(threads)
+            total = 0
+            for i in range(3):
+                total += yield from ctx.load_u64(out + i * 8)
+            return total
+
+        result = Simulator(barrier_config()).run(main)
+        assert result.main_result == 3
+
+    def test_epochs_advance_with_single_thread(self):
+        """A lone thread must not livelock at epoch boundaries."""
+        def main(ctx):
+            yield from ctx.compute(10_000)
+            return True
+
+        config = barrier_config(tiles=2, interval=200)
+        result = Simulator(config).run(main)
+        assert result.main_result is True
+        assert result.counter(".barriers_released") >= 10
+
+    def test_interval_bounds_final_clock_spread(self):
+        """At completion, active threads ended within ~an epoch or two
+        of each other (the lock-step property)."""
+        def worker(ctx, index):
+            yield from ctx.compute(20_000 + index * 5_000)
+
+        def main(ctx):
+            threads = yield from ctx.spawn_workers(worker, 3)
+            yield from worker(ctx, 3)
+            yield from ctx.join_all(threads)
+
+        config = barrier_config(interval=1_000)
+        simulator = Simulator(config)
+        simulator.run(main)
+        # The sync model released many epochs.
+        sync = simulator.sync_model
+        assert sync.stats.counter("barriers_released").value > 10

@@ -1,0 +1,86 @@
+"""Global-progress estimation and the lax queue model."""
+
+import pytest
+
+from repro.common.stats import StatGroup
+from repro.sync.progress import ProgressEstimator
+from repro.sync.queue_model import LaxQueueModel
+
+
+class TestProgressEstimator:
+    def test_empty_estimate_zero(self):
+        assert ProgressEstimator(8).estimate() == 0.0
+
+    def test_average_of_window(self):
+        p = ProgressEstimator(4)
+        for t in (100, 200, 300, 400):
+            p.observe(t)
+        assert p.estimate() == pytest.approx(250.0)
+
+    def test_window_slides(self):
+        p = ProgressEstimator(2)
+        p.observe(0)
+        p.observe(100)
+        p.observe(200)  # pushes out the 0
+        assert p.estimate() == pytest.approx(150.0)
+
+    def test_outliers_suppressed_by_large_window(self):
+        p = ProgressEstimator(100)
+        for _ in range(99):
+            p.observe(1000)
+        p.observe(1_000_000)  # one runaway tile
+        assert p.estimate() < 12_000
+
+    def test_window_size_validation(self):
+        with pytest.raises(ValueError):
+            ProgressEstimator(0)
+
+    def test_samples_tracked(self):
+        p = ProgressEstimator(4)
+        p.observe(1)
+        p.observe(2)
+        assert p.samples == 2
+
+
+class TestLaxQueueModel:
+    def make(self, window=8):
+        progress = ProgressEstimator(window)
+        return LaxQueueModel(progress, StatGroup("q")), progress
+
+    def test_uncontended_access_costs_service_time(self):
+        queue, _ = self.make()
+        assert queue.access(arrival_time=1000, processing_time=10) == 10
+
+    def test_back_to_back_accesses_queue_up(self):
+        queue, _ = self.make()
+        total = [queue.access(1000, 10) for _ in range(5)]
+        assert total[0] == 10
+        assert total[-1] > total[0]  # later packets wait behind earlier
+
+    def test_aggregate_delay_correct(self):
+        """N simultaneous packets: total delay == 0+s+2s+...+(N-1)s."""
+        queue, _ = self.make(window=1000)
+        service = 10
+        n = 8
+        total = sum(queue.access(5000, service) for _ in range(n))
+        expected = n * service + service * (n - 1) * n // 2
+        assert total == pytest.approx(expected, rel=0.05)
+
+    def test_idle_queue_drains(self):
+        queue, _ = self.make()
+        queue.access(1000, 100)
+        # Much later in simulated time, the queue is empty again.
+        assert queue.access(10_000, 100) == 100
+
+    def test_queue_clock_advances(self):
+        queue, _ = self.make()
+        queue.access(1000, 50)
+        assert queue.queue_clock >= 1050
+
+    def test_delay_statistics(self):
+        stats = StatGroup("q")
+        queue = LaxQueueModel(ProgressEstimator(8), stats)
+        for _ in range(5):
+            queue.access(1000, 10)
+        assert stats.counter("queue_requests").value == 5
+        assert stats.counter("queue_delay_cycles").value > 0

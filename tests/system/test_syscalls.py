@@ -1,0 +1,115 @@
+"""System-call interface: the in-memory filesystem and memory calls."""
+
+import pytest
+
+from repro.common.errors import TargetFault
+from repro.common.stats import StatGroup
+from repro.memory.address import AddressSpace
+from repro.memory.allocator import DynamicMemoryManager
+from repro.system.syscalls import O_APPEND, O_CREAT, O_TRUNC, SyscallInterface
+
+
+@pytest.fixture
+def syscalls():
+    allocator = DynamicMemoryManager(AddressSpace(4, 64))
+    return SyscallInterface(allocator, StatGroup("sys"))
+
+
+class TestFileIO:
+    def test_write_then_read_through_shared_fd(self, syscalls):
+        """The paper's motivating case: one thread writes, another
+        reads via the same descriptor — consistent because the MCP owns
+        the descriptor table."""
+        fd = syscalls.sys_open("/tmp/data", O_CREAT)
+        syscalls.sys_write(fd, b"hello world")
+        syscalls.sys_lseek(fd, 0)
+        assert syscalls.sys_read(fd, 5) == b"hello"
+        assert syscalls.sys_read(fd, 100) == b" world"
+
+    def test_open_missing_without_creat_faults(self, syscalls):
+        with pytest.raises(TargetFault):
+            syscalls.sys_open("/no/such/file")
+
+    def test_two_descriptors_same_file(self, syscalls):
+        a = syscalls.sys_open("/f", O_CREAT)
+        syscalls.sys_write(a, b"abc")
+        b = syscalls.sys_open("/f")
+        assert syscalls.sys_read(b, 3) == b"abc"
+
+    def test_truncate(self, syscalls):
+        fd = syscalls.sys_open("/f", O_CREAT)
+        syscalls.sys_write(fd, b"abcdef")
+        syscalls.sys_close(fd)
+        fd = syscalls.sys_open("/f", O_TRUNC)
+        assert syscalls.sys_fstat(fd)["st_size"] == 0
+
+    def test_append(self, syscalls):
+        fd = syscalls.sys_open("/f", O_CREAT)
+        syscalls.sys_write(fd, b"abc")
+        syscalls.sys_close(fd)
+        fd = syscalls.sys_open("/f", O_APPEND)
+        syscalls.sys_write(fd, b"def")
+        syscalls.sys_lseek(fd, 0)
+        assert syscalls.sys_read(fd, 6) == b"abcdef"
+
+    def test_sparse_write_zero_fills(self, syscalls):
+        fd = syscalls.sys_open("/f", O_CREAT)
+        syscalls.sys_lseek(fd, 4)
+        syscalls.sys_write(fd, b"x")
+        syscalls.sys_lseek(fd, 0)
+        assert syscalls.sys_read(fd, 5) == b"\0\0\0\0x"
+
+    def test_fstat_size(self, syscalls):
+        fd = syscalls.sys_open("/f", O_CREAT)
+        syscalls.sys_write(fd, b"12345")
+        assert syscalls.sys_fstat(fd)["st_size"] == 5
+
+    def test_close_invalidates_fd(self, syscalls):
+        fd = syscalls.sys_open("/f", O_CREAT)
+        syscalls.sys_close(fd)
+        with pytest.raises(TargetFault):
+            syscalls.sys_read(fd, 1)
+
+    def test_unlink(self, syscalls):
+        fd = syscalls.sys_open("/f", O_CREAT)
+        syscalls.sys_close(fd)
+        syscalls.sys_unlink("/f")
+        with pytest.raises(TargetFault):
+            syscalls.sys_open("/f")
+
+    def test_stdout_write_succeeds(self, syscalls):
+        assert syscalls.sys_write(1, b"log line") == 8
+
+    def test_lseek_whences(self, syscalls):
+        fd = syscalls.sys_open("/f", O_CREAT)
+        syscalls.sys_write(fd, b"0123456789")
+        assert syscalls.sys_lseek(fd, 2, 0) == 2
+        assert syscalls.sys_lseek(fd, 3, 1) == 5
+        assert syscalls.sys_lseek(fd, -1, 2) == 9
+        with pytest.raises(TargetFault):
+            syscalls.sys_lseek(fd, -100, 0)
+
+
+class TestMemoryCalls:
+    def test_brk_delegates(self, syscalls):
+        current = syscalls.sys_brk(0)
+        assert syscalls.sys_brk(current + 4096) == current + 4096
+
+    def test_mmap_munmap(self, syscalls):
+        base = syscalls.sys_mmap(8192)
+        syscalls.sys_munmap(base, 8192)
+
+
+class TestDispatch:
+    def test_execute_by_name(self, syscalls):
+        fd = syscalls.execute("open", ("/f", O_CREAT))
+        assert syscalls.execute("write", (fd, b"x")) == 1
+
+    def test_unknown_syscall_faults(self, syscalls):
+        with pytest.raises(TargetFault):
+            syscalls.execute("fork", ())
+
+    def test_call_counting(self, syscalls):
+        syscalls.sys_open("/f", O_CREAT)
+        syscalls.sys_brk(0)
+        assert syscalls._calls.value == 2

@@ -1,0 +1,79 @@
+"""Thread manager: spawn allocation, exit, join."""
+
+import pytest
+
+from repro.common.errors import TargetFault
+from repro.common.ids import TileId
+from repro.common.stats import StatGroup
+from repro.system.threading_api import ThreadManager
+
+
+@pytest.fixture
+def wakes():
+    return []
+
+
+@pytest.fixture
+def manager(wakes):
+    return ThreadManager(4, lambda t, ts: wakes.append((int(t), ts)),
+                         StatGroup("threads"))
+
+
+class TestAllocation:
+    def test_allocates_lowest_free_tile(self, manager):
+        assert manager.allocate_tile() == TileId(0)
+        manager.register_spawn(TileId(0))
+        assert manager.allocate_tile() == TileId(1)
+
+    def test_thread_limit_enforced(self, manager):
+        """Threads may not exceed the number of tiles (paper §3.5)."""
+        for t in range(4):
+            manager.register_spawn(TileId(manager.allocate_tile()))
+        with pytest.raises(TargetFault):
+            manager.allocate_tile()
+
+    def test_finished_tile_reusable(self, manager):
+        for t in range(4):
+            manager.register_spawn(TileId(manager.allocate_tile()))
+        manager.on_thread_exit(TileId(2), final_clock=100)
+        assert manager.allocate_tile() == TileId(2)
+
+    def test_live_count(self, manager):
+        manager.register_spawn(TileId(0))
+        manager.register_spawn(TileId(1))
+        manager.on_thread_exit(TileId(0), 10)
+        assert manager.live_count() == 1
+
+
+class TestJoin:
+    def test_join_finished_returns_clock(self, manager):
+        manager.register_spawn(TileId(1))
+        manager.on_thread_exit(TileId(1), final_clock=777)
+        assert manager.try_join(TileId(0), TileId(1)) == 777
+
+    def test_join_running_blocks_then_wakes(self, manager, wakes):
+        manager.register_spawn(TileId(1))
+        assert manager.try_join(TileId(0), TileId(1)) is None
+        manager.on_thread_exit(TileId(1), final_clock=555)
+        assert wakes == [(0, 555)]
+
+    def test_multiple_joiners_all_woken(self, manager, wakes):
+        manager.register_spawn(TileId(3))
+        manager.try_join(TileId(0), TileId(3))
+        manager.try_join(TileId(1), TileId(3))
+        manager.on_thread_exit(TileId(3), final_clock=9)
+        assert sorted(wakes) == [(0, 9), (1, 9)]
+
+    def test_join_never_spawned_faults(self, manager):
+        with pytest.raises(TargetFault):
+            manager.try_join(TileId(0), TileId(2))
+
+    def test_self_join_faults(self, manager):
+        with pytest.raises(TargetFault):
+            manager.try_join(TileId(1), TileId(1))
+
+    def test_final_clock_query(self, manager):
+        manager.register_spawn(TileId(1))
+        assert manager.final_clock(TileId(1)) is None
+        manager.on_thread_exit(TileId(1), 42)
+        assert manager.final_clock(TileId(1)) == 42

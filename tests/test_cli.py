@@ -1,0 +1,83 @@
+"""The command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.workloads import WORKLOADS
+
+
+class TestListWorkloads:
+    def test_lists_all(self, capsys):
+        assert main(["list-workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in WORKLOADS:
+            assert name in out
+
+
+class TestShowConfig:
+    def test_emits_valid_json_defaults(self, capsys):
+        assert main(["show-config"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["num_tiles"] == 32
+        assert data["memory"]["l2"]["size_bytes"] == 3 * 1024 * 1024
+
+
+class TestRun:
+    def test_text_output(self, capsys):
+        code = main(["run", "--workload", "fmm", "--tiles", "4",
+                     "--scale", "0.2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "simulated run-time" in out
+        assert "slowdown" in out
+
+    def test_json_output(self, capsys):
+        code = main(["run", "--workload", "cholesky", "--tiles", "4",
+                     "--scale", "0.2", "--json"])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["workload"] == "cholesky"
+        assert data["simulated_cycles"] > 0
+        assert data["instructions"] > 0
+
+    def test_threads_defaults_to_tiles(self, capsys):
+        main(["run", "--workload", "fmm", "--tiles", "4",
+              "--scale", "0.2", "--json"])
+        data = json.loads(capsys.readouterr().out)
+        assert data["threads"] == 4
+
+    def test_directory_and_sync_options(self, capsys):
+        code = main(["run", "--workload", "blackscholes", "--tiles",
+                     "4", "--scale", "0.2", "--directory", "limitless",
+                     "--sync", "lax_p2p", "--json"])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["sync"] == "lax_p2p"
+
+    def test_classify_misses(self, capsys):
+        main(["run", "--workload", "fmm", "--tiles", "4", "--scale",
+              "0.2", "--classify-misses", "--json"])
+        data = json.loads(capsys.readouterr().out)
+        assert sum(data["miss_breakdown"].values()) > 0
+
+    def test_quantum_override(self, capsys):
+        code = main(["run", "--workload", "fmm", "--tiles", "4",
+                     "--scale", "0.2", "--quantum", "100", "--json"])
+        assert code == 0
+
+    def test_unknown_workload_fails(self):
+        from repro.common.errors import ConfigError
+        with pytest.raises(ConfigError):
+            main(["run", "--workload", "specint"])
+
+    def test_bad_choice_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--workload", "fmm", "--sync", "strict"])
+
+    def test_machines_option(self, capsys):
+        main(["run", "--workload", "fmm", "--tiles", "4", "--scale",
+              "0.2", "--machines", "2", "--json"])
+        data = json.loads(capsys.readouterr().out)
+        assert data["machines"] == 2
