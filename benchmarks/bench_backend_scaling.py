@@ -1,0 +1,78 @@
+"""Sweep-pool scaling: wall-clock of a configuration sweep vs workers.
+
+The mp design keeps a single simulation globally sequential (for
+byte-identical reproducibility; see docs/distribution.md), so the
+backend's wall-clock win is measured where it lives: a sweep of
+independent configurations fanned across the process pool.  On a
+multi-core host the 4-configuration sweep should scale with workers;
+on a single-core host the pool can only tie (and pays fork/IPC
+overhead), which the artefact records honestly alongside the cpu
+count.
+
+Not a pytest-benchmark module on purpose: one timed run per pool size
+is the honest grain here — per-iteration variance is dominated by
+process start-up, which is part of what is being measured.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from conftest import RESULTS_DIR, paper_config, save_artifact
+
+from repro.distrib.wire import WorkloadRef
+from repro.sim.experiment import sweep
+
+#: The sweep: one workload over four target/host variations.
+_SWEEP_SEEDS = (42, 43, 44, 45)
+_WORKER_COUNTS = (1, 2, 4)
+
+
+def _sweep_configs():
+    return [paper_config(num_tiles=32, machines=1, cores=8, seed=seed)
+            for seed in _SWEEP_SEEDS]
+
+
+def test_backend_scaling():
+    program = WorkloadRef("matrix_multiply", nthreads=32, scale=2.0)
+    host_cpus = os.cpu_count() or 1
+    rows = []
+    cycles_by_workers = {}
+    for workers in _WORKER_COUNTS:
+        start = time.perf_counter()
+        results = sweep(_sweep_configs(), program, workers=workers)
+        elapsed = time.perf_counter() - start
+        cycles = [r.simulated_cycles for r in results]
+        cycles_by_workers[workers] = cycles
+        rows.append((workers, elapsed, cycles))
+    # Whatever the host, parallelism must never change the results.
+    baseline_cycles = cycles_by_workers[_WORKER_COUNTS[0]]
+    for workers, cycles in cycles_by_workers.items():
+        assert cycles == baseline_cycles, \
+            f"workers={workers} changed simulation results"
+
+    base = rows[0][1]
+    lines = [
+        "Sweep wall-clock vs pool workers "
+        f"(4 configs, matrix_multiply, host has {host_cpus} cpu(s))",
+        f"{'workers':>8} {'seconds':>9} {'speedup':>8}",
+    ]
+    for workers, elapsed, _ in rows:
+        lines.append(f"{workers:>8} {elapsed:>9.2f} "
+                     f"{base / elapsed:>7.2f}x")
+    if host_cpus == 1:
+        lines.append("note: single-core host - the pool can only tie "
+                     "serial execution here; speedup requires "
+                     ">= 2 cpus.")
+    save_artifact("backend_scaling", "\n".join(lines))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "backend_scaling.json").write_text(json.dumps({
+        "host_cpus": host_cpus,
+        "sweep_size": len(_SWEEP_SEEDS),
+        "workload": "matrix_multiply",
+        "runs": [{"workers": w, "seconds": round(s, 3)}
+                 for w, s, _ in rows],
+        "simulated_cycles": baseline_cycles,
+    }, indent=2) + "\n", encoding="utf-8")

@@ -21,12 +21,13 @@ from typing import List, Optional
 
 from repro.common.config import (
     DIRECTORY_TYPES,
+    EXECUTION_BACKENDS,
     NETWORK_MODELS,
     SYNC_MODELS,
     SimulationConfig,
 )
 from repro.common.units import pretty_seconds
-from repro.sim.simulator import Simulator
+from repro.sim.runner import create_simulator
 from repro.workloads import WORKLOADS, get_workload
 
 
@@ -61,6 +62,11 @@ def build_parser() -> argparse.ArgumentParser:
                      default="mesh", help="memory network model")
     run.add_argument("--quantum", type=int, default=0,
                      help="scheduler quantum in instructions")
+    run.add_argument("--backend", choices=EXECUTION_BACKENDS,
+                     default="inproc",
+                     help="execution backend: inproc runs everything "
+                          "in this process, mp forks one worker per "
+                          "host process (default inproc)")
     run.add_argument("--seed", type=int, default=42)
     run.add_argument("--classify-misses", action="store_true",
                      help="report the miss-type breakdown (Figure 8)")
@@ -84,6 +90,7 @@ def _configure(args: argparse.Namespace) -> SimulationConfig:
     config.memory.directory_max_sharers = args.sharers
     config.network.memory_model = args.network
     config.memory.classify_misses = args.classify_misses
+    config.distrib.backend = args.backend
     if args.quantum:
         config.host.quantum_instructions = args.quantum
     config.validate()
@@ -93,10 +100,13 @@ def _configure(args: argparse.Namespace) -> SimulationConfig:
 def _command_run(args: argparse.Namespace) -> int:
     config = _configure(args)
     threads = args.threads or args.tiles
-    factory = get_workload(args.workload)
-    simulator = Simulator(config)
-    result = simulator.run(factory.main(nthreads=threads,
-                                        scale=args.scale))
+    get_workload(args.workload)  # fail fast on unknown names
+    # A WorkloadRef rather than a built program: both backends resolve
+    # it at spawn time, and the mp backend can ship it to workers.
+    from repro.distrib.wire import WorkloadRef
+    program = WorkloadRef(args.workload, threads, args.scale)
+    simulator = create_simulator(config)
+    result = simulator.run(program)
     simulator.engine.check_coherence_invariants()
 
     if args.report:
@@ -110,6 +120,7 @@ def _command_run(args: argparse.Namespace) -> int:
             "tiles": args.tiles,
             "threads": threads,
             "machines": args.machines,
+            "backend": args.backend,
             "sync": args.sync,
             "simulated_cycles": result.simulated_cycles,
             "parallel_cycles": result.parallel_cycles,
@@ -130,7 +141,7 @@ def _command_run(args: argparse.Namespace) -> int:
           f"{args.directory} directory, {args.network} network, "
           f"{args.sync} sync")
     print(f"host:                {args.machines} machine(s) x "
-          f"{args.cores} cores")
+          f"{args.cores} cores, {args.backend} backend")
     print(f"simulated run-time:  {result.simulated_cycles:,} cycles "
           f"(parallel region {result.parallel_cycles:,})")
     print(f"instructions:        {result.total_instructions:,}")

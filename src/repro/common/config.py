@@ -32,6 +32,12 @@ DIRECTORY_TYPES = ("full_map", "limited", "limitless")
 #: Synchronization models (paper §3.6).
 SYNC_MODELS = ("lax", "lax_barrier", "lax_p2p")
 
+#: Execution backends (see :mod:`repro.distrib`): ``inproc`` runs every
+#: tile in the calling process (the reference engine); ``mp`` executes
+#: the cluster layout on real OS processes — one worker per simulated
+#: host process — with traffic over pipes.
+EXECUTION_BACKENDS = ("inproc", "mp")
+
 
 def _require(condition: bool, message: str) -> None:
     if not condition:
@@ -317,6 +323,36 @@ class HostConfig:
 
 
 @dataclass
+class DistribConfig:
+    """Distributed-execution backend selection and tuning.
+
+    The ``mp`` backend (paper §3.5: one simulation spanning multiple
+    host processes) forks one OS worker process per simulated host
+    process and runs each tile's thread inside its owning worker; all
+    cross-process traffic travels over pipes in the versioned wire
+    format of :mod:`repro.distrib.wire`.  Results are byte-identical to
+    the ``inproc`` reference engine.
+    """
+
+    #: Execution backend: ``inproc`` (default) or ``mp``.
+    backend: str = "inproc"
+    #: Seconds the coordinator waits for a worker frame before declaring
+    #: the worker hung (surfaces as WorkerTimeoutError, not a hang).
+    worker_timeout: float = 120.0
+    #: Seconds allowed for orderly worker shutdown before termination.
+    shutdown_timeout: float = 10.0
+
+    def validate(self) -> None:
+        _require(self.backend in EXECUTION_BACKENDS,
+                 f"distrib: unknown backend {self.backend!r} "
+                 f"(choose from {EXECUTION_BACKENDS})")
+        _require(self.worker_timeout > 0,
+                 "distrib: worker_timeout must be positive")
+        _require(self.shutdown_timeout > 0,
+                 "distrib: shutdown_timeout must be positive")
+
+
+@dataclass
 class SimulationConfig:
     """Top-level configuration: the target architecture plus the host."""
 
@@ -326,6 +362,7 @@ class SimulationConfig:
     network: NetworkConfig = field(default_factory=NetworkConfig)
     sync: SyncConfig = field(default_factory=SyncConfig)
     host: HostConfig = field(default_factory=HostConfig)
+    distrib: DistribConfig = field(default_factory=DistribConfig)
     #: Master seed for all RNG streams.
     seed: int = 42
     #: Heterogeneous tiles (paper §2: "tiles may be homogeneous or
@@ -363,6 +400,7 @@ class SimulationConfig:
         self.network.validate()
         self.sync.validate()
         self.host.validate()
+        self.distrib.validate()
 
     # -- (de)serialisation --------------------------------------------------
 
@@ -393,6 +431,7 @@ class SimulationConfig:
             "sync": (SyncConfig,),
             "host": (HostConfig,),
             "dram": (DramConfig,),
+            "distrib": (DistribConfig,),
         }
         kwargs: Dict[str, Any] = {}
         for key, value in data.items():
@@ -417,3 +456,24 @@ class SimulationConfig:
     def copy(self) -> "SimulationConfig":
         """Deep-copy via round-trip so sweeps can mutate safely."""
         return SimulationConfig.from_dict(self.to_dict())
+
+    # -- pickling (wire format) ---------------------------------------------
+    #
+    # Configurations cross process boundaries in the mp backend and the
+    # parallel sweep pool.  Pickling goes through the plain-dict form so
+    # the wire state is explicit and versioned rather than a dump of
+    # interpreter internals.
+
+    _PICKLE_VERSION = 1
+
+    def __getstate__(self) -> Dict[str, Any]:
+        return {"version": self._PICKLE_VERSION, "data": self.to_dict()}
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        version = state.get("version")
+        if version != self._PICKLE_VERSION:
+            raise ConfigError(
+                f"SimulationConfig pickle version {version!r} is not "
+                f"supported (expected {self._PICKLE_VERSION})")
+        rebuilt = SimulationConfig.from_dict(state["data"])
+        self.__dict__.update(rebuilt.__dict__)

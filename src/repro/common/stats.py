@@ -181,3 +181,22 @@ class StatGroup:
         for path, c in self.walk():
             out[path] = c.value
         return out
+
+    def add_flat(self, flat: Dict[str, int]) -> None:
+        """Merge a flattened counter snapshot into this tree.
+
+        Keys are dotted paths rooted at this group's name (the format
+        :meth:`to_dict` produces); missing children and counters are
+        created.  Used by the distributed backend to fold each worker's
+        locally accumulated statistics back into the coordinator's tree.
+        """
+        prefix = f"{self.name}."
+        for path, value in flat.items():
+            if not path.startswith(prefix):
+                raise ValueError(
+                    f"counter path {path!r} is not rooted at {self.name!r}")
+            *groups, name = path[len(prefix):].split(".")
+            node = self
+            for part in groups:
+                node = node.child(part)
+            node.counter(name).add(int(value))

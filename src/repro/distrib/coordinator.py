@@ -1,0 +1,426 @@
+"""Coordinator: the mp backend's master control process.
+
+The coordinator plays the role Graphite gives the MCP's host process
+(paper §2.2): it owns every service needing a globally consistent view
+— the scheduler, the memory system, the MCP itself, the network models
+and the host cost model — and drives N forked workers, one per entry
+of :meth:`~repro.host.cluster.ClusterLayout.shards`.
+
+:class:`DistribSimulator` is a :class:`~repro.sim.simulator.Simulator`
+whose tile threads are :class:`RemoteTask` stubs.  When the scheduler
+dispatches one, the coordinator sends RUN_QUANTUM to the owning worker
+and synchronously services that worker's kernel traffic until
+QUANTUM_DONE — so exactly one quantum executes anywhere at a time, and
+every piece of shared state is touched in the same order as the
+in-process backend.  That is what makes the two backends produce
+byte-identical metrics from the same seed; the speed-up story of the
+mp backend is the *sweep pool* (:mod:`repro.distrib.pool`), which runs
+independent configurations in parallel.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.common.config import SimulationConfig
+from repro.common.ids import ProcessId, ThreadId, TileId
+from repro.distrib.errors import (
+    DistribError,
+    WorkerCrashError,
+    WorkerTimeoutError,
+)
+from repro.distrib.shard import ShardTransport
+from repro.distrib.wire import (
+    FrameKind,
+    decode_frame,
+    encode_frame,
+    make_program_ref,
+    program_key,
+)
+from repro.host.cluster import ClusterLayout
+from repro.host.scheduler import QuantumResult, QuantumStatus, ThreadTask
+from repro.sim.simulator import Simulator
+from repro.system.mcp import MCP_TILE
+from repro.transport.message import Message, MessageKind
+from repro.transport.transport import Transport
+
+#: Pipe poll granularity while waiting on a worker (seconds).
+_POLL_TICK = 0.05
+
+
+class WorkerCluster:
+    """Lifecycle + framed I/O for the set of worker processes."""
+
+    def __init__(self, layout: ClusterLayout,
+                 config: SimulationConfig) -> None:
+        self.layout = layout
+        self.timeout = config.distrib.worker_timeout
+        self.shutdown_timeout = config.distrib.shutdown_timeout
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX hosts
+            ctx = multiprocessing.get_context("spawn")
+        self._conns = []
+        self._procs = []
+        shards = layout.shards()
+        try:
+            for index, tiles in enumerate(shards):
+                parent, child = ctx.Pipe(duplex=True)
+                proc = ctx.Process(
+                    target=_worker_entry, args=(child, index),
+                    name=f"repro-worker-{index}", daemon=True)
+                proc.start()
+                child.close()
+                self._conns.append(parent)
+                self._procs.append(proc)
+                self.send(index, FrameKind.HELLO,
+                          (config, [int(t) for t in tiles]))
+        except Exception:
+            self.shutdown()
+            raise
+
+    @property
+    def num_workers(self) -> int:
+        return len(self._procs)
+
+    def owner(self, tile: TileId) -> int:
+        return int(self.layout.process_of_tile(tile))
+
+    # -- framed I/O ----------------------------------------------------------
+
+    def send(self, worker: int, kind: FrameKind, payload: Any) -> None:
+        try:
+            self._conns[worker].send_bytes(encode_frame(kind, payload))
+        except (BrokenPipeError, OSError) as exc:
+            raise WorkerCrashError(
+                f"worker {worker} pipe closed while sending "
+                f"{kind.value}: {exc}") from exc
+
+    def recv(self, worker: int) -> Tuple[FrameKind, Any]:
+        """Receive one frame, bounding the wait by the worker timeout.
+
+        A dead worker is distinguished from a slow one: liveness is
+        re-checked every poll tick, and a crash surfaces as
+        :class:`WorkerCrashError` (with exit code) rather than a hang.
+        """
+        conn = self._conns[worker]
+        proc = self._procs[worker]
+        deadline = time.monotonic() + self.timeout
+        while True:
+            if conn.poll(_POLL_TICK):
+                try:
+                    return decode_frame(conn.recv_bytes())
+                except EOFError as exc:
+                    raise WorkerCrashError(
+                        f"worker {worker} closed its pipe "
+                        f"(exit code {proc.exitcode})") from exc
+            if not proc.is_alive():
+                # One last poll: a frame may have raced with death.
+                if conn.poll(0):
+                    continue
+                raise WorkerCrashError(
+                    f"worker {worker} died (exit code {proc.exitcode})")
+            if time.monotonic() > deadline:
+                raise WorkerTimeoutError(
+                    f"worker {worker} sent nothing for "
+                    f"{self.timeout:.0f}s")
+
+    # -- frame helpers -------------------------------------------------------
+
+    def deliver(self, message: Message) -> None:
+        self.send(self.owner(message.dst), FrameKind.DELIVER, message)
+
+    def notify_wake(self, tile: TileId, timestamp: int) -> None:
+        self.send(self.owner(tile), FrameKind.NOTIFY_WAKE,
+                  (int(tile), timestamp))
+
+    def spawn(self, tile: TileId, ref: Any, args: tuple,
+              start_clock: int, code_base: int) -> None:
+        self.send(self.owner(tile), FrameKind.SPAWN,
+                  (int(tile), ref, args, start_clock, code_base))
+
+    def collect_stats(self) -> List[Dict[str, int]]:
+        """Fetch each worker's flattened local statistics."""
+        out = []
+        for worker in range(self.num_workers):
+            self.send(worker, FrameKind.COLLECT_STATS, None)
+            kind, payload = self.recv(worker)
+            if kind is FrameKind.ERROR:
+                _raise_remote(worker, payload)
+            if kind is not FrameKind.STATS:
+                raise DistribError(
+                    f"worker {worker}: expected STATS, got {kind.value}")
+            out.append(payload)
+        return out
+
+    # -- teardown ------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Stop all workers: ask nicely, then terminate stragglers."""
+        for worker, conn in enumerate(self._conns):
+            try:
+                conn.send_bytes(encode_frame(FrameKind.SHUTDOWN, None))
+            except Exception:
+                pass
+        deadline = time.monotonic() + self.shutdown_timeout
+        for proc in self._procs:
+            proc.join(timeout=max(deadline - time.monotonic(), 0.1))
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except Exception:
+                pass
+
+    def __enter__(self) -> "WorkerCluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+def _worker_entry(conn, index: int) -> None:  # pragma: no cover - child
+    from repro.distrib.worker import worker_main
+    worker_main(conn, index)
+
+
+def _raise_remote(worker: int, payload: tuple) -> None:
+    """Re-raise a worker-reported failure with its original type."""
+    remote_tb, blob = payload
+    if blob is not None:
+        try:
+            import pickle
+            exc = pickle.loads(blob)
+        except Exception:
+            exc = None
+        if isinstance(exc, BaseException):
+            if hasattr(exc, "add_note"):
+                exc.add_note(f"(raised in worker {worker})\n"
+                             f"--- worker traceback ---\n{remote_tb}")
+            raise exc
+    raise WorkerCrashError(f"worker {worker} failed", remote_tb)
+
+
+class _CoreView:
+    """Coordinator-side snapshot of a remote interpreter's core state."""
+
+    __slots__ = ("cycles", "instruction_count")
+
+    def __init__(self, cycles: int) -> None:
+        self.cycles = cycles
+        self.instruction_count = 0
+
+
+class RemoteTask(ThreadTask):
+    """Scheduler stub for an interpreter living in a worker.
+
+    Caches the pieces of interpreter state the scheduler and sync
+    models read between quanta (`cycles`, instruction counts); the
+    caches are refreshed from every QUANTUM_DONE frame and advanced by
+    wake notifications exactly as ``Clock.forward_to`` would.
+    """
+
+    def __init__(self, sim: "DistribSimulator", tile: TileId,
+                 start_clock: int) -> None:
+        self.tile = tile
+        self.start_clock = start_clock
+        self.core = _CoreView(start_clock)
+        self.result: Any = None
+        self._sim = sim
+
+    @property
+    def cycles(self) -> int:
+        return self.core.cycles
+
+    def notify_wake(self, timestamp: int) -> None:
+        if timestamp > self.core.cycles:
+            self.core.cycles = timestamp
+        self._sim.cluster.notify_wake(self.tile, timestamp)
+
+    def run(self, budget_instructions: int,
+            cycle_limit: Optional[int] = None) -> QuantumResult:
+        return self._sim.service_quantum(self, budget_instructions,
+                                         cycle_limit)
+
+
+class DistribSimulator(Simulator):
+    """Simulator whose tile threads execute in forked worker processes."""
+
+    def __init__(self, config: SimulationConfig) -> None:
+        super().__init__(config)
+        self._cluster: Optional[WorkerCluster] = None
+        self._rpc_handlers: Dict[str, Callable] = {
+            "memory_load": self._rpc_memory_load,
+            "memory_store": self._rpc_memory_store,
+            "memory_fetch": self._rpc_memory_fetch,
+            "fabric_send": self._rpc_fabric_send,
+            "fabric_transfer": self._rpc_fabric_transfer,
+            "malloc": lambda size, align: self.allocator.malloc(size,
+                                                                align),
+            "free": lambda address: self.allocator.free(address),
+            "futex_wait": lambda a, t: self.mcp.futex.wait(a, TileId(t)),
+            "futex_wake": lambda a, n, c: self.mcp.futex.wake(a, n, c),
+            "barrier_arrive": lambda a, n, t, c: self.mcp.barrier_arrive(
+                a, n, TileId(t), c),
+            "barrier_is_waiting": lambda a, t: self.mcp.barrier_is_waiting(
+                a, TileId(t)),
+            "try_join": lambda t, g: self.mcp.threads.try_join(
+                TileId(t), TileId(g)),
+            "final_clock": lambda g: self.mcp.threads.final_clock(
+                TileId(g)),
+            "syscall": lambda name, args: self.mcp.syscalls.execute(
+                name, args),
+            "spawn_thread": self._rpc_spawn_thread,
+        }
+        self._cast_handlers: Dict[str, Callable] = {
+            "charge": self._cast_charge,
+            "thread_finished": lambda t, c: self.thread_finished(
+                TileId(t), c),
+            "wake_scheduler": lambda t: self.wake_scheduler(TileId(t)),
+        }
+
+    @property
+    def cluster(self) -> WorkerCluster:
+        assert self._cluster is not None, "cluster not running"
+        return self._cluster
+
+    def _make_transport(self) -> Transport:
+        return ShardTransport(self.layout, self.stats.child("transport"))
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def run(self, main_program: Any, args: tuple = ()):
+        self._cluster = WorkerCluster(self.layout, self.config)
+        self.transport.attach(self._cluster)
+        try:
+            return super().run(main_program, args)
+        finally:
+            self._cluster.shutdown()
+            self.transport.attach(None)
+            self._cluster = None
+
+    # -- spawning ------------------------------------------------------------
+
+    def spawn_thread(self, program: Any, args: tuple,
+                     parent_tile: Optional[TileId],
+                     parent_clock: int) -> ThreadId:
+        """Spawn protocol, distributed: the interpreter is built in the
+        owning worker from a shipped program reference.
+
+        Mirrors the in-process sequence step for step (same MCP
+        bookkeeping, same LCP hops, same transfer and host charge, and
+        the code region allocated at the same point in global order) so
+        all modelled costs land identically.
+        """
+        ref = make_program_ref(program)
+        tile = self.mcp.threads.allocate_tile()
+        self.mcp.threads.register_spawn(tile)
+        process = self.layout.process_of_tile(tile)
+        lcp = self.lcps[ProcessId(int(process))]
+        if not lcp.initialized:
+            lcp.initialize_process()
+        lcp.handle_spawn(tile)
+        self.fabric.transfer(MCP_TILE, tile, MessageKind.SYSTEM, 64,
+                             parent_clock)
+        self.charge(self.config.host.thread_spawn_cost)
+        code_base = self._code_base_for(program_key(ref))
+        self.cluster.spawn(tile, ref, args, parent_clock, code_base)
+        task = RemoteTask(self, tile, parent_clock)
+        self.interpreters[tile] = task
+        self.scheduler.add_thread(
+            task, start_host_time=self.scheduler.current_host_time())
+        return ThreadId(int(tile))
+
+    # -- the quantum service loop --------------------------------------------
+
+    def service_quantum(self, task: RemoteTask, budget: int,
+                        cycle_limit: Optional[int]) -> QuantumResult:
+        """Run one quantum remotely, servicing kernel traffic inline.
+
+        The worker owning ``task.tile`` becomes the (single) active
+        worker; its KERNEL_CALL/KERNEL_CAST frames are applied to the
+        shared state here, in arrival order, until QUANTUM_DONE.
+        """
+        worker = self.cluster.owner(task.tile)
+        self.cluster.send(worker, FrameKind.RUN_QUANTUM,
+                          (int(task.tile), budget, cycle_limit))
+        while True:
+            kind, payload = self.cluster.recv(worker)
+            if kind is FrameKind.QUANTUM_DONE:
+                status, instructions, cycles, icount, outcome = payload
+                task.core.cycles = cycles
+                task.core.instruction_count = icount
+                if QuantumStatus(status) is QuantumStatus.DONE:
+                    task.result = outcome
+                return QuantumResult(QuantumStatus(status), instructions)
+            if kind is FrameKind.KERNEL_CALL:
+                method, args = payload
+                reply = self._rpc_handlers[method](*args)
+                self.cluster.send(worker, FrameKind.KERNEL_REPLY, reply)
+            elif kind is FrameKind.KERNEL_CAST:
+                method, args = payload
+                self._cast_handlers[method](*args)
+            elif kind is FrameKind.ERROR:
+                _raise_remote(worker, payload)
+            else:
+                raise DistribError(
+                    f"unexpected frame {kind.value} from worker "
+                    f"{worker} during a quantum")
+
+    # -- RPC handlers --------------------------------------------------------
+
+    def _rpc_memory_load(self, tile: int, address: int, size: int,
+                         timestamp: int) -> tuple:
+        return self.controllers[tile].load(address, size, timestamp)
+
+    def _rpc_memory_store(self, tile: int, address: int, data: bytes,
+                          timestamp: int) -> int:
+        return self.controllers[tile].store(address, data, timestamp)
+
+    def _rpc_memory_fetch(self, tile: int, pc: int,
+                          timestamp: int) -> int:
+        return self.controllers[tile].fetch(pc, timestamp)
+
+    def _rpc_fabric_send(self, src: int, dst: int, kind: str,
+                         payload: Any, size_bytes: int, timestamp: int,
+                         tag: Optional[int]) -> None:
+        self.fabric.send(TileId(src), TileId(dst), MessageKind(kind),
+                         payload, size_bytes, timestamp, tag)
+
+    def _rpc_fabric_transfer(self, src: int, dst: int, kind: str,
+                             size_bytes: int, timestamp: int) -> int:
+        return self.fabric.transfer(TileId(src), TileId(dst),
+                                    MessageKind(kind), size_bytes,
+                                    timestamp)
+
+    def _rpc_spawn_thread(self, ref: Any, args: tuple, parent_tile: int,
+                          parent_clock: int) -> int:
+        return int(self.spawn_thread(ref, args, TileId(parent_tile),
+                                     parent_clock))
+
+    # -- cast handlers -------------------------------------------------------
+
+    def _cast_charge(self, token: tuple) -> None:
+        """Evaluate a deferred cost token, consuming jitter RNG here —
+        in cast-arrival order, which equals in-process call order."""
+        kind, *rest = token
+        if kind == "instructions":
+            cost = self.cost_model.instructions(rest[0])
+        elif kind == "model_trap":
+            cost = self.cost_model.model_trap()
+        elif kind == "memory_access":
+            cost = self.cost_model.memory_access()
+        else:
+            raise DistribError(f"unknown cost token {token!r}")
+        self.scheduler.charge(cost)
+
+    # -- results -------------------------------------------------------------
+
+    def _before_results(self) -> None:
+        """Fold every worker's thread statistics into the main tree."""
+        for flat in self.cluster.collect_stats():
+            self.stats.add_flat(flat)

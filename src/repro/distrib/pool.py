@@ -1,0 +1,153 @@
+"""Worker pool for running independent simulations in parallel.
+
+Experiment sweeps (Table 3's configuration grids, repeat-run CoV
+protocols) are embarrassingly parallel: every configuration is a fully
+independent simulation.  This pool fans such jobs out across OS
+processes, one full simulation per job, and is where the mp backend's
+wall-clock win comes from on multi-core hosts — single-simulation mp
+execution is kept globally sequential for reproducibility (see
+:mod:`repro.distrib.coordinator`).
+
+Each pool child runs its jobs with the in-process backend regardless
+of the job config's ``distrib.backend``: one process per simulation is
+already the right grain, and nesting worker clusters inside pool
+children would oversubscribe the host.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import time
+import traceback
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.common.config import SimulationConfig
+from repro.distrib.errors import WorkerCrashError, WorkerTimeoutError
+from repro.distrib.wire import make_program_ref
+from repro.sim.results import SimulationResult
+
+#: One sweep job: (config, program reference, program args).
+Job = Tuple[SimulationConfig, Any, tuple]
+
+#: Result-queue poll granularity (seconds).
+_POLL_TICK = 0.1
+
+
+def _pool_child(task_queue, result_queue) -> None:  # pragma: no cover
+    """Child loop: pull jobs until the sentinel, run each in-process."""
+    from repro.sim.simulator import Simulator
+    while True:
+        item = task_queue.get()
+        if item is None:
+            return
+        index, config, ref, args = item
+        try:
+            run_config = config.copy()
+            run_config.distrib.backend = "inproc"
+            result = Simulator(run_config).run(ref, args)
+            try:
+                pickle.dumps(result.main_result)
+            except Exception:
+                result.main_result = None
+            result_queue.put((index, "ok", result))
+        except BaseException:
+            result_queue.put((index, "error", traceback.format_exc()))
+
+
+def run_jobs(jobs: Sequence[Job], workers: int,
+             timeout: float = 3600.0) -> List[SimulationResult]:
+    """Run ``jobs`` across ``workers`` processes; results in job order.
+
+    Any job failure aborts the pool and surfaces as
+    :class:`WorkerCrashError` carrying the child's traceback.  Programs
+    must be shippable (module-level functions or references with
+    ``resolve()``); closures are rejected up front with a clear error.
+    """
+    jobs = list(jobs)
+    if not jobs:
+        return []
+    prepared = [(config, make_program_ref(program), tuple(args))
+                for config, program, args in jobs]
+    workers = max(1, min(workers, len(prepared)))
+    if workers == 1:
+        from repro.sim.simulator import Simulator
+        out = []
+        for config, ref, args in prepared:
+            run_config = config.copy()
+            run_config.distrib.backend = "inproc"
+            out.append(Simulator(run_config).run(ref, args))
+        return out
+
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX hosts
+        ctx = multiprocessing.get_context("spawn")
+    task_queue = ctx.Queue()
+    result_queue = ctx.Queue()
+    procs = [ctx.Process(target=_pool_child,
+                         args=(task_queue, result_queue),
+                         name=f"repro-pool-{i}", daemon=True)
+             for i in range(workers)]
+    for proc in procs:
+        proc.start()
+    try:
+        for index, (config, ref, args) in enumerate(prepared):
+            task_queue.put((index, config, ref, args))
+        for _ in procs:
+            task_queue.put(None)
+
+        results: List[Optional[SimulationResult]] = [None] * len(prepared)
+        received = 0
+        deadline = time.monotonic() + timeout
+        while received < len(prepared):
+            try:
+                index, status, payload = result_queue.get(
+                    timeout=_POLL_TICK)
+            except Exception:
+                if time.monotonic() > deadline:
+                    raise WorkerTimeoutError(
+                        f"sweep pool produced no result for "
+                        f"{timeout:.0f}s") from None
+                dead = [p for p in procs if not p.is_alive()]
+                if len(dead) == len(procs) and result_queue.empty():
+                    codes = [p.exitcode for p in procs]
+                    raise WorkerCrashError(
+                        f"all pool workers exited (codes {codes}) with "
+                        f"{len(prepared) - received} jobs unfinished")
+                continue
+            if status == "error":
+                raise WorkerCrashError(
+                    f"sweep job {index} failed", payload)
+            results[index] = payload
+            received += 1
+        return [r for r in results if r is not None]
+    finally:
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in procs:
+            proc.join(timeout=1.0)
+        task_queue.close()
+        result_queue.close()
+
+
+def parallel_sweep(configs: Sequence[SimulationConfig],
+                   program: Any, args: tuple = (),
+                   workers: int = 1) -> List[SimulationResult]:
+    """Parallel counterpart of :func:`repro.sim.experiment.sweep`."""
+    return run_jobs([(c, program, args) for c in configs], workers)
+
+
+def parallel_repeat(config: SimulationConfig, program: Any,
+                    args: tuple = (), runs: int = 10,
+                    base_seed: Optional[int] = None,
+                    workers: int = 1) -> List[SimulationResult]:
+    """Parallel counterpart of the repeat-runs seed protocol."""
+    seed0 = config.seed if base_seed is None else base_seed
+    jobs = []
+    for run_index in range(runs):
+        run_config = config.copy()
+        run_config.seed = seed0 + 7919 * run_index
+        jobs.append((run_config, program, args))
+    return run_jobs(jobs, workers)

@@ -1,0 +1,136 @@
+"""Wire format of the coordinator <-> worker control channel.
+
+Every frame crossing a worker pipe is ``(WIRE_VERSION, FrameKind,
+payload)`` serialized with pickle.  The version travels in every frame
+so a coordinator and a worker built from different checkouts fail
+loudly at the first exchange instead of corrupting a simulation.
+
+The module also defines *program references* — picklable stand-ins for
+target programs.  Workload ``build()`` closures cannot cross a process
+boundary, so the coordinator ships a :class:`WorkloadRef` (rebuilt from
+the workload registry on the far side) or a :class:`PickledProgram`
+(for module-level functions, e.g. the per-thread workers the workloads
+spawn).  Both expose ``resolve()``, the duck-typed protocol
+:meth:`repro.sim.simulator.Simulator.spawn_thread` already honors.
+"""
+
+from __future__ import annotations
+
+import enum
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Tuple
+
+from repro.distrib.errors import ProgramTransportError, WireFormatError
+
+#: Bump on any incompatible change to frame payloads or pickling.
+WIRE_VERSION = 1
+
+
+class FrameKind(enum.Enum):
+    """Control-channel frame types."""
+
+    #: coordinator -> worker: config + shard at startup.
+    HELLO = "hello"
+    #: coordinator -> worker: create an interpreter for a tile.
+    SPAWN = "spawn"
+    #: coordinator -> worker: run one scheduler quantum on a tile.
+    RUN_QUANTUM = "run_quantum"
+    #: worker -> coordinator: quantum finished (status + core state).
+    QUANTUM_DONE = "quantum_done"
+    #: worker -> coordinator: kernel RPC (needs a KERNEL_REPLY).
+    KERNEL_CALL = "kernel_call"
+    #: coordinator -> worker: RPC return value.
+    KERNEL_REPLY = "kernel_reply"
+    #: worker -> coordinator: one-way kernel notification (no reply).
+    KERNEL_CAST = "kernel_cast"
+    #: coordinator -> worker: enqueue a user message on a local tile.
+    DELIVER = "deliver"
+    #: coordinator -> worker: forward a wake timestamp to a tile.
+    NOTIFY_WAKE = "notify_wake"
+    #: coordinator -> worker: request the flattened local stats.
+    COLLECT_STATS = "collect_stats"
+    #: worker -> coordinator: flattened local stats.
+    STATS = "stats"
+    #: coordinator -> worker: exit the worker loop.
+    SHUTDOWN = "shutdown"
+    #: worker -> coordinator: unrecoverable failure (with traceback).
+    ERROR = "error"
+
+
+def encode_frame(kind: FrameKind, payload: Any) -> bytes:
+    try:
+        return pickle.dumps((WIRE_VERSION, kind.value, payload),
+                            protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        raise WireFormatError(
+            f"cannot encode {kind.value} frame: {exc}") from exc
+
+
+def decode_frame(blob: bytes) -> Tuple[FrameKind, Any]:
+    try:
+        version, kind, payload = pickle.loads(blob)
+    except Exception as exc:
+        raise WireFormatError(f"undecodable frame: {exc}") from exc
+    if version != WIRE_VERSION:
+        raise WireFormatError(
+            f"wire version mismatch: got {version!r}, "
+            f"expected {WIRE_VERSION}")
+    return FrameKind(kind), payload
+
+
+# -- program references ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WorkloadRef:
+    """A main program named by workload-registry entry, not by object.
+
+    ``resolve()`` rebuilds the program on whichever process unpickles
+    the reference, so closure-laden ``build()`` products never need to
+    cross the wire.
+    """
+
+    workload: str
+    nthreads: int
+    scale: float = 1.0
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def resolve(self) -> Callable[..., Any]:
+        from repro.workloads import get_workload
+        return get_workload(self.workload).main(
+            self.nthreads, self.scale, **dict(self.params))
+
+
+@dataclass(frozen=True)
+class PickledProgram:
+    """A program shipped as its pickle (module-level functions only)."""
+
+    blob: bytes
+
+    def resolve(self) -> Callable[..., Any]:
+        return pickle.loads(self.blob)
+
+
+def make_program_ref(program: Any) -> Any:
+    """Make ``program`` shippable; pass existing references through."""
+    if hasattr(program, "resolve"):
+        return program
+    try:
+        return PickledProgram(pickle.dumps(
+            program, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception as exc:
+        raise ProgramTransportError(
+            f"program {program!r} cannot cross a process boundary "
+            f"({exc}); use a module-level function or a WorkloadRef"
+        ) from exc
+
+
+def program_key(ref: Any) -> bytes:
+    """Stable identity of a program reference across processes.
+
+    Used by the coordinator to allocate synthetic code regions: equal
+    references (same workload spec, same pickled function) map to the
+    same code base, mirroring the in-process ``id(program)`` keying.
+    """
+    return pickle.dumps(ref, protocol=pickle.HIGHEST_PROTOCOL)

@@ -1,0 +1,393 @@
+"""Worker process: executes the interpreters of one tile shard.
+
+A worker is the mp backend's analogue of one Graphite target process:
+it owns the tile threads striped onto it (paper §3.5) and *really*
+executes their programs — the generators run here, op by op, through
+unmodified :class:`~repro.frontend.interpreter.ThreadInterpreter`
+instances.  What the worker does **not** own is shared simulation
+state: the memory system, network models, MCP, allocator, host cost
+model and scheduler all live in the coordinator, reached through
+:class:`KernelProxy` — a stand-in for the kernel object whose local
+pieces (config, per-thread stats, inbound message queues) are worker
+resident and whose shared pieces are RPCs over the control pipe.
+
+Determinism: the pipe is FIFO and the coordinator runs exactly one
+quantum anywhere at a time, so kernel calls reach the coordinator in
+the same order the in-process backend would make them — including the
+order in which the jittered cost model's RNG is consumed.  Cost-model
+lookups themselves are deferred: ``cost_model.instructions(n)`` here
+returns a token, and the coordinator evaluates it (consuming RNG) when
+the paired ``charge`` arrives.
+"""
+
+from __future__ import annotations
+
+import pickle
+import sys
+import traceback
+from typing import Any, List, Optional
+
+from repro.common.config import SimulationConfig
+from repro.common.ids import ThreadId, TileId
+from repro.common.stats import StatGroup
+from repro.distrib.shard import ShardQueues
+from repro.distrib.wire import FrameKind, decode_frame, encode_frame
+from repro.frontend.interpreter import ThreadInterpreter
+from repro.transport.message import Message, MessageKind
+
+
+class _DeferredCostModel:
+    """Cost-model facade returning tokens instead of host seconds.
+
+    The real model consumes a jitter RNG per lookup; evaluating here
+    would fork the RNG stream.  Tokens ride the ``charge`` cast and are
+    evaluated coordinator-side, in arrival (= program) order.
+    """
+
+    def instructions(self, count: int) -> tuple:
+        return ("instructions", count)
+
+    def model_trap(self) -> tuple:
+        return ("model_trap",)
+
+    def memory_access(self) -> tuple:
+        return ("memory_access",)
+
+
+class _MemoryProxy:
+    """``kernel.controllers[tile]`` stand-in: RPCs to the real MC."""
+
+    __slots__ = ("_kernel", "_tile")
+
+    def __init__(self, kernel: "KernelProxy", tile: int) -> None:
+        self._kernel = kernel
+        self._tile = tile
+
+    def load(self, address: int, size: int, timestamp: int):
+        return self._kernel.rpc("memory_load",
+                                (self._tile, address, size, timestamp))
+
+    def store(self, address: int, data: bytes, timestamp: int) -> int:
+        return self._kernel.rpc("memory_store",
+                                (self._tile, address, data, timestamp))
+
+    def fetch(self, pc: int, timestamp: int) -> int:
+        return self._kernel.rpc("memory_fetch",
+                                (self._tile, pc, timestamp))
+
+
+class _NetIfProxy:
+    """Per-tile network endpoint: sends are RPCs, receives are local.
+
+    Inbound queues are worker-owned (fed by DELIVER frames), so the
+    receive path — the only transport operation on an interpreter's
+    critical polling loop — never crosses the process boundary.
+    """
+
+    __slots__ = ("_kernel", "tile")
+
+    def __init__(self, kernel: "KernelProxy", tile: TileId) -> None:
+        self._kernel = kernel
+        self.tile = tile
+
+    def send(self, dst: TileId, payload: Any = None,
+             kind: MessageKind = MessageKind.USER, size_bytes: int = 8,
+             timestamp: int = 0, tag: Optional[int] = None) -> None:
+        return self._kernel.rpc("fabric_send",
+                                (int(self.tile), int(dst), kind.value,
+                                 payload, size_bytes, timestamp, tag))
+
+    def poll(self, kind: MessageKind) -> Optional[Message]:
+        return self._kernel.queues.poll(self.tile, kind)
+
+    def poll_match(self, kind: MessageKind, src: Optional[TileId] = None,
+                   tag: Optional[int] = None) -> Optional[Message]:
+        return self._kernel.queues.poll_match(self.tile, kind, src, tag)
+
+    def pending(self, kind: MessageKind) -> int:
+        return self._kernel.queues.pending(self.tile, kind)
+
+
+class _FabricProxy:
+    __slots__ = ("_kernel",)
+
+    def __init__(self, kernel: "KernelProxy") -> None:
+        self._kernel = kernel
+
+    def interface(self, tile: TileId) -> _NetIfProxy:
+        return _NetIfProxy(self._kernel, tile)
+
+    def transfer(self, src: TileId, dst: TileId, kind: MessageKind,
+                 size_bytes: int, timestamp: int) -> int:
+        return self._kernel.rpc("fabric_transfer",
+                                (int(src), int(dst), kind.value,
+                                 size_bytes, timestamp))
+
+
+class _AllocatorProxy:
+    __slots__ = ("_kernel",)
+
+    def __init__(self, kernel: "KernelProxy") -> None:
+        self._kernel = kernel
+
+    def malloc(self, size: int, align: int = 8) -> int:
+        return self._kernel.rpc("malloc", (size, align))
+
+    def free(self, address: int) -> None:
+        return self._kernel.rpc("free", (address,))
+
+
+class _FutexProxy:
+    __slots__ = ("_kernel",)
+
+    def __init__(self, kernel: "KernelProxy") -> None:
+        self._kernel = kernel
+
+    def wait(self, address: int, tile: TileId) -> None:
+        return self._kernel.rpc("futex_wait", (address, int(tile)))
+
+    def wake(self, address: int, count: int, clock: int) -> int:
+        return self._kernel.rpc("futex_wake", (address, count, clock))
+
+
+class _ThreadsProxy:
+    __slots__ = ("_kernel",)
+
+    def __init__(self, kernel: "KernelProxy") -> None:
+        self._kernel = kernel
+
+    def try_join(self, tile: TileId, target: TileId) -> Optional[int]:
+        return self._kernel.rpc("try_join", (int(tile), int(target)))
+
+    def final_clock(self, target: TileId) -> Optional[int]:
+        return self._kernel.rpc("final_clock", (int(target),))
+
+
+class _SyscallsProxy:
+    __slots__ = ("_kernel",)
+
+    def __init__(self, kernel: "KernelProxy") -> None:
+        self._kernel = kernel
+
+    def execute(self, name: str, args: tuple) -> Any:
+        return self._kernel.rpc("syscall", (name, args))
+
+
+class _McpProxy:
+    def __init__(self, kernel: "KernelProxy") -> None:
+        self._kernel = kernel
+        self.futex = _FutexProxy(kernel)
+        self.threads = _ThreadsProxy(kernel)
+        self.syscalls = _SyscallsProxy(kernel)
+
+    def barrier_arrive(self, address: int, total: int, tile: TileId,
+                       clock: int) -> Optional[int]:
+        return self._kernel.rpc("barrier_arrive",
+                                (address, total, int(tile), clock))
+
+    def barrier_is_waiting(self, address: int, tile: TileId) -> bool:
+        return self._kernel.rpc("barrier_is_waiting",
+                                (address, int(tile)))
+
+
+class _ControllerTable:
+    """Lazy ``controllers[tile]`` lookup over the whole tile space."""
+
+    __slots__ = ("_kernel",)
+
+    def __init__(self, kernel: "KernelProxy") -> None:
+        self._kernel = kernel
+
+    def __getitem__(self, tile: int) -> _MemoryProxy:
+        return _MemoryProxy(self._kernel, int(tile))
+
+
+class KernelProxy:
+    """The kernel object handed to this worker's interpreters."""
+
+    def __init__(self, worker: "Worker",
+                 config: SimulationConfig) -> None:
+        self._worker = worker
+        self.config = config
+        self.stats = StatGroup("sim")
+        self.queues = worker.queues
+        self.cost_model = _DeferredCostModel()
+        self.controllers = _ControllerTable(self)
+        self.fabric = _FabricProxy(self)
+        self.allocator = _AllocatorProxy(self)
+        self.mcp = _McpProxy(self)
+        #: Code base shipped in the SPAWN frame currently being handled;
+        #: consumed by the interpreter's single ``code_base`` call.
+        self._pending_code_base: Optional[int] = None
+        self._code_bases: dict = {}
+
+    # -- pipe plumbing -------------------------------------------------------
+
+    def rpc(self, method: str, args: tuple) -> Any:
+        return self._worker.rpc(method, args)
+
+    def cast(self, method: str, args: tuple) -> None:
+        self._worker.cast(method, args)
+
+    # -- kernel interface ----------------------------------------------------
+
+    def charge(self, cost_token: tuple) -> None:
+        self.cast("charge", (cost_token,))
+
+    def code_base(self, program: Any) -> int:
+        base = self._code_bases.get(id(program))
+        if base is None:
+            base = self._pending_code_base
+            assert base is not None, "code_base outside a SPAWN frame"
+            self._pending_code_base = None
+            self._code_bases[id(program)] = base
+        return base
+
+    def spawn_thread(self, program: Any, args: tuple, parent_tile: TileId,
+                     parent_clock: int) -> ThreadId:
+        from repro.distrib.wire import make_program_ref
+        child = self.rpc("spawn_thread",
+                         (make_program_ref(program), args,
+                          int(parent_tile), parent_clock))
+        return ThreadId(child)
+
+    def thread_finished(self, tile: TileId, final_clock: int) -> None:
+        self.cast("thread_finished", (int(tile), final_clock))
+
+    def wake_scheduler(self, tile: TileId) -> None:
+        self.cast("wake_scheduler", (int(tile),))
+
+
+class Worker:
+    """One worker process: frame loop + interpreter shard."""
+
+    def __init__(self, conn, process_index: int,
+                 config: SimulationConfig, tiles: List[int]) -> None:
+        self.conn = conn
+        self.process_index = process_index
+        self.queues = ShardQueues([TileId(t) for t in tiles])
+        self.kernel = KernelProxy(self, config)
+        self.interpreters: dict = {}
+
+    # -- frame I/O -----------------------------------------------------------
+
+    def _send(self, kind: FrameKind, payload: Any) -> None:
+        self.conn.send_bytes(encode_frame(kind, payload))
+
+    def _recv(self) -> tuple:
+        return decode_frame(self.conn.recv_bytes())
+
+    def rpc(self, method: str, args: tuple) -> Any:
+        """Issue a kernel RPC; service interleaved casts while waiting.
+
+        Between the KERNEL_CALL and its KERNEL_REPLY the coordinator may
+        legitimately send this worker DELIVER, NOTIFY_WAKE or SPAWN
+        frames (side effects of the very call in flight, e.g. a send to
+        a tile we own, or a spawn landing on our shard).  Those are
+        handled inline; all are pure-local, so no recursion is possible.
+        """
+        self._send(FrameKind.KERNEL_CALL, (method, args))
+        while True:
+            kind, payload = self._recv()
+            if kind is FrameKind.KERNEL_REPLY:
+                return payload
+            if kind is FrameKind.SHUTDOWN:
+                # The coordinator aborted mid-call (its side raised);
+                # exit instead of waiting for a reply that never comes.
+                sys.exit(0)
+            self._handle_cast_frame(kind, payload)
+
+    def cast(self, method: str, args: tuple) -> None:
+        self._send(FrameKind.KERNEL_CAST, (method, args))
+
+    # -- frame handlers ------------------------------------------------------
+
+    def _handle_cast_frame(self, kind: FrameKind, payload: Any) -> None:
+        if kind is FrameKind.DELIVER:
+            self.queues.enqueue(payload)
+        elif kind is FrameKind.NOTIFY_WAKE:
+            tile, timestamp = payload
+            self.interpreters[tile].notify_wake(timestamp)
+        elif kind is FrameKind.SPAWN:
+            self._handle_spawn(payload)
+        else:
+            raise RuntimeError(f"unexpected frame {kind} in worker")
+
+    def _handle_spawn(self, payload: tuple) -> None:
+        """Create an interpreter for a tile we own.  Purely local.
+
+        This handler must not issue RPCs: it can run while the
+        coordinator is busy servicing *another* worker's quantum, in
+        which case nobody would answer.  Everything the interpreter
+        constructor needs — including the synthetic code base the
+        in-process backend would allocate on demand — arrives in the
+        frame.
+        """
+        tile, ref, args, start_clock, code_base = payload
+        program = ref.resolve() if hasattr(ref, "resolve") else ref
+        self.kernel._pending_code_base = code_base
+        interpreter = ThreadInterpreter(self.kernel, TileId(tile), program,
+                                        tuple(args),
+                                        start_clock=start_clock)
+        self.interpreters[tile] = interpreter
+
+    def _handle_run_quantum(self, payload: tuple) -> None:
+        tile, budget, cycle_limit = payload
+        interpreter = self.interpreters[tile]
+        result = interpreter.run(budget, cycle_limit)
+        outcome = None
+        if result.status.value == "done":
+            try:
+                pickle.dumps(interpreter.result)
+                outcome = interpreter.result
+            except Exception:
+                outcome = None  # unshippable results stay worker-side
+        self._send(FrameKind.QUANTUM_DONE,
+                   (result.status.value, result.instructions,
+                    interpreter.core.cycles,
+                    interpreter.core.instruction_count, outcome))
+
+    def _handle_collect_stats(self) -> None:
+        self._send(FrameKind.STATS, self.kernel.stats.to_dict())
+
+    # -- main loop -----------------------------------------------------------
+
+    def loop(self) -> None:
+        while True:
+            kind, payload = self._recv()
+            if kind is FrameKind.SHUTDOWN:
+                return
+            try:
+                if kind is FrameKind.RUN_QUANTUM:
+                    self._handle_run_quantum(payload)
+                elif kind is FrameKind.COLLECT_STATS:
+                    self._handle_collect_stats()
+                else:
+                    self._handle_cast_frame(kind, payload)
+            except SystemExit:
+                return
+            except BaseException as exc:
+                blob = None
+                try:
+                    blob = pickle.dumps(exc)
+                except Exception:
+                    pass
+                self._send(FrameKind.ERROR,
+                           (traceback.format_exc(), blob))
+
+
+def worker_main(conn, process_index: int) -> None:
+    """Entry point of a worker process."""
+    try:
+        kind, payload = decode_frame(conn.recv_bytes())
+        if kind is not FrameKind.HELLO:
+            raise RuntimeError(f"expected HELLO, got {kind}")
+        config, tiles = payload
+        Worker(conn, process_index, config, tiles).loop()
+    except (EOFError, KeyboardInterrupt):
+        pass
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass

@@ -67,6 +67,16 @@ class ClusterLayout:
         return [TileId(t) for t in range(int(process), self.num_tiles,
                                          self.num_processes)]
 
+    def shards(self) -> List[List[TileId]]:
+        """Tile shard of every host process, indexed by process id.
+
+        The distributed backend forks one OS worker per entry and hands
+        it exactly this tile list (paper §3.5: tiles striped across
+        processes).
+        """
+        return [self.tiles_of_process(ProcessId(p))
+                for p in range(self.num_processes)]
+
     def core_of_tile(self, tile: TileId) -> CoreId:
         """Host core a tile's thread is scheduled on.
 

@@ -59,13 +59,24 @@ def repeat_runs(config: SimulationConfig,
                 program: Callable[..., Any],
                 args: tuple = (),
                 runs: int = 10,
-                base_seed: Optional[int] = None) -> RunStatistics:
+                base_seed: Optional[int] = None,
+                workers: int = 1) -> RunStatistics:
     """Run the same program ``runs`` times with varied seeds.
 
     Varying only the seed reproduces the paper's protocol: the target
     program and architecture are fixed while host-side nondeterminism
     (scheduling, OS noise) differs run to run.
+
+    With ``workers > 1`` the runs execute concurrently in a process
+    pool (the program must then be picklable or carry ``resolve()``);
+    results are identical to the serial path since each run is an
+    independent, fully seeded simulation.
     """
+    if workers > 1:
+        from repro.distrib.pool import parallel_repeat
+        return RunStatistics(parallel_repeat(
+            config, program, args, runs=runs, base_seed=base_seed,
+            workers=workers))
     results: List[SimulationResult] = []
     seed0 = config.seed if base_seed is None else base_seed
     for run_index in range(runs):
@@ -78,6 +89,14 @@ def repeat_runs(config: SimulationConfig,
 
 def sweep(configs: Sequence[SimulationConfig],
           program: Callable[..., Any],
-          args: tuple = ()) -> List[SimulationResult]:
-    """Run one program across a sequence of configurations."""
+          args: tuple = (),
+          workers: int = 1) -> List[SimulationResult]:
+    """Run one program across a sequence of configurations.
+
+    ``workers > 1`` fans the configurations out across a process pool;
+    ordering and per-configuration results match the serial path.
+    """
+    if workers > 1:
+        from repro.distrib.pool import parallel_sweep
+        return parallel_sweep(configs, program, args, workers=workers)
     return [Simulator(c).run(program, args) for c in configs]

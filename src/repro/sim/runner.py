@@ -1,0 +1,30 @@
+"""Backend selection: build the right simulator for a configuration."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.common.config import SimulationConfig
+from repro.sim.results import SimulationResult
+from repro.sim.simulator import Simulator
+
+
+def create_simulator(config: SimulationConfig) -> Simulator:
+    """Instantiate the simulator for ``config.distrib.backend``.
+
+    ``inproc`` (default) runs everything in this process; ``mp`` forks
+    one worker per host process of the cluster layout and distributes
+    tile threads across them (the import is deferred so the in-process
+    path never pays for multiprocessing machinery).
+    """
+    config.validate()
+    if config.distrib.backend == "mp":
+        from repro.distrib.coordinator import DistribSimulator
+        return DistribSimulator(config)
+    return Simulator(config)
+
+
+def run_simulation(config: SimulationConfig, program: Any,
+                   args: tuple = ()) -> SimulationResult:
+    """One-shot convenience: build the backend and run ``program``."""
+    return create_simulator(config).run(program, args)

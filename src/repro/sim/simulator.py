@@ -60,8 +60,7 @@ class Simulator:
             rng=self.rngs.stream("scheduler"))
 
         # Communication.
-        self.transport = Transport(self.layout,
-                                   self.stats.child("transport"))
+        self.transport = self._make_transport()
         self.transport.add_delivery_hook(self._charge_message)
         self.fabric = NetworkFabric(config.num_tiles, config.network,
                                     self.transport,
@@ -94,14 +93,18 @@ class Simulator:
         self.lcps = create_lcps(self.layout, self.stats.child("system"))
 
         # Threads.
-        self.interpreters: Dict[TileId, ThreadInterpreter] = {}
-        self._code_bases: Dict[int, int] = {}
+        self.interpreters: Dict[TileId, Any] = {}
+        self._code_bases: Dict[Any, int] = {}
 
         # Clock-skew tracing (Figure 7).
         self.skew_trace: List[Tuple[float, float, float]] = []
         if config.trace_clock_skew:
             self.scheduler.add_skew_sampler(self._sample_skew,
                                             config.skew_sample_period)
+
+    def _make_transport(self) -> Transport:
+        """Build the message fabric; overridden by the mp backend."""
+        return Transport(self.layout, self.stats.child("transport"))
 
     # -- kernel interface (called by the interpreters) ---------------------------
 
@@ -110,7 +113,16 @@ class Simulator:
 
     def code_base(self, program: Callable[..., Any]) -> int:
         """Stable synthetic code address for a program function."""
-        key = id(program)
+        return self._code_base_for(id(program))
+
+    def _code_base_for(self, key: Any) -> int:
+        """Allocate (once) a 64 KB code region for a program identity.
+
+        Regions are handed out in first-request order, which equals
+        thread spawn order — the property the distributed backend relies
+        on to reproduce identical code addresses from program *keys*
+        (pickled identities) instead of local object ids.
+        """
         base = self._code_bases.get(key)
         if base is None:
             base = (self.space.CODE_BASE
@@ -122,6 +134,8 @@ class Simulator:
                      parent_tile: Optional[TileId],
                      parent_clock: int) -> ThreadId:
         """The spawn protocol: caller -> MCP -> owning LCP -> new thread."""
+        if hasattr(program, "resolve"):
+            program = program.resolve()
         tile = self.mcp.threads.allocate_tile()
         self.mcp.threads.register_spawn(tile)
         process = self.layout.process_of_tile(tile)
@@ -180,6 +194,13 @@ class Simulator:
     def _charge_memory_access(self) -> None:
         self.scheduler.charge(self.cost_model.memory_access())
 
+    def _before_results(self) -> None:
+        """Hook run after the engine finishes, before the stats snapshot.
+
+        The distributed backend overrides this to fold worker-local
+        statistics back into the coordinator's tree.
+        """
+
     def _sample_skew(self, scheduler: Scheduler) -> None:
         clocks = scheduler.active_thread_clocks()
         if len(clocks) < 2:
@@ -190,12 +211,18 @@ class Simulator:
 
     # -- running --------------------------------------------------------------------------
 
-    def run(self, main_program: Callable[..., Any],
+    def run(self, main_program: Any,
             args: tuple = ()) -> SimulationResult:
-        """Execute ``main_program(ctx, *args)`` to completion."""
+        """Execute ``main_program(ctx, *args)`` to completion.
+
+        ``main_program`` is either a program callable or a *program
+        reference* (an object with a ``resolve()`` method, e.g.
+        :class:`repro.distrib.wire.WorkloadRef`) that builds one.
+        """
         main_thread = self.spawn_thread(main_program, args, None, 0)
         report = self.scheduler.run()
         del main_thread
+        self._before_results()
 
         thread_cycles = {int(t): i.core.cycles
                          for t, i in self.interpreters.items()}

@@ -16,9 +16,9 @@ from __future__ import annotations
 from typing import Optional, Set, TYPE_CHECKING
 
 from repro.common.config import SyncConfig
-from repro.common.ids import TileId
 from repro.common.stats import StatGroup
 from repro.sync.model import SynchronizationModel
+from repro.system.mcp import MCP_TILE
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.host.scheduler import ScheduledThread
@@ -75,7 +75,7 @@ class LaxBarrierModel(SynchronizationModel):
         # The gather message to the MCP travels over the system network;
         # charge its host transfer cost to the arriving thread's core.
         cost = scheduler.cost_model.message(
-            scheduler.layout.locality(thread.tile, TileId(0)), 64)
+            scheduler.layout.locality(thread.tile, MCP_TILE), 64)
         scheduler.charge_core_of(thread, cost)
         self._maybe_release()
 
@@ -113,7 +113,7 @@ class LaxBarrierModel(SynchronizationModel):
                 thread.state = ThreadState.RUNNABLE
                 # Release broadcast from the MCP, one message per waiter.
                 cost = scheduler.cost_model.message(
-                    scheduler.layout.locality(TileId(0), tile), 64)
+                    scheduler.layout.locality(MCP_TILE, tile), 64)
                 thread.ready_host_time = release_time + cost
         self._barriers.add()
         return True

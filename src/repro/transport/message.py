@@ -64,3 +64,37 @@ class Message:
     def latency(self) -> int:
         """Modelled network latency in target cycles."""
         return max(self.arrival_time - self.timestamp, 0)
+
+    # -- pickling (wire format) ---------------------------------------------
+    #
+    # Messages cross process boundaries in the distributed backend, so
+    # their pickled form is an explicit, versioned field tuple rather
+    # than a raw ``__dict__`` dump.  Unpickling restores the original
+    # ``seqno`` and does NOT consume the receiving process's sequence
+    # counter: physical send order is assigned exactly once, by the
+    # process that created the message.
+
+    _PICKLE_VERSION = 1
+
+    def __getstate__(self) -> tuple:
+        return (self._PICKLE_VERSION, int(self.src), int(self.dst),
+                self.kind.value, self.payload, self.size_bytes,
+                self.timestamp, self.arrival_time, self.seqno, self.tag)
+
+    def __setstate__(self, state: tuple) -> None:
+        version = state[0]
+        if version != self._PICKLE_VERSION:
+            raise ValueError(
+                f"Message pickle version {version!r} is not supported "
+                f"(expected {self._PICKLE_VERSION})")
+        (_, src, dst, kind, payload, size_bytes,
+         timestamp, arrival_time, seqno, tag) = state
+        self.src = TileId(src)
+        self.dst = TileId(dst)
+        self.kind = MessageKind(kind)
+        self.payload = payload
+        self.size_bytes = size_bytes
+        self.timestamp = timestamp
+        self.arrival_time = arrival_time
+        self.seqno = seqno
+        self.tag = tag

@@ -67,13 +67,23 @@ class Transport:
         if not 0 <= int(message.src) < self.layout.num_tiles:
             raise TransportError(f"source tile {int(message.src)} out of range")
         locality = self.layout.locality(message.src, message.dst)
-        self._queues[dst][message.kind].append(message)
+        self._deliver(message)
         self._sent.add()
         self._bytes.add(message.size_bytes)
         self._by_locality[locality].add()
         for hook in self._hooks:
             hook(message, locality)
         return locality
+
+    def _deliver(self, message: Message) -> None:
+        """Place a validated message in its destination queue.
+
+        The single physical delivery point: subclasses (e.g. the
+        distributed backend's :class:`~repro.distrib.shard.ShardTransport`)
+        override this to route the message to the process owning the
+        destination tile instead of a local queue.
+        """
+        self._queues[int(message.dst)][message.kind].append(message)
 
     def account(self, src: TileId, dst: TileId, kind: MessageKind,
                 size_bytes: int) -> Locality:

@@ -1,0 +1,72 @@
+"""The mp backend must reproduce the in-process backend exactly.
+
+This is the acceptance bar of the distributed backend: same seed, same
+configuration => byte-identical headline metrics (simulated cycles,
+message counts, every counter) whichever backend ran the simulation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import SimulationConfig
+from repro.distrib.coordinator import DistribSimulator
+from repro.distrib.wire import WorkloadRef
+from repro.sim.runner import create_simulator, run_simulation
+from repro.sim.simulator import Simulator
+
+
+def _config(sync: str, network: str) -> SimulationConfig:
+    cfg = SimulationConfig(num_tiles=4, seed=11)
+    cfg.host.num_machines = 2
+    cfg.host.cores_per_machine = 2
+    cfg.host.quantum_instructions = 200
+    cfg.sync.model = sync
+    cfg.network.memory_model = network
+    cfg.validate()
+    return cfg
+
+
+REF = WorkloadRef("matrix_multiply", nthreads=4, scale=0.05)
+
+
+@pytest.mark.parametrize("network", ["magic", "mesh"])
+@pytest.mark.parametrize("sync", ["lax", "lax_barrier"])
+def test_backends_produce_identical_metrics(sync, network):
+    cfg = _config(sync, network)
+    inproc = Simulator(cfg).run(REF)
+
+    mp_cfg = _config(sync, network)
+    mp_cfg.distrib.backend = "mp"
+    sim = create_simulator(mp_cfg)
+    assert isinstance(sim, DistribSimulator)
+    assert sim.layout.num_processes == 2  # a real multi-worker split
+    mp = sim.run(REF)
+
+    assert mp.simulated_cycles == inproc.simulated_cycles
+    assert mp.thread_cycles == inproc.thread_cycles
+    assert mp.thread_start_cycles == inproc.thread_start_cycles
+    assert mp.thread_instructions == inproc.thread_instructions
+    assert mp.counters == inproc.counters  # every counter, every subsystem
+    assert mp.wall_clock_seconds == inproc.wall_clock_seconds
+    assert mp.core_busy_seconds == inproc.core_busy_seconds
+    assert mp.main_result == inproc.main_result
+
+
+def test_mp_backend_survives_coherence_audit():
+    """The coordinator-side memory system stays consistent under mp."""
+    cfg = _config("lax", "mesh")
+    cfg.distrib.backend = "mp"
+    sim = create_simulator(cfg)
+    sim.run(REF)
+    sim.engine.check_coherence_invariants()
+
+
+def test_run_simulation_selects_backend():
+    cfg = _config("lax", "magic")
+    assert isinstance(create_simulator(cfg), Simulator)
+    assert not isinstance(create_simulator(cfg), DistribSimulator)
+    result = run_simulation(cfg, REF)
+    cfg.distrib.backend = "mp"
+    assert run_simulation(cfg, REF).simulated_cycles \
+        == result.simulated_cycles

@@ -1,0 +1,94 @@
+"""Sweep-pool tests: parallel results match serial, failures surface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import SimulationConfig
+from repro.distrib.errors import WorkerCrashError
+from repro.distrib.pool import parallel_repeat, run_jobs
+from repro.distrib.wire import WorkloadRef
+from repro.sim.experiment import repeat_runs, sweep
+
+REF = WorkloadRef("matrix_multiply", nthreads=2, scale=0.05)
+
+
+def _configs(n: int = 4):
+    out = []
+    for i in range(n):
+        cfg = SimulationConfig(num_tiles=2, seed=100 + i)
+        cfg.host.quantum_instructions = 200
+        out.append(cfg)
+    return out
+
+
+def _crashing_program(ctx):
+    yield from ctx.compute(5)
+    raise RuntimeError("job exploded")
+
+
+def test_parallel_sweep_matches_serial():
+    configs = _configs()
+    serial = sweep(configs, REF)
+    parallel = sweep(configs, REF, workers=2)
+    assert len(parallel) == len(serial)
+    for a, b in zip(serial, parallel):
+        assert a.simulated_cycles == b.simulated_cycles
+        assert a.counters == b.counters
+        assert a.wall_clock_seconds == b.wall_clock_seconds
+
+
+def test_parallel_repeat_matches_serial():
+    cfg = _configs(1)[0]
+    serial = repeat_runs(cfg, REF, runs=3)
+    parallel = repeat_runs(cfg, REF, runs=3, workers=2)
+    assert parallel.simulated_cycles == serial.simulated_cycles
+    assert parallel.mean_wall_clock == serial.mean_wall_clock
+
+
+def test_pool_results_keep_job_order():
+    configs = _configs(5)
+    results = run_jobs([(c, REF, ()) for c in configs], workers=3)
+    serial = sweep(configs, REF)
+    assert [r.simulated_cycles for r in results] \
+        == [r.simulated_cycles for r in serial]
+
+
+def test_pool_surfaces_child_failure_with_traceback():
+    configs = _configs(2)
+    with pytest.raises(WorkerCrashError) as excinfo:
+        run_jobs([(c, _crashing_program, ()) for c in configs],
+                 workers=2)
+    assert "job exploded" in str(excinfo.value)
+    assert "_crashing_program" in str(excinfo.value)
+
+
+def test_serial_fallback_propagates_original_exception():
+    """With one job (or workers=1) there is no pool: faults keep their
+    original type exactly as a direct Simulator.run would raise them."""
+    cfg = _configs(1)[0]
+    with pytest.raises(RuntimeError, match="job exploded"):
+        run_jobs([(cfg, _crashing_program, ())], workers=2)
+
+
+def test_pool_forces_inproc_in_children():
+    """A job config asking for the mp backend must not nest clusters."""
+    cfg = _configs(1)[0]
+    cfg.distrib.backend = "mp"
+    results = run_jobs([(cfg, REF, ())], workers=2)
+    baseline = sweep(_configs(1), REF)[0]
+    assert results[0].simulated_cycles == baseline.simulated_cycles
+
+
+def test_empty_and_single_worker_paths():
+    assert run_jobs([], workers=4) == []
+    cfg = _configs(1)[0]
+    serial = run_jobs([(cfg, REF, ())], workers=1)
+    assert serial[0].simulated_cycles \
+        == sweep(_configs(1), REF)[0].simulated_cycles
+
+
+def test_parallel_repeat_seed_protocol():
+    cfg = _configs(1)[0]
+    results = parallel_repeat(cfg, REF, runs=2, workers=2)
+    assert len(results) == 2

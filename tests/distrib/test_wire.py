@@ -1,0 +1,181 @@
+"""Wire-format tests: pickling of messages, configs, frames, results."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import SimulationConfig
+from repro.common.errors import ConfigError
+from repro.common.ids import TileId
+from repro.distrib.errors import ProgramTransportError, WireFormatError
+from repro.distrib.wire import (
+    WIRE_VERSION,
+    FrameKind,
+    PickledProgram,
+    WorkloadRef,
+    decode_frame,
+    encode_frame,
+    make_program_ref,
+    program_key,
+)
+from repro.sim.results import SimulationResult
+from repro.transport.message import Message, MessageKind
+import repro.transport.message as message_module
+
+
+def _module_level_program(ctx):  # used by pickling tests
+    yield from ctx.compute(1)
+
+
+payloads = st.one_of(
+    st.none(),
+    st.integers(),
+    st.binary(max_size=64),
+    st.tuples(st.integers(min_value=0, max_value=63),
+              st.binary(max_size=32)),
+    st.dictionaries(st.text(max_size=8), st.integers(), max_size=4),
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    src=st.integers(min_value=0, max_value=1023),
+    dst=st.integers(min_value=0, max_value=1023),
+    kind=st.sampled_from(list(MessageKind)),
+    payload=payloads,
+    size_bytes=st.integers(min_value=0, max_value=1 << 20),
+    timestamp=st.integers(min_value=0, max_value=1 << 40),
+    arrival=st.integers(min_value=0, max_value=1 << 40),
+    tag=st.one_of(st.none(), st.integers(min_value=0, max_value=1 << 16)),
+)
+def test_message_roundtrip(src, dst, kind, payload, size_bytes,
+                           timestamp, arrival, tag):
+    """Every field of every message kind survives a pickle round trip."""
+    msg = Message(src=TileId(src), dst=TileId(dst), kind=kind,
+                  payload=payload, size_bytes=size_bytes,
+                  timestamp=timestamp, arrival_time=arrival, tag=tag)
+    clone = pickle.loads(pickle.dumps(msg))
+    assert clone.src == msg.src and isinstance(clone.src, TileId)
+    assert clone.dst == msg.dst and isinstance(clone.dst, TileId)
+    assert clone.kind is msg.kind
+    assert clone.payload == msg.payload
+    assert clone.size_bytes == msg.size_bytes
+    assert clone.timestamp == msg.timestamp
+    assert clone.arrival_time == msg.arrival_time
+    assert clone.seqno == msg.seqno
+    assert clone.tag == msg.tag
+    assert clone.latency == msg.latency
+
+
+def test_message_unpickle_preserves_seqno_without_consuming_counter():
+    """Unpickling restores seqno and must not bump the global sequence.
+
+    Physical send order is assigned exactly once, by the process that
+    created the message — otherwise coordinator and worker counters
+    would diverge and delivery order would not be reproducible.
+    """
+    msg = Message(src=TileId(0), dst=TileId(1), kind=MessageKind.USER)
+    blob = pickle.dumps(msg)
+    before = next(message_module._sequence)
+    clone = pickle.loads(blob)
+    after = next(message_module._sequence)
+    assert clone.seqno == msg.seqno
+    assert after == before + 1  # only our probes consumed the counter
+
+
+def test_message_version_mismatch_rejected():
+    msg = Message(src=TileId(0), dst=TileId(1), kind=MessageKind.MEMORY)
+    state = list(msg.__getstate__())
+    state[0] = 999
+    clone = Message.__new__(Message)
+    with pytest.raises(ValueError, match="version"):
+        clone.__setstate__(tuple(state))
+
+
+def test_config_roundtrip_deep():
+    cfg = SimulationConfig(num_tiles=16, seed=123)
+    cfg.sync.model = "lax_barrier"
+    cfg.host.num_machines = 2
+    cfg.memory.directory_type = "limited"
+    cfg.distrib.backend = "mp"
+    clone = pickle.loads(pickle.dumps(cfg))
+    assert clone.to_dict() == cfg.to_dict()
+    clone.validate()
+
+
+def test_config_version_mismatch_rejected():
+    cfg = SimulationConfig(num_tiles=2)
+    state = cfg.__getstate__()
+    state["version"] = -1
+    clone = SimulationConfig.__new__(SimulationConfig)
+    with pytest.raises(ConfigError):
+        clone.__setstate__(state)
+
+
+def test_result_roundtrip():
+    result = SimulationResult(
+        simulated_cycles=1000, wall_clock_seconds=0.5, native_seconds=0.1,
+        thread_cycles={0: 1000, 1: 900},
+        thread_instructions={0: 50, 1: 40},
+        counters={"sim.transport.messages_sent": 7},
+        thread_start_cycles={0: 0, 1: 10},
+        main_result=("ok", 42))
+    clone = pickle.loads(pickle.dumps(result))
+    assert clone == result
+    assert clone.parallel_cycles == result.parallel_cycles
+
+
+@settings(max_examples=50, deadline=None)
+@given(kind=st.sampled_from(list(FrameKind)), payload=payloads)
+def test_frame_roundtrip(kind, payload):
+    decoded_kind, decoded = decode_frame(encode_frame(kind, payload))
+    assert decoded_kind is kind
+    assert decoded == payload
+
+
+def test_frame_version_mismatch_rejected():
+    blob = pickle.dumps((WIRE_VERSION + 1, FrameKind.HELLO.value, None))
+    with pytest.raises(WireFormatError, match="version"):
+        decode_frame(blob)
+
+
+def test_frame_garbage_rejected():
+    with pytest.raises(WireFormatError):
+        decode_frame(b"not a frame")
+
+
+def test_workload_ref_resolves_and_roundtrips():
+    ref = WorkloadRef("matrix_multiply", nthreads=2, scale=0.05)
+    clone = pickle.loads(pickle.dumps(ref))
+    assert clone == ref
+    program = clone.resolve()
+    assert callable(program)
+
+
+def test_make_program_ref_passthrough_and_pickled():
+    ref = WorkloadRef("fft", 2)
+    assert make_program_ref(ref) is ref
+    shipped = make_program_ref(_module_level_program)
+    assert isinstance(shipped, PickledProgram)
+    assert shipped.resolve() is _module_level_program
+
+
+def test_make_program_ref_rejects_closures():
+    captured = 3
+
+    def closure_program(ctx):
+        yield from ctx.compute(captured)
+
+    with pytest.raises(ProgramTransportError, match="module-level"):
+        make_program_ref(closure_program)
+
+
+def test_program_key_stable_across_equal_refs():
+    a = WorkloadRef("radix", 4, 1.0)
+    b = WorkloadRef("radix", 4, 1.0)
+    assert program_key(a) == program_key(b)
+    assert program_key(a) != program_key(WorkloadRef("radix", 8, 1.0))
