@@ -78,7 +78,7 @@ def test_ablation_sync_tuning(benchmark):
                           f"{s.error_percent(baseline_cycles):.2f}")
 
     lax_error = results["lax"].error_percent(baseline_cycles)
-    footer = (f"plain lax: run-time 1.00, error "
+    footer = ("plain lax: run-time 1.00, error "
               f"{lax_error:.2f}% (the no-synchronization endpoint)")
     save_artifact("ablation_sync_tuning",
                   barrier_table.render() + "\n\n" + p2p_table.render()

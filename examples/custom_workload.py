@@ -92,9 +92,9 @@ def main() -> None:
     print("========================")
     print(f"all jobs accounted for: {result.main_result}")
     print(f"simulated cycles:       {result.simulated_cycles:,}")
-    print(f"lock futex waits:       "
+    print("lock futex waits:       "
           f"{result.counter('mcp.futex.futex_waits')}")
-    print(f"user messages:          "
+    print("user messages:          "
           f"{result.counter('network.user_net.packets')}")
 
 

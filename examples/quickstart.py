@@ -25,18 +25,18 @@ def main() -> None:
           f"{config.memory.directory_type} directory MSI")
     print(f"host:        {config.host.num_machines} machine(s) x "
           f"{config.host.cores_per_machine} cores")
-    print(f"workload:    fft, 32 threads")
+    print("workload:    fft, 32 threads")
     print()
     print(f"simulated run-time:   {result.simulated_cycles:,} cycles "
           f"({result.simulated_cycles / config.core.clock_hz * 1e3:.2f} ms "
           "of target time)")
     print(f"instructions:         {result.total_instructions:,}")
-    print(f"modelled wall-clock:  "
+    print("modelled wall-clock:  "
           f"{pretty_seconds(result.wall_clock_seconds)}")
     print(f"modelled native:      {pretty_seconds(result.native_seconds)}")
     print(f"slowdown vs native:   {result.slowdown:,.0f}x")
     print(f"L2 miss rate:         {result.cache_miss_rate('l2'):.2%}")
-    print(f"network messages:     "
+    print("network messages:     "
           f"{result.counter('transport.messages_sent'):,}")
 
 

@@ -38,7 +38,7 @@ def render_report(config: SimulationConfig,
                  f"{config.core.clock_hz / 1e9:g} GHz")
     memory = config.memory
     lines.append(
-        f"L1I/L1D:         "
+        "L1I/L1D:         "
         + (f"{pretty_bytes(memory.l1i.size_bytes)} "
            f"{memory.l1i.associativity}-way"
            if memory.l1i.enabled else "disabled"))
@@ -61,9 +61,9 @@ def render_report(config: SimulationConfig,
     lines.append(f"parallel region:      {result.parallel_cycles:,} "
                  "cycles")
     lines.append(f"instructions:         {result.total_instructions:,}")
-    lines.append(f"host wall-clock:      "
+    lines.append("host wall-clock:      "
                  f"{pretty_seconds(result.wall_clock_seconds)}")
-    lines.append(f"native estimate:      "
+    lines.append("native estimate:      "
                  f"{pretty_seconds(result.native_seconds)}")
     lines.append(f"slowdown:             {result.slowdown:,.1f}x")
 
@@ -119,7 +119,7 @@ def render_report(config: SimulationConfig,
         lines.append(f"{net:10s}: {packets:>10,} packets, "
                      f"{pretty_bytes(data) if data else '0 B':>9}, "
                      f"mean latency {mean:6.1f} cycles")
-    lines.append(f"transport:  "
+    lines.append("transport:  "
                  f"{_sum(result, 'transport.messages_sent'):,} messages "
                  f"({_sum(result, 'messages_cross_machine'):,} "
                  "cross-machine)")
@@ -128,9 +128,9 @@ def render_report(config: SimulationConfig,
     lines.append(_section("Synchronization"))
     lines.append(f"futex waits/wakes: {_sum(result, '.futex_waits'):,} / "
                  f"{_sum(result, '.futex_wakes'):,}")
-    lines.append(f"app barriers released: "
+    lines.append("app barriers released: "
                  f"{_sum(result, 'mcp.barrier_releases'):,}")
-    lines.append(f"sync wait cycles: "
+    lines.append("sync wait cycles: "
                  f"{_sum(result, '.sync_wait_cycles'):,}")
     p2p = _sum(result, ".p2p_sleeps")
     barriers = _sum(result, ".barriers_released")

@@ -70,6 +70,20 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=42)
     run.add_argument("--classify-misses", action="store_true",
                      help="report the miss-type breakdown (Figure 8)")
+    run.add_argument("--trace", nargs="?", const="all", default=None,
+                     metavar="CATEGORIES",
+                     help="enable event tracing; optional comma-"
+                          "separated categories (e.g. cache,network), "
+                          "default all")
+    run.add_argument("--trace-out", default=None, metavar="PATH",
+                     help="trace file; .json gets Chrome trace-event "
+                          "format (load in Perfetto), anything else "
+                          "JSONL (implies --trace)")
+    run.add_argument("--metrics-interval", type=int, default=0,
+                     metavar="TURNS",
+                     help="snapshot all counters every N scheduler "
+                          "turns into metric time-series (implies "
+                          "--trace)")
     run.add_argument("--json", action="store_true",
                      help="emit machine-readable JSON instead of text")
     run.add_argument("--report", action="store_true",
@@ -93,6 +107,13 @@ def _configure(args: argparse.Namespace) -> SimulationConfig:
     config.distrib.backend = args.backend
     if args.quantum:
         config.host.quantum_instructions = args.quantum
+    if args.trace or args.trace_out or args.metrics_interval:
+        config.telemetry.enabled = True
+        config.telemetry.events = (
+            [c.strip() for c in args.trace.split(",") if c.strip()]
+            if args.trace else ["all"])
+        config.telemetry.trace_path = args.trace_out
+        config.telemetry.metrics_interval = args.metrics_interval
     config.validate()
     return config
 
@@ -108,6 +129,8 @@ def _command_run(args: argparse.Namespace) -> int:
     simulator = create_simulator(config)
     result = simulator.run(program)
     simulator.engine.check_coherence_invariants()
+    trace_events = (len(simulator.telemetry.events)
+                    if simulator.telemetry is not None else 0)
 
     if args.report:
         from repro.analysis.report import render_report
@@ -132,6 +155,9 @@ def _command_run(args: argparse.Namespace) -> int:
             "messages": result.counter("transport.messages_sent"),
             "miss_breakdown": result.miss_breakdown,
         }
+        if config.telemetry.enabled:
+            payload["trace_events"] = trace_events
+            payload["trace_out"] = config.telemetry.trace_path
         print(json.dumps(payload, indent=2))
         return 0
 
@@ -145,17 +171,21 @@ def _command_run(args: argparse.Namespace) -> int:
     print(f"simulated run-time:  {result.simulated_cycles:,} cycles "
           f"(parallel region {result.parallel_cycles:,})")
     print(f"instructions:        {result.total_instructions:,}")
-    print(f"wall-clock (model):  "
+    print("wall-clock (model):  "
           f"{pretty_seconds(result.wall_clock_seconds)}")
     print(f"native (model):      {pretty_seconds(result.native_seconds)}")
     print(f"slowdown:            {result.slowdown:,.0f}x")
     print(f"L2 miss rate:        {result.cache_miss_rate('l2'):.2%}")
-    print(f"messages:            "
+    print("messages:            "
           f"{result.counter('transport.messages_sent'):,}")
     if result.miss_breakdown:
         parts = ", ".join(f"{k}={v}" for k, v in
                           sorted(result.miss_breakdown.items()) if v)
         print(f"miss breakdown:      {parts}")
+    if config.telemetry.enabled:
+        where = (f" -> {config.telemetry.trace_path}"
+                 if config.telemetry.trace_path else "")
+        print(f"trace:               {trace_events:,} events{where}")
     return 0
 
 

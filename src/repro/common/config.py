@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.common.errors import ConfigError
 from repro.common.units import DEFAULT_CLOCK_HZ, GB, KB, MB
@@ -352,6 +352,56 @@ class DistribConfig:
                  "distrib: shutdown_timeout must be positive")
 
 
+#: Trace file formats (see :mod:`repro.telemetry`): ``auto`` infers
+#: chrome for ``.json`` paths and jsonl otherwise.
+TRACE_FORMATS = ("auto", "jsonl", "chrome")
+
+
+@dataclass
+class TelemetryConfig:
+    """Event tracing and metrics observability (see :mod:`repro.telemetry`).
+
+    Disabled by default; a disabled run constructs no bus at all, so
+    every instrumented hot path degenerates to one ``is not None``
+    check.  Telemetry is purely observational — it never consumes RNG
+    streams or alters timing — so simulated-cycle results are identical
+    with tracing on or off.
+    """
+
+    enabled: bool = False
+    #: Event categories to record; names from
+    #: :class:`repro.telemetry.events.EventCategory` or ``"all"``.
+    events: List[str] = field(default_factory=lambda: ["all"])
+    #: Trace output file; ``None`` keeps events in memory only.
+    trace_path: Optional[str] = None
+    #: Output format: ``auto`` | ``jsonl`` | ``chrome``.
+    trace_format: str = "auto"
+    #: Metrics-registry snapshot cadence in scheduler turns; 0 disables.
+    metrics_interval: int = 0
+    #: mp backend: worker flushes its event batch to the coordinator
+    #: once this many events are pending.
+    batch_events: int = 256
+
+    def resolved_trace_format(self) -> str:
+        if self.trace_format != "auto":
+            return self.trace_format
+        if self.trace_path and str(self.trace_path).endswith(".json"):
+            return "chrome"
+        return "jsonl"
+
+    def validate(self) -> None:
+        _require(self.trace_format in TRACE_FORMATS,
+                 f"telemetry: unknown trace format {self.trace_format!r} "
+                 f"(choose from {TRACE_FORMATS})")
+        _require(self.metrics_interval >= 0,
+                 "telemetry: metrics_interval must be >= 0")
+        _require(self.batch_events >= 1,
+                 "telemetry: batch_events must be >= 1")
+        # Resolves category names; raises ConfigError on unknown ones.
+        from repro.telemetry.events import parse_event_mask
+        parse_event_mask(self.events)
+
+
 @dataclass
 class SimulationConfig:
     """Top-level configuration: the target architecture plus the host."""
@@ -363,6 +413,7 @@ class SimulationConfig:
     sync: SyncConfig = field(default_factory=SyncConfig)
     host: HostConfig = field(default_factory=HostConfig)
     distrib: DistribConfig = field(default_factory=DistribConfig)
+    telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
     #: Master seed for all RNG streams.
     seed: int = 42
     #: Heterogeneous tiles (paper §2: "tiles may be homogeneous or
@@ -401,6 +452,7 @@ class SimulationConfig:
         self.sync.validate()
         self.host.validate()
         self.distrib.validate()
+        self.telemetry.validate()
 
     # -- (de)serialisation --------------------------------------------------
 
@@ -432,6 +484,7 @@ class SimulationConfig:
             "host": (HostConfig,),
             "dram": (DramConfig,),
             "distrib": (DistribConfig,),
+            "telemetry": (TelemetryConfig,),
         }
         kwargs: Dict[str, Any] = {}
         for key, value in data.items():

@@ -17,14 +17,26 @@ def get_logger(subsystem: str) -> logging.Logger:
     return logging.getLogger(f"{_ROOT}.{subsystem}")
 
 
+#: Marker attribute identifying the handler :func:`enable_tracing` owns.
+_TRACE_HANDLER_FLAG = "_repro_trace_handler"
+
+
 def enable_tracing(level: int = logging.DEBUG) -> None:
-    """Turn on console tracing for all simulator subsystems."""
+    """Turn on console tracing for all simulator subsystems.
+
+    Idempotent: repeated calls adjust the level but never stack a
+    second stream handler, even when other code (pytest's caplog, an
+    application's own logging setup) has already attached handlers of
+    its own to the ``repro`` logger.
+    """
     logger = logging.getLogger(_ROOT)
     logger.setLevel(level)
-    if not logger.handlers:
+    if not any(getattr(h, _TRACE_HANDLER_FLAG, False)
+               for h in logger.handlers):
         handler = logging.StreamHandler()
         handler.setFormatter(logging.Formatter(
             "%(name)s: %(message)s"))
+        setattr(handler, _TRACE_HANDLER_FLAG, True)
         logger.addHandler(handler)
 
 

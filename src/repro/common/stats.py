@@ -33,10 +33,20 @@ class Histogram:
     """A streaming histogram tracking count/sum/min/max and moments.
 
     Sufficient for means, standard deviations and coefficients of
-    variation without retaining every sample.
+    variation without retaining every sample.  A bounded reservoir of
+    decimated samples additionally supports approximate quantiles: the
+    histogram keeps every ``stride``-th recorded value and, when the
+    reservoir exceeds :data:`MAX_SAMPLES`, drops every other retained
+    sample and doubles the stride.  The retained set is a pure function
+    of the recorded sequence — no randomness — so distributed runs stay
+    deterministic and mergeable.
     """
 
-    __slots__ = ("name", "count", "total", "sq_total", "min", "max")
+    __slots__ = ("name", "count", "total", "sq_total", "min", "max",
+                 "samples", "_stride", "_pending")
+
+    #: Reservoir bound; decimation halves the reservoir past this.
+    MAX_SAMPLES = 512
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -45,6 +55,9 @@ class Histogram:
         self.sq_total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self.samples: List[float] = []
+        self._stride = 1
+        self._pending = 0
 
     def record(self, value: float) -> None:
         self.count += 1
@@ -54,6 +67,13 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+        self._pending += 1
+        if self._pending >= self._stride:
+            self._pending = 0
+            self.samples.append(value)
+            if len(self.samples) > self.MAX_SAMPLES:
+                self.samples = self.samples[::2]
+                self._stride *= 2
 
     @property
     def mean(self) -> float:
@@ -76,6 +96,70 @@ class Histogram:
         """Coefficient of variation (stddev / mean), 0 if mean is 0."""
         mean = self.mean
         return self.stddev / mean if mean else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate ``q``-quantile from the decimated reservoir.
+
+        Linear interpolation between retained samples; exact while
+        fewer than :data:`MAX_SAMPLES` values have been recorded.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        pos = q * (len(ordered) - 1)
+        lo = int(pos)
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = pos - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's accumulation into this one.
+
+        Moments add exactly; the reservoirs concatenate and re-decimate
+        to the bound.  Used by the mp backend to aggregate each
+        worker's locally recorded distributions at the coordinator.
+        """
+        self.count += other.count
+        self.total += other.total
+        self.sq_total += other.sq_total
+        for bound in (other.min, other.max):
+            if bound is None:
+                continue
+            if self.min is None or bound < self.min:
+                self.min = bound
+            if self.max is None or bound > self.max:
+                self.max = bound
+        self.samples.extend(other.samples)
+        self._stride = max(self._stride, other._stride)
+        while len(self.samples) > self.MAX_SAMPLES:
+            self.samples = self.samples[::2]
+            self._stride *= 2
+
+    def state(self) -> Dict[str, object]:
+        """Plain-dict snapshot (wire format for distributed merging)."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "sq_total": self.sq_total,
+            "min": self.min,
+            "max": self.max,
+            "samples": list(self.samples),
+            "stride": self._stride,
+        }
+
+    def merge_state(self, state: Dict[str, object]) -> None:
+        """Merge a :meth:`state` snapshot (possibly from another process)."""
+        other = Histogram(self.name)
+        other.count = int(state["count"])
+        other.total = float(state["total"])
+        other.sq_total = float(state["sq_total"])
+        other.min = state["min"]
+        other.max = state["max"]
+        other.samples = list(state["samples"])
+        other._stride = int(state.get("stride", 1))
+        self.merge(other)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"Histogram({self.name}: n={self.count}, "
@@ -175,6 +259,14 @@ class StatGroup:
         for child in self.children.values():
             yield from child.walk(f"{base}.")
 
+    def walk_histograms(self, prefix: str = "") -> Iterable[Tuple[str, Histogram]]:
+        """Yield (dotted-path, histogram) for the whole subtree."""
+        base = f"{prefix}{self.name}"
+        for h in self.histograms.values():
+            yield f"{base}.{h.name}", h
+        for child in self.children.values():
+            yield from child.walk_histograms(f"{base}.")
+
     def to_dict(self) -> Dict[str, object]:
         """Flatten into a plain dict snapshot (for results objects)."""
         out: Dict[str, object] = {}
@@ -200,3 +292,26 @@ class StatGroup:
             for part in groups:
                 node = node.child(part)
             node.counter(name).add(int(value))
+
+    def histogram_states(self) -> Dict[str, Dict[str, object]]:
+        """Flatten every histogram into ``{dotted-path: state}``.
+
+        The histogram counterpart of :meth:`to_dict`, used by mp
+        workers to ship locally recorded distributions to the
+        coordinator (counters alone cannot carry min/max/quantiles).
+        """
+        return {path: h.state() for path, h in self.walk_histograms()}
+
+    def merge_histogram_states(self,
+                               flat: Dict[str, Dict[str, object]]) -> None:
+        """Merge a :meth:`histogram_states` snapshot into this tree."""
+        prefix = f"{self.name}."
+        for path, state in flat.items():
+            if not path.startswith(prefix):
+                raise ValueError(
+                    f"histogram path {path!r} is not rooted at {self.name!r}")
+            *groups, name = path[len(prefix):].split(".")
+            node = self
+            for part in groups:
+                node = node.child(part)
+            node.histogram(name).merge_state(state)

@@ -22,10 +22,16 @@ from repro.core.perf_model import CorePerfModel
 CoreModel = Union[CorePerfModel, OutOfOrderCoreModel]
 
 
-def create_core_model(config: CoreConfig, stats: StatGroup) -> CoreModel:
-    """Instantiate the configured core timing model."""
+def create_core_model(config: CoreConfig, stats: StatGroup,
+                      telemetry=None, tile=None) -> CoreModel:
+    """Instantiate the configured core timing model.
+
+    ``telemetry`` is an optional SYNC-category channel for stall
+    events; ``tile`` labels them (the core model itself has no notion
+    of placement).
+    """
     if config.model == "in_order":
-        return CorePerfModel(config, stats)
+        return CorePerfModel(config, stats, telemetry, tile)
     if config.model == "out_of_order":
-        return OutOfOrderCoreModel(config, stats)
+        return OutOfOrderCoreModel(config, stats, telemetry, tile)
     raise ConfigError(f"unknown core model {config.model!r}")

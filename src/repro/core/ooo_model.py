@@ -49,10 +49,14 @@ from repro.core.isa import InstructionClass, cost_of
 class OutOfOrderCoreModel:
     """Window-based OoO timing model (same interface as the in-order)."""
 
-    def __init__(self, config: CoreConfig, stats: StatGroup) -> None:
+    def __init__(self, config: CoreConfig, stats: StatGroup,
+                 telemetry=None, tile=None) -> None:
         self.config = config
         self.clock = TileClock()
         self.stats = stats
+        #: SYNC-category telemetry channel for stall events, or ``None``.
+        self._tele = telemetry
+        self._tile = tile
         self.branch_predictor = BranchPredictor(
             config.branch_predictor_entries, stats.child("branch"))
         self._costs = config.instruction_costs
@@ -140,7 +144,12 @@ class OutOfOrderCoreModel:
             self.drain()
             before = self.clock.now
             self.clock.forward_to(pseudo.time)
-            self._sync_wait.add(self.clock.now - before)
+            waited = self.clock.now - before
+            self._sync_wait.add(waited)
+            if waited > 0 and self._tele is not None:
+                self._tele.emit("stall", self._tile, before,
+                                {"cycles": waited,
+                                 "kind": pseudo.kind.value})
         if pseudo.cost:
             self.clock.advance(pseudo.cost)
 

@@ -13,6 +13,8 @@ could consume the same streams.
 
 from __future__ import annotations
 
+from typing import Optional, TYPE_CHECKING
+
 from repro.common.config import CoreConfig
 from repro.common.stats import StatGroup
 from repro.core.branch import BranchPredictor
@@ -27,6 +29,9 @@ from repro.core.instruction import (
 from repro.core.isa import InstructionClass, cost_of
 from repro.core.lsu import LoadQueue, StoreBuffer
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.bus import Channel
+
 #: Latency charged when a load hits a buffered store (forwarding).
 STORE_FORWARD_LATENCY = 1
 
@@ -34,10 +39,15 @@ STORE_FORWARD_LATENCY = 1
 class CorePerfModel:
     """Timing model of one in-order core with an OoO memory interface."""
 
-    def __init__(self, config: CoreConfig, stats: StatGroup) -> None:
+    def __init__(self, config: CoreConfig, stats: StatGroup,
+                 telemetry: Optional["Channel"] = None,
+                 tile: Optional[int] = None) -> None:
         self.config = config
         self.clock = TileClock()
         self.stats = stats
+        #: SYNC-category telemetry channel for stall events, or ``None``.
+        self._tele = telemetry
+        self._tile = tile
         self.branch_predictor = BranchPredictor(
             config.branch_predictor_entries, stats.child("branch"))
         self.store_buffer = StoreBuffer(
@@ -103,7 +113,12 @@ class CorePerfModel:
                            PseudoKind.SPAWN):
             before = self.clock.now
             self.clock.forward_to(pseudo.time)
-            self._sync_wait.add(self.clock.now - before)
+            waited = self.clock.now - before
+            self._sync_wait.add(waited)
+            if waited > 0 and self._tele is not None:
+                self._tele.emit("stall", self._tile, before,
+                                {"cycles": waited,
+                                 "kind": pseudo.kind.value})
         if pseudo.cost:
             self.clock.advance(pseudo.cost)
 

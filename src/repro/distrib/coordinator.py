@@ -43,6 +43,8 @@ from repro.host.cluster import ClusterLayout
 from repro.host.scheduler import QuantumResult, QuantumStatus, ThreadTask
 from repro.sim.simulator import Simulator
 from repro.system.mcp import MCP_TILE
+from repro.telemetry.aggregate import TelemetryBatch, merge_batch
+from repro.telemetry.events import EventCategory
 from repro.transport.message import Message, MessageKind
 from repro.transport.transport import Transport
 
@@ -152,6 +154,21 @@ class WorkerCluster:
             if kind is not FrameKind.STATS:
                 raise DistribError(
                     f"worker {worker}: expected STATS, got {kind.value}")
+            out.append(payload)
+        return out
+
+    def collect_telemetry(self) -> List[TelemetryBatch]:
+        """Final telemetry drain: each worker's events + histograms."""
+        out = []
+        for worker in range(self.num_workers):
+            self.send(worker, FrameKind.COLLECT_TELEMETRY, None)
+            kind, payload = self.recv(worker)
+            if kind is FrameKind.ERROR:
+                _raise_remote(worker, payload)
+            if kind is not FrameKind.TELEMETRY:
+                raise DistribError(
+                    f"worker {worker}: expected TELEMETRY, got "
+                    f"{kind.value}")
             out.append(payload)
         return out
 
@@ -296,6 +313,12 @@ class DistribSimulator(Simulator):
     def run(self, main_program: Any, args: tuple = ()):
         self._cluster = WorkerCluster(self.layout, self.config)
         self.transport.attach(self._cluster)
+        tele_worker = (self.telemetry.channel(EventCategory.WORKER)
+                       if self.telemetry is not None else None)
+        if tele_worker is not None:
+            for index, tiles in enumerate(self.layout.shards()):
+                tele_worker.emit("worker_start", None, 0,
+                                 {"worker": index, "tiles": len(tiles)})
         try:
             return super().run(main_program, args)
         finally:
@@ -364,6 +387,8 @@ class DistribSimulator(Simulator):
             elif kind is FrameKind.KERNEL_CAST:
                 method, args = payload
                 self._cast_handlers[method](*args)
+            elif kind is FrameKind.TELEMETRY:
+                merge_batch(self.telemetry, self.stats, payload)
             elif kind is FrameKind.ERROR:
                 _raise_remote(worker, payload)
             else:
@@ -421,6 +446,19 @@ class DistribSimulator(Simulator):
     # -- results -------------------------------------------------------------
 
     def _before_results(self) -> None:
-        """Fold every worker's thread statistics into the main tree."""
+        """Fold every worker's state back into the coordinator.
+
+        Telemetry first (the drained events and histogram states),
+        then the flat counter trees; the bus closes — rendering file
+        sinks from the fully merged stream — right after this hook.
+        """
+        for batch in self.cluster.collect_telemetry():
+            merge_batch(self.telemetry, self.stats, batch)
+        if self.telemetry is not None:
+            channel = self.telemetry.channel(EventCategory.WORKER)
+            if channel is not None:
+                for index in range(self.cluster.num_workers):
+                    channel.emit("worker_stop", None, 0,
+                                 {"worker": index})
         for flat in self.cluster.collect_stats():
             self.stats.add_flat(flat)

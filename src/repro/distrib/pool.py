@@ -20,7 +20,7 @@ import multiprocessing
 import pickle
 import time
 import traceback
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.common.config import SimulationConfig
 from repro.distrib.errors import WorkerCrashError, WorkerTimeoutError
@@ -107,7 +107,7 @@ def run_jobs(jobs: Sequence[Job], workers: int,
             except Exception:
                 if time.monotonic() > deadline:
                     raise WorkerTimeoutError(
-                        f"sweep pool produced no result for "
+                        "sweep pool produced no result for "
                         f"{timeout:.0f}s") from None
                 dead = [p for p in procs if not p.is_alive()]
                 if len(dead) == len(procs) and result_queue.empty():

@@ -24,7 +24,9 @@ from typing import Any, Callable, Dict, Tuple
 from repro.distrib.errors import ProgramTransportError, WireFormatError
 
 #: Bump on any incompatible change to frame payloads or pickling.
-WIRE_VERSION = 1
+#: v2: TELEMETRY / COLLECT_TELEMETRY frames (event + histogram
+#: aggregation from workers).
+WIRE_VERSION = 2
 
 
 class FrameKind(enum.Enum):
@@ -52,6 +54,12 @@ class FrameKind(enum.Enum):
     COLLECT_STATS = "collect_stats"
     #: worker -> coordinator: flattened local stats.
     STATS = "stats"
+    #: coordinator -> worker: request buffered telemetry + histograms.
+    COLLECT_TELEMETRY = "collect_telemetry"
+    #: worker -> coordinator: a :class:`~repro.telemetry.aggregate.
+    #: TelemetryBatch` (sent unsolicited when the event buffer fills
+    #: during a quantum, and as the COLLECT_TELEMETRY reply).
+    TELEMETRY = "telemetry"
     #: coordinator -> worker: exit the worker loop.
     SHUTDOWN = "shutdown"
     #: worker -> coordinator: unrecoverable failure (with traceback).

@@ -33,6 +33,9 @@ from repro.common.stats import StatGroup
 from repro.distrib.shard import ShardQueues
 from repro.distrib.wire import FrameKind, decode_frame, encode_frame
 from repro.frontend.interpreter import ThreadInterpreter
+from repro.telemetry.aggregate import TelemetryBatch
+from repro.telemetry.bus import create_bus
+from repro.telemetry.events import EventCategory
 from repro.transport.message import Message, MessageKind
 
 
@@ -211,6 +214,9 @@ class KernelProxy:
         self.config = config
         self.stats = StatGroup("sim")
         self.queues = worker.queues
+        #: Worker-local event bus: no sinks (a worker never opens the
+        #: coordinator's trace file); events batch over the wire.
+        self.telemetry = create_bus(config.telemetry, with_sinks=False)
         self.cost_model = _DeferredCostModel()
         self.controllers = _ControllerTable(self)
         self.fabric = _FabricProxy(self)
@@ -268,6 +274,26 @@ class Worker:
         self.queues = ShardQueues([TileId(t) for t in tiles])
         self.kernel = KernelProxy(self, config)
         self.interpreters: dict = {}
+        self._batch_events = config.telemetry.batch_events
+        self._tele_worker = None
+        if self.kernel.telemetry is not None:
+            self._tele_worker = self.kernel.telemetry.channel(
+                EventCategory.WORKER)
+
+    def _flush_telemetry(self) -> None:
+        """Ship buffered events once the batch threshold is crossed.
+
+        Only called at points where the coordinator is known to be
+        reading this worker's pipe (inside a quantum, or answering
+        COLLECT_TELEMETRY) — an unsolicited frame at any other time
+        would deadlock against an unread pipe.
+        """
+        bus = self.kernel.telemetry
+        if bus is None or len(bus.events) < self._batch_events:
+            return
+        self._send(FrameKind.TELEMETRY,
+                   TelemetryBatch(self.process_index,
+                                  bus.drain_pending()))
 
     # -- frame I/O -----------------------------------------------------------
 
@@ -330,6 +356,12 @@ class Worker:
                                         tuple(args),
                                         start_clock=start_clock)
         self.interpreters[tile] = interpreter
+        if self._tele_worker is not None:
+            # Buffered only (no pipe write: this frame can arrive while
+            # the coordinator is busy elsewhere); ships with the next
+            # batch.  WORKER events exist only in the mp backend.
+            self._tele_worker.emit("interp_spawn", tile, start_clock,
+                                   {"worker": self.process_index})
 
     def _handle_run_quantum(self, payload: tuple) -> None:
         tile, budget, cycle_limit = payload
@@ -342,6 +374,9 @@ class Worker:
                 outcome = interpreter.result
             except Exception:
                 outcome = None  # unshippable results stay worker-side
+        # The coordinator reads this pipe until QUANTUM_DONE, so a full
+        # event buffer flushes here, *before* the terminating frame.
+        self._flush_telemetry()
         self._send(FrameKind.QUANTUM_DONE,
                    (result.status.value, result.instructions,
                     interpreter.core.cycles,
@@ -349,6 +384,19 @@ class Worker:
 
     def _handle_collect_stats(self) -> None:
         self._send(FrameKind.STATS, self.kernel.stats.to_dict())
+
+    def _handle_collect_telemetry(self) -> None:
+        """Final drain: every buffered event plus histogram states.
+
+        Histograms ride the telemetry channel (not COLLECT_STATS, which
+        ships the counter tree) because merging them needs structured
+        state, not a flat int mapping.
+        """
+        bus = self.kernel.telemetry
+        events = bus.drain_pending() if bus is not None else []
+        self._send(FrameKind.TELEMETRY,
+                   TelemetryBatch(self.process_index, events,
+                                  self.kernel.stats.histogram_states()))
 
     # -- main loop -----------------------------------------------------------
 
@@ -362,6 +410,8 @@ class Worker:
                     self._handle_run_quantum(payload)
                 elif kind is FrameKind.COLLECT_STATS:
                     self._handle_collect_stats()
+                elif kind is FrameKind.COLLECT_TELEMETRY:
+                    self._handle_collect_telemetry()
                 else:
                     self._handle_cast_frame(kind, payload)
             except SystemExit:

@@ -65,7 +65,13 @@ class ThreadInterpreter(ThreadTask):
         self.program = program
         stats = kernel.stats.child(f"thread{int(tile)}")
         core_config = kernel.config.core_config_for(int(tile))
-        self.core = create_core_model(core_config, stats.child("core"))
+        channel = None
+        tele_bus = getattr(kernel, "telemetry", None)
+        if tele_bus is not None:
+            from repro.telemetry.events import EventCategory
+            channel = tele_bus.channel(EventCategory.SYNC)
+        self.core = create_core_model(core_config, stats.child("core"),
+                                      telemetry=channel, tile=int(tile))
         self.core.clock.forward_to(start_clock)
         self.memory = kernel.controllers[int(tile)]
         self.netif = kernel.fabric.interface(tile)

@@ -21,7 +21,7 @@ from __future__ import annotations
 import abc
 import enum
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.common.errors import DeadlockError, SimulationError
 from repro.common.ids import TileId
@@ -31,6 +31,7 @@ from repro.host.costmodel import HostCostModel
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sync.model import SynchronizationModel
+    from repro.telemetry.bus import TelemetryBus
 
 
 class ThreadState(enum.Enum):
@@ -126,7 +127,8 @@ class Scheduler:
                  sync_model: "SynchronizationModel",
                  stats: StatGroup,
                  quantum_instructions: int = 2000,
-                 rng=None) -> None:
+                 rng=None,
+                 telemetry: Optional["TelemetryBus"] = None) -> None:
         self.layout = layout
         self.cost_model = cost_model
         self.sync_model = sync_model
@@ -151,6 +153,12 @@ class Scheduler:
         self._total_instructions = 0
         self._skew_samplers: List[Callable[["Scheduler"], None]] = []
         self.skew_sample_period = 0
+        self._periodic_hooks: List[
+            Tuple[Callable[["Scheduler"], None], int]] = []
+        self._tele_quantum = None
+        if telemetry is not None:
+            from repro.telemetry.events import EventCategory
+            self._tele_quantum = telemetry.channel(EventCategory.QUANTUM)
         sync_model.attach(self)
 
     # -- thread management ----------------------------------------------------
@@ -263,6 +271,13 @@ class Scheduler:
         self._skew_samplers.append(sampler)
         self.skew_sample_period = period
 
+    def add_periodic_hook(self, hook: Callable[["Scheduler"], None],
+                          period: int) -> None:
+        """Invoke ``hook(self)`` every ``period`` turns (metrics cadence)."""
+        if period < 1:
+            raise SimulationError("periodic hook period must be >= 1")
+        self._periodic_hooks.append((hook, period))
+
     def thread_clocks(self) -> List[int]:
         """Local clocks of all live threads (for skew measurement)."""
         return [t.task.cycles for t in self.threads.values()
@@ -365,6 +380,9 @@ class Scheduler:
                     and self._turns % self.skew_sample_period == 0):
                 for sampler in self._skew_samplers:
                     sampler(self)
+            for hook, period in self._periodic_hooks:
+                if self._turns % period == 0:
+                    hook(self)
             if max_turns is not None and self._turns >= max_turns:
                 raise SimulationError(
                     f"scheduler exceeded {max_turns} turns; "
@@ -398,10 +416,17 @@ class Scheduler:
         if self._rng is not None:
             # OS-like dispatch variability: quantum in [0.75x, 1.25x).
             budget = max(int(budget * (0.75 + 0.5 * self._rng.random())), 1)
+        cycles_before = thread.task.cycles if self._tele_quantum else 0
         try:
             result = thread.task.run(budget, cycle_limit)
         finally:
             self._running = None
+        if self._tele_quantum is not None:
+            self._tele_quantum.emit(
+                "quantum", int(thread.tile), cycles_before,
+                {"cycles": thread.task.cycles,
+                 "instructions": result.instructions,
+                 "status": result.status.value})
         self.core_time[core] = start + self._quantum_charge
         self.core_busy[core] += self._quantum_charge
         if self._quantum_blocking > 0.0:

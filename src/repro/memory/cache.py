@@ -10,10 +10,13 @@ from __future__ import annotations
 
 import enum
 from collections import OrderedDict
-from typing import List, Optional
+from typing import List, Optional, TYPE_CHECKING
 
 from repro.common.config import CacheConfig
 from repro.common.stats import StatGroup
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.bus import Channel
 
 
 class LineState(enum.Enum):
@@ -52,10 +55,15 @@ class Cache:
     """Set-associative LRU cache keyed by line-aligned addresses."""
 
     def __init__(self, name: str, config: CacheConfig,
-                 stats: StatGroup) -> None:
+                 stats: StatGroup, tile: Optional[int] = None,
+                 telemetry: Optional["Channel"] = None) -> None:
         config.validate(name)
         self.name = name
         self.config = config
+        self.tile = tile
+        #: CACHE-category telemetry channel, or ``None`` (the default:
+        #: only the L2 — the coherence point — is given a channel).
+        self._tele = telemetry
         self.line_bytes = config.line_bytes
         self.associativity = config.associativity
         self.num_sets = config.num_sets
@@ -94,11 +102,13 @@ class Cache:
         return line
 
     def insert(self, line_address: int, state: LineState,
-               data: Optional[bytearray] = None) -> Optional[CacheLine]:
+               data: Optional[bytearray] = None,
+               timestamp: int = 0) -> Optional[CacheLine]:
         """Install a line; returns the evicted victim, if any.
 
         Inserting an already-resident address updates it in place and
-        evicts nothing.
+        evicts nothing.  ``timestamp`` (target cycles) is only consumed
+        by telemetry.
         """
         cache_set = self._set_of(line_address)
         existing = cache_set.get(line_address)
@@ -113,13 +123,25 @@ class Cache:
             _, victim = cache_set.popitem(last=False)  # LRU
             self._evictions.add()
         cache_set[line_address] = CacheLine(line_address, state, data)
+        if self._tele is not None:
+            self._tele.emit("fill", self.tile, timestamp,
+                            {"line": line_address, "state": state.value})
+            if victim is not None:
+                self._tele.emit("evict", self.tile, timestamp,
+                                {"line": victim.address,
+                                 "dirty": victim.dirty})
         return victim
 
-    def remove(self, line_address: int) -> Optional[CacheLine]:
+    def remove(self, line_address: int,
+               timestamp: int = 0) -> Optional[CacheLine]:
         """Invalidate a line (coherence); returns it if it was resident."""
         line = self._set_of(line_address).pop(line_address, None)
         if line is not None:
             self._invalidations.add()
+            if self._tele is not None:
+                self._tele.emit("invalidate", self.tile, timestamp,
+                                {"line": line_address,
+                                 "state": line.state.value})
         return line
 
     def peek(self, line_address: int) -> Optional[CacheLine]:

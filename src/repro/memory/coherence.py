@@ -19,7 +19,7 @@ windowed global-progress estimate.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, TYPE_CHECKING
 
 from repro.common.config import MemoryConfig
 from repro.common.errors import ProtocolError
@@ -36,6 +36,9 @@ from repro.network.interface import NetworkFabric
 from repro.sync.progress import ProgressEstimator
 from repro.transport.message import MessageKind
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.bus import TelemetryBus
+
 #: Size of a coherence control message (request, inv, ack) on the wire.
 CONTROL_BYTES = 8
 #: Header added to a data-carrying coherence message.
@@ -49,7 +52,8 @@ class CoherenceEngine:
                  space: AddressSpace, backing: BackingStore,
                  fabric: NetworkFabric, clock_hz: int,
                  stats: StatGroup,
-                 classifier: Optional[MissClassifier] = None) -> None:
+                 classifier: Optional[MissClassifier] = None,
+                 telemetry: Optional["TelemetryBus"] = None) -> None:
         config.validate()
         self.num_tiles = num_tiles
         self.config = config
@@ -59,18 +63,28 @@ class CoherenceEngine:
         self.classifier = classifier
         self.line_bytes = config.l2.line_bytes
         self.stats = stats
+        self._tele_cache = None
+        tele_dir = None
+        tele_dram = None
+        if telemetry is not None:
+            from repro.telemetry.events import EventCategory
+            self._tele_cache = telemetry.channel(EventCategory.CACHE)
+            tele_dir = telemetry.channel(EventCategory.DIRECTORY)
+            tele_dram = telemetry.channel(EventCategory.DRAM)
         window = max(num_tiles * config.dram.progress_window_factor, 8)
         self.progress = ProgressEstimator(window)
         self.hierarchies: List[CacheHierarchy] = [
-            CacheHierarchy(TileId(t), config, stats.child(f"tile{t}"))
+            CacheHierarchy(TileId(t), config, stats.child(f"tile{t}"),
+                           telemetry=self._tele_cache)
             for t in range(num_tiles)]
         self.directories: List[Directory] = [
             create_directory(TileId(t), config,
-                             stats.child(f"dir{t}"))
+                             stats.child(f"dir{t}"), telemetry=tele_dir)
             for t in range(num_tiles)]
         self.drams: List[DramController] = [
             DramController(TileId(t), config.dram, num_tiles, clock_hz,
-                           self.progress, stats.child(f"dram{t}"))
+                           self.progress, stats.child(f"dram{t}"),
+                           telemetry=tele_dram)
             for t in range(num_tiles)]
         self._read_misses = stats.counter("read_misses")
         self._write_misses = stats.counter("write_misses")
@@ -148,7 +162,7 @@ class CoherenceEngine:
             # Data comes from the home memory controller.
             now += self.drams[int(home)].read(now, self.line_bytes)
 
-        result = directory.add_sharer(entry, tile)
+        result = directory.add_sharer(entry, tile, timestamp=now)
         now += result.extra_latency
         for victim_tile in result.evict:
             now += self._invalidate_one(home, victim_tile, line_address,
@@ -167,6 +181,11 @@ class CoherenceEngine:
         fill_state = LineState.EXCLUSIVE if grant_exclusive \
             else LineState.SHARED
         line = self._install(tile, line_address, fill_state, data, now)
+        if self._tele_cache is not None:
+            self._tele_cache.emit("read_miss", int(tile), timestamp,
+                                  {"line": line_address,
+                                   "latency": now - timestamp,
+                                   "forwarded": data_forwarded})
         return line, now - timestamp
 
     def write_access(self, tile: TileId, address: int, size: int,
@@ -203,6 +222,10 @@ class CoherenceEngine:
             entry.state = DirState.MODIFIED
             now += self._transfer(home, tile, CONTROL_BYTES, now)
             line.state = LineState.MODIFIED
+            if self._tele_cache is not None:
+                self._tele_cache.emit("upgrade", int(tile), timestamp,
+                                      {"line": line_address,
+                                       "latency": now - timestamp})
             return line, now - timestamp
 
         # Write miss.
@@ -220,7 +243,8 @@ class CoherenceEngine:
                     f"tile {int(tile)} write-missed on a line the "
                     f"directory says it owns ({line_address:#x})")
             now += self._transfer(home, owner, CONTROL_BYTES, now)
-            owner_line = self.hierarchies[int(owner)].invalidate(line_address)
+            owner_line = self.hierarchies[int(owner)].invalidate(
+                line_address, timestamp=now)
             if owner_line is None or owner_line.data is None:
                 raise ProtocolError(
                     f"directory owner {int(owner)} does not hold "
@@ -243,7 +267,7 @@ class CoherenceEngine:
         else:
             now += self.drams[int(home)].read(now, self.line_bytes)
 
-        result = directory.add_sharer(entry, tile)
+        result = directory.add_sharer(entry, tile, timestamp=now)
         now += result.extra_latency
         entry.state = DirState.MODIFIED
         now += self._transfer(home, tile,
@@ -251,6 +275,10 @@ class CoherenceEngine:
         data = self.backing.read_line(line_address)
         line = self._install(tile, line_address, LineState.MODIFIED,
                              data, now)
+        if self._tele_cache is not None:
+            self._tele_cache.emit("write_miss", int(tile), timestamp,
+                                  {"line": line_address,
+                                   "latency": now - timestamp})
         return line, now - timestamp
 
     # -- invalidations -----------------------------------------------------------------
@@ -271,14 +299,15 @@ class CoherenceEngine:
                         line_address: int, timestamp: int,
                         due_to_write: bool) -> int:
         leg = self._transfer(home, sharer, CONTROL_BYTES, timestamp)
-        removed = self.hierarchies[int(sharer)].invalidate(line_address)
+        removed = self.hierarchies[int(sharer)].invalidate(
+            line_address, timestamp=timestamp + leg)
         if removed is None:
             raise ProtocolError(
                 f"invalidation of {line_address:#x} at tile {int(sharer)}"
                 " which does not hold it")
         if removed.state is LineState.MODIFIED:
             raise ProtocolError(
-                f"shared-state invalidation found a dirty line at tile "
+                "shared-state invalidation found a dirty line at tile "
                 f"{int(sharer)} for {line_address:#x}")
         if self.classifier is not None:
             self.classifier.note_invalidation(sharer, line_address,
@@ -292,7 +321,8 @@ class CoherenceEngine:
     def _install(self, tile: TileId, line_address: int, state: LineState,
                  data: bytearray, timestamp: int) -> CacheLine:
         hierarchy = self.hierarchies[int(tile)]
-        victim = hierarchy.fill_l2(line_address, state, data)
+        victim = hierarchy.fill_l2(line_address, state, data,
+                                   timestamp=timestamp)
         if victim is not None:
             self._handle_victim(tile, victim, timestamp)
         if self.classifier is not None:
@@ -322,7 +352,7 @@ class CoherenceEngine:
         else:
             # Evict notice keeps the full-map sharer list precise.
             self._transfer(tile, victim_home, CONTROL_BYTES, timestamp)
-        directory.remove_sharer(entry, tile)
+        directory.remove_sharer(entry, tile, timestamp=timestamp)
         if self.classifier is not None:
             self.classifier.note_eviction(tile, victim.address)
 
@@ -351,7 +381,7 @@ class CoherenceEngine:
                 elif entry.state is DirState.SHARED:
                     if not entry.sharers:
                         raise ProtocolError(
-                            f"SHARED entry with no sharers "
+                            "SHARED entry with no sharers "
                             f"({line_address:#x})")
                     for sharer in entry.sharers:
                         line = self.hierarchies[int(sharer)].l2.peek(
@@ -364,7 +394,7 @@ class CoherenceEngine:
                 else:
                     if entry.sharers:
                         raise ProtocolError(
-                            f"UNCACHED entry with sharers "
+                            "UNCACHED entry with sharers "
                             f"({line_address:#x})")
         # No line may be cached anywhere without a directory record.
         for t, hierarchy in enumerate(self.hierarchies):

@@ -16,12 +16,15 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, TYPE_CHECKING
 
 from repro.common.config import MemoryConfig
 from repro.common.errors import ConfigError, ProtocolError
 from repro.common.ids import TileId
 from repro.common.stats import StatGroup
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.bus import Channel
 
 
 class DirState(enum.Enum):
@@ -70,11 +73,14 @@ class Directory:
     kind = "full_map"
 
     def __init__(self, home: TileId, config: MemoryConfig,
-                 stats: StatGroup) -> None:
+                 stats: StatGroup,
+                 telemetry: Optional["Channel"] = None) -> None:
         self.home = home
         self.config = config
         self.entries: Dict[int, DirectoryEntry] = {}
         self.stats = stats
+        #: DIRECTORY-category telemetry channel, or ``None``.
+        self._tele = telemetry
         self._lookups = stats.counter("lookups")
 
     def entry(self, line_address: int) -> DirectoryEntry:
@@ -86,15 +92,25 @@ class Directory:
         self._lookups.add()
         return e
 
-    def add_sharer(self, entry: DirectoryEntry, tile: TileId) -> AddResult:
+    def add_sharer(self, entry: DirectoryEntry, tile: TileId,
+                   timestamp: int = 0) -> AddResult:
         """Register ``tile`` as a sharer; organisation-specific limits."""
         entry.sharers[tile] = None
+        if self._tele is not None:
+            self._tele.emit("sharer_add", int(self.home), timestamp,
+                            {"sharer": int(tile),
+                             "sharers": len(entry.sharers)})
         return AddResult()
 
-    def remove_sharer(self, entry: DirectoryEntry, tile: TileId) -> None:
+    def remove_sharer(self, entry: DirectoryEntry, tile: TileId,
+                      timestamp: int = 0) -> None:
         entry.sharers.pop(tile, None)
         if not entry.sharers:
             entry.state = DirState.UNCACHED
+        if self._tele is not None:
+            self._tele.emit("sharer_remove", int(self.home), timestamp,
+                            {"sharer": int(tile),
+                             "sharers": len(entry.sharers)})
 
     def invalidation_latency(self, entry: DirectoryEntry) -> int:
         """Extra directory-side latency for invalidating all sharers."""
@@ -118,12 +134,14 @@ class LimitedDirectory(Directory):
     kind = "limited"
 
     def __init__(self, home: TileId, config: MemoryConfig,
-                 stats: StatGroup) -> None:
-        super().__init__(home, config, stats)
+                 stats: StatGroup,
+                 telemetry: Optional["Channel"] = None) -> None:
+        super().__init__(home, config, stats, telemetry)
         self.max_sharers = config.directory_max_sharers
         self._pointer_evictions = stats.counter("pointer_evictions")
 
-    def add_sharer(self, entry: DirectoryEntry, tile: TileId) -> AddResult:
+    def add_sharer(self, entry: DirectoryEntry, tile: TileId,
+                   timestamp: int = 0) -> AddResult:
         result = AddResult()
         if tile not in entry.sharers:
             while len(entry.sharers) >= self.max_sharers:
@@ -131,7 +149,15 @@ class LimitedDirectory(Directory):
                 del entry.sharers[victim]
                 result.evict.append(victim)
                 self._pointer_evictions.add()
+                if self._tele is not None:
+                    self._tele.emit("pointer_evict", int(self.home),
+                                    timestamp, {"victim": int(victim),
+                                                "for": int(tile)})
         entry.sharers[tile] = None
+        if self._tele is not None:
+            self._tele.emit("sharer_add", int(self.home), timestamp,
+                            {"sharer": int(tile),
+                             "sharers": len(entry.sharers)})
         return result
 
 
@@ -148,19 +174,29 @@ class LimitLessDirectory(Directory):
     kind = "limitless"
 
     def __init__(self, home: TileId, config: MemoryConfig,
-                 stats: StatGroup) -> None:
-        super().__init__(home, config, stats)
+                 stats: StatGroup,
+                 telemetry: Optional["Channel"] = None) -> None:
+        super().__init__(home, config, stats, telemetry)
         self.hw_pointers = config.directory_max_sharers
         self.trap_latency = config.limitless_trap_latency
         self._traps = stats.counter("software_traps")
 
-    def add_sharer(self, entry: DirectoryEntry, tile: TileId) -> AddResult:
+    def add_sharer(self, entry: DirectoryEntry, tile: TileId,
+                   timestamp: int = 0) -> AddResult:
         result = AddResult()
         if tile not in entry.sharers and \
                 len(entry.sharers) >= self.hw_pointers:
             result.extra_latency = self.trap_latency
             self._traps.add()
+            if self._tele is not None:
+                self._tele.emit("trap", int(self.home), timestamp,
+                                {"sharer": int(tile),
+                                 "sharers": len(entry.sharers)})
         entry.sharers[tile] = None
+        if self._tele is not None:
+            self._tele.emit("sharer_add", int(self.home), timestamp,
+                            {"sharer": int(tile),
+                             "sharers": len(entry.sharers)})
         return result
 
     def invalidation_latency(self, entry: DirectoryEntry) -> int:
@@ -171,12 +207,13 @@ class LimitLessDirectory(Directory):
 
 
 def create_directory(home: TileId, config: MemoryConfig,
-                     stats: StatGroup) -> Directory:
+                     stats: StatGroup,
+                     telemetry: Optional["Channel"] = None) -> Directory:
     """Instantiate the configured directory organisation for one tile."""
     if config.directory_type == "full_map":
-        return FullMapDirectory(home, config, stats)
+        return FullMapDirectory(home, config, stats, telemetry)
     if config.directory_type == "limited":
-        return LimitedDirectory(home, config, stats)
+        return LimitedDirectory(home, config, stats, telemetry)
     if config.directory_type == "limitless":
-        return LimitLessDirectory(home, config, stats)
+        return LimitLessDirectory(home, config, stats, telemetry)
     raise ConfigError(f"unknown directory type {config.directory_type!r}")

@@ -14,11 +14,16 @@ global-progress estimate.
 
 from __future__ import annotations
 
+from typing import Optional, TYPE_CHECKING
+
 from repro.common.config import DramConfig
 from repro.common.ids import TileId
 from repro.common.stats import StatGroup
 from repro.sync.progress import ProgressEstimator
 from repro.sync.queue_model import LaxQueueModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.bus import Channel
 
 
 class DramController:
@@ -26,7 +31,8 @@ class DramController:
 
     def __init__(self, tile: TileId, config: DramConfig, num_tiles: int,
                  clock_hz: int, progress: ProgressEstimator,
-                 stats: StatGroup) -> None:
+                 stats: StatGroup,
+                 telemetry: Optional["Channel"] = None) -> None:
         config.validate()
         self.tile = tile
         self.config = config
@@ -35,6 +41,8 @@ class DramController:
         self.bytes_per_cycle = (config.total_bandwidth_bytes_per_s
                                 / clock_hz / num_tiles)
         self.queue = LaxQueueModel(progress, stats)
+        #: DRAM-category telemetry channel, or ``None``.
+        self._tele = telemetry
         self._reads = stats.counter("reads")
         self._writes = stats.counter("writes")
         self._read_latency = stats.counter("read_latency_cycles")
@@ -49,9 +57,17 @@ class DramController:
         latency = self.config.access_latency + occupancy
         self._reads.add()
         self._read_latency.add(latency)
+        if self._tele is not None:
+            self._tele.emit("read", int(self.tile), timestamp,
+                            {"occupancy": occupancy, "latency": latency,
+                             "bytes": size_bytes})
         return latency
 
     def post_write(self, timestamp: int, size_bytes: int) -> None:
         """A posted write(back): consumes bandwidth, off the critical path."""
-        self.queue.access(timestamp, self.service_cycles(size_bytes))
+        occupancy = self.queue.access(timestamp,
+                                      self.service_cycles(size_bytes))
         self._writes.add()
+        if self._tele is not None:
+            self._tele.emit("write", int(self.tile), timestamp,
+                            {"occupancy": occupancy, "bytes": size_bytes})

@@ -10,19 +10,23 @@ L1s via ``CacheConfig.enabled``.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, TYPE_CHECKING
 
 from repro.common.config import MemoryConfig
 from repro.common.ids import TileId
 from repro.common.stats import StatGroup
 from repro.memory.cache import Cache, CacheLine, LineState
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.bus import Channel
+
 
 class CacheHierarchy:
     """One tile's caches plus inclusion maintenance."""
 
     def __init__(self, tile: TileId, config: MemoryConfig,
-                 stats: StatGroup) -> None:
+                 stats: StatGroup,
+                 telemetry: Optional["Channel"] = None) -> None:
         self.tile = tile
         self.config = config
         self.l1i: Optional[Cache] = (
@@ -31,7 +35,10 @@ class CacheHierarchy:
         self.l1d: Optional[Cache] = (
             Cache("l1d", config.l1d, stats.child("l1d"))
             if config.l1d.enabled else None)
-        self.l2 = Cache("l2", config.l2, stats.child("l2"))
+        # Only the coherence point is traced; the timing-only L1 tag
+        # arrays would triple event volume without adding information.
+        self.l2 = Cache("l2", config.l2, stats.child("l2"),
+                        tile=int(tile), telemetry=telemetry)
 
     # -- L1 timing-side -----------------------------------------------------------
 
@@ -63,21 +70,24 @@ class CacheHierarchy:
         return self.l2.lookup(line_address, count=count)
 
     def fill_l2(self, line_address: int, state: LineState,
-                data: bytearray) -> Optional[CacheLine]:
+                data: bytearray,
+                timestamp: int = 0) -> Optional[CacheLine]:
         """Install a line in the L2; returns the victim if one fell out.
 
         Inclusion: the caller is responsible for handing the victim to
         the coherence engine; this method removes it from the L1s.
         """
-        victim = self.l2.insert(line_address, state, data)
+        victim = self.l2.insert(line_address, state, data,
+                                timestamp=timestamp)
         if victim is not None:
             self._purge_l1(victim.address)
         return victim
 
-    def invalidate(self, line_address: int) -> Optional[CacheLine]:
+    def invalidate(self, line_address: int,
+                   timestamp: int = 0) -> Optional[CacheLine]:
         """Coherence invalidation: drop the line from every level."""
         self._purge_l1(line_address)
-        return self.l2.remove(line_address)
+        return self.l2.remove(line_address, timestamp=timestamp)
 
     def downgrade(self, line_address: int) -> Optional[CacheLine]:
         """M -> S transition on a remote read (data stays resident)."""

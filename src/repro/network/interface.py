@@ -11,7 +11,7 @@ order received; packets may therefore arrive "early" in simulated time.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, TYPE_CHECKING
 
 from repro.common.config import NetworkConfig
 from repro.common.ids import TileId
@@ -20,17 +20,25 @@ from repro.network.model import NetworkModel, create_network_model
 from repro.transport.message import Message, MessageKind
 from repro.transport.transport import Transport
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.bus import TelemetryBus
+
 
 class NetworkFabric:
     """All network models plus the shared transport, for one simulation."""
 
     def __init__(self, num_tiles: int, config: NetworkConfig,
-                 transport: Transport, stats: StatGroup) -> None:
+                 transport: Transport, stats: StatGroup,
+                 telemetry: Optional["TelemetryBus"] = None) -> None:
         config.validate()
         self.num_tiles = num_tiles
         self.config = config
         self.transport = transport
         self.stats = stats
+        self._tele = None
+        if telemetry is not None:
+            from repro.telemetry.events import EventCategory
+            self._tele = telemetry.channel(EventCategory.NETWORK)
         model_names = {
             MessageKind.USER: config.user_model,
             MessageKind.MEMORY: config.memory_model,
@@ -44,6 +52,8 @@ class NetworkFabric:
                 name, num_tiles, config, stats.child(f"{kind.value}_net"))
             for kind, name in model_names.items()
         }
+        for model in self.models.values():
+            model.telemetry = self._tele
 
     def send(self, src: TileId, dst: TileId, kind: MessageKind,
              payload: Any = None, size_bytes: int = 8, timestamp: int = 0,
@@ -53,6 +63,11 @@ class NetworkFabric:
         message = Message(src=src, dst=dst, kind=kind, payload=payload,
                           size_bytes=size_bytes, timestamp=timestamp,
                           arrival_time=timestamp + latency, tag=tag)
+        if self._tele is not None:
+            self._tele.emit("msg", int(src), timestamp,
+                            {"src": int(src), "dst": int(dst),
+                             "kind": kind.value, "bytes": size_bytes,
+                             "latency": latency})
         self.transport.send(message)
         return message
 
@@ -67,6 +82,11 @@ class NetworkFabric:
         statistics and host-cost accounting still apply.
         """
         latency = self.models[kind].route(src, dst, size_bytes, timestamp)
+        if self._tele is not None:
+            self._tele.emit("msg", int(src), timestamp,
+                            {"src": int(src), "dst": int(dst),
+                             "kind": kind.value, "bytes": size_bytes,
+                             "latency": latency})
         self.transport.account(src, dst, kind, size_bytes)
         return latency
 

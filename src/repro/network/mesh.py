@@ -37,4 +37,11 @@ class MeshNetworkModel(NetworkModel):
                     timestamp: int) -> int:
         hops = self.geometry.distance(src, dst)
         serial = serialization_cycles(size_bytes, self.link_bytes_per_cycle)
-        return 2 * self.endpoint_latency + hops * self.hop_latency + serial
+        latency = (2 * self.endpoint_latency + hops * self.hop_latency
+                   + serial)
+        if self.telemetry is not None:
+            self.telemetry.emit("route", int(src), timestamp,
+                                {"dst": int(dst), "hops": hops,
+                                 "serialization": serial,
+                                 "latency": latency})
+        return latency

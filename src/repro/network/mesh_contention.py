@@ -54,12 +54,21 @@ class ContentionMeshNetworkModel(NetworkModel):
         serial = serialization_cycles(size_bytes, self.link_bytes_per_cycle)
         latency = 2 * self.endpoint_latency
         time = timestamp + latency
+        hops = 0
+        total_contention = 0
         for link_id in self.geometry.route(src, dst):
             occupancy = self._link(link_id).access(time, serial)
             contention = occupancy - serial
             latency += self.hop_latency + occupancy
             time += self.hop_latency + occupancy
+            hops += 1
             if contention > 0:
                 self._contention.add(contention)
+                total_contention += contention
         # Same-tile traffic (src == dst) has no links; charge endpoints only.
+        if self.telemetry is not None:
+            self.telemetry.emit("route", int(src), timestamp,
+                                {"dst": int(dst), "hops": hops,
+                                 "contention": total_contention,
+                                 "latency": latency})
         return latency

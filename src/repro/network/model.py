@@ -24,6 +24,9 @@ class NetworkModel(abc.ABC):
     def __init__(self, name: str, stats: StatGroup) -> None:
         self.name = name
         self.stats = stats
+        #: NETWORK-category telemetry channel; the owning fabric sets
+        #: this after construction (``None`` = tracing disabled).
+        self.telemetry = None
         self._packets = stats.counter("packets")
         self._bytes = stats.counter("bytes")
         self._latency = stats.counter("total_latency_cycles")

@@ -9,12 +9,21 @@ variation.  These helpers implement exactly that protocol.
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence
 
 from repro.common.config import SimulationConfig
 from repro.sim.results import SimulationResult
-from repro.sim.simulator import Simulator
+from repro.sim.runner import create_simulator
+
+
+def _per_run_trace_path(path: str, index: int) -> str:
+    """Derive a distinct trace file per run: ``trace.json`` ->
+    ``trace.run3.json``.  The extension is preserved so the trace
+    format auto-detection (``.json`` = Chrome) is unaffected."""
+    root, ext = os.path.splitext(path)
+    return f"{root}.run{index}{ext}"
 
 
 @dataclass
@@ -82,7 +91,10 @@ def repeat_runs(config: SimulationConfig,
     for run_index in range(runs):
         run_config = config.copy()
         run_config.seed = seed0 + 7919 * run_index
-        simulator = Simulator(run_config)
+        if run_config.telemetry.trace_path:
+            run_config.telemetry.trace_path = _per_run_trace_path(
+                config.telemetry.trace_path, run_index)
+        simulator = create_simulator(run_config)
         results.append(simulator.run(program, args))
     return RunStatistics(results)
 
@@ -99,4 +111,11 @@ def sweep(configs: Sequence[SimulationConfig],
     if workers > 1:
         from repro.distrib.pool import parallel_sweep
         return parallel_sweep(configs, program, args, workers=workers)
-    return [Simulator(c).run(program, args) for c in configs]
+    results = []
+    for index, config in enumerate(configs):
+        if config.telemetry.trace_path:
+            config = config.copy()
+            config.telemetry.trace_path = _per_run_trace_path(
+                config.telemetry.trace_path, index)
+        results.append(create_simulator(config).run(program, args))
+    return results

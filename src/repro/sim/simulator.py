@@ -30,6 +30,11 @@ from repro.sim.results import SimulationResult
 from repro.sync.model import create_sync_model
 from repro.system.lcp import create_lcps
 from repro.system.mcp import MCP_TILE, MasterControlProgram
+from repro.telemetry.bus import create_bus
+from repro.telemetry.chrome import ChromeTraceSink
+from repro.telemetry.events import EventCategory
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.skew import ClockSkewSampler
 from repro.transport.message import MessageKind
 from repro.transport.transport import Transport
 
@@ -46,25 +51,36 @@ class Simulator:
         self.rngs = RngStreams(config.seed)
         self.stats = StatGroup("sim")
 
+        # Telemetry: ``None`` when disabled — every instrumented
+        # component then resolves a ``None`` channel and the hot paths
+        # stay a single attribute test.  Purely observational: the bus
+        # never consumes RNG draws or touches simulated time.
+        self.telemetry = create_bus(config.telemetry)
+        sync_channel = (self.telemetry.channel(EventCategory.SYNC)
+                        if self.telemetry is not None else None)
+
         # Host platform.
         self.layout = ClusterLayout(config.num_tiles, config.host)
+        self._configure_trace_sinks()
         self.cost_model = HostCostModel(
             config.host, rng=self.rngs.stream("host_jitter"))
         self.sync_model = create_sync_model(
             config.sync, self.stats.child("sync"),
-            self.rngs.stream("lax_p2p"))
+            self.rngs.stream("lax_p2p"), telemetry=sync_channel)
         self.scheduler = Scheduler(
             self.layout, self.cost_model, self.sync_model,
             self.stats.child("scheduler"),
             quantum_instructions=config.host.quantum_instructions,
-            rng=self.rngs.stream("scheduler"))
+            rng=self.rngs.stream("scheduler"),
+            telemetry=self.telemetry)
 
         # Communication.
         self.transport = self._make_transport()
         self.transport.add_delivery_hook(self._charge_message)
         self.fabric = NetworkFabric(config.num_tiles, config.network,
                                     self.transport,
-                                    self.stats.child("network"))
+                                    self.stats.child("network"),
+                                    telemetry=self.telemetry)
 
         # Memory system.
         line_bytes = config.memory.l2.line_bytes
@@ -78,7 +94,7 @@ class Simulator:
         self.engine = CoherenceEngine(
             config.num_tiles, config.memory, self.space, self.backing,
             self.fabric, config.core.clock_hz, self.stats.child("memory"),
-            self.classifier)
+            self.classifier, telemetry=self.telemetry)
         self.controllers: List[MemoryController] = [
             MemoryController(TileId(t), self.engine,
                              self._charge_memory_access,
@@ -89,22 +105,60 @@ class Simulator:
         self.allocator = DynamicMemoryManager(self.space)
         self.mcp = MasterControlProgram(
             config.num_tiles, self.allocator, self._wake_thread,
-            self.stats.child("mcp"))
+            self.stats.child("mcp"), telemetry=self.telemetry)
         self.lcps = create_lcps(self.layout, self.stats.child("system"))
 
         # Threads.
         self.interpreters: Dict[TileId, Any] = {}
         self._code_bases: Dict[Any, int] = {}
 
-        # Clock-skew tracing (Figure 7).
+        # Clock-skew tracing (Figure 7).  The sampler appends the same
+        # (mean, +dev, -dev) tuples the simulator always recorded; when
+        # telemetry is on the samples also become SYNC events.
         self.skew_trace: List[Tuple[float, float, float]] = []
         if config.trace_clock_skew:
-            self.scheduler.add_skew_sampler(self._sample_skew,
-                                            config.skew_sample_period)
+            self.scheduler.add_skew_sampler(
+                ClockSkewSampler(self.skew_trace, sync_channel),
+                config.skew_sample_period)
+
+        # Metrics time-series: snapshot the counter tree on a fixed
+        # scheduler cadence.
+        self.metrics: Optional[MetricsRegistry] = None
+        if config.telemetry.metrics_interval > 0:
+            metrics_channel = (
+                self.telemetry.channel(EventCategory.METRICS)
+                if self.telemetry is not None else None)
+            self.metrics = MetricsRegistry(
+                self.stats, config.telemetry.metrics_interval,
+                metrics_channel)
+            self.scheduler.add_periodic_hook(
+                self._sample_metrics, config.telemetry.metrics_interval)
 
     def _make_transport(self) -> Transport:
         """Build the message fabric; overridden by the mp backend."""
         return Transport(self.layout, self.stats.child("transport"))
+
+    def _configure_trace_sinks(self) -> None:
+        """Give file sinks the layout facts only the simulator knows."""
+        if self.telemetry is None:
+            return
+        tile_process = {
+            t: int(self.layout.process_of_tile(TileId(t)))
+            for t in range(self.config.num_tiles)}
+        for sink in self.telemetry.sinks:
+            if isinstance(sink, ChromeTraceSink):
+                sink.clock_hz = self.config.core.clock_hz
+                sink.tile_process = tile_process
+
+    def _sample_metrics(self, scheduler: Scheduler) -> None:
+        """Periodic-hook shim: snapshot the stats tree at "now".
+
+        "Now" for a whole-simulation snapshot is the frontier of
+        simulated progress — the maximum live thread clock.
+        """
+        assert self.metrics is not None
+        clocks = scheduler.thread_clocks()
+        self.metrics.sample(int(max(clocks)) if clocks else 0)
 
     # -- kernel interface (called by the interpreters) ---------------------------
 
@@ -201,14 +255,6 @@ class Simulator:
         statistics back into the coordinator's tree.
         """
 
-    def _sample_skew(self, scheduler: Scheduler) -> None:
-        clocks = scheduler.active_thread_clocks()
-        if len(clocks) < 2:
-            return
-        mean = sum(clocks) / len(clocks)
-        self.skew_trace.append((mean, max(clocks) - mean,
-                                min(clocks) - mean))
-
     # -- running --------------------------------------------------------------------------
 
     def run(self, main_program: Any,
@@ -219,10 +265,13 @@ class Simulator:
         reference* (an object with a ``resolve()`` method, e.g.
         :class:`repro.distrib.wire.WorkloadRef`) that builds one.
         """
-        main_thread = self.spawn_thread(main_program, args, None, 0)
+        self.spawn_thread(main_program, args, None, 0)
         report = self.scheduler.run()
-        del main_thread
         self._before_results()
+        if self.telemetry is not None:
+            # Flush/render the sinks; the in-memory ordered stream stays
+            # readable for tests and post-run analysis.
+            self.telemetry.close()
 
         thread_cycles = {int(t): i.core.cycles
                          for t, i in self.interpreters.items()}

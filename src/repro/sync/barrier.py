@@ -29,8 +29,9 @@ class LaxBarrierModel(SynchronizationModel):
 
     name = "lax_barrier"
 
-    def __init__(self, config: SyncConfig, stats: StatGroup) -> None:
-        super().__init__(config, stats)
+    def __init__(self, config: SyncConfig, stats: StatGroup,
+                 telemetry=None) -> None:
+        super().__init__(config, stats, telemetry)
         self.interval = config.barrier_interval
         #: End of the current epoch; threads stop here.
         self.epoch_end = config.barrier_interval
@@ -71,6 +72,11 @@ class LaxBarrierModel(SynchronizationModel):
         scheduler = self.scheduler
         self._waiting.add(thread.tile)
         self._arrivals.add()
+        if self.telemetry is not None:
+            self.telemetry.emit("barrier_arrive", int(thread.tile),
+                                thread.task.cycles,
+                                {"epoch_end": self.epoch_end,
+                                 "waiting": len(self._waiting)})
         scheduler.park_for_barrier(thread)
         # The gather message to the MCP travels over the system network;
         # charge its host transfer cost to the arriving thread's core.
@@ -104,6 +110,11 @@ class LaxBarrierModel(SynchronizationModel):
         release_time = max(
             scheduler.core_time[int(scheduler.layout.core_of_tile(t))]
             for t in self._waiting)
+        if self.telemetry is not None:
+            self.telemetry.emit("barrier_release", None, self.epoch_end,
+                                {"waiters": len(self._waiting),
+                                 "next_epoch": self.epoch_end
+                                 + self.interval})
         self.epoch_end += self.interval
         waiters, self._waiting = self._waiting, set()
         for tile in waiters:

@@ -18,6 +18,7 @@ from repro.common.stats import StatGroup
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.host.scheduler import ScheduledThread, Scheduler
+    from repro.telemetry.bus import Channel
 
 
 class SyncDecision(enum.Enum):
@@ -33,9 +34,12 @@ class SynchronizationModel:
 
     name = "lax"
 
-    def __init__(self, config: SyncConfig, stats: StatGroup) -> None:
+    def __init__(self, config: SyncConfig, stats: StatGroup,
+                 telemetry: Optional["Channel"] = None) -> None:
         self.config = config
         self.stats = stats
+        #: SYNC-category telemetry channel, or ``None``.
+        self.telemetry = telemetry
         self.scheduler: Optional["Scheduler"] = None
 
     def attach(self, scheduler: "Scheduler") -> None:
@@ -73,7 +77,8 @@ class SynchronizationModel:
 
 
 def create_sync_model(config: SyncConfig, stats: StatGroup,
-                      rng: Optional[random.Random] = None
+                      rng: Optional[random.Random] = None,
+                      telemetry: Optional["Channel"] = None
                       ) -> SynchronizationModel:
     """Instantiate the configured synchronization model."""
     from repro.sync.barrier import LaxBarrierModel
@@ -81,11 +86,11 @@ def create_sync_model(config: SyncConfig, stats: StatGroup,
     from repro.sync.p2p import LaxP2PModel
 
     if config.model == "lax":
-        return LaxModel(config, stats)
+        return LaxModel(config, stats, telemetry)
     if config.model == "lax_barrier":
-        return LaxBarrierModel(config, stats)
+        return LaxBarrierModel(config, stats, telemetry)
     if config.model == "lax_p2p":
         if rng is None:
             rng = random.Random(0)
-        return LaxP2PModel(config, stats, rng)
+        return LaxP2PModel(config, stats, rng, telemetry)
     raise ConfigError(f"unknown sync model {config.model!r}")

@@ -33,8 +33,8 @@ class LaxP2PModel(SynchronizationModel):
     name = "lax_p2p"
 
     def __init__(self, config: SyncConfig, stats: StatGroup,
-                 rng: random.Random) -> None:
-        super().__init__(config, stats)
+                 rng: random.Random, telemetry=None) -> None:
+        super().__init__(config, stats, telemetry)
         self.slack = config.p2p_slack
         self.interval = config.p2p_interval
         self._rng = rng
@@ -104,6 +104,11 @@ class LaxP2PModel(SynchronizationModel):
             scheduler.layout.locality(thread.tile, partner.tile), 16)
         scheduler.charge_core_of(thread, 2 * cost)
         difference = thread.task.cycles - partner.task.cycles
+        if self.telemetry is not None:
+            self.telemetry.emit("p2p_check", int(thread.tile),
+                                thread.task.cycles,
+                                {"partner": int(partner.tile),
+                                 "difference": difference})
         if difference <= self.slack:
             return
         rate = self._progress_rate()
@@ -112,4 +117,10 @@ class LaxP2PModel(SynchronizationModel):
         sleep_seconds = min(difference / rate, self.MAX_SLEEP_SECONDS)
         self._sleeps.add()
         self._sleep_hist.record(sleep_seconds)
+        if self.telemetry is not None:
+            self.telemetry.emit("p2p_sleep", int(thread.tile),
+                                thread.task.cycles,
+                                {"partner": int(partner.tile),
+                                 "difference": difference,
+                                 "seconds": sleep_seconds})
         scheduler.sleep_thread(thread, sleep_seconds)

@@ -10,7 +10,7 @@ application barrier state.  Tiles reach it over the system network
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.common.errors import TargetFault
 from repro.common.ids import TileId
@@ -19,6 +19,9 @@ from repro.memory.allocator import DynamicMemoryManager
 from repro.system.futex import FutexManager
 from repro.system.syscalls import SyscallInterface
 from repro.system.threading_api import ThreadManager
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.bus import Channel, TelemetryBus
 
 #: Tile hosting the MCP thread (process 0's first tile).
 MCP_TILE = TileId(0)
@@ -38,16 +41,49 @@ class _BarrierState:
     generation: int = 0
 
 
+class _TracedSyscalls:
+    """Delegating wrapper emitting one SYSCALL event per forward.
+
+    Wraps the MCP's :class:`SyscallInterface` when telemetry is on;
+    every ``execute`` (the single entry point used by the interpreter's
+    syscall forwarding) is recorded before delegation.  Syscalls carry
+    no simulated clock through this interface, so events use ``t=0`` —
+    identical in both backends, which is what the mp trace-equivalence
+    guarantee needs.
+    """
+
+    def __init__(self, inner: SyscallInterface,
+                 channel: "Channel") -> None:
+        self._inner = inner
+        self._tele = channel
+
+    def execute(self, name: str, args: tuple):
+        self._tele.emit("forward", None, 0, {"name": name})
+        return self._inner.execute(name, args)
+
+    def __getattr__(self, attr: str):
+        return getattr(self._inner, attr)
+
+
 class MasterControlProgram:
     """The simulation-wide control point."""
 
     def __init__(self, num_tiles: int, allocator: DynamicMemoryManager,
-                 wake_thread: WakeFn, stats: StatGroup) -> None:
+                 wake_thread: WakeFn, stats: StatGroup,
+                 telemetry: Optional["TelemetryBus"] = None) -> None:
         self.num_tiles = num_tiles
         self.futex = FutexManager(wake_thread, stats.child("futex"))
         self.threads = ThreadManager(num_tiles, wake_thread,
                                      stats.child("threads"))
         self.syscalls = SyscallInterface(allocator, stats.child("syscalls"))
+        self._tele_sync = None
+        if telemetry is not None:
+            from repro.telemetry.events import EventCategory
+            self._tele_sync = telemetry.channel(EventCategory.SYNC)
+            syscall_channel = telemetry.channel(EventCategory.SYSCALL)
+            if syscall_channel is not None:
+                self.syscalls = _TracedSyscalls(self.syscalls,
+                                                syscall_channel)
         self._wake_thread = wake_thread
         self._barriers: Dict[int, _BarrierState] = {}
         self._barrier_releases = stats.counter("barrier_releases")

@@ -1,0 +1,143 @@
+"""Chrome trace-event exporter (``chrome://tracing`` / Perfetto).
+
+Maps the simulator onto the trace-event JSON format [1]: host
+processes become trace *processes*, tiles become *tracks* (threads),
+scheduler quanta become duration (``X``) events on their tile's track,
+network messages become flow (``s``/``f``) arrows from source to
+destination tile, DRAM queue occupancy becomes counter (``C``) series,
+and everything else renders as instant (``i``) events.  Time is the
+*simulated* clock, scaled so one target cycle at the configured clock
+is its real duration in microseconds — the timeline a cycle-accurate
+simulator would show.
+
+[1] https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, TYPE_CHECKING
+
+from repro.common.log import get_logger
+from repro.telemetry.events import Event, EventCategory
+from repro.telemetry.sinks import Sink
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.bus import TelemetryBus
+
+#: Track id used for events that belong to no tile (MCP, registry).
+SIM_TRACK = 1_000_000
+
+
+def _us(cycles: float, clock_hz: float) -> float:
+    return cycles * 1e6 / clock_hz
+
+
+def write_chrome_trace(events: Iterable[Event], path: str,
+                       clock_hz: float = 1e9,
+                       tile_process: Optional[Dict[int, int]] = None,
+                       ) -> int:
+    """Write ``events`` as a Chrome trace; returns the event count.
+
+    ``tile_process`` maps tiles onto host processes (the mp backend's
+    shards); unmapped tiles land in process 0.
+    """
+    tile_process = tile_process or {}
+    out: List[dict] = []
+    seen_tracks = set()
+
+    def track(tile: Optional[int]) -> tuple:
+        if tile is None:
+            return 0, SIM_TRACK
+        return tile_process.get(tile, 0), tile
+
+    def base(event: Event, pid: int, tid: int) -> dict:
+        return {"name": event.name, "cat": event.category_name,
+                "pid": pid, "tid": tid,
+                "ts": _us(event.t, clock_hz)}
+
+    for event in events:
+        pid, tid = track(event.tile)
+        seen_tracks.add((pid, tid))
+        category = event.category
+        if category == EventCategory.QUANTUM and event.name == "quantum":
+            record = base(event, pid, tid)
+            record["ph"] = "X"
+            record["dur"] = _us(
+                max(int(event.args.get("cycles", event.t)) - event.t, 0),
+                clock_hz)
+            record["args"] = dict(event.args)
+            out.append(record)
+        elif category == EventCategory.NETWORK and event.name == "msg":
+            src = event.args.get("src")
+            dst = event.args.get("dst")
+            latency = int(event.args.get("latency", 0))
+            flow_id = f"{event.origin}.{event.seq}"
+            spid, stid = track(src)
+            dpid, dtid = track(dst)
+            seen_tracks.add((spid, stid))
+            seen_tracks.add((dpid, dtid))
+            start = {"name": "msg", "cat": "network", "ph": "s",
+                     "id": flow_id, "pid": spid, "tid": stid,
+                     "ts": _us(event.t, clock_hz),
+                     "args": dict(event.args)}
+            finish = {"name": "msg", "cat": "network", "ph": "f",
+                      "bp": "e", "id": flow_id, "pid": dpid, "tid": dtid,
+                      "ts": _us(event.t + latency, clock_hz)}
+            out.extend((start, finish))
+        elif category == EventCategory.DRAM:
+            record = base(event, pid, tid)
+            record["ph"] = "C"
+            record["name"] = f"dram{event.tile}.queue"
+            record["args"] = {
+                "occupancy": event.args.get("occupancy", 0)}
+            out.append(record)
+        else:
+            record = base(event, pid, tid)
+            record["ph"] = "i"
+            record["s"] = "t"
+            record["args"] = dict(event.args)
+            out.append(record)
+
+    metadata: List[dict] = []
+    for pid in sorted({p for p, _ in seen_tracks}):
+        metadata.append({"name": "process_name", "ph": "M", "pid": pid,
+                         "args": {"name": f"host process {pid}"}})
+    for pid, tid in sorted(seen_tracks):
+        label = "simulator" if tid == SIM_TRACK else f"tile {tid}"
+        metadata.append({"name": "thread_name", "ph": "M", "pid": pid,
+                         "tid": tid, "args": {"name": label}})
+
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"traceEvents": metadata + out,
+                   "displayTimeUnit": "ns"},
+                  handle, separators=(",", ":"), default=repr)
+    return len(out)
+
+
+class ChromeTraceSink(Sink):
+    """Buffers nothing: renders the bus's ordered stream at close.
+
+    The Chrome format is order-insensitive, but flow arrows and
+    counters come out cleaner from the merged, timestamp-ordered
+    stream — which only exists once mp workers have flushed their
+    final batches.
+    """
+
+    def __init__(self, path: str, clock_hz: float = 1e9) -> None:
+        self.path = path
+        self.clock_hz = clock_hz
+        #: Tile -> host process mapping; the simulator fills this in.
+        self.tile_process: Dict[int, int] = {}
+        self.events_written = 0
+        self._log = get_logger("telemetry.chrome")
+
+    def handle(self, event: Event) -> None:
+        pass  # everything happens at close, from the ordered store
+
+    def close(self, bus: "TelemetryBus") -> None:
+        self.events_written = write_chrome_trace(
+            bus.ordered_events(), self.path, clock_hz=self.clock_hz,
+            tile_process=self.tile_process)
+        self._log.debug("chrome trace written: %s (%d records)",
+                        self.path, self.events_written)

@@ -1,0 +1,107 @@
+"""Event sinks: where the bus delivers events.
+
+Three shapes cover the use cases: :class:`MemorySink` for tests and
+programmatic analysis, :class:`JsonlTraceSink` for durable streaming
+traces, and :class:`LoggerSink` for piggybacking on the namespaced
+``repro.*`` loggers of :mod:`repro.common.log` (so ``enable_tracing``
+surfaces telemetry alongside ordinary debug output).  The Chrome
+trace-event exporter lives in :mod:`repro.telemetry.chrome`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, List, Optional, TYPE_CHECKING
+
+from repro.common.log import get_logger
+from repro.telemetry.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.bus import TelemetryBus
+
+
+class Sink:
+    """Base sink: receives every enabled event, in emission order."""
+
+    def handle(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def close(self, bus: "TelemetryBus") -> None:
+        """End of run; ``bus.ordered_events()`` offers the full stream."""
+
+
+class MemorySink(Sink):
+    """Collects events in a list (tests, notebooks)."""
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+        self.closed = False
+
+    def handle(self, event: Event) -> None:
+        self.events.append(event)
+
+    def close(self, bus: "TelemetryBus") -> None:
+        self.closed = True
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class JsonlTraceSink(Sink):
+    """Streams events as one JSON object per line.
+
+    Lines appear in *emission* order (absorbed worker batches arrive
+    late); each line carries ``t``/``origin``/``seq`` so a consumer can
+    reconstruct the timestamp-ordered stream with a single sort.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._file: Optional[IO[str]] = None
+        self._log = get_logger("telemetry.jsonl")
+        self.lines_written = 0
+
+    def _ensure_open(self) -> IO[str]:
+        if self._file is None:
+            self._file = open(self.path, "w", encoding="utf-8")
+            self._log.debug("trace opened: %s", self.path)
+        return self._file
+
+    def handle(self, event: Event) -> None:
+        out = self._ensure_open()
+        json.dump(event.to_dict(), out, separators=(",", ":"),
+                  sort_keys=True, default=repr)
+        out.write("\n")
+        self.lines_written += 1
+
+    def close(self, bus: "TelemetryBus") -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+            self._log.debug("trace closed: %s (%d events)",
+                            self.path, self.lines_written)
+
+
+class LoggerSink(Sink):
+    """Re-emits events onto the namespaced simulator loggers.
+
+    Events for category ``cache`` go to ``repro.telemetry.cache`` and
+    so on — the same logger tree :func:`repro.common.log.enable_tracing`
+    switches on, so telemetry needs no second console plumbing.
+    """
+
+    def __init__(self) -> None:
+        self._loggers: dict = {}
+
+    def handle(self, event: Event) -> None:
+        name = event.category_name
+        logger = self._loggers.get(name)
+        if logger is None:
+            logger = get_logger(f"telemetry.{name}")
+            self._loggers[name] = logger
+        if logger.isEnabledFor(10):  # logging.DEBUG
+            logger.debug("%s tile=%s t=%d %s", event.name, event.tile,
+                         event.t, event.args)
+
+    def close(self, bus: "TelemetryBus") -> None:
+        pass

@@ -1,0 +1,45 @@
+"""Clock-skew sampling: per-tile deviation from global progress.
+
+The paper's Figure 7 characterises the lax synchronization models by
+how far individual tile clocks stray from the mean.  The sampler here
+is the data source for that figure: on a fixed scheduler cadence it
+reads every *active* tile thread's local clock and records the mean
+together with the maximum positive and negative deviations — the skew
+envelope.  With a ``sync`` channel attached, each sample also becomes
+a telemetry event, so the envelope shows up in traces alongside the
+barrier/P2P activity that shapes it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.telemetry.bus import Channel
+
+
+class ClockSkewSampler:
+    """Samples ``(mean, max-mean, min-mean)`` from active tile clocks.
+
+    Appends to ``trace`` — the list surfaced as
+    ``SimulationResult.skew_trace`` — using exactly the arithmetic the
+    simulator always used, so Figure 7 outputs are unchanged; the event
+    emission rides along.
+    """
+
+    def __init__(self, trace: List[Tuple[float, float, float]],
+                 channel: Optional[Channel] = None) -> None:
+        self.trace = trace
+        self._channel = channel
+
+    def __call__(self, scheduler) -> None:
+        clocks = scheduler.active_thread_clocks()
+        if len(clocks) < 2:
+            return
+        mean = sum(clocks) / len(clocks)
+        hi = max(clocks)
+        lo = min(clocks)
+        self.trace.append((mean, hi - mean, lo - mean))
+        if self._channel is not None:
+            self._channel.emit("clock_skew", None, int(mean),
+                               {"max_dev": hi - mean, "min_dev": lo - mean,
+                                "threads": len(clocks)})

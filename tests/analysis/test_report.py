@@ -3,7 +3,6 @@
 import pytest
 
 from repro.analysis.report import render_report
-from repro.common.config import SimulationConfig
 from repro.sim.simulator import Simulator
 from tests.conftest import tiny_config
 

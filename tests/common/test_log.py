@@ -21,3 +21,25 @@ class TestLogging:
         log.enable_tracing()
         assert len(logging.getLogger("repro").handlers) == 1
         log.disable_tracing()
+
+    def test_enable_with_foreign_handler_still_adds_trace_handler(self):
+        """A pre-existing handler (pytest caplog, an application's own
+        setup) must not suppress the trace handler — and repeats must
+        still not stack a second one."""
+        logger = logging.getLogger("repro")
+        saved = list(logger.handlers)
+        logger.handlers.clear()
+        foreign = logging.NullHandler()
+        logger.addHandler(foreign)
+        try:
+            log.enable_tracing()
+            log.enable_tracing()
+            trace = [h for h in logger.handlers
+                     if getattr(h, "_repro_trace_handler", False)]
+            assert len(trace) == 1
+            assert foreign in logger.handlers
+        finally:
+            logger.handlers.clear()
+            for handler in saved:
+                logger.addHandler(handler)
+            log.disable_tracing()

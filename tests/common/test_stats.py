@@ -125,3 +125,104 @@ class TestStatGroup:
         g.timeseries("t").record(0.0, 1.0)
         assert g.histogram("h").count == 1
         assert len(g.timeseries("t")) == 1
+
+
+class TestHistogramQuantiles:
+    def test_empty_quantile_is_zero(self):
+        assert Histogram("h").quantile(0.5) == 0.0
+
+    def test_out_of_range_rejected(self):
+        h = Histogram("h")
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+        with pytest.raises(ValueError):
+            h.quantile(1.1)
+
+    def test_small_sample_exact(self):
+        h = Histogram("h")
+        for v in (1.0, 2.0, 3.0, 4.0, 5.0):
+            h.record(v)
+        assert h.quantile(0.0) == 1.0
+        assert h.quantile(0.5) == 3.0
+        assert h.quantile(1.0) == 5.0
+        assert h.quantile(0.25) == pytest.approx(2.0)
+
+    def test_decimation_bounds_memory_keeps_estimate(self):
+        h = Histogram("h")
+        for v in range(10_000):
+            h.record(float(v))
+        assert len(h.samples) <= Histogram.MAX_SAMPLES
+        assert h.count == 10_000  # moments never decimate
+        # Uniform 0..9999: the median estimate stays close.
+        assert h.quantile(0.5) == pytest.approx(5000.0, rel=0.05)
+        assert h.quantile(0.95) == pytest.approx(9500.0, rel=0.05)
+
+
+class TestHistogramMerge:
+    def test_merge_moments_and_extrema(self):
+        a, b = Histogram("a"), Histogram("b")
+        for v in (1.0, 2.0, 3.0):
+            a.record(v)
+        for v in (10.0, 20.0):
+            b.record(v)
+        a.merge(b)
+        assert a.count == 5
+        assert a.mean == pytest.approx((1 + 2 + 3 + 10 + 20) / 5)
+        assert a.min == 1.0 and a.max == 20.0
+
+    def test_merge_empty_is_identity(self):
+        a = Histogram("a")
+        a.record(4.0)
+        before = (a.count, a.mean, a.min, a.max, list(a.samples))
+        a.merge(Histogram("b"))
+        assert (a.count, a.mean, a.min, a.max, list(a.samples)) == before
+
+    def test_merge_respects_sample_cap(self):
+        a, b = Histogram("a"), Histogram("b")
+        for v in range(2_000):
+            a.record(float(v))
+            b.record(float(v) + 0.5)
+        a.merge(b)
+        assert len(a.samples) <= Histogram.MAX_SAMPLES
+        assert a.count == 4_000
+
+    def test_state_roundtrip(self):
+        h = Histogram("h")
+        for v in (3.0, 1.0, 7.0):
+            h.record(v)
+        clone = Histogram("clone")
+        clone.merge_state(h.state())
+        assert clone.count == h.count
+        assert clone.mean == h.mean
+        assert clone.stddev == h.stddev
+        assert clone.min == h.min and clone.max == h.max
+        assert clone.quantile(0.5) == h.quantile(0.5)
+
+
+class TestHistogramStatesTree:
+    def test_flatten_and_merge_into_fresh_tree(self):
+        src = StatGroup("sim")
+        src.child("thread3").histogram("sleep").record(0.5)
+        src.child("thread3").histogram("sleep").record(1.5)
+        flat = src.histogram_states()
+        assert set(flat) == {"sim.thread3.sleep"}
+
+        dst = StatGroup("sim")
+        dst.merge_histogram_states(flat)
+        merged = dst.child("thread3").histogram("sleep")
+        assert merged.count == 2
+        assert merged.mean == pytest.approx(1.0)
+
+    def test_merge_accumulates_over_existing(self):
+        dst = StatGroup("sim")
+        dst.child("t").histogram("h").record(1.0)
+        src = StatGroup("sim")
+        src.child("t").histogram("h").record(3.0)
+        dst.merge_histogram_states(src.histogram_states())
+        assert dst.child("t").histogram("h").count == 2
+        assert dst.child("t").histogram("h").mean == pytest.approx(2.0)
+
+    def test_foreign_root_rejected(self):
+        dst = StatGroup("sim")
+        with pytest.raises(ValueError, match="rooted"):
+            dst.merge_histogram_states({"other.h": {}})

@@ -179,3 +179,62 @@ def test_program_key_stable_across_equal_refs():
     b = WorkloadRef("radix", 4, 1.0)
     assert program_key(a) == program_key(b)
     assert program_key(a) != program_key(WorkloadRef("radix", 8, 1.0))
+
+
+# -- telemetry frames (wire v2) ----------------------------------------------
+
+
+def test_wire_version_covers_telemetry_frames():
+    """v2 added TELEMETRY/COLLECT_TELEMETRY; the version must say so."""
+    assert WIRE_VERSION >= 2
+    assert FrameKind.TELEMETRY.value == "telemetry"
+    assert FrameKind.COLLECT_TELEMETRY.value == "collect_telemetry"
+
+
+def test_telemetry_event_frame_roundtrip():
+    from repro.telemetry.events import Event, EventCategory
+
+    event = Event(EventCategory.NETWORK, "msg", 3, 1234,
+                  {"src": 3, "dst": 0, "bytes": 64, "latency": 12},
+                  seq=41, origin=0)
+    kind, decoded = decode_frame(
+        encode_frame(FrameKind.TELEMETRY, [event]))
+    assert kind is FrameKind.TELEMETRY
+    assert decoded == [event]
+    assert decoded[0].args == event.args
+    assert decoded[0].content_key() == event.content_key()
+
+
+def test_telemetry_batch_frame_roundtrip():
+    from repro.common.stats import Histogram
+    from repro.telemetry.aggregate import TelemetryBatch
+    from repro.telemetry.events import Event, EventCategory
+
+    hist = Histogram("sleep")
+    for v in (0.25, 0.5, 1.0):
+        hist.record(v)
+    batch = TelemetryBatch(
+        worker=2,
+        events=[Event(EventCategory.SYNC, "stall", 5, 900,
+                      {"cycles": 44, "kind": "sync"}, seq=7),
+                Event(EventCategory.WORKER, "interp_spawn", 5, 0,
+                      {"worker": 2}, seq=8)],
+        histograms={"sim.thread5.sleep": hist.state()})
+    kind, decoded = decode_frame(encode_frame(FrameKind.TELEMETRY, batch))
+    assert kind is FrameKind.TELEMETRY
+    assert decoded.worker == 2
+    assert decoded.events == batch.events
+    assert len(decoded) == 2
+
+    merged = Histogram("sleep")
+    merged.merge_state(decoded.histograms["sim.thread5.sleep"])
+    assert merged.count == 3
+    assert merged.mean == hist.mean
+    assert merged.min == hist.min and merged.max == hist.max
+
+
+def test_collect_telemetry_frame_roundtrip():
+    kind, payload = decode_frame(
+        encode_frame(FrameKind.COLLECT_TELEMETRY, None))
+    assert kind is FrameKind.COLLECT_TELEMETRY
+    assert payload is None

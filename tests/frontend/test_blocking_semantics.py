@@ -6,9 +6,7 @@ thread is blocked on another, re-checks that must not repeat side
 effects, and contended-lock handoff chains.
 """
 
-import pytest
 
-from repro.common.errors import DeadlockError
 from repro.sim.simulator import Simulator
 from tests.conftest import tiny_config
 

@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.common.config import SimulationConfig
-from repro.common.errors import DeadlockError, SimulationError, TargetFault
+from repro.common.errors import SimulationError, TargetFault
 from repro.core.isa import InstructionClass
 from repro.sim.simulator import Simulator
 from tests.conftest import tiny_config

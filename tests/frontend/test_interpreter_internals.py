@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.common.errors import SimulationError
 from repro.sim.simulator import Simulator
 from tests.conftest import tiny_config
 
@@ -89,7 +88,6 @@ class TestCodePlacement:
         simulator = Simulator(tiny_config(4))
         simulator.run(main)
         # Worker code lines have 2 sharers in some directory entry.
-        from repro.memory.directory import DirState
         shared_code = 0
         for directory in simulator.engine.directories:
             for address, entry in directory.entries.items():

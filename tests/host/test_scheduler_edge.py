@@ -9,8 +9,6 @@ from repro.common.stats import StatGroup
 from repro.host.cluster import ClusterLayout
 from repro.host.costmodel import HostCostModel
 from repro.host.scheduler import (
-    QuantumResult,
-    QuantumStatus,
     Scheduler,
     ThreadState,
 )
@@ -23,8 +21,8 @@ class TestDispatchPolicy:
         """A thread with a future ready time is not run early."""
         s = make_scheduler(tiles=1)
         ref = [s]
-        thread = s.add_thread(ScriptedTask(0, ref, quanta=1, cost=1.0),
-                              start_host_time=7.5)
+        s.add_thread(ScriptedTask(0, ref, quanta=1, cost=1.0),
+                     start_host_time=7.5)
         report = s.run()
         assert report.wall_clock_seconds >= 8.5
 

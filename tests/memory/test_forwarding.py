@@ -1,6 +1,5 @@
 """Clean-shared cache-to-cache forwarding (and its ablation)."""
 
-import pytest
 
 from repro.common.config import SimulationConfig
 from tests.conftest import MemoryRig
@@ -42,8 +41,9 @@ class TestForwardingOn:
         for t in range(1, 8):
             rig.load_int(t, HEAP)
         after = rig.stats.to_dict()
-        dram = lambda d: sum(v for k, v in d.items()
-                             if "dram" in k and k.endswith(".reads"))
+        def dram(d):
+            return sum(v for k, v in d.items()
+                       if "dram" in k and k.endswith(".reads"))
         assert dram(after) == dram(before)
 
 

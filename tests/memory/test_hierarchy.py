@@ -1,6 +1,5 @@
 """Cache hierarchy: L1 tag arrays, inclusion with the L2."""
 
-import pytest
 
 from repro.common.config import MemoryConfig
 from repro.common.ids import TileId

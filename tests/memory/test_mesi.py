@@ -54,8 +54,6 @@ class TestSilentUpgrade:
     def test_store_to_exclusive_is_silent(self):
         r = rig()
         r.load_int(0, HEAP)
-        messages_before = r.stats.counter("messages_sent").value \
-            if "messages_sent" in r.stats.counters else None
         transfers_before = r.transport.stats.counter(
             "messages_sent").value
         latency = r.store_int(0, HEAP, 7)

@@ -6,7 +6,6 @@ from repro.common.config import SimulationConfig
 from repro.common.errors import ProtocolError
 from repro.common.ids import TileId
 from repro.memory.cache import LineState
-from repro.memory.directory import DirState
 from tests.conftest import MemoryRig
 
 HEAP = 0x1000_0000

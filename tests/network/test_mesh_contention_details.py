@@ -1,6 +1,5 @@
 """Deeper behaviour of the analytical contention mesh."""
 
-import pytest
 
 from repro.common.config import NetworkConfig
 from repro.common.ids import TileId

@@ -1,8 +1,6 @@
 """The Simulator facade: wiring, determinism, results."""
 
-import pytest
 
-from repro.common.config import SimulationConfig
 from repro.sim.simulator import Simulator
 from tests.conftest import tiny_config
 

@@ -1,8 +1,6 @@
 """LaxBarrier model edge cases around blocked threads and stalls."""
 
-import pytest
 
-from repro.common.errors import DeadlockError
 from repro.sim.simulator import Simulator
 from tests.conftest import tiny_config
 

@@ -1,11 +1,7 @@
 """LaxP2P edge cases: sleep bounds, partner selection, serial phases."""
 
-import random
 
-import pytest
 
-from repro.common.config import SyncConfig
-from repro.common.stats import StatGroup
 from repro.sim.simulator import Simulator
 from repro.sync.p2p import LaxP2PModel
 from tests.conftest import tiny_config
@@ -60,12 +56,12 @@ class TestPartnerSelection:
         scheduler, sync = build("lax_p2p", tiles=3, p2p_slack=100,
                                 p2p_interval=100)
         ref = [scheduler]
-        runner = scheduler.add_thread(
+        scheduler.add_thread(
             ClockedTask(0, 1000, 10_000, scheduler_ref=ref))
         stale = scheduler.add_thread(
             ClockedTask(1, 10, 10_000, scheduler_ref=ref))
         stale.state = ThreadState.BLOCKED  # stale clock, must be ignored
-        other = scheduler.add_thread(
+        scheduler.add_thread(
             ClockedTask(2, 1000, 10_000, scheduler_ref=ref))
 
         chosen = []

@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.common.config import HostConfig, SyncConfig
 from repro.common.ids import TileId
@@ -13,7 +12,6 @@ from repro.host.scheduler import (
     QuantumResult,
     QuantumStatus,
     Scheduler,
-    ThreadState,
     ThreadTask,
 )
 from repro.sync.barrier import LaxBarrierModel

@@ -1,8 +1,6 @@
 """Spawn protocol flow: caller -> MCP -> owning LCP -> new thread."""
 
-import pytest
 
-from repro.common.ids import ProcessId
 from repro.sim.simulator import Simulator
 from tests.conftest import tiny_config
 

@@ -1,0 +1,83 @@
+"""Distributed aggregation: the mp backend's merged trace must match.
+
+Acceptance bar, mirroring the backend-equivalence suite: same seed and
+configuration ⇒ the coordinator's merged event stream has exactly the
+same *content* as the in-process run's stream.  WORKER lifecycle
+events are the one sanctioned difference (they describe mp-only
+machinery), so they are filtered before comparison.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.common.config import SimulationConfig
+from repro.distrib.wire import WorkloadRef
+from repro.sim.runner import create_simulator
+from repro.telemetry.events import EventCategory
+
+REF = WorkloadRef("fmm", nthreads=4, scale=0.05)
+
+
+def _config(backend: str, batch_events: int = 256) -> SimulationConfig:
+    cfg = SimulationConfig(num_tiles=4, seed=11)
+    cfg.host.num_machines = 2
+    cfg.host.cores_per_machine = 2
+    cfg.distrib.backend = backend
+    cfg.telemetry.enabled = True
+    cfg.telemetry.batch_events = batch_events
+    cfg.validate()
+    return cfg
+
+
+def _content(sim) -> Counter:
+    return Counter(
+        e.content_key() for e in sim.telemetry.ordered_events()
+        if not (e.category & EventCategory.WORKER))
+
+
+def test_mp_merged_trace_matches_inproc_content():
+    inproc = create_simulator(_config("inproc"))
+    res_a = inproc.run(REF)
+    mp = create_simulator(_config("mp"))
+    res_b = mp.run(REF)
+
+    assert res_a.counters == res_b.counters  # tracing changed nothing
+    assert res_a.simulated_cycles == res_b.simulated_cycles
+    assert _content(inproc) == _content(mp)
+
+
+def test_worker_batching_streams_events_mid_run():
+    """A 1-event batch threshold forces TELEMETRY frames every quantum;
+    content must be identical to the default batching."""
+    eager = create_simulator(_config("mp", batch_events=1))
+    res_eager = eager.run(REF)
+    assert eager.telemetry.absorbed > 0  # events really crossed the wire
+
+    lazy = create_simulator(_config("mp", batch_events=10_000))
+    res_lazy = lazy.run(REF)
+    assert res_eager.counters == res_lazy.counters
+    assert _content(eager) == _content(lazy)
+
+
+def test_mp_has_worker_lifecycle_events():
+    sim = create_simulator(_config("mp"))
+    sim.run(REF)
+    names = {e.name for e in sim.telemetry.events
+             if e.category & EventCategory.WORKER}
+    assert {"worker_start", "interp_spawn", "worker_stop"} <= names
+
+
+def test_tracing_never_perturbs_the_simulation():
+    """Headline acceptance: byte-identical metrics tracing on vs off."""
+    def run(enabled: bool):
+        cfg = SimulationConfig(num_tiles=4, seed=11)
+        cfg.telemetry.enabled = enabled
+        cfg.validate()
+        return create_simulator(cfg).run(REF)
+
+    off, on = run(False), run(True)
+    assert off.simulated_cycles == on.simulated_cycles
+    assert off.counters == on.counters
+    assert off.thread_cycles == on.thread_cycles
+    assert off.wall_clock_seconds == on.wall_clock_seconds

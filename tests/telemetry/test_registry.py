@@ -1,0 +1,83 @@
+"""Metrics registry: counters and histograms become time series."""
+
+from __future__ import annotations
+
+from repro.common.config import SimulationConfig
+from repro.common.stats import StatGroup
+from repro.distrib.wire import WorkloadRef
+from repro.sim.simulator import Simulator
+from repro.telemetry.bus import TelemetryBus
+from repro.telemetry.events import ALL_CATEGORIES, EventCategory
+from repro.telemetry.registry import MetricsRegistry
+
+
+class TestRegistry:
+    def test_counters_become_series(self):
+        stats = StatGroup("sim")
+        counter = stats.child("memory").counter("misses")
+        registry = MetricsRegistry(stats, interval=10)
+        counter.add(3)
+        registry.sample(100)
+        counter.add(4)
+        registry.sample(200)
+        series = registry.series["sim.memory.misses"]
+        assert list(zip(series.times, series.values)) == [(100, 3),
+                                                          (200, 7)]
+        assert registry.samples_taken == 2
+
+    def test_histograms_snapshot_quantiles(self):
+        stats = StatGroup("sim")
+        hist = stats.histogram("lat")
+        for v in range(1, 101):
+            hist.record(float(v))
+        registry = MetricsRegistry(stats, interval=1)
+        registry.sample(5)
+        (snap,) = registry.histogram_series["sim.lat"]
+        assert snap["t"] == 5
+        assert snap["count"] == 100
+        assert snap["min"] == 1.0 and snap["max"] == 100.0
+        assert 40.0 <= snap["p50"] <= 60.0
+        assert 90.0 <= snap["p95"] <= 100.0
+
+    def test_sample_emits_metrics_event(self):
+        stats = StatGroup("sim")
+        stats.counter("c").add()
+        bus = TelemetryBus(ALL_CATEGORIES)
+        registry = MetricsRegistry(
+            stats, interval=1, channel=bus.channel(EventCategory.METRICS))
+        registry.sample(42)
+        (event,) = bus.events
+        assert event.category_name == "metrics"
+        assert event.t == 42
+        assert event.args["n"] == 1
+
+    def test_to_dict_shape(self):
+        stats = StatGroup("sim")
+        stats.counter("c").add(2)
+        registry = MetricsRegistry(stats, interval=4)
+        registry.sample(1)
+        doc = registry.to_dict()
+        assert doc["interval"] == 4
+        assert doc["samples"] == 1
+        assert doc["series"]["sim.c"] == [(1, 2)]
+
+
+class TestSimulatorIntegration:
+    def test_metrics_interval_drives_sampling(self):
+        cfg = SimulationConfig(num_tiles=4, seed=5)
+        cfg.telemetry.enabled = True
+        cfg.telemetry.metrics_interval = 8
+        cfg.validate()
+        sim = Simulator(cfg)
+        sim.run(WorkloadRef("fft", nthreads=4, scale=0.05))
+        assert sim.metrics is not None
+        assert sim.metrics.samples_taken > 0
+        # Monotone non-decreasing counter series, timestamped.
+        series = sim.metrics.series["sim.network.memory_net.packets"]
+        assert series.values == sorted(series.values)
+        assert series.times == sorted(series.times)
+
+    def test_disabled_means_no_registry(self):
+        cfg = SimulationConfig(num_tiles=2)
+        cfg.validate()
+        assert Simulator(cfg).metrics is None

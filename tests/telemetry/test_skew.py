@@ -1,0 +1,89 @@
+"""Clock-skew sampling: Figure 7's data source, now telemetry-backed.
+
+The paper's qualitative claim (§3.6, Figure 7): the lax models bound
+skew progressively tighter — Lax lets clocks stray furthest, LaxP2P
+clamps outliers pairwise, LaxBarrier bounds skew by the quantum.  The
+skew *envelope* (max deviation minus min deviation) must therefore
+nest: Lax ⊇ LaxP2P ⊇ LaxBarrier.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import SimulationConfig
+from repro.distrib.wire import WorkloadRef
+from repro.sim.simulator import Simulator
+from repro.telemetry.bus import TelemetryBus
+from repro.telemetry.events import ALL_CATEGORIES, EventCategory
+from repro.telemetry.skew import ClockSkewSampler
+
+
+class _FakeScheduler:
+    def __init__(self, clocks):
+        self._clocks = clocks
+
+    def active_thread_clocks(self):
+        return self._clocks
+
+
+class TestSampler:
+    def test_records_mean_and_deviations(self):
+        trace = []
+        sampler = ClockSkewSampler(trace)
+        sampler(_FakeScheduler([100, 200, 300]))
+        assert trace == [(200.0, 100.0, -100.0)]
+
+    def test_fewer_than_two_clocks_skipped(self):
+        trace = []
+        sampler = ClockSkewSampler(trace)
+        sampler(_FakeScheduler([]))
+        sampler(_FakeScheduler([500]))
+        assert trace == []
+
+    def test_emits_sync_event_when_channel_attached(self):
+        bus = TelemetryBus(ALL_CATEGORIES)
+        trace = []
+        sampler = ClockSkewSampler(trace,
+                                   bus.channel(EventCategory.SYNC))
+        sampler(_FakeScheduler([100, 300]))
+        (event,) = bus.events
+        assert event.name == "clock_skew"
+        assert event.t == 200
+        assert event.args == {"max_dev": 100.0, "min_dev": -100.0,
+                              "threads": 2}
+
+
+def _skew_run(model: str):
+    cfg = SimulationConfig(num_tiles=8, seed=7)
+    cfg.sync.model = model
+    cfg.trace_clock_skew = True
+    cfg.skew_sample_period = 8
+    cfg.validate()
+    result = Simulator(cfg).run(WorkloadRef("fmm", nthreads=8, scale=0.1))
+    assert result.skew_trace, f"{model}: no skew samples"
+    return max(hi - lo for _, hi, lo in result.skew_trace)
+
+
+@pytest.mark.slow
+def test_fmm_skew_envelopes_nest_across_sync_models():
+    lax = _skew_run("lax")
+    p2p = _skew_run("lax_p2p")
+    barrier = _skew_run("lax_barrier")
+    assert lax >= p2p >= barrier
+    # The barrier bounds skew by orders of magnitude versus pure lax.
+    assert barrier < lax
+
+
+def test_skew_trace_identical_with_telemetry_on():
+    """The sampler is observational: the Figure 7 data is unchanged."""
+    def run(enabled: bool):
+        cfg = SimulationConfig(num_tiles=4, seed=11)
+        cfg.trace_clock_skew = True
+        cfg.skew_sample_period = 8
+        cfg.telemetry.enabled = enabled
+        cfg.validate()
+        return Simulator(cfg).run(
+            WorkloadRef("fft", nthreads=4, scale=0.05)).skew_trace
+
+    assert run(False) == run(True)

@@ -6,7 +6,6 @@ traffic ride their own models.  These tests pin that separation at the
 full-simulation level.
 """
 
-import pytest
 
 from repro.sim.simulator import Simulator
 from tests.conftest import tiny_config

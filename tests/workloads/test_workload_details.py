@@ -1,6 +1,5 @@
 """Per-workload pattern details that the experiments rely on."""
 
-import pytest
 
 from repro.sim.simulator import Simulator
 from repro.workloads import get_workload

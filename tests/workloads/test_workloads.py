@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.common.config import SimulationConfig
 from repro.common.errors import ConfigError
 from repro.sim.simulator import Simulator
 from repro.workloads import WORKLOADS, get_workload
