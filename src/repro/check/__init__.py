@@ -1,0 +1,36 @@
+"""Static and dynamic correctness checking for the simulator.
+
+Three layers, all reachable through ``python -m repro check``:
+
+``repro.check.lint``
+    Repo-specific determinism lints that a generic linter cannot
+    express: wall-clock reads in model code, stray randomness outside
+    the seeded streams, hash-order-dependent set iteration, float
+    arithmetic on cycle counts, and wire-format field safety.
+
+``repro.check.protocol``
+    An exhaustive bounded-depth explorer that drives the *real*
+    directory-MSI coherence engine through every interleaving of
+    read/write requests for small configurations and asserts the
+    protocol invariants at every reached state.
+
+``repro.check.sanitize``
+    Opt-in runtime sanitizers (``--sanitize``) that ride the telemetry
+    bus and verify per-tile clock monotonicity, message-timestamp
+    causality and barrier membership while a simulation runs.  They
+    observe and never perturb: results are identical with them on or
+    off.
+"""
+
+from repro.check.lint import LintFinding, lint_paths, lint_tree
+from repro.check.protocol import ExplorationReport, ProtocolExplorer
+from repro.check.sanitize import Sanitizers
+
+__all__ = [
+    "ExplorationReport",
+    "LintFinding",
+    "ProtocolExplorer",
+    "Sanitizers",
+    "lint_paths",
+    "lint_tree",
+]

@@ -1,0 +1,122 @@
+"""The ``python -m repro check`` entry point.
+
+Runs the static determinism lints over the simulator source tree and
+the bounded-depth protocol exploration against the real coherence
+engine, exiting nonzero if either finds anything.  With explicit paths
+the command lints just those paths (protocol exploration is then
+opt-in via ``--protocol``) so a single fixture can be checked fast::
+
+    python -m repro check                      # full tree + explorer
+    python -m repro check path/to/file.py      # lint one file
+    python -m repro check --depth 5 --tiles 2  # deeper, smaller config
+    python -m repro check --accept-wire-schema # record wire schema
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import List
+
+from repro.check.lint import (
+    accept_wire_schema,
+    lint_paths,
+    lint_tree,
+    package_root,
+)
+from repro.check.protocol import ProtocolExplorer
+
+
+def add_check_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to lint (default: "
+                             "the repro package source tree)")
+    parser.add_argument("--no-lint", action="store_true",
+                        help="skip the determinism lints")
+    parser.add_argument("--no-protocol", action="store_true",
+                        help="skip the protocol state-space explorer")
+    parser.add_argument("--protocol", action="store_true",
+                        help="run the explorer even when explicit lint "
+                             "paths are given")
+    parser.add_argument("--tiles", type=int, default=3,
+                        help="explorer: target tiles (default 3)")
+    parser.add_argument("--lines", type=int, default=1,
+                        help="explorer: distinct cache lines (default 1)")
+    parser.add_argument("--depth", type=int, default=4,
+                        help="explorer: interleaving depth (default 4)")
+    parser.add_argument("--coherence", choices=("msi", "mesi"),
+                        default="msi",
+                        help="explorer: protocol (default msi)")
+    parser.add_argument("--directory", default="full_map",
+                        choices=("full_map", "limited", "limitless"),
+                        help="explorer: directory type (default full_map)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON")
+    parser.add_argument("--accept-wire-schema", action="store_true",
+                        help="record the current distrib/wire.py "
+                             "dataclass schema as the reference "
+                             "(after a WIRE_VERSION bump)")
+
+
+def run_check(args: argparse.Namespace) -> int:
+    if args.accept_wire_schema:
+        record = accept_wire_schema(
+            package_root() / "distrib" / "wire.py")
+        print(f"recorded wire schema: version "
+              f"{record['wire_version']}, "
+              f"fingerprint {record['fingerprint']}")
+        return 0
+
+    failed = False
+    payload: dict = {}
+
+    if not args.no_lint:
+        if args.paths:
+            findings = lint_paths([Path(p) for p in args.paths])
+        else:
+            findings = lint_tree()
+        payload["lint"] = [f.__dict__ for f in findings]
+        if findings:
+            failed = True
+        if not args.json:
+            for finding in findings:
+                print(finding.render())
+            scope = ", ".join(args.paths) if args.paths \
+                else "repro source tree"
+            print(f"lint: {len(findings)} finding(s) in {scope}")
+
+    run_explorer = not args.no_protocol and \
+        (not args.paths or args.protocol)
+    if run_explorer:
+        explorer = ProtocolExplorer(
+            tiles=args.tiles, lines=args.lines, depth=args.depth,
+            protocol=args.coherence, directory_type=args.directory)
+        report = explorer.explore()
+        payload["protocol"] = {
+            "tiles": report.tiles,
+            "lines": report.lines,
+            "depth": report.depth,
+            "protocol": report.protocol,
+            "directory_type": report.directory_type,
+            "explored_states": report.explored_states,
+            "unique_states": report.unique_states,
+            "transitions": report.transitions,
+            "violations": [v.render() for v in report.violations],
+            "unreachable": report.unreachable,
+        }
+        if not report.ok:
+            failed = True
+        if not args.json:
+            print(report.render())
+
+    if args.json:
+        payload["ok"] = not failed
+        print(json.dumps(payload, indent=2))
+    return 1 if failed else 0
+
+
+def main(argv: List[str] = None) -> int:  # pragma: no cover - thin shim
+    parser = argparse.ArgumentParser(prog="repro check")
+    add_check_arguments(parser)
+    return run_check(parser.parse_args(argv))

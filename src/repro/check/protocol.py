@@ -1,0 +1,306 @@
+"""Exhaustive state-space exploration of the real coherence engine.
+
+Model checkers for cache coherence normally verify an *abstract* model
+of the protocol, leaving a gap between what was proved and what runs.
+This explorer has no such gap: it drives the actual
+:class:`repro.memory.coherence.CoherenceEngine` (with real directories,
+hierarchies, DRAM and network models) through **every interleaving** of
+read/write requests up to a bounded depth for small configurations
+(2–3 tiles, 1–2 lines) and checks the protocol invariants in every
+reached state:
+
+- single-writer / multi-reader exclusion: at most one tile holds a
+  line in M (or E), and never together with S copies elsewhere;
+- directory-state / cache-state agreement (via the engine's own
+  ``check_coherence_invariants``, plus an independent cache-side scan);
+- functional data integrity: every read observes the value of the
+  last write in its interleaving, across recalls and writebacks;
+- no stuck states: no interleaving raises out of the engine;
+- no unreachable protocol states: every abstract directory state
+  (U, S×sharer-count, M×owner) is actually visited.
+
+Each interleaving is replayed from a freshly built engine, so a
+violation report carries the exact request sequence that produced it —
+a runnable reproduction, not a trace fragment.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.common.config import SimulationConfig
+from repro.common.ids import TileId
+from repro.common.stats import StatGroup
+from repro.host.cluster import ClusterLayout
+from repro.memory.address import AddressSpace
+from repro.memory.backing import BackingStore
+from repro.memory.cache import LineState
+from repro.memory.coherence import CoherenceEngine
+from repro.network.interface import NetworkFabric
+from repro.transport.transport import Transport
+
+#: One request in an interleaving: ("R" | "W", tile, line_index).
+Op = Tuple[str, int, int]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """An invariant failure plus the interleaving that reproduces it."""
+
+    sequence: Tuple[Op, ...]
+    message: str
+
+    def render(self) -> str:
+        trace = " -> ".join(f"{op}{tile}@line{line}"
+                            for op, tile, line in self.sequence)
+        return f"[{trace}] {self.message}"
+
+
+@dataclass
+class ExplorationReport:
+    """What the bounded-depth BFS covered and what it found."""
+
+    tiles: int
+    lines: int
+    depth: int
+    protocol: str
+    directory_type: str
+    explored_states: int = 0
+    unique_states: int = 0
+    transitions: int = 0
+    violations: List[Violation] = field(default_factory=list)
+    #: Abstract directory states (per line) never reached, e.g.
+    #: ``("S", 3)`` — shared by three tiles.
+    unreachable: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.unreachable
+
+    def render(self) -> str:
+        head = (f"protocol={self.protocol} dir={self.directory_type} "
+                f"tiles={self.tiles} lines={self.lines} "
+                f"depth={self.depth}")
+        body = (f"explored {self.explored_states} states "
+                f"({self.unique_states} unique, "
+                f"{self.transitions} transitions)")
+        out = [f"protocol explorer: {head}", f"  {body}"]
+        for violation in self.violations:
+            out.append(f"  VIOLATION {violation.render()}")
+        for state in self.unreachable:
+            out.append(f"  UNREACHABLE abstract state {state}")
+        if self.ok:
+            out.append("  all invariants hold in every reached state")
+        return "\n".join(out)
+
+
+def build_engine(tiles: int = 3, protocol: str = "msi",
+                 directory_type: str = "full_map",
+                 max_sharers: int = 2) -> CoherenceEngine:
+    """A fresh, fully wired coherence engine (no scheduler on top)."""
+    config = SimulationConfig(num_tiles=tiles)
+    config.memory.protocol = protocol
+    config.memory.directory_type = directory_type
+    config.memory.directory_max_sharers = max_sharers
+    config.validate()
+    stats = StatGroup("explore")
+    layout = ClusterLayout(tiles, config.host)
+    transport = Transport(layout, stats.child("transport"))
+    fabric = NetworkFabric(tiles, config.network, transport,
+                           stats.child("network"))
+    line_bytes = config.memory.l2.line_bytes
+    space = AddressSpace(tiles, line_bytes)
+    backing = BackingStore(line_bytes)
+    return CoherenceEngine(tiles, config.memory, space, backing, fabric,
+                           config.core.clock_hz, stats.child("mem"))
+
+
+class ProtocolExplorer:
+    """Bounded-depth BFS over all request interleavings.
+
+    ``engine_factory`` must return a *fresh* engine per call; the
+    default builds the real MSI stack.  Tests inject protocol bugs by
+    wrapping the factory and mutating the returned engine's directories.
+    """
+
+    def __init__(self, tiles: int = 3, lines: int = 1, depth: int = 4,
+                 protocol: str = "msi",
+                 directory_type: str = "full_map",
+                 max_sharers: int = 2,
+                 engine_factory: Optional[
+                     Callable[[], CoherenceEngine]] = None,
+                 max_violations: int = 10) -> None:
+        if tiles < 2:
+            raise ValueError("need at least 2 tiles to exercise sharing")
+        self.tiles = tiles
+        self.lines = lines
+        self.depth = depth
+        self.protocol = protocol
+        self.directory_type = directory_type
+        self.max_violations = max_violations
+        self.engine_factory = engine_factory or (
+            lambda: build_engine(tiles, protocol, directory_type,
+                                 max_sharers))
+        probe = self.engine_factory()
+        line_bytes = probe.config.l2.line_bytes
+        #: Line addresses spread across distinct homes.
+        self.addresses = [i * line_bytes for i in range(lines)]
+        #: The request alphabet: every (op, tile, line) combination.
+        self.alphabet: List[Op] = [
+            (op, tile, line)
+            for tile in range(tiles)
+            for op in ("R", "W")
+            for line in range(lines)]
+
+    # -- replay ---------------------------------------------------------------
+
+    def _replay(self, sequence: Sequence[Op]) -> Tuple[CoherenceEngine,
+                                                       Optional[str]]:
+        """Run one interleaving on a fresh engine.
+
+        Returns the engine and an error message if the interleaving got
+        stuck (raised) or broke functional data integrity.
+        """
+        engine = self.engine_factory()
+        #: Shadow memory: last value written per line, per the sequence.
+        shadow: Dict[int, int] = {}
+        try:
+            for step, (op, tile, line_index) in enumerate(sequence):
+                address = self.addresses[line_index]
+                if op == "R":
+                    line, _ = engine.read_access(TileId(tile), address,
+                                                 8, 0)
+                    got = int.from_bytes(bytes(line.data[:8]), "little")
+                    want = shadow.get(line_index, 0)
+                    if got != want:
+                        return engine, (
+                            f"step {step}: tile {tile} read {got} from "
+                            f"line {line_index}, expected {want} "
+                            "(lost or stale write)")
+                else:
+                    line, _ = engine.write_access(TileId(tile), address,
+                                                  8, 0)
+                    value = step + 1
+                    line.data[:8] = value.to_bytes(8, "little")
+                    shadow[line_index] = value
+        except Exception as exc:  # noqa: BLE001 - stuck-state detection
+            return engine, f"stuck state: {type(exc).__name__}: {exc}"
+        return engine, None
+
+    # -- invariants -----------------------------------------------------------
+
+    def _check(self, engine: CoherenceEngine) -> Optional[str]:
+        """Invariants beyond the replay itself; None when all hold."""
+        try:
+            engine.check_coherence_invariants()
+        except Exception as exc:  # noqa: BLE001
+            return f"directory/cache disagreement: {exc}"
+        # Independent cache-side scan (does not trust the directory):
+        # single-writer/multi-reader exclusion and no M+S coexistence.
+        for address in self.addresses:
+            owners = []
+            sharers = []
+            for tile in range(self.tiles):
+                line = engine.hierarchies[tile].l2.peek(address)
+                if line is None:
+                    continue
+                if line.state in (LineState.MODIFIED,
+                                  LineState.EXCLUSIVE):
+                    owners.append(tile)
+                elif line.state is LineState.SHARED:
+                    sharers.append(tile)
+            if len(owners) > 1:
+                return (f"line {address:#x} has multiple exclusive "
+                        f"holders: tiles {owners}")
+            if owners and sharers:
+                return (f"line {address:#x} is M/E at tile "
+                        f"{owners[0]} while S at tiles {sharers}")
+        return None
+
+    def _snapshot(self, engine: CoherenceEngine) -> Tuple:
+        """Canonical protocol state: directory + cache states per line."""
+        per_line = []
+        for address in self.addresses:
+            home = engine.space.home_tile(address)
+            entry = engine.directories[int(home)].entries.get(address)
+            dir_state = (entry.state.name,
+                         tuple(sorted(int(t) for t in entry.sharers))) \
+                if entry is not None else ("NONE", ())
+            cache_states = tuple(
+                line.state.name
+                if (line := engine.hierarchies[t].l2.peek(address))
+                is not None else None
+                for t in range(self.tiles))
+            per_line.append((dir_state, cache_states))
+        return tuple(per_line)
+
+    @staticmethod
+    def _abstract(snapshot: Tuple) -> Set[str]:
+        """Abstract directory states present in a snapshot."""
+        states = set()
+        for (state_name, sharers), _caches in snapshot:
+            if state_name == "MODIFIED":
+                states.add(f"M(owner={sharers[0]})" if sharers
+                           else "M(?)")
+            elif state_name == "SHARED":
+                states.add(f"S({len(sharers)})")
+            else:
+                states.add("U")
+        return states
+
+    # -- the search -----------------------------------------------------------
+
+    def explore(self) -> ExplorationReport:
+        report = ExplorationReport(
+            tiles=self.tiles, lines=self.lines, depth=self.depth,
+            protocol=self.protocol, directory_type=self.directory_type)
+        seen: Dict[Tuple, int] = {}
+        reached_abstract: Set[str] = {"U"}
+        queue: deque = deque([()])
+        while queue:
+            prefix = queue.popleft()
+            for op in self.alphabet:
+                sequence = prefix + (op,)
+                engine, error = self._replay(sequence)
+                report.explored_states += 1
+                report.transitions += 1
+                if error is None:
+                    error = self._check(engine)
+                if error is not None:
+                    if len(report.violations) < self.max_violations:
+                        report.violations.append(
+                            Violation(sequence, error))
+                    continue
+                snapshot = self._snapshot(engine)
+                if snapshot not in seen:
+                    seen[snapshot] = len(seen)
+                reached_abstract |= self._abstract(snapshot)
+                if len(sequence) < self.depth:
+                    queue.append(sequence)
+        report.unique_states = len(seen)
+        report.unreachable = sorted(
+            self._expected_abstract() - reached_abstract)
+        return report
+
+    def _expected_abstract(self) -> Set[str]:
+        """Every abstract directory state small-config MSI can be in."""
+        expected = {"U"}
+        max_sharers = self.tiles
+        if self.directory_type in ("limited", "limitless"):
+            # Limited directories may still reach full sharing via
+            # LimitLESS software extension; Dir_iNB evicts instead.
+            if self.directory_type == "limited":
+                probe = self.engine_factory()
+                max_sharers = min(
+                    self.tiles, probe.config.directory_max_sharers)
+        # Under MESI a lone reader is granted E (directory-owned), so a
+        # one-sharer S entry only arises transiently during a recall —
+        # S(1) is not a reachable terminal state.
+        min_sharers = 2 if self.protocol == "mesi" else 1
+        for count in range(min_sharers, max_sharers + 1):
+            expected.add(f"S({count})")
+        for owner in range(self.tiles):
+            expected.add(f"M(owner={owner})")
+        return expected

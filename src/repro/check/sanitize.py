@@ -1,0 +1,193 @@
+"""Runtime sanitizers: invariant checks that ride the telemetry bus.
+
+Lax synchronization deliberately lets per-tile clocks drift, which
+makes the properties that *must* still hold easy to break silently:
+a tile's clock must never run backwards, an interaction must never
+complete below its partner's timestamp, and a barrier release must
+account for every arrival.  The sanitizers verify these while a
+simulation runs, using the bus's *observer* mechanism
+(:meth:`repro.telemetry.bus.TelemetryBus.observe`):
+
+- observers see events without recording them, so attaching the
+  sanitizers changes neither the trace nor any counter — a
+  ``--sanitize`` run is byte-identical to a plain run;
+- when sanitizers are off no observer exists and every hook site is a
+  single ``is not None`` test — the zero-overhead-when-disabled
+  contract telemetry already follows.
+
+Checks
+======
+
+Per-tile clock monotonicity
+    Scheduler QUANTUM events: each quantum of a tile must start at or
+    after the previous quantum's end, and consume a non-negative
+    number of cycles.
+
+Interaction causality
+    Direct hooks from the interpreter and transport: a wake or message
+    receive forwards the consumer's clock to the event's timestamp —
+    afterwards the clock must be at or above it (the *committed
+    interaction bound*), and no message may arrive before it was sent.
+    At each quantum boundary the tile's clock must have caught up to
+    every bound it committed during the quantum.
+
+Barrier membership
+    SYNC events from :class:`repro.sync.barrier.LaxBarrierModel`:
+    every arrival must belong to the epoch being gathered, a release
+    must not claim more waiters than arrived, and epochs must strictly
+    advance.
+
+A violated invariant raises :class:`SanitizerViolation` at the point
+of observation, so the failing simulation dies loudly with the tile,
+timestamp and event in hand.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.common.errors import SanitizerViolation
+from repro.telemetry.events import Event, EventCategory
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.bus import TelemetryBus
+    from repro.transport.message import Message
+
+
+class Sanitizers:
+    """All runtime sanitizers behind one observer and two hooks."""
+
+    #: Categories the observer subscribes to.
+    MASK = int(EventCategory.QUANTUM | EventCategory.SYNC)
+
+    def __init__(self, num_tiles: int, bus: "TelemetryBus") -> None:
+        self.num_tiles = num_tiles
+        #: Per-tile clock at the end of its last observed quantum.
+        self._quantum_end: Dict[int, int] = {}
+        #: Per-tile committed interaction bound: the largest timestamp
+        #: this tile consumed (wake or receive); its clock must never
+        #: settle below it.
+        self._committed: Dict[int, int] = {}
+        #: Barrier arrivals of the epoch currently gathering.
+        self._arrivals: Dict[int, int] = {}
+        self._current_epoch: Optional[int] = None
+        self._last_released_epoch = -1
+        #: How much work the sanitizers actually did (reported by the
+        #: CLI so "sanitizers passed" is distinguishable from
+        #: "sanitizers saw nothing").
+        self.events_checked = 0
+        self.interactions_checked = 0
+        self.messages_checked = 0
+        bus.observe(self._on_event, self.MASK)
+
+    # -- helpers -------------------------------------------------------------
+
+    @staticmethod
+    def _fail(message: str) -> None:
+        raise SanitizerViolation(message)
+
+    # -- the bus observer ----------------------------------------------------
+
+    def _on_event(self, event: Event) -> None:
+        self.events_checked += 1
+        if event.name == "quantum":
+            self._check_quantum(event)
+        elif event.name == "barrier_arrive":
+            self._check_barrier_arrive(event)
+        elif event.name == "barrier_release":
+            self._check_barrier_release(event)
+
+    def _check_quantum(self, event: Event) -> None:
+        # ``t`` is the tile clock before the quantum; ``args["cycles"]``
+        # is the absolute clock after it.
+        tile = event.tile
+        start = int(event.t)
+        end = int(event.args.get("cycles", start)) if event.args \
+            else start
+        if end < start:
+            self._fail(
+                f"tile {tile}: quantum ran the clock backwards, from "
+                f"{start} to {end}")
+        last = self._quantum_end.get(tile)
+        if last is not None and start < last:
+            self._fail(
+                f"tile {tile}: clock ran backwards — quantum starts at "
+                f"{start} but the previous quantum ended at {last}")
+        committed = self._committed.get(tile)
+        if committed is not None and end < committed:
+            self._fail(
+                f"tile {tile}: quantum ended at {end}, below the "
+                f"committed interaction bound {committed} (a wake or "
+                "receive was consumed without forwarding the clock)")
+        self._quantum_end[tile] = end
+
+    def _check_barrier_arrive(self, event: Event) -> None:
+        args = event.args or {}
+        epoch_end = int(args.get("epoch_end", -1))
+        if int(event.t) < epoch_end:
+            self._fail(
+                f"tile {event.tile}: arrived at the {epoch_end}-cycle "
+                f"barrier with clock {event.t} — before reaching the "
+                "epoch boundary")
+        if self._current_epoch is None:
+            self._current_epoch = epoch_end
+        elif epoch_end != self._current_epoch:
+            self._fail(
+                f"tile {event.tile}: arrived for epoch {epoch_end} "
+                f"while epoch {self._current_epoch} is still gathering")
+        if epoch_end <= self._last_released_epoch:
+            self._fail(
+                f"tile {event.tile}: arrived for already-released "
+                f"epoch {epoch_end}")
+        # Re-arrivals are legitimate (a parked thread can be woken and
+        # re-park), so membership counts distinct tiles.
+        self._arrivals[event.tile] = self._arrivals.get(event.tile,
+                                                        0) + 1
+
+    def _check_barrier_release(self, event: Event) -> None:
+        args = event.args or {}
+        waiters = int(args.get("waiters", 0))
+        epoch_end = int(event.t)
+        if epoch_end <= self._last_released_epoch:
+            self._fail(
+                f"barrier released epoch {epoch_end} after epoch "
+                f"{self._last_released_epoch} — epochs must strictly "
+                "advance")
+        if waiters > len(self._arrivals):
+            self._fail(
+                f"barrier released {waiters} waiters at epoch "
+                f"{epoch_end} but only {len(self._arrivals)} tiles "
+                "arrived — phantom barrier membership")
+        self._last_released_epoch = epoch_end
+        self._current_epoch = None
+        self._arrivals.clear()
+
+    # -- direct hooks (interpreter / transport) ------------------------------
+
+    def on_interaction(self, tile: int, timestamp: int,
+                       clock_after: int) -> None:
+        """A tile consumed a wake/receive carrying ``timestamp``."""
+        self.interactions_checked += 1
+        if clock_after < timestamp:
+            self._fail(
+                f"tile {tile}: consumed an interaction at timestamp "
+                f"{timestamp} but its clock is {clock_after} — the "
+                "forward-to-sync-point rule was not applied")
+        if timestamp > self._committed.get(tile, -1):
+            self._committed[tile] = timestamp
+
+    def on_message(self, message: "Message") -> None:
+        """A message was delivered by the transport."""
+        self.messages_checked += 1
+        if message.arrival_time < message.timestamp:
+            self._fail(
+                f"message {int(message.src)}->{int(message.dst)} "
+                f"arrived at {message.arrival_time}, before it was "
+                f"sent at {message.timestamp}")
+
+    # -- reporting -----------------------------------------------------------
+
+    def summary(self) -> str:
+        return (f"sanitizers: {self.events_checked} events, "
+                f"{self.interactions_checked} interactions, "
+                f"{self.messages_checked} messages checked")

@@ -88,10 +88,21 @@ def build_parser() -> argparse.ArgumentParser:
                      help="emit machine-readable JSON instead of text")
     run.add_argument("--report", action="store_true",
                      help="print the full sim.out-style report")
+    run.add_argument("--sanitize", action="store_true",
+                     help="enable runtime sanitizers (clock "
+                          "monotonicity, message causality, barrier "
+                          "membership); purely observational")
 
     sub.add_parser("list-workloads", help="list available workloads")
     sub.add_parser("show-config",
                    help="print the default configuration as JSON")
+
+    check = sub.add_parser(
+        "check",
+        help="run determinism lints and the coherence-protocol "
+             "state-space explorer (exits nonzero on findings)")
+    from repro.check.cli import add_check_arguments
+    add_check_arguments(check)
     return parser
 
 
@@ -105,6 +116,7 @@ def _configure(args: argparse.Namespace) -> SimulationConfig:
     config.network.memory_model = args.network
     config.memory.classify_misses = args.classify_misses
     config.distrib.backend = args.backend
+    config.check.sanitize = args.sanitize
     if args.quantum:
         config.host.quantum_instructions = args.quantum
     if args.trace or args.trace_out or args.metrics_interval:
@@ -129,6 +141,8 @@ def _command_run(args: argparse.Namespace) -> int:
     simulator = create_simulator(config)
     result = simulator.run(program)
     simulator.engine.check_coherence_invariants()
+    if simulator.sanitizers is not None and not args.json:
+        print(simulator.sanitizers.summary())
     trace_events = (len(simulator.telemetry.events)
                     if simulator.telemetry is not None else 0)
 
@@ -211,6 +225,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_list()
     if args.command == "show-config":
         return _command_show_config()
+    if args.command == "check":
+        from repro.check.cli import run_check
+        return run_check(args)
     raise AssertionError(f"unhandled command {args.command}")
 
 

@@ -403,6 +403,24 @@ class TelemetryConfig:
 
 
 @dataclass
+class CheckConfig:
+    """Runtime correctness checking (see :mod:`repro.check.sanitize`).
+
+    Sanitizers observe the telemetry bus and verify invariants (clock
+    monotonicity, message causality, barrier membership) as the
+    simulation runs.  They are purely observational: a sanitized run
+    produces the same simulated cycles and counters as an unsanitized
+    one, and when ``sanitize`` is off no observer exists at all.
+    """
+
+    #: Enable the runtime sanitizers (CLI ``--sanitize``).
+    sanitize: bool = False
+
+    def validate(self) -> None:
+        pass
+
+
+@dataclass
 class SimulationConfig:
     """Top-level configuration: the target architecture plus the host."""
 
@@ -414,6 +432,7 @@ class SimulationConfig:
     host: HostConfig = field(default_factory=HostConfig)
     distrib: DistribConfig = field(default_factory=DistribConfig)
     telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
+    check: CheckConfig = field(default_factory=CheckConfig)
     #: Master seed for all RNG streams.
     seed: int = 42
     #: Heterogeneous tiles (paper §2: "tiles may be homogeneous or
@@ -453,6 +472,7 @@ class SimulationConfig:
         self.host.validate()
         self.distrib.validate()
         self.telemetry.validate()
+        self.check.validate()
 
     # -- (de)serialisation --------------------------------------------------
 
@@ -485,6 +505,7 @@ class SimulationConfig:
             "dram": (DramConfig,),
             "distrib": (DistribConfig,),
             "telemetry": (TelemetryConfig,),
+            "check": (CheckConfig,),
         }
         kwargs: Dict[str, Any] = {}
         for key, value in data.items():

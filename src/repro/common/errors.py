@@ -32,3 +32,13 @@ class TransportError(SimulationError):
 
 class ProtocolError(SimulationError):
     """The cache-coherence engine reached an illegal protocol state."""
+
+
+class SanitizerViolation(SimulationError):
+    """A runtime sanitizer observed a broken simulation invariant.
+
+    Raised by :mod:`repro.check.sanitize` when a ``--sanitize`` run
+    violates clock monotonicity, message causality or barrier
+    membership.  Always indicates a simulator bug, never an
+    application bug.
+    """

@@ -72,6 +72,8 @@ class ThreadInterpreter(ThreadTask):
             channel = tele_bus.channel(EventCategory.SYNC)
         self.core = create_core_model(core_config, stats.child("core"),
                                       telemetry=channel, tile=int(tile))
+        #: Runtime sanitizers (``--sanitize``), or ``None``.
+        self._sanitizers = getattr(kernel, "sanitizers", None)
         self.core.clock.forward_to(start_clock)
         self.memory = kernel.controllers[int(tile)]
         self.netif = kernel.fabric.interface(tile)
@@ -105,6 +107,9 @@ class ThreadInterpreter(ThreadTask):
         charges its sync-wait statistics on resume.
         """
         self.core.clock.forward_to(timestamp)
+        if self._sanitizers is not None:
+            self._sanitizers.on_interaction(int(self.tile), timestamp,
+                                            self.core.cycles)
         if self._wake_time is None or timestamp > self._wake_time:
             self._wake_time = timestamp
 
@@ -232,6 +237,9 @@ class ThreadInterpreter(ThreadTask):
         self.core.execute_pseudo(PseudoInstruction(
             PseudoKind.MESSAGE_RECEIVE, time=message.arrival_time,
             cost=RECV_CYCLES))
+        if self._sanitizers is not None:
+            self._sanitizers.on_interaction(
+                int(self.tile), message.arrival_time, self.core.cycles)
         sender, payload = message.payload
         return (ThreadId(sender), payload)
 

@@ -56,6 +56,21 @@ class Simulator:
         # stay a single attribute test.  Purely observational: the bus
         # never consumes RNG draws or touches simulated time.
         self.telemetry = create_bus(config.telemetry)
+
+        # Runtime sanitizers (``--sanitize``): ride the bus as pure
+        # observers.  With tracing off they get a mask-0 bus that
+        # records nothing; either way they must attach before any
+        # component resolves its channels, because ``channel()``
+        # honours the observer mask.
+        self.sanitizers = None
+        if config.check.sanitize:
+            from repro.check.sanitize import Sanitizers
+            from repro.telemetry.bus import TelemetryBus
+            if self.telemetry is None:
+                self.telemetry = TelemetryBus(0)
+            self.sanitizers = Sanitizers(config.num_tiles,
+                                         self.telemetry)
+
         sync_channel = (self.telemetry.channel(EventCategory.SYNC)
                         if self.telemetry is not None else None)
 
@@ -231,6 +246,8 @@ class Simulator:
         self.scheduler.wake(tile)
 
     def _charge_message(self, message, locality) -> None:
+        if self.sanitizers is not None:
+            self.sanitizers.on_message(message)
         self.scheduler.charge(
             self.cost_model.message(locality, message.size_bytes))
         # Application-visible traffic blocks the waiting host thread for

@@ -13,7 +13,7 @@ itself parked at the barrier, so requiring them would deadlock.
 
 from __future__ import annotations
 
-from typing import Optional, Set, TYPE_CHECKING
+from typing import Dict, Optional, TYPE_CHECKING
 
 from repro.common.config import SyncConfig
 from repro.common.stats import StatGroup
@@ -35,7 +35,10 @@ class LaxBarrierModel(SynchronizationModel):
         self.interval = config.barrier_interval
         #: End of the current epoch; threads stop here.
         self.epoch_end = config.barrier_interval
-        self._waiting: Set[TileId] = set()
+        # Dict-as-ordered-set: _release charges a per-waiter message
+        # cost in iteration order, so order must be arrival order, not
+        # hash order (determinism lint D003).
+        self._waiting: Dict[TileId, None] = {}
         self._barriers = stats.counter("barriers_released")
         self._arrivals = stats.counter("barrier_arrivals")
 
@@ -54,7 +57,7 @@ class LaxBarrierModel(SynchronizationModel):
         self._maybe_release()
 
     def on_thread_done(self, thread: "ScheduledThread") -> None:
-        self._waiting.discard(thread.tile)
+        self._waiting.pop(thread.tile, None)
         self._maybe_release()
 
     def on_thread_added(self, thread: "ScheduledThread") -> None:
@@ -70,7 +73,7 @@ class LaxBarrierModel(SynchronizationModel):
     def _arrive(self, thread: "ScheduledThread") -> None:
         assert self.scheduler is not None
         scheduler = self.scheduler
-        self._waiting.add(thread.tile)
+        self._waiting[thread.tile] = None
         self._arrivals.add()
         if self.telemetry is not None:
             self.telemetry.emit("barrier_arrive", int(thread.tile),
@@ -116,7 +119,7 @@ class LaxBarrierModel(SynchronizationModel):
                                  "next_epoch": self.epoch_end
                                  + self.interval})
         self.epoch_end += self.interval
-        waiters, self._waiting = self._waiting, set()
+        waiters, self._waiting = self._waiting, {}
         for tile in waiters:
             thread = scheduler.threads[tile]
             from repro.host.scheduler import ThreadState

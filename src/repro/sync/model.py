@@ -91,6 +91,11 @@ def create_sync_model(config: SyncConfig, stats: StatGroup,
         return LaxBarrierModel(config, stats, telemetry)
     if config.model == "lax_p2p":
         if rng is None:
-            rng = random.Random(0)
+            # No caller-provided stream (direct construction in tests):
+            # derive one from the named seed streams rather than a raw
+            # hardcoded Random so the draw sequence matches a seed-0
+            # Simulator and stays isolated from other consumers.
+            from repro.common.rng import RngStreams
+            rng = RngStreams(0).stream("lax_p2p")
         return LaxP2PModel(config, stats, rng, telemetry)
     raise ConfigError(f"unknown sync model {config.model!r}")

@@ -10,7 +10,7 @@ appends it to the bus's in-memory store and hands it to every sink.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, List, Optional
+from typing import TYPE_CHECKING, Callable, Iterable, List, Optional, Tuple
 
 from repro.telemetry.events import Event, EventCategory, parse_event_mask
 
@@ -47,11 +47,19 @@ class TelemetryBus:
         self._seq = 0
         #: Events absorbed from remote processes (mp aggregation).
         self.absorbed = 0
+        #: Observers see events without recording them: categories in
+        #: ``observer_mask`` but not ``mask`` are built and handed to
+        #: observers, yet never enter the store, the sinks or the
+        #: sequence numbering — so the recorded trace is byte-identical
+        #: whether observers (e.g. the runtime sanitizers) are attached
+        #: or not.
+        self.observer_mask = 0
+        self._observers: List[Tuple[int, Callable[[Event], None]]] = []
 
     # -- wiring --------------------------------------------------------------
 
     def enabled_for(self, category: int) -> bool:
-        return bool(self.mask & int(category))
+        return bool((self.mask | self.observer_mask) & int(category))
 
     def channel(self, category: EventCategory) -> Optional[Channel]:
         """The category's channel, or ``None`` when masked off."""
@@ -63,15 +71,33 @@ class TelemetryBus:
         self.sinks.append(sink)
         return sink
 
+    def observe(self, observer: Callable[[Event], None],
+                mask: int) -> None:
+        """Attach an observer for the categories in ``mask``.
+
+        Must be attached before emission sites resolve their channels:
+        ``channel()`` considers the observer mask, so late attachment
+        would miss sites that already resolved to ``None``.
+        """
+        self._observers.append((int(mask), observer))
+        self.observer_mask |= int(mask)
+
     # -- emission ------------------------------------------------------------
 
     def emit(self, category: int, name: str, tile: Optional[int],
              t: int, args: Optional[dict] = None) -> None:
+        recorded = bool(self.mask & category)
+        if not recorded and not (self.observer_mask & category):
+            return
         event = Event(category, name, tile, t, args, seq=self._seq)
-        self._seq += 1
-        self.events.append(event)
-        for sink in self.sinks:
-            sink.handle(event)
+        if recorded:
+            self._seq += 1
+            self.events.append(event)
+            for sink in self.sinks:
+                sink.handle(event)
+        for mask, observer in self._observers:
+            if mask & category:
+                observer(event)
 
     def absorb(self, events: Iterable[Event], origin: int) -> int:
         """Merge remote events into this bus (mp aggregation).
@@ -86,6 +112,9 @@ class TelemetryBus:
             self.events.append(event)
             for sink in self.sinks:
                 sink.handle(event)
+            for mask, observer in self._observers:
+                if mask & event.category:
+                    observer(event)
             count += 1
         self.absorbed += count
         return count

@@ -1,0 +1,12 @@
+"""Fixture: D001 — wall-clock reads in model code."""
+
+import time
+from datetime import datetime
+from time import perf_counter as pc
+
+
+def quantum_length() -> float:
+    start = time.time()           # D001
+    mid = pc()                    # D001 (aliased from-import)
+    stamp = datetime.now()        # D001
+    return start + mid + stamp.microsecond

@@ -1,0 +1,10 @@
+"""Fixture: D002 — randomness outside the seeded streams."""
+
+import random
+from random import Random
+
+
+def jitter() -> float:
+    rng = random.Random(0)        # D002
+    other = Random(7)             # D002 (from-import)
+    return rng.random() + other.random() + random.random()  # D002

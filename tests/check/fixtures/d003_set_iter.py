@@ -1,0 +1,16 @@
+"""Fixture: D003 — hash-order-dependent set iteration."""
+
+from typing import Set
+
+
+class Waiters:
+    def __init__(self) -> None:
+        self._waiting: Set[int] = set()
+
+    def release(self) -> list:
+        order = []
+        waiters, self._waiting = self._waiting, set()
+        for tile in waiters:              # D003 (swap-propagated set)
+            order.append(tile)
+        order.extend(t for t in self._waiting)   # D003
+        return order + list({1, 2, 3})           # D003 (list over literal)

@@ -1,0 +1,7 @@
+"""Fixture: D004 — float arithmetic/equality on cycle counts."""
+
+
+def advance(cycles: int, clock: int) -> bool:
+    half = cycles / 2                      # D004 (true division)
+    scaled = clock * 1.5                   # D004 (float literal)
+    return cycles == 0.5 or scaled > half  # D004 (float equality)

@@ -1,0 +1,17 @@
+"""Fixture: W001 — wire dataclass with a non-picklable-safe field."""
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+WIRE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BadFrame:
+    name: str
+    callback: Callable[[int], int]      # W001 (not allowlisted)
+    table: Dict[str, "Waiters"]         # W001 (custom class in a Dict)
+
+
+class Waiters:
+    pass

@@ -1,0 +1,7 @@
+"""Fixture: W002 — allowlist marker without a justification."""
+
+import time
+
+
+def profile() -> float:
+    return time.time()  # check: allow D001

@@ -1,0 +1,50 @@
+"""The ``repro check`` subcommand: exit codes and JSON output."""
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def test_fixture_path_exits_nonzero(capsys):
+    code = main(["check", str(FIXTURES / "d002_random.py")])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "D002" in out
+    assert "3 finding(s)" in out
+
+
+def test_clean_file_exits_zero(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text("def f(cycles):\n    return cycles + 1\n")
+    assert main(["check", str(clean)]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_explorer_only_run(capsys):
+    code = main(["check", "--no-lint", "--tiles", "2", "--depth", "2"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "explored" in out
+    assert "all invariants hold" in out
+
+
+def test_json_output_is_machine_readable(capsys):
+    code = main(["check", str(FIXTURES / "d001_wall_clock.py"),
+                 "--json"])
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is False
+    assert {f["rule"] for f in payload["lint"]} == {"D001"}
+
+
+def test_json_includes_protocol_report(capsys):
+    code = main(["check", "--no-lint", "--tiles", "2", "--depth", "2",
+                 "--json"])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    protocol = payload["protocol"]
+    assert protocol["violations"] == []
+    assert protocol["explored_states"] > 0

@@ -1,0 +1,94 @@
+"""Property: every mutated directory transition table yields a finding.
+
+The explorer is only trustworthy if it actually *fails* on broken
+protocols.  Each mutation below corrupts one transition of the
+directory state machine; hypothesis drives combinations of mutation,
+tile count and exploration depth, and the property is that the
+explorer always reports at least one violation with a reproduction
+sequence attached.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.check.protocol import ProtocolExplorer, build_engine
+from repro.memory.directory import AddResult, DirState
+
+
+def mutate_drop_add(engine):
+    """add_sharer forgets to record the sharer (U -> S loses the S)."""
+    for directory in engine.directories:
+        directory.add_sharer = \
+            lambda entry, tile, timestamp=0: AddResult()
+
+
+def mutate_phantom_sharer(engine):
+    """add_sharer also records a tile that never requested the line."""
+    def wrap(directory):
+        original = directory.add_sharer
+
+        def add(entry, tile, timestamp=0):
+            result = original(entry, tile, timestamp)
+            phantom = type(tile)((int(tile) + 1) % engine.num_tiles)
+            entry.sharers.setdefault(phantom, None)
+            return result
+        directory.add_sharer = add
+
+    for directory in engine.directories:
+        wrap(directory)
+
+
+def mutate_skip_invalidation(engine):
+    """Writes no longer invalidate the other sharers (S -> M keeps S)."""
+    engine._invalidate_sharers = \
+        lambda home, sharers, line, ts, exclude: 0
+
+
+def mutate_forget_modified(engine):
+    """Every lookup downgrades M entries to SHARED: the directory
+    forgets ownership, so dirty recalls are skipped."""
+    def wrap(directory):
+        original = directory.entry
+
+        def entry(line_address):
+            result = original(line_address)
+            if result.state is DirState.MODIFIED:
+                result.state = DirState.SHARED
+            return result
+        directory.entry = entry
+
+    for directory in engine.directories:
+        wrap(directory)
+
+
+MUTATIONS = [mutate_drop_add, mutate_phantom_sharer,
+             mutate_skip_invalidation, mutate_forget_modified]
+
+
+@settings(max_examples=12, deadline=None)
+@given(mutation=st.sampled_from(MUTATIONS),
+       tiles=st.integers(min_value=2, max_value=3),
+       depth=st.integers(min_value=3, max_value=4))
+def test_mutated_directory_always_produces_findings(mutation, tiles,
+                                                    depth):
+    def buggy():
+        engine = build_engine(tiles)
+        mutation(engine)
+        return engine
+
+    report = ProtocolExplorer(tiles=tiles, lines=1, depth=depth,
+                              engine_factory=buggy,
+                              max_violations=1).explore()
+    assert report.violations, (
+        f"{mutation.__name__} with {tiles} tiles at depth {depth} "
+        "was not detected")
+    violation = report.violations[0]
+    assert violation.sequence
+    assert violation.message
+
+
+def test_unmutated_engine_is_a_valid_control():
+    """The same harness reports nothing when no mutation is applied."""
+    report = ProtocolExplorer(tiles=2, lines=1, depth=3,
+                              engine_factory=lambda: build_engine(2),
+                              max_violations=1).explore()
+    assert report.violations == []

@@ -1,0 +1,148 @@
+"""The determinism lints: every rule fires on its fixture, none on the tree."""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+from repro.check.lint import (
+    check_wire_manifest,
+    lint_file,
+    lint_paths,
+    lint_tree,
+    package_root,
+    scope_for,
+    wire_fingerprint,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+class TestFixturesTrigger:
+    @pytest.mark.parametrize("fixture,rule,count", [
+        ("d001_wall_clock.py", "D001", 3),
+        ("d002_random.py", "D002", 3),
+        ("d003_set_iter.py", "D003", 3),
+        ("d004_float_cycles.py", "D004", 3),
+        ("w001_wire.py", "W001", 2),
+    ])
+    def test_rule_fires(self, fixture, rule, count):
+        findings = lint_file(FIXTURES / fixture)
+        assert [f.rule for f in findings] == [rule] * count
+
+    def test_bare_allow_marker_is_a_finding(self):
+        findings = lint_file(FIXTURES / "w002_bare_allow.py")
+        rules = sorted(f.rule for f in findings)
+        # The unjustified marker does NOT suppress, and is itself
+        # reported.
+        assert rules == ["D001", "W002"]
+
+    def test_findings_carry_location(self):
+        finding = lint_file(FIXTURES / "d002_random.py")[0]
+        assert finding.line == 8
+        assert "d002_random.py:8:" in finding.render()
+
+
+class TestSuppression:
+    def test_justified_allow_suppresses(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(
+            "import time\n"
+            "t0 = time.time()  # check: allow D001 -- profiling\n")
+        assert lint_file(path) == []
+
+    def test_allow_covers_multiline_nodes(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(
+            "def f(cycles):\n"
+            "    return (\n"
+            "        cycles / 2)  # check: allow D004 -- ratio\n")
+        assert lint_file(path) == []
+
+    def test_allow_only_suppresses_named_rule(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(
+            "import time\n"
+            "t0 = time.time()  # check: allow D002 -- wrong rule\n")
+        assert [f.rule for f in lint_file(path)] == ["D001"]
+
+
+class TestScoping:
+    def test_model_dirs_get_wall_clock_rule(self):
+        root = package_root()
+        scope = scope_for(root / "memory" / "coherence.py", root)
+        assert scope.wall_clock and scope.float_cycles
+
+    def test_host_and_telemetry_are_exempt(self):
+        root = package_root()
+        for sub in ("host", "telemetry", "distrib"):
+            scope = scope_for(root / sub / "anything.py", root)
+            assert not scope.wall_clock
+        # ...but distrib is still covered by the set-iteration rule.
+        assert scope_for(root / "distrib" / "wire.py",
+                         root).set_iteration
+
+    def test_rng_module_may_construct_random(self):
+        root = package_root()
+        assert not scope_for(root / "common" / "rng.py",
+                             root).randomness
+        assert scope_for(root / "common" / "other.py", root).randomness
+
+    def test_outside_tree_all_rules_apply(self, tmp_path):
+        scope = scope_for(tmp_path / "f.py", package_root())
+        assert scope.wall_clock and scope.randomness and \
+            scope.set_iteration and scope.float_cycles
+
+
+class TestWireManifest:
+    WIRE_SRC = (
+        "from dataclasses import dataclass\n"
+        "WIRE_VERSION = 3\n"
+        "@dataclass\n"
+        "class Frame:\n"
+        "    kind: int\n"
+        "    blob: bytes\n")
+
+    def test_fingerprint_changes_with_fields(self):
+        base, version = wire_fingerprint(ast.parse(self.WIRE_SRC))
+        assert version == 3
+        changed, _ = wire_fingerprint(ast.parse(
+            self.WIRE_SRC + "    extra: str\n"))
+        assert changed != base
+
+    def test_field_change_without_bump_is_flagged(self, tmp_path):
+        import json
+        schema = tmp_path / "schema.json"
+        fingerprint, _ = wire_fingerprint(ast.parse(self.WIRE_SRC))
+        schema.write_text(json.dumps(
+            {"wire_version": 3, "fingerprint": fingerprint}))
+        # Unchanged: clean.
+        assert check_wire_manifest(ast.parse(self.WIRE_SRC), "wire.py",
+                                   schema) == []
+        # Field added, version kept: W001.
+        findings = check_wire_manifest(
+            ast.parse(self.WIRE_SRC + "    extra: str\n"), "wire.py",
+            schema)
+        assert [f.rule for f in findings] == ["W001"]
+        assert "bump WIRE_VERSION" in findings[0].message
+
+    def test_version_bump_without_refresh_is_flagged(self, tmp_path):
+        import json
+        schema = tmp_path / "schema.json"
+        fingerprint, _ = wire_fingerprint(ast.parse(self.WIRE_SRC))
+        schema.write_text(json.dumps(
+            {"wire_version": 2, "fingerprint": fingerprint}))
+        findings = check_wire_manifest(ast.parse(self.WIRE_SRC),
+                                       "wire.py", schema)
+        assert [f.rule for f in findings] == ["W001"]
+
+
+class TestRealTree:
+    def test_repro_source_tree_is_clean(self):
+        findings = lint_tree()
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+    def test_lint_paths_recurses_directories(self):
+        findings = lint_paths([FIXTURES])
+        assert {f.rule for f in findings} >= {"D001", "D002", "D003",
+                                              "D004", "W001", "W002"}

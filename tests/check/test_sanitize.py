@@ -1,0 +1,213 @@
+"""Runtime sanitizers: observer purity, violation detection, equivalence."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.check.sanitize import Sanitizers
+from repro.common.config import SimulationConfig
+from repro.common.errors import SanitizerViolation
+from repro.sim.simulator import Simulator
+from repro.telemetry.bus import TelemetryBus
+from repro.telemetry.events import Event, EventCategory
+
+
+def quantum_event(tile, start, end):
+    return Event(int(EventCategory.QUANTUM), "quantum", tile, start,
+                 {"cycles": end, "instructions": 10, "status": "ran"})
+
+
+def arrive_event(tile, clock, epoch_end):
+    return Event(int(EventCategory.SYNC), "barrier_arrive", tile, clock,
+                 {"epoch_end": epoch_end, "waiting": 1})
+
+
+def release_event(epoch_end, waiters):
+    return Event(int(EventCategory.SYNC), "barrier_release", None,
+                 epoch_end, {"waiters": waiters, "next_epoch":
+                             epoch_end + 500})
+
+
+def fresh(num_tiles=4):
+    bus = TelemetryBus(0)
+    return Sanitizers(num_tiles, bus), bus
+
+
+class TestObserverPurity:
+    """Observers must never change what the bus records."""
+
+    def test_mask_zero_bus_records_nothing_but_observer_sees_all(self):
+        sanitizers, bus = fresh()
+        channel = bus.channel(EventCategory.QUANTUM)
+        assert channel is not None  # observer keeps the channel alive
+        channel.emit("quantum", 0, 0, {"cycles": 10})
+        assert bus.events == []
+        assert bus._seq == 0
+        assert sanitizers.events_checked == 1
+
+    def test_recording_bus_is_unchanged_by_the_observer(self):
+        plain = TelemetryBus(int(EventCategory.QUANTUM))
+        plain.emit(int(EventCategory.QUANTUM), "quantum", 0, 0,
+                   {"cycles": 10})
+
+        observed = TelemetryBus(int(EventCategory.QUANTUM))
+        Sanitizers(4, observed)
+        observed.emit(int(EventCategory.QUANTUM), "quantum", 0, 0,
+                      {"cycles": 10})
+
+        assert len(observed.events) == len(plain.events) == 1
+        assert observed.events[0].seq == plain.events[0].seq
+        assert observed._seq == plain._seq
+
+    def test_observer_only_sees_its_mask(self):
+        sanitizers, bus = fresh()
+        bus.emit(int(EventCategory.CACHE), "miss", 0, 0, {})
+        assert sanitizers.events_checked == 0
+        bus.emit(int(EventCategory.SYNC), "skew", 0, 0, {})
+        assert sanitizers.events_checked == 1
+
+
+class TestQuantumChecks:
+    def test_monotone_quanta_pass(self):
+        sanitizers, _ = fresh()
+        sanitizers._on_event(quantum_event(0, 0, 100))
+        sanitizers._on_event(quantum_event(1, 0, 80))
+        sanitizers._on_event(quantum_event(0, 100, 250))
+        assert sanitizers.events_checked == 3
+
+    def test_quantum_running_backwards_fails(self):
+        sanitizers, _ = fresh()
+        with pytest.raises(SanitizerViolation, match="backwards"):
+            sanitizers._on_event(quantum_event(0, 100, 40))
+
+    def test_quantum_starting_before_previous_end_fails(self):
+        sanitizers, _ = fresh()
+        sanitizers._on_event(quantum_event(0, 0, 100))
+        with pytest.raises(SanitizerViolation, match="backwards"):
+            sanitizers._on_event(quantum_event(0, 60, 120))
+
+    def test_clock_below_committed_interaction_bound_fails(self):
+        sanitizers, _ = fresh()
+        sanitizers.on_interaction(tile=0, timestamp=500,
+                                  clock_after=500)
+        with pytest.raises(SanitizerViolation, match="committed"):
+            sanitizers._on_event(quantum_event(0, 0, 200))
+
+
+class TestBarrierChecks:
+    def test_full_epoch_passes(self):
+        sanitizers, _ = fresh(num_tiles=2)
+        sanitizers._on_event(arrive_event(0, 510, 500))
+        sanitizers._on_event(arrive_event(1, 505, 500))
+        sanitizers._on_event(release_event(500, 2))
+        sanitizers._on_event(arrive_event(0, 1001, 1000))
+
+    def test_arrival_before_epoch_boundary_fails(self):
+        sanitizers, _ = fresh()
+        with pytest.raises(SanitizerViolation, match="before reaching"):
+            sanitizers._on_event(arrive_event(0, 400, 500))
+
+    def test_mixed_epoch_arrivals_fail(self):
+        sanitizers, _ = fresh()
+        sanitizers._on_event(arrive_event(0, 510, 500))
+        with pytest.raises(SanitizerViolation, match="still gathering"):
+            sanitizers._on_event(arrive_event(1, 1200, 1000))
+
+    def test_arrival_for_released_epoch_fails(self):
+        sanitizers, _ = fresh(num_tiles=1)
+        sanitizers._on_event(arrive_event(0, 510, 500))
+        sanitizers._on_event(release_event(500, 1))
+        with pytest.raises(SanitizerViolation,
+                           match="already-released"):
+            sanitizers._on_event(arrive_event(0, 520, 500))
+
+    def test_epochs_must_strictly_advance(self):
+        sanitizers, _ = fresh(num_tiles=1)
+        sanitizers._on_event(arrive_event(0, 510, 500))
+        sanitizers._on_event(release_event(500, 1))
+        with pytest.raises(SanitizerViolation, match="strictly"):
+            sanitizers._on_event(release_event(500, 0))
+
+    def test_phantom_waiters_fail(self):
+        sanitizers, _ = fresh()
+        sanitizers._on_event(arrive_event(0, 510, 500))
+        with pytest.raises(SanitizerViolation, match="phantom"):
+            sanitizers._on_event(release_event(500, 3))
+
+
+class TestDirectHooks:
+    def test_interaction_below_timestamp_fails(self):
+        sanitizers, _ = fresh()
+        with pytest.raises(SanitizerViolation, match="forward"):
+            sanitizers.on_interaction(tile=2, timestamp=900,
+                                      clock_after=899)
+
+    def test_message_arriving_before_send_fails(self):
+        sanitizers, _ = fresh()
+        message = SimpleNamespace(src=0, dst=1, timestamp=100,
+                                  arrival_time=99)
+        with pytest.raises(SanitizerViolation, match="before it was"):
+            sanitizers.on_message(message)
+
+    def test_healthy_hooks_count_work(self):
+        sanitizers, _ = fresh()
+        sanitizers.on_interaction(tile=0, timestamp=10, clock_after=10)
+        sanitizers.on_message(SimpleNamespace(
+            src=0, dst=1, timestamp=10, arrival_time=15))
+        assert sanitizers.interactions_checked == 1
+        assert sanitizers.messages_checked == 1
+
+
+def small_program(ctx):
+    lock = yield from ctx.calloc(8, align=64)
+    counter = yield from ctx.calloc(8)
+
+    def worker(ctx, index, lock, counter):
+        for _ in range(4):
+            yield from ctx.lock(lock)
+            value = yield from ctx.load_u64(counter)
+            yield from ctx.store_u64(counter, value + 1)
+            yield from ctx.unlock(lock)
+            yield from ctx.compute(25)
+
+    threads = yield from ctx.spawn_workers(worker, 3, lock, counter)
+    yield from worker(ctx, 3, lock, counter)
+    yield from ctx.join_all(threads)
+    return (yield from ctx.load_u64(counter))
+
+
+def run_small(sanitize, sync="lax_barrier"):
+    config = SimulationConfig(num_tiles=4)
+    config.host.quantum_instructions = 200
+    config.sync.model = sync
+    config.sync.barrier_interval = 500
+    config.check.sanitize = sanitize
+    config.validate()
+    simulator = Simulator(config)
+    result = simulator.run(small_program)
+    return simulator, result
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("sync", ["lax", "lax_barrier", "lax_p2p"])
+    def test_sanitized_run_is_timing_identical(self, sync):
+        _, plain = run_small(sanitize=False, sync=sync)
+        simulator, checked = run_small(sanitize=True, sync=sync)
+        assert checked.simulated_cycles == plain.simulated_cycles
+        assert checked.total_instructions == plain.total_instructions
+        assert checked.main_result == plain.main_result
+        assert checked.counter("transport.messages_sent") == \
+            plain.counter("transport.messages_sent")
+        # ...and the sanitizers genuinely ran.
+        assert simulator.sanitizers.events_checked > 0
+        assert simulator.sanitizers.messages_checked > 0
+
+    def test_sanitize_without_tracing_records_no_events(self):
+        simulator, _ = run_small(sanitize=True)
+        assert simulator.sanitizers is not None
+        # The bus exists only to carry the observer; nothing recorded.
+        assert simulator.telemetry.events == []
+
+    def test_sanitizers_off_by_default(self):
+        simulator, _ = run_small(sanitize=False)
+        assert simulator.sanitizers is None

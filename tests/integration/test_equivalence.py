@@ -79,11 +79,15 @@ class TestHostLayoutInvariance:
 class TestSyncModelInvariance:
     @pytest.mark.parametrize("model", ["lax", "lax_barrier", "lax_p2p"])
     def test_result_independent_of_sync_model(self, model):
+        # Runs under the runtime sanitizers: the sync models are where
+        # clock-monotonicity and barrier-membership bugs would live,
+        # and sanitizers are observational so the result is unchanged.
         def mutate(config):
             config.sync.model = model
             config.sync.barrier_interval = 500
             config.sync.p2p_slack = 2000
             config.sync.p2p_interval = 500
+            config.check.sanitize = True
         assert run_with(mutate).main_result == EXPECTED
 
 
