@@ -50,7 +50,7 @@ def test_ablation_core_models(benchmark):
         in_order = data[(name, "in_order")][0]
         ooo = data[(name, "out_of_order")][0]
         table.add_row(name, in_order, ooo, f"{in_order / ooo:.2f}x")
-    save_artifact("ablation_core_models", table.render())
+    save_artifact("ablation_core_models", table)
 
     for name in WORKLOADS:
         # Functional results identical; OoO never slower.

@@ -56,7 +56,7 @@ def test_ablation_quantum_vs_contention(benchmark):
                    "Dir4NB / full-map run-time"])
     for quantum in QUANTA:
         table.add_row(quantum, f"{penalties[quantum]:.2f}x")
-    save_artifact("ablation_quantum", table.render())
+    save_artifact("ablation_quantum", table)
 
     # Fine quanta expose the thrashing; coarse quanta hide it.
     assert penalties[100] > penalties[10_000]
@@ -86,7 +86,7 @@ def test_ablation_network_models(benchmark):
                   ["model", "mean packet latency", "simulated cycles"])
     for model, (latency, cycles) in results.items():
         table.add_row(model, f"{latency:.1f}", cycles)
-    save_artifact("ablation_network_models", table.render())
+    save_artifact("ablation_network_models", table)
 
     assert results["magic"][0] == 0.0
     assert results["mesh"][0] > 0.0

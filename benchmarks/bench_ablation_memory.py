@@ -54,7 +54,7 @@ def test_ablation_shared_read_forwarding(benchmark):
         on = cycles[(True, 1)] / cycles[(True, tiles)]
         off = cycles[(False, 1)] / cycles[(False, tiles)]
         table.add_row(tiles, f"{on:.2f}x", f"{off:.2f}x")
-    save_artifact("ablation_forwarding", table.render())
+    save_artifact("ablation_forwarding", table)
 
     on32 = cycles[(True, 1)] / cycles[(True, 32)]
     off32 = cycles[(False, 1)] / cycles[(False, 32)]
@@ -91,7 +91,7 @@ def test_ablation_dram_service_scaling(benchmark):
                   ["tiles", "service cycles/line"])
     for n in counts:
         table.add_row(n, services[n])
-    save_artifact("ablation_dram_partitioning", table.render())
+    save_artifact("ablation_dram_partitioning", table)
 
     # Linear-in-tiles growth (the paper's static partitioning).
     assert services[64] == pytest.approx(64 * services[1], rel=0.10)
@@ -157,7 +157,7 @@ def test_ablation_msi_vs_mesi(benchmark):
         for protocol in ("msi", "mesi"):
             cycles, upgrades, _ = stats[(protocol, name)]
             table.add_row(name, protocol.upper(), cycles, upgrades)
-    save_artifact("ablation_protocols", table.render())
+    save_artifact("ablation_protocols", table)
 
     for name in ("private_rmw", "ocean_cont"):
         # Functional agreement and strictly fewer upgrades under MESI.

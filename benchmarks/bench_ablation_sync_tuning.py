@@ -82,7 +82,9 @@ def test_ablation_sync_tuning(benchmark):
               f"{lax_error:.2f}% (the no-synchronization endpoint)")
     save_artifact("ablation_sync_tuning",
                   barrier_table.render() + "\n\n" + p2p_table.render()
-                  + "\n\n" + footer)
+                  + "\n\n" + footer,
+                  data={"barrier": barrier_table.to_dict(),
+                        "p2p": p2p_table.to_dict()})
 
     # Larger barrier intervals are never slower than smaller ones
     # (monotone within noise), and the largest approaches Lax speed.

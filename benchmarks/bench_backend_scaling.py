@@ -16,11 +16,10 @@ process start-up, which is part of what is being measured.
 
 from __future__ import annotations
 
-import json
 import os
 import time
 
-from conftest import RESULTS_DIR, paper_config, save_artifact
+from conftest import paper_config, save_artifact
 
 from repro.distrib.wire import WorkloadRef
 from repro.sim.experiment import sweep
@@ -66,13 +65,11 @@ def test_backend_scaling():
         lines.append("note: single-core host - the pool can only tie "
                      "serial execution here; speedup requires "
                      ">= 2 cpus.")
-    save_artifact("backend_scaling", "\n".join(lines))
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "backend_scaling.json").write_text(json.dumps({
+    save_artifact("backend_scaling", "\n".join(lines), data={
         "host_cpus": host_cpus,
         "sweep_size": len(_SWEEP_SEEDS),
         "workload": "matrix_multiply",
         "runs": [{"workers": w, "seconds": round(s, 3)}
                  for w, s, _ in rows],
         "simulated_cycles": baseline_cycles,
-    }, indent=2) + "\n", encoding="utf-8")
+    })

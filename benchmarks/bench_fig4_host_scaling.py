@@ -63,7 +63,8 @@ def test_fig4_host_scaling(benchmark):
                                           for n in WORKLOADS]},
                           unit="x")
     save_artifact("fig4_host_scaling",
-                  table.render() + "\n\n" + chart)
+                  table.render() + "\n\n" + chart,
+                  data=table.to_dict())
 
     # Shape assertions (paper §4.2).
     for name in WORKLOADS:

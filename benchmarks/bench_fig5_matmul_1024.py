@@ -49,7 +49,8 @@ def test_fig5_matmul_1024(benchmark):
     chart = render_series("Figure 5 (speed-up vs machines)",
                           MACHINES, {"speed-up": speedups}, unit="x")
     save_artifact("fig5_matmul_1024",
-                  table.render() + "\n\n" + chart)
+                  table.render() + "\n\n" + chart,
+                  data=table.to_dict())
 
     # Shape assertions (paper §4.2, Figure 5).
     assert speedups[-1] > 1.5, "no benefit from ten machines"

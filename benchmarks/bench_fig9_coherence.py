@@ -80,7 +80,8 @@ def test_fig9_coherence_schemes(benchmark):
         [name for name, _, _ in SCHEMES],
         {"speedup@32": [speedups[name][TILE_COUNTS.index(32)]
                         for name, _, _ in SCHEMES]}, unit="x")
-    save_artifact("fig9_coherence", table.render() + "\n\n" + chart)
+    save_artifact("fig9_coherence", table.render() + "\n\n" + chart,
+                  data=table.to_dict())
 
     at = {name: dict(zip(TILE_COUNTS, speedups[name]))
           for name, _, _ in SCHEMES}

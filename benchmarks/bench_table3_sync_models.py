@@ -115,7 +115,9 @@ def test_table3_sync_models(benchmark):
         unit="%")
     save_artifact("table3_fig6_sync_models",
                   table3.render() + "\n\n" + fig6.render()
-                  + "\n\n" + chart)
+                  + "\n\n" + chart,
+                  data={"table3": table3.to_dict(),
+                        "fig6": fig6.to_dict()})
 
     # Shape assertions (paper §4.3).  Run-time ordering is asserted on
     # one machine; at four machines our scaled-down workloads are

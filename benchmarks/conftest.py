@@ -10,7 +10,10 @@ EXPERIMENTS.md validates.
 
 from __future__ import annotations
 
+import json
 import pathlib
+import time
+from typing import Any, Callable, Optional, Tuple
 
 import pytest
 
@@ -19,12 +22,42 @@ from repro.common.config import SimulationConfig
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
-def save_artifact(name: str, text: str) -> None:
-    """Persist one table/figure artefact and echo it."""
+def save_artifact(name: str, text: Any,
+                  data: Optional[Any] = None) -> None:
+    """Persist one table/figure artefact and echo it.
+
+    Every artefact gets a machine-readable JSON sidecar
+    (``<name>.json``) next to the ``.txt`` rendering, so downstream
+    tooling can diff artefact numbers without re-parsing tables.  The
+    sidecar holds ``data`` when given; otherwise it is derived from
+    ``text`` (a :class:`~repro.analysis.tables.Table` contributes its
+    structured rows, a plain string its lines).
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
+    if data is None:
+        data = text.to_dict() if hasattr(text, "to_dict") else {
+            "lines": str(text).splitlines()}
+    text = str(text)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n",
                                              encoding="utf-8")
+    payload = json.dumps(data, indent=2, sort_keys=True,
+                         default=repr) + "\n"
+    (RESULTS_DIR / f"{name}.json").write_text(payload,
+                                              encoding="utf-8")
     print(f"\n{text}\n[saved to benchmarks/results/{name}.txt]")
+
+
+def timed_run(fn: Callable[[], Any]) -> Tuple[Any, float]:
+    """Run ``fn`` and measure its host wall time in seconds.
+
+    Benchmarks use this to record *measured* host time next to the
+    cost model's ``wall_clock_seconds`` — the two answer different
+    questions (how long the simulated cluster would take vs how long
+    this host actually took).
+    """
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
 
 
 def paper_config(num_tiles: int = 32, machines: int = 1,

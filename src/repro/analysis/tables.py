@@ -44,6 +44,18 @@ class Table:
                 f"{len(self.columns)} columns")
         self.rows.append([self._format(c) for c in cells])
 
+    def to_dict(self) -> dict:
+        """Machine-readable form: the formatted rows, keyed by column.
+
+        Benchmark artefact sidecars are built from this, so the JSON
+        carries exactly the values the rendered table shows.
+        """
+        return {
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [dict(zip(self.columns, row)) for row in self.rows],
+        }
+
     def render(self) -> str:
         widths = [len(c) for c in self.columns]
         for row in self.rows:

@@ -10,6 +10,11 @@ These rules encode the repo-specific ways that property gets broken:
     ``network/``, ``sync/``, ``sim/``.  Host-side code (``host/``,
     ``telemetry/``, ``distrib/``) legitimately reads real time for
     timeouts and trace wall-stamps and is outside the rule's scope.
+    The host profiler (``profile/``) is the *sanctioned* wall-clock
+    reader: the whole sub-package is exempted by scope
+    (:data:`D001_EXEMPT_DIRS`) rather than per-line allow markers, so
+    its timers never accumulate suppression comments — while model
+    code stays rejected.
 
 ``D002``
     No direct ``random.Random(...)`` construction and no module-level
@@ -58,6 +63,11 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 #: Sub-packages whose code models the target and must be wall-clock and
 #: float-cycle clean (D001/D004) and set-iteration clean (D003).
 MODEL_DIRS = ("core", "memory", "network", "sync", "sim")
+
+#: Sub-packages sanctioned to read wall clocks (D001): host profiling
+#: *is* wall-clock measurement, so ``src/repro/profile/`` is exempt as
+#: a scope — no per-line suppression markers needed there.
+D001_EXEMPT_DIRS = ("profile",)
 
 #: D003 additionally covers the wire/distribution layer: hash order
 #: leaking into frames breaks cross-process byte-identity.
@@ -144,7 +154,8 @@ def scope_for(path: Path, package_root: Optional[Path]) -> RuleScope:
             top = rel.parts[0] if len(rel.parts) > 1 else ""
             as_posix = rel.as_posix()
             return RuleScope(
-                wall_clock=top in MODEL_DIRS,
+                wall_clock=(top in MODEL_DIRS
+                            and top not in D001_EXEMPT_DIRS),
                 randomness=as_posix != RNG_MODULE,
                 set_iteration=top in SET_ITER_DIRS,
                 float_cycles=top in MODEL_DIRS,

@@ -92,6 +92,24 @@ def build_parser() -> argparse.ArgumentParser:
                      help="enable runtime sanitizers (clock "
                           "monotonicity, message causality, barrier "
                           "membership); purely observational")
+    run.add_argument("--profile", action="store_true",
+                     help="collect a host-performance profile (where "
+                          "host wall time goes, simulation-rate "
+                          "gauges); never perturbs simulated results")
+
+    profile = sub.add_parser(
+        "profile",
+        help="profile one workload: host wall-time breakdown by "
+             "subsystem, simulation rates, achieved slowdown")
+    from repro.profile.cli import add_profile_arguments
+    add_profile_arguments(profile)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the benchmark set under profiling and write the "
+             "BENCH_host_profile.json trajectory")
+    from repro.profile.bench import add_bench_arguments
+    add_bench_arguments(bench)
 
     sub.add_parser("list-workloads", help="list available workloads")
     sub.add_parser("show-config",
@@ -117,6 +135,7 @@ def _configure(args: argparse.Namespace) -> SimulationConfig:
     config.memory.classify_misses = args.classify_misses
     config.distrib.backend = args.backend
     config.check.sanitize = args.sanitize
+    config.profile.enabled = args.profile
     if args.quantum:
         config.host.quantum_instructions = args.quantum
     if args.trace or args.trace_out or args.metrics_interval:
@@ -172,6 +191,8 @@ def _command_run(args: argparse.Namespace) -> int:
         if config.telemetry.enabled:
             payload["trace_events"] = trace_events
             payload["trace_out"] = config.telemetry.trace_path
+        if simulator.host_profile is not None:
+            payload["host_profile"] = simulator.host_profile
         print(json.dumps(payload, indent=2))
         return 0
 
@@ -200,6 +221,10 @@ def _command_run(args: argparse.Namespace) -> int:
         where = (f" -> {config.telemetry.trace_path}"
                  if config.telemetry.trace_path else "")
         print(f"trace:               {trace_events:,} events{where}")
+    if simulator.host_profile is not None:
+        from repro.profile.report import render_profile
+        print()
+        print(render_profile(simulator.host_profile))
     return 0
 
 
@@ -225,6 +250,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_list()
     if args.command == "show-config":
         return _command_show_config()
+    if args.command == "profile":
+        from repro.profile.cli import run_profile
+        return run_profile(args)
+    if args.command == "bench":
+        from repro.profile.bench import run_bench
+        return run_bench(args)
     if args.command == "check":
         from repro.check.cli import run_check
         return run_check(args)

@@ -403,6 +403,29 @@ class TelemetryConfig:
 
 
 @dataclass
+class ProfileConfig:
+    """Host-performance profiling (see :mod:`repro.profile`).
+
+    Answers "where does the *host's* wall time go and how fast are we
+    simulating?" — the simulator-side counterpart of the target-side
+    telemetry above.  Disabled by default; a disabled run constructs no
+    profiler at all, so instrumented call sites keep their original,
+    unwrapped methods and the hot paths pay nothing.  Profiling is
+    purely observational: it never consumes RNG streams, never charges
+    simulated time, and a profiled run produces byte-identical
+    simulation metrics to an unprofiled one.
+    """
+
+    #: Enable host profiling (CLI ``--profile``).
+    enabled: bool = False
+    #: Subsystem rows kept in rendered reports and bench trajectories.
+    top_n: int = 12
+
+    def validate(self) -> None:
+        _require(self.top_n >= 1, "profile: top_n must be >= 1")
+
+
+@dataclass
 class CheckConfig:
     """Runtime correctness checking (see :mod:`repro.check.sanitize`).
 
@@ -433,6 +456,7 @@ class SimulationConfig:
     distrib: DistribConfig = field(default_factory=DistribConfig)
     telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
     check: CheckConfig = field(default_factory=CheckConfig)
+    profile: ProfileConfig = field(default_factory=ProfileConfig)
     #: Master seed for all RNG streams.
     seed: int = 42
     #: Heterogeneous tiles (paper §2: "tiles may be homogeneous or
@@ -473,6 +497,7 @@ class SimulationConfig:
         self.distrib.validate()
         self.telemetry.validate()
         self.check.validate()
+        self.profile.validate()
 
     # -- (de)serialisation --------------------------------------------------
 
@@ -506,6 +531,7 @@ class SimulationConfig:
             "distrib": (DistribConfig,),
             "telemetry": (TelemetryConfig,),
             "check": (CheckConfig,),
+            "profile": (ProfileConfig,),
         }
         kwargs: Dict[str, Any] = {}
         for key, value in data.items():

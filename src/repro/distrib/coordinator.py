@@ -34,6 +34,7 @@ from repro.distrib.errors import (
 from repro.distrib.shard import ShardTransport
 from repro.distrib.wire import (
     FrameKind,
+    HostStatsBatch,
     decode_frame,
     encode_frame,
     make_program_ref,
@@ -56,10 +57,15 @@ class WorkerCluster:
     """Lifecycle + framed I/O for the set of worker processes."""
 
     def __init__(self, layout: ClusterLayout,
-                 config: SimulationConfig) -> None:
+                 config: SimulationConfig,
+                 profiler: Optional[Any] = None) -> None:
         self.layout = layout
         self.timeout = config.distrib.worker_timeout
         self.shutdown_timeout = config.distrib.shutdown_timeout
+        #: Coordinator-side host profiler (``--profile``) or ``None``.
+        #: Times wire serialization (``mp.wire.encode``/``decode``/
+        #: ``send``) and blocked pipe waits (``mp.idle.wait``).
+        self.profiler = profiler
         try:
             ctx = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX hosts
@@ -93,8 +99,24 @@ class WorkerCluster:
     # -- framed I/O ----------------------------------------------------------
 
     def send(self, worker: int, kind: FrameKind, payload: Any) -> None:
+        prof = self.profiler
+        if prof is not None:
+            prof.enter("mp.wire.encode")
+            try:
+                blob = encode_frame(kind, payload)
+            finally:
+                prof.exit()
+        else:
+            blob = encode_frame(kind, payload)
         try:
-            self._conns[worker].send_bytes(encode_frame(kind, payload))
+            if prof is not None:
+                prof.enter("mp.wire.send")
+                try:
+                    self._conns[worker].send_bytes(blob)
+                finally:
+                    prof.exit()
+            else:
+                self._conns[worker].send_bytes(blob)
         except (BrokenPipeError, OSError) as exc:
             raise WorkerCrashError(
                 f"worker {worker} pipe closed while sending "
@@ -109,15 +131,26 @@ class WorkerCluster:
         """
         conn = self._conns[worker]
         proc = self._procs[worker]
+        prof = self.profiler
+        wait_start = time.perf_counter_ns() if prof is not None else 0
         deadline = time.monotonic() + self.timeout
         while True:
             if conn.poll(_POLL_TICK):
                 try:
-                    return decode_frame(conn.recv_bytes())
+                    blob = conn.recv_bytes()
                 except EOFError as exc:
                     raise WorkerCrashError(
                         f"worker {worker} closed its pipe "
                         f"(exit code {proc.exitcode})") from exc
+                if prof is not None:
+                    prof.add_ns("mp.idle.wait",
+                                time.perf_counter_ns() - wait_start)
+                    prof.enter("mp.wire.decode")
+                    try:
+                        return decode_frame(blob)
+                    finally:
+                        prof.exit()
+                return decode_frame(blob)
             if not proc.is_alive():
                 # One last poll: a frame may have raced with death.
                 if conn.poll(0):
@@ -168,6 +201,21 @@ class WorkerCluster:
             if kind is not FrameKind.TELEMETRY:
                 raise DistribError(
                     f"worker {worker}: expected TELEMETRY, got "
+                    f"{kind.value}")
+            out.append(payload)
+        return out
+
+    def collect_host_stats(self) -> List[HostStatsBatch]:
+        """Fetch each worker's host-profiler scope export (wire v3)."""
+        out = []
+        for worker in range(self.num_workers):
+            self.send(worker, FrameKind.COLLECT_HOST_STATS, None)
+            kind, payload = self.recv(worker)
+            if kind is FrameKind.ERROR:
+                _raise_remote(worker, payload)
+            if kind is not FrameKind.HOST_STATS:
+                raise DistribError(
+                    f"worker {worker}: expected HOST_STATS, got "
                     f"{kind.value}")
             out.append(payload)
         return out
@@ -311,7 +359,13 @@ class DistribSimulator(Simulator):
     # -- lifecycle -----------------------------------------------------------
 
     def run(self, main_program: Any, args: tuple = ()):
-        self._cluster = WorkerCluster(self.layout, self.config)
+        if self.profiler is not None:
+            # Open the wall-time bracket before the fork so cluster
+            # start-up (the paper's process start-up cost, for real)
+            # counts toward host wall time.
+            self.profiler.start_run()
+        self._cluster = WorkerCluster(self.layout, self.config,
+                                      profiler=self.profiler)
         self.transport.attach(self._cluster)
         tele_worker = (self.telemetry.channel(EventCategory.WORKER)
                        if self.telemetry is not None else None)
@@ -462,3 +516,7 @@ class DistribSimulator(Simulator):
                                  {"worker": index})
         for flat in self.cluster.collect_stats():
             self.stats.add_flat(flat)
+        if self.profiler is not None:
+            self._worker_host_scopes = {
+                batch.worker: batch.scopes
+                for batch in self.cluster.collect_host_stats()}

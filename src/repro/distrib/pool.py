@@ -106,9 +106,18 @@ def run_jobs(jobs: Sequence[Job], workers: int,
                     timeout=_POLL_TICK)
             except Exception:
                 if time.monotonic() > deadline:
+                    unfinished = [i for i, r in enumerate(results)
+                                  if r is None]
+                    shown = ", ".join(map(str, unfinished[:8]))
+                    if len(unfinished) > 8:
+                        shown += ", ..."
+                    alive = sum(1 for p in procs if p.is_alive())
                     raise WorkerTimeoutError(
-                        "sweep pool produced no result for "
-                        f"{timeout:.0f}s") from None
+                        f"sweep pool produced no result for "
+                        f"{timeout:.0f}s; {len(unfinished)} job(s) "
+                        f"unfinished (indices {shown}), "
+                        f"{alive}/{len(procs)} pool workers still "
+                        f"alive") from None
                 dead = [p for p in procs if not p.is_alive()]
                 if len(dead) == len(procs) and result_queue.empty():
                     codes = [p.exitcode for p in procs]

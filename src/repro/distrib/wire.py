@@ -26,7 +26,9 @@ from repro.distrib.errors import ProgramTransportError, WireFormatError
 #: Bump on any incompatible change to frame payloads or pickling.
 #: v2: TELEMETRY / COLLECT_TELEMETRY frames (event + histogram
 #: aggregation from workers).
-WIRE_VERSION = 2
+#: v3: HOST_STATS / COLLECT_HOST_STATS frames (worker host-profiler
+#: scope exports for the merged cluster-wide host profile).
+WIRE_VERSION = 3
 
 
 class FrameKind(enum.Enum):
@@ -60,6 +62,12 @@ class FrameKind(enum.Enum):
     #: TelemetryBatch` (sent unsolicited when the event buffer fills
     #: during a quantum, and as the COLLECT_TELEMETRY reply).
     TELEMETRY = "telemetry"
+    #: coordinator -> worker: request the worker's host-profiler state.
+    COLLECT_HOST_STATS = "collect_host_stats"
+    #: worker -> coordinator: a :class:`HostStatsBatch` (the worker's
+    #: own busy/idle/serialization attribution; empty when the run is
+    #: unprofiled).
+    HOST_STATS = "host_stats"
     #: coordinator -> worker: exit the worker loop.
     SHUTDOWN = "shutdown"
     #: worker -> coordinator: unrecoverable failure (with traceback).
@@ -85,6 +93,20 @@ def decode_frame(blob: bytes) -> Tuple[FrameKind, Any]:
             f"wire version mismatch: got {version!r}, "
             f"expected {WIRE_VERSION}")
     return FrameKind(kind), payload
+
+
+@dataclass(frozen=True)
+class HostStatsBatch:
+    """One worker's host-profiler export, as carried on the wire (v3).
+
+    ``scopes`` maps scope name -> ``{"calls", "cum_ns", "self_ns"}``
+    (the :meth:`repro.profile.timers.HostProfiler.scope_dict` shape);
+    the coordinator summarizes it into per-worker busy/idle/serialize
+    time and merges all workers into the cluster-wide host profile.
+    """
+
+    worker: int
+    scopes: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
 
 # -- program references ------------------------------------------------------

@@ -31,8 +31,14 @@ from repro.common.config import SimulationConfig
 from repro.common.ids import ThreadId, TileId
 from repro.common.stats import StatGroup
 from repro.distrib.shard import ShardQueues
-from repro.distrib.wire import FrameKind, decode_frame, encode_frame
+from repro.distrib.wire import (
+    FrameKind,
+    HostStatsBatch,
+    decode_frame,
+    encode_frame,
+)
 from repro.frontend.interpreter import ThreadInterpreter
+from repro.profile.timers import create_profiler
 from repro.telemetry.aggregate import TelemetryBatch
 from repro.telemetry.bus import create_bus
 from repro.telemetry.events import EventCategory
@@ -279,6 +285,16 @@ class Worker:
         if self.kernel.telemetry is not None:
             self._tele_worker = self.kernel.telemetry.channel(
                 EventCategory.WORKER)
+        #: Worker-side host profiler (``--profile``): ``None`` when off,
+        #: in which case the plain frame I/O methods below stay bound
+        #: and nothing is timed.  Scope names: ``idle.wait`` (blocked on
+        #: the control pipe), ``wire.encode``/``wire.decode``/
+        #: ``wire.send`` (serialization), ``quantum.run`` (interpreting
+        #: the op stream; RPC waits nest inside and subtract out).
+        self.profiler = create_profiler(config.profile)
+        if self.profiler is not None:
+            self._send = self._send_timed  # type: ignore[method-assign]
+            self._recv = self._recv_timed  # type: ignore[method-assign]
 
     def _flush_telemetry(self) -> None:
         """Ship buffered events once the batch threshold is crossed.
@@ -302,6 +318,32 @@ class Worker:
 
     def _recv(self) -> tuple:
         return decode_frame(self.conn.recv_bytes())
+
+    def _send_timed(self, kind: FrameKind, payload: Any) -> None:
+        prof = self.profiler
+        prof.enter("wire.encode")
+        try:
+            blob = encode_frame(kind, payload)
+        finally:
+            prof.exit()
+        prof.enter("wire.send")
+        try:
+            self.conn.send_bytes(blob)
+        finally:
+            prof.exit()
+
+    def _recv_timed(self) -> tuple:
+        prof = self.profiler
+        prof.enter("idle.wait")
+        try:
+            blob = self.conn.recv_bytes()
+        finally:
+            prof.exit()
+        prof.enter("wire.decode")
+        try:
+            return decode_frame(blob)
+        finally:
+            prof.exit()
 
     def rpc(self, method: str, args: tuple) -> Any:
         """Issue a kernel RPC; service interleaved casts while waiting.
@@ -366,7 +408,14 @@ class Worker:
     def _handle_run_quantum(self, payload: tuple) -> None:
         tile, budget, cycle_limit = payload
         interpreter = self.interpreters[tile]
-        result = interpreter.run(budget, cycle_limit)
+        if self.profiler is not None:
+            self.profiler.enter("quantum.run")
+            try:
+                result = interpreter.run(budget, cycle_limit)
+            finally:
+                self.profiler.exit()
+        else:
+            result = interpreter.run(budget, cycle_limit)
         outcome = None
         if result.status.value == "done":
             try:
@@ -384,6 +433,13 @@ class Worker:
 
     def _handle_collect_stats(self) -> None:
         self._send(FrameKind.STATS, self.kernel.stats.to_dict())
+
+    def _handle_collect_host_stats(self) -> None:
+        """Ship this worker's host-profiler scopes (empty when off)."""
+        scopes = (self.profiler.scope_dict()
+                  if self.profiler is not None else {})
+        self._send(FrameKind.HOST_STATS,
+                   HostStatsBatch(self.process_index, scopes))
 
     def _handle_collect_telemetry(self) -> None:
         """Final drain: every buffered event plus histogram states.
@@ -412,6 +468,8 @@ class Worker:
                     self._handle_collect_stats()
                 elif kind is FrameKind.COLLECT_TELEMETRY:
                     self._handle_collect_telemetry()
+                elif kind is FrameKind.COLLECT_HOST_STATS:
+                    self._handle_collect_host_stats()
                 else:
                     self._handle_cast_frame(kind, payload)
             except SystemExit:

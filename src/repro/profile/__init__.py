@@ -1,0 +1,35 @@
+"""Host-performance observability: where does *wall* time go?
+
+The target-side story lives in :mod:`repro.telemetry` (simulated
+events on simulated clocks); this package watches the *simulator
+itself* — scoped host timers with per-subsystem attribution,
+simulation-rate gauges (cycles and instructions per host second,
+achieved slowdown vs the modeled native time), distributed collection
+from mp workers over wire-v3 ``HOST_STATS`` frames, and the
+``python -m repro bench`` trajectory runner behind
+``BENCH_host_profile.json``.
+
+Profiling is zero-overhead when disabled (no profiler object exists;
+call sites keep their original methods) and purely observational when
+enabled: simulation metrics are byte-identical either way.
+"""
+
+from repro.profile.report import (
+    PROFILE_SCHEMA,
+    build_profile,
+    render_profile,
+    summarize_worker,
+    top_subsystems,
+)
+from repro.profile.timers import HostProfiler, ScopeStats, create_profiler
+
+__all__ = [
+    "PROFILE_SCHEMA",
+    "HostProfiler",
+    "ScopeStats",
+    "build_profile",
+    "create_profiler",
+    "render_profile",
+    "summarize_worker",
+    "top_subsystems",
+]

@@ -1,0 +1,212 @@
+"""``python -m repro bench``: the machine-readable bench trajectory.
+
+Runs the paper benchmarks under host profiling and writes a
+schema-versioned ``BENCH_host_profile.json`` at the repo root — one
+record per benchmark with measured host wall time, simulation-rate
+gauges (target cycles and instructions per host second, achieved
+slowdown) and the top-N subsystem self-times.  The committed file is
+the perf baseline future PRs are compared against:
+
+- ``--quick`` runs the 5-benchmark subset CI's ``perf-smoke`` job uses,
+- ``--check-baseline`` compares the fresh run against the committed
+  baseline and exits nonzero when any benchmark's
+  ``cycles_per_host_second`` regressed by more than the tolerance
+  factor (default 3x — deliberately loose, because CI machines and
+  laptops differ in absolute speed; the guard catches order-of-
+  magnitude regressions, not noise),
+- ``--accept-baseline`` refreshes the committed baseline in place.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional
+
+#: Version of the emitted trajectory file.
+BENCH_SCHEMA = "repro.bench_host_profile/1"
+
+#: Rate-regression tolerance factor (documented in docs/profiling.md).
+DEFAULT_TOLERANCE = 3.0
+
+#: Default trajectory path (the repo-root file CI uploads).
+DEFAULT_OUT = "BENCH_host_profile.json"
+
+#: The bench set: (workload, scale) at 8 tiles / 8 threads — large
+#: enough that rates are stable, small enough that the full set runs in
+#: seconds.  The first QUICK_COUNT entries form the ``--quick`` subset.
+BENCHMARKS = (
+    ("fft", 1.0),
+    ("fmm", 1.0),
+    ("radix", 1.0),
+    ("lu_cont", 1.0),
+    ("blackscholes", 1.0),
+    ("ocean_cont", 1.0),
+    ("water_nsquared", 1.0),
+    ("cholesky", 1.0),
+)
+QUICK_COUNT = 5
+
+#: Subsystem rows recorded per benchmark.
+_TOP_N = 5
+
+
+def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--quick", action="store_true",
+                        help=f"run only the first {QUICK_COUNT} "
+                             "benchmarks (the CI perf-smoke subset)")
+    parser.add_argument("--out", default=DEFAULT_OUT, metavar="PATH",
+                        help="trajectory output file "
+                             f"(default {DEFAULT_OUT})")
+    parser.add_argument("--baseline", default=DEFAULT_OUT,
+                        metavar="PATH",
+                        help="committed baseline to compare/refresh "
+                             f"(default {DEFAULT_OUT})")
+    parser.add_argument("--check-baseline", action="store_true",
+                        help="exit nonzero if any benchmark's "
+                             "cycles/host-second regressed by more "
+                             "than the tolerance vs the baseline")
+    parser.add_argument("--accept-baseline", action="store_true",
+                        help="write this run's results to the baseline "
+                             "path (refresh after an intentional perf "
+                             "change)")
+    parser.add_argument("--tolerance", type=float,
+                        default=DEFAULT_TOLERANCE,
+                        help="rate-regression factor tolerated by "
+                             "--check-baseline (default "
+                             f"{DEFAULT_TOLERANCE:g}x)")
+    parser.add_argument("--tiles", type=int, default=8,
+                        help="target tiles per benchmark (default 8)")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="multiplier on every benchmark's problem "
+                             "scale (default 1.0)")
+    parser.add_argument("--backend", default="inproc",
+                        choices=("inproc", "mp"),
+                        help="execution backend (default inproc)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--json", action="store_true",
+                        help="print the trajectory JSON to stdout too")
+
+
+def run_benchmark(workload: str, scale: float, tiles: int,
+                  backend: str = "inproc",
+                  seed: int = 42) -> Dict[str, Any]:
+    """Run one bench workload under profiling; return its record."""
+    from repro.common.config import SimulationConfig
+    from repro.distrib.wire import WorkloadRef
+    from repro.profile.report import top_subsystems
+    from repro.sim.runner import create_simulator
+
+    config = SimulationConfig(num_tiles=tiles, seed=seed)
+    config.distrib.backend = backend
+    config.profile.enabled = True
+    config.validate()
+    simulator = create_simulator(config)
+    simulator.run(WorkloadRef(workload, tiles, scale))
+    profile = simulator.host_profile
+    assert profile is not None
+    rates = profile["rates"]
+    return {
+        "workload": workload,
+        "tiles": tiles,
+        "threads": tiles,
+        "scale": scale,
+        "backend": backend,
+        "host_wall_seconds": profile["host_wall_seconds"],
+        "cycles_per_host_second": rates["cycles_per_host_second"],
+        "instructions_per_host_second":
+            rates["instructions_per_host_second"],
+        "achieved_slowdown": rates["achieved_slowdown"],
+        "modeled_slowdown": rates["modeled_slowdown"],
+        "simulated_cycles": rates["simulated_cycles"],
+        "instructions": rates["instructions"],
+        "top_subsystems": top_subsystems(profile["subsystems"], _TOP_N),
+    }
+
+
+def build_trajectory(mode: str, records: Mapping[str, Dict[str, Any]],
+                     tolerance: float = DEFAULT_TOLERANCE
+                     ) -> Dict[str, Any]:
+    return {
+        "schema": BENCH_SCHEMA,
+        "mode": mode,
+        "tolerance_factor": tolerance,
+        "python": "%d.%d" % sys.version_info[:2],
+        "benchmarks": dict(records),
+    }
+
+
+def check_baseline(baseline: Mapping[str, Any],
+                   fresh: Mapping[str, Any],
+                   tolerance: float = DEFAULT_TOLERANCE) -> List[str]:
+    """Regression messages for benchmarks common to both trajectories.
+
+    A regression is a fresh ``cycles_per_host_second`` lower than the
+    baseline's by more than ``tolerance``x.  Speed-ups never fail.
+    """
+    if baseline.get("schema") != BENCH_SCHEMA:
+        return [f"baseline schema {baseline.get('schema')!r} does not "
+                f"match {BENCH_SCHEMA!r}; refresh with "
+                "`python -m repro bench --accept-baseline`"]
+    problems = []
+    base_rows = baseline.get("benchmarks", {})
+    for name, row in fresh.get("benchmarks", {}).items():
+        base = base_rows.get(name)
+        if base is None:
+            continue
+        base_rate = base.get("cycles_per_host_second", 0.0)
+        rate = row.get("cycles_per_host_second", 0.0)
+        if base_rate > 0 and rate * tolerance < base_rate:
+            problems.append(
+                f"{name}: {rate:,.0f} cycles/host-second is "
+                f"{base_rate / rate:.1f}x slower than the baseline's "
+                f"{base_rate:,.0f} (tolerance {tolerance:g}x)")
+    return problems
+
+
+def run_bench(args: argparse.Namespace) -> int:
+    selected = BENCHMARKS[:QUICK_COUNT] if args.quick else BENCHMARKS
+    mode = "quick" if args.quick else "full"
+
+    baseline: Optional[Dict[str, Any]] = None
+    baseline_path = Path(args.baseline)
+    if args.check_baseline and not args.accept_baseline:
+        if not baseline_path.exists():
+            print(f"bench: no baseline at {baseline_path}; record one "
+                  "with `python -m repro bench --accept-baseline`",
+                  file=sys.stderr)
+            return 1
+        baseline = json.loads(baseline_path.read_text())
+
+    records: Dict[str, Dict[str, Any]] = {}
+    for workload, scale in selected:
+        record = run_benchmark(workload, scale * args.scale, args.tiles,
+                               backend=args.backend, seed=args.seed)
+        records[workload] = record
+        print(f"bench {workload}: "
+              f"{record['host_wall_seconds']:.2f}s host, "
+              f"{record['cycles_per_host_second']:,.0f} cycles/s, "
+              f"slowdown {record['achieved_slowdown']:,.0f}x")
+
+    trajectory = build_trajectory(mode, records, args.tolerance)
+    payload = json.dumps(trajectory, indent=2, sort_keys=True) + "\n"
+    out_path = Path(args.out)
+    out_path.write_text(payload, encoding="utf-8")
+    print(f"bench: {len(records)} benchmark(s) -> {out_path}")
+    if args.accept_baseline and baseline_path != out_path:
+        baseline_path.write_text(payload, encoding="utf-8")
+        print(f"bench: baseline refreshed at {baseline_path}")
+    if args.json:
+        print(payload, end="")
+
+    if baseline is not None:
+        problems = check_baseline(baseline, trajectory, args.tolerance)
+        for problem in problems:
+            print(f"bench: REGRESSION {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        print(f"bench: rates within {args.tolerance:g}x of the "
+              f"baseline ({len(records)} checked)")
+    return 0

@@ -1,0 +1,104 @@
+"""``python -m repro profile``: profile one benchmark run.
+
+Runs a workload with host profiling enabled and emits the
+:data:`~repro.profile.report.PROFILE_SCHEMA` report — as readable text
+by default, as JSON with ``--json`` / ``--out``, and optionally as a
+Chrome trace (``--trace-out``) where host wall-time tracks render next
+to the simulated-time tracks on one Perfetto timeline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional
+
+from repro.common.config import (
+    EXECUTION_BACKENDS,
+    SYNC_MODELS,
+    SimulationConfig,
+)
+
+
+def add_profile_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("workload", help="workload to profile "
+                        "(see `python -m repro list-workloads`)")
+    parser.add_argument("--tiles", type=int, default=32,
+                        help="target tiles (default 32)")
+    parser.add_argument("--threads", type=int, default=0,
+                        help="application threads (default: = tiles)")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="problem-size multiplier (default 1.0)")
+    parser.add_argument("--machines", type=int, default=1,
+                        help="host machines (default 1)")
+    parser.add_argument("--cores", type=int, default=8,
+                        help="host cores per machine (default 8)")
+    parser.add_argument("--backend", choices=EXECUTION_BACKENDS,
+                        default="inproc",
+                        help="execution backend (default inproc); mp "
+                             "adds per-worker busy/idle/serialization "
+                             "tracks to the report")
+    parser.add_argument("--sync", choices=SYNC_MODELS, default="lax")
+    parser.add_argument("--quantum", type=int, default=0,
+                        help="scheduler quantum in instructions")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--top", type=int, default=12,
+                        help="subsystem rows in the report (default 12)")
+    parser.add_argument("--json", action="store_true",
+                        help="print the JSON report instead of text")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="also write the JSON report to PATH")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="also write a Chrome trace (host + target "
+                             "timelines; load in Perfetto)")
+
+
+def _profile_config(args: argparse.Namespace) -> SimulationConfig:
+    config = SimulationConfig(num_tiles=args.tiles, seed=args.seed)
+    config.host.num_machines = args.machines
+    config.host.cores_per_machine = args.cores
+    config.sync.model = args.sync
+    config.distrib.backend = args.backend
+    config.profile.enabled = True
+    config.profile.top_n = args.top
+    if args.quantum:
+        config.host.quantum_instructions = args.quantum
+    if args.trace_out:
+        config.telemetry.enabled = True
+        config.telemetry.events = ["all"]
+        config.telemetry.trace_path = args.trace_out
+    config.validate()
+    return config
+
+
+def run_profile(args: argparse.Namespace) -> int:
+    from repro.distrib.wire import WorkloadRef
+    from repro.profile.report import render_profile
+    from repro.sim.runner import create_simulator
+    from repro.workloads import get_workload
+
+    get_workload(args.workload)  # fail fast on unknown names
+    config = _profile_config(args)
+    threads = args.threads or args.tiles
+    simulator = create_simulator(config)
+    simulator.run(WorkloadRef(args.workload, threads, args.scale))
+    profile: Optional[dict] = simulator.host_profile
+    if profile is None:  # pragma: no cover - profiling is forced on
+        print("profile: no host profile was collected", file=sys.stderr)
+        return 1
+    profile["workload"] = args.workload
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(profile, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if args.json:
+        print(json.dumps(profile, indent=2, sort_keys=True))
+    else:
+        print(render_profile(profile))
+        if args.out:
+            print(f"report:  {args.out}")
+        if args.trace_out:
+            print(f"trace:   {args.trace_out}")
+    return 0

@@ -1,0 +1,167 @@
+"""HostProfile reports: aggregation, merging and rendering.
+
+A *host profile* is a plain, schema-versioned dict (JSON-ready) built
+from one run's :class:`~repro.profile.timers.HostProfiler` plus the
+:class:`~repro.sim.results.SimulationResult` it observed:
+
+- per-subsystem attribution (calls, cumulative and self seconds),
+- simulation-rate gauges — target cycles per host second, instructions
+  per host second, and the *achieved* slowdown (measured host wall time
+  over the modeled native time, the measured counterpart of the
+  paper's Table 2 modeled slowdown),
+- under ``backend=mp``: one section per worker (busy/idle/serialization
+  time, utilization) merged from wire-v3 ``HOST_STATS`` frames, plus
+  the busy-time skew across workers.
+
+The report deliberately lives *next to* the simulation result rather
+than inside it: ``SimulationResult`` stays byte-identical with
+profiling on or off.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional
+
+#: Version every emitted host profile carries.
+PROFILE_SCHEMA = "repro.host_profile/1"
+
+#: Worker-side scope names with dedicated roles in the merged report.
+WORKER_IDLE_SCOPE = "idle.wait"
+WORKER_SERIALIZE_SCOPES = ("wire.encode", "wire.decode", "wire.send")
+
+
+def _seconds(ns: int) -> float:
+    return ns / 1e9
+
+
+def summarize_worker(scopes: Mapping[str, Mapping[str, int]]
+                     ) -> Dict[str, Any]:
+    """Busy/idle/serialization split of one worker's scope export.
+
+    Self times partition the instrumented time, so *busy* is everything
+    that is not the blocked-on-the-pipe idle scope; serialization is
+    called out separately (it is part of busy — the worker's CPU is
+    doing pickle work).
+    """
+    idle_ns = 0
+    busy_ns = 0
+    serialize_ns = 0
+    for name, row in scopes.items():
+        if name == WORKER_IDLE_SCOPE:
+            idle_ns += row["self_ns"]
+        else:
+            busy_ns += row["self_ns"]
+        if name in WORKER_SERIALIZE_SCOPES:
+            serialize_ns += row["self_ns"]
+    total_ns = busy_ns + idle_ns
+    return {
+        "busy_seconds": _seconds(busy_ns),
+        "idle_seconds": _seconds(idle_ns),
+        "serialize_seconds": _seconds(serialize_ns),
+        "utilization": (busy_ns / total_ns) if total_ns else 0.0,
+        "scopes": {name: dict(row) for name, row in sorted(scopes.items())},
+    }
+
+
+def build_profile(profiler: Any, result: Any, backend: str,
+                  worker_scopes: Optional[
+                      Mapping[int, Mapping[str, Mapping[str, int]]]] = None,
+                  top_n: int = 12) -> Dict[str, Any]:
+    """Assemble the host profile dict for one finished run."""
+    wall_seconds = _seconds(profiler.run_ns)
+    instrumented = _seconds(profiler.instrumented_ns())
+    subsystems = {
+        name: {"calls": stats.calls,
+               "cum_seconds": _seconds(stats.cum_ns),
+               "self_seconds": _seconds(stats.self_ns)}
+        for name, stats in sorted(profiler.scopes.items())}
+
+    native = result.native_seconds
+    profile: Dict[str, Any] = {
+        "schema": PROFILE_SCHEMA,
+        "backend": backend,
+        "host_wall_seconds": wall_seconds,
+        "instrumented_seconds": instrumented,
+        "untracked_seconds": max(wall_seconds - instrumented, 0.0),
+        "rates": {
+            "simulated_cycles": result.simulated_cycles,
+            "instructions": result.total_instructions,
+            "cycles_per_host_second": (
+                result.simulated_cycles / wall_seconds
+                if wall_seconds > 0 else 0.0),
+            "instructions_per_host_second": (
+                result.total_instructions / wall_seconds
+                if wall_seconds > 0 else 0.0),
+            "native_seconds_model": native,
+            "modeled_slowdown": result.slowdown,
+            "achieved_slowdown": (wall_seconds / native
+                                  if native > 0 else 0.0),
+        },
+        "subsystems": subsystems,
+        "top_subsystems": top_subsystems(subsystems, top_n),
+    }
+
+    if worker_scopes is not None:
+        workers = {str(index): summarize_worker(scopes)
+                   for index, scopes in sorted(worker_scopes.items())}
+        profile["workers"] = workers
+        busy = [w["busy_seconds"] for w in workers.values()]
+        if busy:
+            profile["worker_skew"] = {
+                "max_busy_seconds": max(busy),
+                "min_busy_seconds": min(busy),
+                "skew_ratio": (max(busy) / min(busy)
+                               if min(busy) > 0 else 0.0),
+            }
+    return profile
+
+
+def top_subsystems(subsystems: Mapping[str, Mapping[str, float]],
+                   top_n: int) -> List[Dict[str, Any]]:
+    """The ``top_n`` scopes by self time, largest first."""
+    ranked = sorted(subsystems.items(),
+                    key=lambda item: (-item[1]["self_seconds"], item[0]))
+    return [{"name": name, **dict(row)} for name, row in ranked[:top_n]]
+
+
+def render_profile(profile: Mapping[str, Any],
+                   top_n: Optional[int] = None) -> str:
+    """Human-readable summary of a host profile dict."""
+    rates = profile["rates"]
+    lines = [
+        f"host wall time:      {profile['host_wall_seconds']:.3f}s "
+        f"({profile['backend']} backend)",
+        f"simulation rate:     "
+        f"{rates['cycles_per_host_second']:,.0f} cycles/s, "
+        f"{rates['instructions_per_host_second']:,.0f} instr/s",
+        f"achieved slowdown:   {rates['achieved_slowdown']:,.0f}x "
+        f"(modeled {rates['modeled_slowdown']:,.0f}x)",
+    ]
+    rows = profile["top_subsystems"]
+    if top_n is not None:
+        rows = rows[:top_n]
+    if rows:
+        width = max(len(r["name"]) for r in rows)
+        lines.append("subsystem self-times:")
+        for row in rows:
+            lines.append(
+                f"  {row['name'].ljust(width)}  "
+                f"{row['self_seconds'] * 1e3:10.3f} ms self  "
+                f"{row['cum_seconds'] * 1e3:10.3f} ms cum  "
+                f"{row['calls']:>9,} calls")
+    untracked = profile.get("untracked_seconds", 0.0)
+    lines.append(f"  {'(untracked)'.ljust(width) if rows else '(untracked)'}"
+                 f"  {untracked * 1e3:10.3f} ms self")
+    for index, worker in sorted(profile.get("workers", {}).items()):
+        lines.append(
+            f"worker {index}:            "
+            f"busy {worker['busy_seconds'] * 1e3:.3f} ms, "
+            f"idle {worker['idle_seconds'] * 1e3:.3f} ms, "
+            f"serialize {worker['serialize_seconds'] * 1e3:.3f} ms "
+            f"({worker['utilization']:.0%} utilized)")
+    skew = profile.get("worker_skew")
+    if skew:
+        lines.append(f"worker busy skew:    {skew['skew_ratio']:.2f}x "
+                     f"(max {skew['max_busy_seconds'] * 1e3:.3f} ms / "
+                     f"min {skew['min_busy_seconds'] * 1e3:.3f} ms)")
+    return "\n".join(lines)

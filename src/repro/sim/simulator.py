@@ -26,6 +26,7 @@ from repro.memory.coherence import CoherenceEngine
 from repro.memory.controller import MemoryController
 from repro.memory.miss_classifier import MissClassifier
 from repro.network.interface import NetworkFabric
+from repro.profile.timers import create_profiler
 from repro.sim.results import SimulationResult
 from repro.sync.model import create_sync_model
 from repro.system.lcp import create_lcps
@@ -148,6 +149,19 @@ class Simulator:
                 metrics_channel)
             self.scheduler.add_periodic_hook(
                 self._sample_metrics, config.telemetry.metrics_interval)
+
+        # Host profiling (``--profile``): the same observer trick as
+        # telemetry and the sanitizers — ``None`` when disabled, so no
+        # call site is wrapped and the hot paths keep their original
+        # methods.  Purely observational: reads host clocks only, never
+        # RNG streams or simulated time, so a profiled run produces
+        # byte-identical simulation metrics.
+        self.host_profile: Optional[Dict[str, Any]] = None
+        self._worker_host_scopes: Optional[Dict[int, Any]] = None
+        self.profiler = create_profiler(config.profile)
+        if self.profiler is not None:
+            from repro.profile.instrument import instrument_simulator
+            instrument_simulator(self)
 
     def _make_transport(self) -> Transport:
         """Build the message fabric; overridden by the mp backend."""
@@ -282,10 +296,17 @@ class Simulator:
         reference* (an object with a ``resolve()`` method, e.g.
         :class:`repro.distrib.wire.WorkloadRef`) that builds one.
         """
+        if self.profiler is not None:
+            self.profiler.start_run()
         self.spawn_thread(main_program, args, None, 0)
         report = self.scheduler.run()
         self._before_results()
+        if self.profiler is not None:
+            self.profiler.stop_run()
         if self.telemetry is not None:
+            # Chrome sinks render host-profiler tracks alongside the
+            # target timeline; hand them the scope data before close.
+            self._hand_profile_to_sinks()
             # Flush/render the sinks; the in-memory ordered stream stays
             # readable for tests and post-run analysis.
             self.telemetry.close()
@@ -299,7 +320,7 @@ class Simulator:
         startup = self.cost_model.process_startup(
             self.layout.num_processes)
         main_interp = self.interpreters.get(TileId(0))
-        return SimulationResult(
+        result = SimulationResult(
             simulated_cycles=max(thread_cycles.values()),
             wall_clock_seconds=report.wall_clock_seconds + startup,
             native_seconds=self._native_seconds(thread_instructions),
@@ -314,6 +335,24 @@ class Simulator:
                 if self.classifier is not None else {}),
             main_result=main_interp.result if main_interp else None,
         )
+        if self.profiler is not None:
+            from repro.profile.report import build_profile
+            self.host_profile = build_profile(
+                self.profiler, result, self.config.distrib.backend,
+                worker_scopes=self._worker_host_scopes,
+                top_n=self.config.profile.top_n)
+        return result
+
+    def _hand_profile_to_sinks(self) -> None:
+        """Give Chrome sinks the host-profiler data (pre-close)."""
+        if self.profiler is None or self.telemetry is None:
+            return
+        payload = {"run_ns": self.profiler.run_ns,
+                   "scopes": self.profiler.scope_dict(),
+                   "workers": self._worker_host_scopes or {}}
+        for sink in self.telemetry.sinks:
+            if isinstance(sink, ChromeTraceSink):
+                sink.host_profile = payload
 
     def _native_seconds(self,
                         thread_instructions: Dict[int, int]) -> float:

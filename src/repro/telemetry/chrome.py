@@ -28,14 +28,72 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: Track id used for events that belong to no tile (MCP, registry).
 SIM_TRACK = 1_000_000
 
+#: Trace process id of the host-profiler view (``--profile``): host
+#: wall time renders as its own process so Perfetto shows target time
+#: and host time on one timeline without conflating their clocks.
+HOST_PID = 2_000_000
+
+#: Worker utilization tracks start at this tid within HOST_PID.
+_HOST_WORKER_TRACK = 1000
+
 
 def _us(cycles: float, clock_hz: float) -> float:
     return cycles * 1e6 / clock_hz
 
 
+def _host_profile_records(host_profile: Dict) -> List[dict]:
+    """Render a host-profiler export as trace records under HOST_PID.
+
+    Each subsystem scope becomes a track holding one duration slice of
+    its *self* time (a flame-bar of where host wall time went); each mp
+    worker becomes a track with consecutive busy and idle slices.
+    Timestamps are host microseconds, anchored at zero.
+    """
+    from repro.profile.report import summarize_worker
+
+    records: List[dict] = [
+        {"name": "process_name", "ph": "M", "pid": HOST_PID,
+         "args": {"name": "host profiler (wall time)"}}]
+    scopes = host_profile.get("scopes", {})
+    ranked = sorted(scopes.items(),
+                    key=lambda item: (-item[1]["self_ns"], item[0]))
+    for tid, (name, row) in enumerate(ranked):
+        records.append({"name": "thread_name", "ph": "M",
+                        "pid": HOST_PID, "tid": tid,
+                        "args": {"name": name}})
+        records.append({
+            "name": name, "cat": "host", "ph": "X",
+            "pid": HOST_PID, "tid": tid, "ts": 0.0,
+            "dur": row["self_ns"] / 1e3,
+            "args": {"calls": row["calls"],
+                     "cum_ms": row["cum_ns"] / 1e6,
+                     "self_ms": row["self_ns"] / 1e6}})
+    for index, scope_dict in sorted(host_profile.get("workers",
+                                                     {}).items()):
+        summary = summarize_worker(scope_dict)
+        tid = _HOST_WORKER_TRACK + int(index)
+        busy_us = summary["busy_seconds"] * 1e6
+        idle_us = summary["idle_seconds"] * 1e6
+        records.append({"name": "thread_name", "ph": "M",
+                        "pid": HOST_PID, "tid": tid,
+                        "args": {"name": f"worker {index} host"}})
+        records.append({
+            "name": "busy", "cat": "host", "ph": "X",
+            "pid": HOST_PID, "tid": tid, "ts": 0.0, "dur": busy_us,
+            "args": {"utilization": summary["utilization"],
+                     "serialize_ms":
+                         summary["serialize_seconds"] * 1e3}})
+        records.append({
+            "name": "idle", "cat": "host", "ph": "X",
+            "pid": HOST_PID, "tid": tid, "ts": busy_us,
+            "dur": idle_us, "args": {}})
+    return records
+
+
 def write_chrome_trace(events: Iterable[Event], path: str,
                        clock_hz: float = 1e9,
                        tile_process: Optional[Dict[int, int]] = None,
+                       host_profile: Optional[Dict] = None,
                        ) -> int:
     """Write ``events`` as a Chrome trace; returns the event count.
 
@@ -108,11 +166,15 @@ def write_chrome_trace(events: Iterable[Event], path: str,
         metadata.append({"name": "thread_name", "ph": "M", "pid": pid,
                          "tid": tid, "args": {"name": label}})
 
+    host_records: List[dict] = []
+    if host_profile is not None:
+        host_records = _host_profile_records(host_profile)
+
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump({"traceEvents": metadata + out,
+        json.dump({"traceEvents": metadata + out + host_records,
                    "displayTimeUnit": "ns"},
                   handle, separators=(",", ":"), default=repr)
-    return len(out)
+    return len(out) + len(host_records)
 
 
 class ChromeTraceSink(Sink):
@@ -129,6 +191,10 @@ class ChromeTraceSink(Sink):
         self.clock_hz = clock_hz
         #: Tile -> host process mapping; the simulator fills this in.
         self.tile_process: Dict[int, int] = {}
+        #: Host-profiler export (``--profile``); the simulator hands it
+        #: over just before close so host wall-time tracks render on
+        #: the same Perfetto timeline as the target events.
+        self.host_profile: Optional[Dict] = None
         self.events_written = 0
         self._log = get_logger("telemetry.chrome")
 
@@ -138,6 +204,7 @@ class ChromeTraceSink(Sink):
     def close(self, bus: "TelemetryBus") -> None:
         self.events_written = write_chrome_trace(
             bus.ordered_events(), self.path, clock_hz=self.clock_hz,
-            tile_process=self.tile_process)
+            tile_process=self.tile_process,
+            host_profile=self.host_profile)
         self._log.debug("chrome trace written: %s (%d records)",
                         self.path, self.events_written)

@@ -93,6 +93,26 @@ class TestScoping:
         assert scope.wall_clock and scope.randomness and \
             scope.set_iteration and scope.float_cycles
 
+    def test_profile_package_may_read_wall_clocks(self):
+        # Host profiling IS wall-clock measurement: the whole
+        # src/repro/profile/ scope is D001-exempt, no inline markers.
+        root = package_root()
+        assert not scope_for(root / "profile" / "timers.py",
+                             root).wall_clock
+
+    def test_profile_exemption_is_scoped(self, tmp_path):
+        # The exemption is the directory, not the call: identical
+        # perf_counter code is clean under profile/ and still a D001
+        # finding under a model directory.
+        source = ("import time\n"
+                  "t0 = time.perf_counter_ns()\n")
+        for sub, rules in (("profile", []), ("memory", ["D001"])):
+            (tmp_path / sub).mkdir()
+            path = tmp_path / sub / "mod.py"
+            path.write_text(source)
+            found = [f.rule for f in lint_file(path, root=tmp_path)]
+            assert found == rules, (sub, found)
+
 
 class TestWireManifest:
     WIRE_SRC = (

@@ -65,6 +65,34 @@ def test_silent_worker_surfaces_as_timeout():
             cluster.recv(0)
 
 
+def test_timeout_is_distrib_error_not_builtin():
+    """The deadline error names the worker and belongs to the distrib
+    hierarchy — callers must never see a bare builtin TimeoutError."""
+    cfg = _cluster_config(timeout=0.5)
+    layout = ClusterLayout(cfg.num_tiles, cfg.host)
+    with WorkerCluster(layout, cfg) as cluster:
+        with pytest.raises(WorkerTimeoutError) as excinfo:
+            cluster.recv(1)
+    assert "worker 1" in str(excinfo.value)
+    assert not isinstance(excinfo.value, TimeoutError)
+    from repro.distrib.errors import DistribError
+    assert isinstance(excinfo.value, DistribError)
+
+
+def test_silent_worker_times_out_under_profiling():
+    """The profiled recv path (which times idle waits and decodes)
+    must preserve the deadline behaviour, worker id included."""
+    from repro.profile import HostProfiler
+
+    cfg = _cluster_config(timeout=0.5)
+    cfg.profile.enabled = True
+    layout = ClusterLayout(cfg.num_tiles, cfg.host)
+    profiler = HostProfiler()
+    with WorkerCluster(layout, cfg, profiler=profiler) as cluster:
+        with pytest.raises(WorkerTimeoutError, match="worker 0"):
+            cluster.recv(0)
+
+
 def test_target_fault_reraised_with_remote_traceback():
     """A crash inside the simulated program keeps its type and carries
     the worker's traceback; the cluster still tears down afterwards."""

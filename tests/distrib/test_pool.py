@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.common.config import SimulationConfig
-from repro.distrib.errors import WorkerCrashError
+from repro.distrib.errors import WorkerCrashError, WorkerTimeoutError
 from repro.distrib.pool import parallel_repeat, run_jobs
 from repro.distrib.wire import WorkloadRef
 from repro.sim.experiment import repeat_runs, sweep
@@ -25,6 +25,13 @@ def _configs(n: int = 4):
 def _crashing_program(ctx):
     yield from ctx.compute(5)
     raise RuntimeError("job exploded")
+
+
+def _hanging_program(ctx):
+    import time
+    while True:  # never yields: the pool child is stuck forever
+        time.sleep(0.05)
+    yield  # pragma: no cover - makes this a generator program
 
 
 def test_parallel_sweep_matches_serial():
@@ -92,3 +99,30 @@ def test_parallel_repeat_seed_protocol():
     cfg = _configs(1)[0]
     results = parallel_repeat(cfg, REF, runs=2, workers=2)
     assert len(results) == 2
+
+
+def test_pool_deadline_names_unfinished_jobs():
+    """A pool whose children never respond must surface a diagnosable
+    timeout — which jobs are stuck and whether workers are alive — and
+    never hang the caller."""
+    configs = _configs(2)
+    with pytest.raises(WorkerTimeoutError) as excinfo:
+        run_jobs([(c, _hanging_program, ()) for c in configs],
+                 workers=2, timeout=1.0)
+    message = str(excinfo.value)
+    assert "2 job(s) unfinished" in message
+    assert "indices 0, 1" in message
+    assert "pool workers still alive" in message
+    # The pool error is part of the DistribError hierarchy, not a bare
+    # builtin TimeoutError that callers could mistake for an IPC-level
+    # timeout.
+    assert not isinstance(excinfo.value, TimeoutError)
+
+
+def test_pool_deadline_truncates_long_unfinished_list():
+    """With many stuck jobs the message stays bounded (first 8 + ...)."""
+    configs = _configs(10)
+    with pytest.raises(WorkerTimeoutError,
+                       match=r"indices 0, 1, 2, 3, 4, 5, 6, 7, \.\.\."):
+        run_jobs([(c, _hanging_program, ()) for c in configs],
+                 workers=2, timeout=0.5)

@@ -1,0 +1,121 @@
+"""Bench trajectory runner: schema, baseline check, CLI wiring."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.profile.bench import (
+    BENCH_SCHEMA,
+    BENCHMARKS,
+    QUICK_COUNT,
+    build_trajectory,
+    check_baseline,
+    run_benchmark,
+)
+
+
+def _row(rate: float) -> dict:
+    return {"cycles_per_host_second": rate}
+
+
+def _trajectory(**rates) -> dict:
+    return build_trajectory(
+        "full", {name: _row(rate) for name, rate in rates.items()})
+
+
+class TestCheckBaseline:
+    def test_within_tolerance_passes(self):
+        base = _trajectory(fft=300_000.0)
+        fresh = _trajectory(fft=150_000.0)  # 2x slower, tolerance 3x
+        assert check_baseline(base, fresh, tolerance=3.0) == []
+
+    def test_regression_beyond_tolerance_fails(self):
+        base = _trajectory(fft=300_000.0, fmm=100_000.0)
+        fresh = _trajectory(fft=50_000.0, fmm=90_000.0)  # fft 6x slower
+        problems = check_baseline(base, fresh, tolerance=3.0)
+        assert len(problems) == 1
+        assert problems[0].startswith("fft:")
+        assert "slower than the baseline" in problems[0]
+
+    def test_speedup_never_fails(self):
+        base = _trajectory(fft=100_000.0)
+        fresh = _trajectory(fft=900_000.0)
+        assert check_baseline(base, fresh) == []
+
+    def test_benchmarks_missing_from_baseline_are_skipped(self):
+        base = _trajectory(fft=100_000.0)
+        fresh = _trajectory(fft=100_000.0, fmm=1.0)
+        assert check_baseline(base, fresh) == []
+
+    def test_schema_mismatch_is_reported(self):
+        stale = {"schema": "repro.bench_host_profile/0",
+                 "benchmarks": {}}
+        problems = check_baseline(stale, _trajectory(fft=1.0))
+        assert len(problems) == 1
+        assert "--accept-baseline" in problems[0]
+
+
+def test_bench_set_has_at_least_five_benchmarks():
+    assert len(BENCHMARKS) >= 5
+    assert QUICK_COUNT >= 5
+
+
+def test_run_benchmark_record_shape():
+    record = run_benchmark("fft", scale=0.1, tiles=4)
+    assert record["workload"] == "fft"
+    assert record["host_wall_seconds"] > 0
+    assert record["cycles_per_host_second"] > 0
+    assert record["achieved_slowdown"] > 0
+    assert record["simulated_cycles"] > 0
+    assert record["top_subsystems"]
+
+
+@pytest.fixture
+def quick_args(tmp_path):
+    out = tmp_path / "BENCH_host_profile.json"
+    return out, ["bench", "--quick", "--tiles", "4", "--scale", "0.05",
+                 "--out", str(out), "--baseline", str(out)]
+
+
+def test_bench_cli_writes_versioned_trajectory(quick_args, capsys):
+    out, argv = quick_args
+    assert main(argv) == 0
+    trajectory = json.loads(out.read_text())
+    assert trajectory["schema"] == BENCH_SCHEMA
+    assert trajectory["mode"] == "quick"
+    assert len(trajectory["benchmarks"]) == QUICK_COUNT
+    for record in trajectory["benchmarks"].values():
+        assert record["host_wall_seconds"] > 0
+        assert record["cycles_per_host_second"] > 0
+
+
+def test_bench_cli_check_against_own_baseline_passes(quick_args,
+                                                     capsys):
+    out, argv = quick_args
+    assert main(argv) == 0  # record the baseline
+    assert main(argv + ["--check-baseline"]) == 0
+    assert "within" in capsys.readouterr().out
+
+
+def test_bench_cli_detects_regression(quick_args, capsys):
+    out, argv = quick_args
+    assert main(argv) == 0
+    # Forge a baseline claiming this host used to be 1000x faster.
+    trajectory = json.loads(out.read_text())
+    for record in trajectory["benchmarks"].values():
+        record["cycles_per_host_second"] *= 1000.0
+    out.write_text(json.dumps(trajectory))
+    assert main(argv + ["--check-baseline"]) == 1
+    assert "REGRESSION" in capsys.readouterr().err
+
+
+def test_bench_cli_missing_baseline_is_actionable(tmp_path, capsys):
+    missing = tmp_path / "nope.json"
+    code = main(["bench", "--quick", "--tiles", "4", "--scale", "0.05",
+                 "--out", str(tmp_path / "out.json"),
+                 "--baseline", str(missing), "--check-baseline"])
+    assert code == 1
+    assert "--accept-baseline" in capsys.readouterr().err
