@@ -1,0 +1,147 @@
+"""Loading checkpoints and the crash-recovery driver.
+
+:func:`load_checkpoint` turns an on-disk snapshot back into a runnable
+simulator: the coordinator blob is unpickled, the post-restore fixups
+run (syscall-tracer unwrap, generator replay), and — for an mp
+snapshot — the shard blobs are stashed on the simulator for
+``resume_run`` to ship to freshly started workers.
+
+:func:`run_with_recovery` is the fault-tolerance loop the CLI and
+:func:`repro.sim.runner.run_simulation` use: it runs the simulation
+and, when a worker dies (:class:`~repro.distrib.errors.
+WorkerCrashError` / ``WorkerTimeoutError``), sleeps an exponential
+backoff, reloads the last consistent checkpoint into a *fresh*
+simulator and resumes — up to ``config.ckpt.max_restarts`` attempts.
+Each restart is logged in ``result.recoveries`` and, when tracing is
+enabled, emitted as a WORKER-category ``recovery`` telemetry event.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Dict, Optional, Tuple
+
+from repro.common.errors import CheckpointError
+from repro.ckpt.snapshot import load_bytes
+from repro.ckpt.store import CheckpointStore
+
+
+def load_checkpoint(path: str, name: Optional[str] = None
+                    ) -> Tuple[Any, Dict[str, Any]]:
+    """Restore a simulator from a checkpoint directory.
+
+    ``path`` is either a checkpoint *root* (the ``--ckpt-dir``; the
+    newest complete checkpoint is used, or ``name`` if given) or one
+    specific ``ckpt-NNNNNNNN`` directory.  Returns ``(simulator,
+    manifest)``; drive the simulator with ``resume_run()``.
+    """
+    if name is None and os.path.isfile(os.path.join(path,
+                                                    "manifest.json")):
+        path, name = os.path.dirname(path) or ".", os.path.basename(path)
+    store = CheckpointStore(path)
+    manifest, blobs = store.read(name)
+    simulator = load_bytes(blobs["coordinator"])
+    shards = {int(key[len("shard"):]): blob
+              for key, blob in blobs.items() if key.startswith("shard")}
+    if shards:
+        simulator._restore_shards = shards
+    simulator._after_restore()
+    return simulator, manifest
+
+
+def _recovery_bus(simulator: Any) -> None:
+    """Re-create a coordinator-level telemetry bus on a restored sim.
+
+    Component-level channels were excised by the snapshot (the resumed
+    run's subsystems run unobserved), but recovery events and the
+    final worker merges still surface when the user asked for tracing.
+    """
+    from repro.telemetry.bus import create_bus
+    simulator.telemetry = create_bus(simulator.config.telemetry)
+    if simulator.telemetry is not None:
+        simulator._configure_trace_sinks()
+
+
+def _emit_recovery(simulator: Any, event: Dict[str, Any]) -> None:
+    if simulator.telemetry is None:
+        return
+    from repro.telemetry.events import EventCategory
+    channel = simulator.telemetry.channel(EventCategory.WORKER)
+    if channel is not None:
+        channel.emit("recovery", None, 0, dict(event))
+
+
+def run_with_recovery(simulator: Any, program: Any,
+                      args: tuple = ()) -> Tuple[Any, Any]:
+    """Run to completion, restarting from checkpoints after crashes.
+
+    Returns ``(result, final_simulator)`` — the final simulator is the
+    one that actually completed (a restored instance after a crash),
+    which callers needing ``host_profile``/``stats`` must use instead
+    of the one they passed in.  Only infrastructure failures are
+    retried; target faults and simulator bugs propagate immediately.
+    Without checkpointing enabled this is exactly ``simulator.run``.
+    """
+    from repro.distrib.errors import WorkerCrashError, WorkerTimeoutError
+    config = simulator.config
+    try:
+        return simulator.run(program, args), simulator
+    except (WorkerCrashError, WorkerTimeoutError) as exc:
+        if not config.ckpt.enabled:
+            raise
+        failure = exc
+    return _resume_loop(simulator, failure)
+
+
+def resume_with_recovery(path: str, name: Optional[str] = None
+                         ) -> Tuple[Any, Any]:
+    """``repro resume``: load a checkpoint and drive it to completion,
+    with the same crash-recovery loop as :func:`run_with_recovery`."""
+    from repro.distrib.errors import WorkerCrashError, WorkerTimeoutError
+    simulator, manifest = load_checkpoint(path, name)
+    _recovery_bus(simulator)
+    try:
+        return simulator.resume_run(), simulator
+    except (WorkerCrashError, WorkerTimeoutError) as exc:
+        failure = exc
+    return _resume_loop(simulator, failure)
+
+
+def _resume_loop(simulator: Any, failure: Exception) -> Tuple[Any, Any]:
+    """Shared restart loop: backoff, reload, resume, repeat."""
+    config = simulator.config
+    recoveries = list(simulator.recoveries)
+    attempt = 0
+    while True:
+        attempt += 1
+        if attempt > config.ckpt.max_restarts:
+            raise failure
+        delay = (config.ckpt.backoff_base
+                 * config.ckpt.backoff_factor ** (attempt - 1))
+        time.sleep(delay)
+        try:
+            restored, manifest = load_checkpoint(config.ckpt.dir)
+        except CheckpointError as exc:
+            raise CheckpointError(
+                f"cannot recover from crash: {exc}") from failure
+        event = {
+            "attempt": attempt,
+            "turn": manifest["turn"],
+            "backoff_seconds": delay,
+            "error": type(failure).__name__,
+            "detail": str(failure).splitlines()[0] if str(failure) else "",
+        }
+        recoveries.append(event)
+        restored.recoveries = list(recoveries)
+        _recovery_bus(restored)
+        _emit_recovery(restored, event)
+        from repro.distrib.errors import (
+            WorkerCrashError,
+            WorkerTimeoutError,
+        )
+        try:
+            return restored.resume_run(), restored
+        except (WorkerCrashError, WorkerTimeoutError) as exc:
+            failure = exc
+            simulator = restored

@@ -1,0 +1,99 @@
+"""The surgical pickler: a live simulation graph -> one blob.
+
+Nearly all simulation state is plain picklable data (clocks, caches,
+directories, queues, stats, ``random.Random`` streams).  Exactly two
+kinds of object cannot cross a snapshot:
+
+1. **Host-side observers** — the telemetry bus and its channels, the
+   host profiler, the sanitizers, and the live cluster/worker process
+   plumbing.  Every component already treats ``None`` in those slots
+   as "disabled", so the pickler *excises* them: each such object is
+   serialized as ``None`` and the restored run simply runs unobserved.
+2. **Thread generators** — the target programs themselves.  The
+   interpreter handles those (:meth:`~repro.frontend.interpreter.
+   ThreadInterpreter.__getstate__` drops the generator and keeps the
+   send log); the generator excision here is a backstop for any other
+   generator that sneaks into the graph.
+
+Pickling one whole graph (rather than per-subsystem exports) is what
+preserves shared references — the scheduler's threads ARE the kernel's
+interpreters, the stats tree's children ARE the components' stat
+groups — which in turn is what makes a restored run byte-identical.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+import sys
+import types
+from typing import Any, Tuple
+
+from repro.common.errors import CheckpointError
+
+#: Classes serialized as ``None`` ("disabled"), by dotted location.
+#: Looked up lazily in ``sys.modules`` so snapshotting never imports a
+#: subsystem the run did not use.
+_EXCISED_CLASSES = (
+    ("repro.telemetry.bus", "TelemetryBus"),
+    ("repro.telemetry.bus", "Channel"),
+    ("repro.profile.timers", "HostProfiler"),
+    ("repro.check.sanitize", "Sanitizers"),
+    ("repro.distrib.coordinator", "WorkerCluster"),
+    ("repro.distrib.worker", "Worker"),
+)
+
+
+def _none() -> None:
+    """Reduction target of every excised object."""
+    return None
+
+
+def _excised_types() -> Tuple[type, ...]:
+    out = []
+    for module_name, class_name in _EXCISED_CLASSES:
+        module = sys.modules.get(module_name)
+        if module is None:
+            continue
+        cls = getattr(module, class_name, None)
+        if cls is not None:
+            out.append(cls)
+    return tuple(out)
+
+
+class SnapshotPickler(pickle.Pickler):
+    """Pickler that excises unpicklable host-side objects to ``None``."""
+
+    def __init__(self, file: io.BytesIO) -> None:
+        super().__init__(file, protocol=pickle.HIGHEST_PROTOCOL)
+        self._excised = _excised_types()
+
+    def reducer_override(self, obj: Any) -> Any:
+        if isinstance(obj, types.GeneratorType):
+            return (_none, ())
+        if self._excised and isinstance(obj, self._excised):
+            return (_none, ())
+        return NotImplemented
+
+
+def snapshot_bytes(obj: Any) -> bytes:
+    """Serialize ``obj`` (a simulator or shard dict) to snapshot bytes.
+
+    Purely observational: pickling never mutates the graph, so taking
+    a snapshot cannot perturb the simulation it captures.
+    """
+    buffer = io.BytesIO()
+    try:
+        SnapshotPickler(buffer).dump(obj)
+    except Exception as exc:
+        raise CheckpointError(f"cannot snapshot state: {exc}") from exc
+    return buffer.getvalue()
+
+
+def load_bytes(blob: bytes) -> Any:
+    """Deserialize a snapshot blob (inverse of :func:`snapshot_bytes`)."""
+    try:
+        return pickle.loads(blob)
+    except Exception as exc:
+        raise CheckpointError(
+            f"cannot deserialize snapshot: {exc}") from exc

@@ -96,6 +96,25 @@ def build_parser() -> argparse.ArgumentParser:
                      help="collect a host-performance profile (where "
                           "host wall time goes, simulation-rate "
                           "gauges); never perturbs simulated results")
+    run.add_argument("--ckpt-dir", default=None, metavar="DIR",
+                     help="enable checkpointing into DIR; resume later "
+                          "with `repro resume DIR`")
+    run.add_argument("--ckpt-every", type=int, default=0,
+                     metavar="TURNS",
+                     help="write a checkpoint every N scheduler turns "
+                          "(requires --ckpt-dir; 0 = only crash "
+                          "recovery state, no periodic snapshots)")
+    run.add_argument("--ckpt-retries", type=int, default=3,
+                     metavar="N",
+                     help="crash-recovery restarts before giving up "
+                          "(default 3)")
+
+    resume = sub.add_parser(
+        "resume",
+        help="resume a checkpointed simulation to completion "
+             "(byte-identical to the uninterrupted run)")
+    from repro.ckpt.cli import add_resume_arguments
+    add_resume_arguments(resume)
 
     profile = sub.add_parser(
         "profile",
@@ -138,6 +157,13 @@ def _configure(args: argparse.Namespace) -> SimulationConfig:
     config.profile.enabled = args.profile
     if args.quantum:
         config.host.quantum_instructions = args.quantum
+    if args.ckpt_dir:
+        config.ckpt.dir = args.ckpt_dir
+        config.ckpt.every = args.ckpt_every
+        config.ckpt.max_restarts = args.ckpt_retries
+    elif args.ckpt_every:
+        from repro.common.errors import ConfigError
+        raise ConfigError("--ckpt-every requires --ckpt-dir")
     if args.trace or args.trace_out or args.metrics_interval:
         config.telemetry.enabled = True
         config.telemetry.events = (
@@ -158,7 +184,11 @@ def _command_run(args: argparse.Namespace) -> int:
     from repro.distrib.wire import WorkloadRef
     program = WorkloadRef(args.workload, threads, args.scale)
     simulator = create_simulator(config)
-    result = simulator.run(program)
+    if config.ckpt.enabled:
+        from repro.ckpt.recovery import run_with_recovery
+        result, simulator = run_with_recovery(simulator, program)
+    else:
+        result = simulator.run(program)
     simulator.engine.check_coherence_invariants()
     if simulator.sanitizers is not None and not args.json:
         print(simulator.sanitizers.summary())
@@ -188,6 +218,8 @@ def _command_run(args: argparse.Namespace) -> int:
             "messages": result.counter("transport.messages_sent"),
             "miss_breakdown": result.miss_breakdown,
         }
+        if config.ckpt.enabled:
+            payload["recoveries"] = result.recoveries
         if config.telemetry.enabled:
             payload["trace_events"] = trace_events
             payload["trace_out"] = config.telemetry.trace_path
@@ -221,6 +253,9 @@ def _command_run(args: argparse.Namespace) -> int:
         where = (f" -> {config.telemetry.trace_path}"
                  if config.telemetry.trace_path else "")
         print(f"trace:               {trace_events:,} events{where}")
+    if result.recoveries:
+        print(f"recoveries:          {len(result.recoveries)} "
+              f"worker restart(s)")
     if simulator.host_profile is not None:
         from repro.profile.report import render_profile
         print()
@@ -259,6 +294,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "check":
         from repro.check.cli import run_check
         return run_check(args)
+    if args.command == "resume":
+        from repro.ckpt.cli import run_resume
+        return run_resume(args)
     raise AssertionError(f"unhandled command {args.command}")
 
 

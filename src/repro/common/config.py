@@ -444,6 +444,56 @@ class CheckConfig:
 
 
 @dataclass
+class CkptConfig:
+    """Deterministic checkpoint/restore (see :mod:`repro.ckpt`).
+
+    Disabled by default.  Setting ``dir`` makes the simulation
+    snapshottable: thread interpreters begin recording their generator
+    replay logs and :meth:`repro.sim.simulator.Simulator.save_checkpoint`
+    becomes available.  Setting ``every`` > 0 additionally writes a
+    snapshot every that many scheduler turns.  Snapshots are purely
+    observational — a checkpointing run produces byte-identical
+    metrics to a non-checkpointing one — and a restored run continues
+    to a byte-identical :class:`~repro.sim.results.SimulationResult`.
+
+    Under the mp backend a checkpoint is a *coordinated* one (every
+    worker acknowledges a CHECKPOINT barrier before the snapshot
+    commits), and a crashed worker triggers restore-and-resume from
+    the last consistent checkpoint with exponential backoff, up to
+    ``max_restarts`` attempts.
+    """
+
+    #: Checkpoint directory; ``None`` disables the subsystem entirely.
+    dir: Optional[str] = None
+    #: Scheduler turns between periodic checkpoints; 0 = manual only.
+    every: int = 0
+    #: Completed checkpoints retained in ``dir`` (older ones pruned).
+    keep: int = 2
+    #: Crash-recovery restarts allowed before the failure propagates.
+    max_restarts: int = 3
+    #: First restart delay in seconds; doubles per subsequent attempt.
+    backoff_base: float = 0.05
+    #: Multiplier applied to the backoff delay after every attempt.
+    backoff_factor: float = 2.0
+
+    @property
+    def enabled(self) -> bool:
+        return self.dir is not None
+
+    def validate(self) -> None:
+        _require(self.every >= 0, "ckpt: every must be >= 0")
+        _require(self.keep >= 1, "ckpt: keep must be >= 1")
+        _require(self.max_restarts >= 0,
+                 "ckpt: max_restarts must be >= 0")
+        _require(self.backoff_base >= 0.0,
+                 "ckpt: backoff_base must be >= 0")
+        _require(self.backoff_factor >= 1.0,
+                 "ckpt: backoff_factor must be >= 1")
+        _require(self.every == 0 or self.dir is not None,
+                 "ckpt: periodic checkpointing (every > 0) needs dir")
+
+
+@dataclass
 class SimulationConfig:
     """Top-level configuration: the target architecture plus the host."""
 
@@ -457,6 +507,7 @@ class SimulationConfig:
     telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
     check: CheckConfig = field(default_factory=CheckConfig)
     profile: ProfileConfig = field(default_factory=ProfileConfig)
+    ckpt: CkptConfig = field(default_factory=CkptConfig)
     #: Master seed for all RNG streams.
     seed: int = 42
     #: Heterogeneous tiles (paper §2: "tiles may be homogeneous or
@@ -498,6 +549,12 @@ class SimulationConfig:
         self.telemetry.validate()
         self.check.validate()
         self.profile.validate()
+        self.ckpt.validate()
+        # Host-profiling instrumentation rebinds instance methods with
+        # closure wrappers, which cannot cross a snapshot pickle.
+        _require(not (self.ckpt.enabled and self.profile.enabled),
+                 "ckpt: checkpointing does not support host profiling "
+                 "(--profile); disable one of the two")
 
     # -- (de)serialisation --------------------------------------------------
 
@@ -532,6 +589,7 @@ class SimulationConfig:
             "telemetry": (TelemetryConfig,),
             "check": (CheckConfig,),
             "profile": (ProfileConfig,),
+            "ckpt": (CkptConfig,),
         }
         kwargs: Dict[str, Any] = {}
         for key, value in data.items():

@@ -34,6 +34,15 @@ class ProtocolError(SimulationError):
     """The cache-coherence engine reached an illegal protocol state."""
 
 
+class CheckpointError(SimulationError):
+    """A snapshot could not be written, validated or restored.
+
+    Raised by :mod:`repro.ckpt` for unreadable checkpoint directories,
+    manifest/blob checksum mismatches (corruption), format-version
+    mismatches and replay failures while rebuilding thread generators.
+    """
+
+
 class SanitizerViolation(SimulationError):
     """A runtime sanitizer observed a broken simulation invariant.
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import hashlib
 import random
-from typing import Dict
+from typing import Any, Dict
 
 
 class RngStreams:
@@ -35,6 +35,37 @@ class RngStreams:
             rng = random.Random(int.from_bytes(digest[:8], "big"))
             self._streams[name] = rng
         return rng
+
+    def state(self) -> Dict[str, Any]:
+        """Snapshot every named stream's exact generator state.
+
+        The snapshot captures each live stream's
+        :meth:`random.Random.getstate` tuple, in creation order, so a
+        :meth:`restore`-d family continues every sequence at precisely
+        the next draw — the property the checkpoint/restore subsystem
+        (:mod:`repro.ckpt`) relies on for byte-identical resumption.
+        """
+        return {
+            "seed": self.seed,
+            "streams": {name: rng.getstate()
+                        for name, rng in self._streams.items()},
+        }
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        """Reinstate a :meth:`state` snapshot.
+
+        Streams not present in the snapshot are discarded; streams in
+        the snapshot are recreated (preserving the snapshot's creation
+        order) and rewound to their captured position.  Streams later
+        requested but absent from the snapshot are derived fresh from
+        the restored master seed, exactly as on first use.
+        """
+        self.seed = state["seed"]
+        self._streams.clear()
+        for name, rng_state in state["streams"].items():
+            rng = random.Random()
+            rng.setstate(rng_state)
+            self._streams[name] = rng
 
     def reseed(self, seed: int) -> None:
         """Discard all streams and restart from a new master seed."""

@@ -318,6 +318,16 @@ class DistribSimulator(Simulator):
     def __init__(self, config: SimulationConfig) -> None:
         super().__init__(config)
         self._cluster: Optional[WorkerCluster] = None
+        #: Shard blobs a checkpoint loader stashes for ``resume_run``.
+        self._restore_shards: Dict[int, bytes] = {}
+        self._build_handler_tables()
+
+    def _build_handler_tables(self) -> None:
+        """(Re)create the kernel dispatch tables.
+
+        Kept out of the pickled state — the lambdas they hold cannot
+        cross a snapshot — and rebuilt on ``__setstate__``.
+        """
         self._rpc_handlers: Dict[str, Callable] = {
             "memory_load": self._rpc_memory_load,
             "memory_store": self._rpc_memory_store,
@@ -347,6 +357,18 @@ class DistribSimulator(Simulator):
                 TileId(t), c),
             "wake_scheduler": lambda t: self.wake_scheduler(TileId(t)),
         }
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_cluster"] = None
+        state["_restore_shards"] = {}
+        state.pop("_rpc_handlers", None)
+        state.pop("_cast_handlers", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._build_handler_tables()
 
     @property
     def cluster(self) -> WorkerCluster:
@@ -379,6 +401,69 @@ class DistribSimulator(Simulator):
             self._cluster.shutdown()
             self.transport.attach(None)
             self._cluster = None
+
+    def resume_run(self):
+        """Continue a restored distributed simulation to completion.
+
+        Starts a fresh worker cluster (HELLO as usual), then ships
+        each worker its shard blob in a RESTORE frame so it adopts the
+        checkpointed kernel and interpreters before the first quantum.
+        """
+        from repro.common.errors import CheckpointError
+        if not self._restore_shards:
+            raise CheckpointError(
+                "no shard blobs to restore; load the checkpoint via "
+                "repro.ckpt.recovery.load_checkpoint")
+        self._cluster = WorkerCluster(self.layout, self.config)
+        self.transport.attach(self._cluster)
+        try:
+            for worker in range(self._cluster.num_workers):
+                blob = self._restore_shards.get(worker)
+                if blob is None:
+                    raise CheckpointError(
+                        f"checkpoint has no shard for worker {worker}")
+                self._cluster.send(worker, FrameKind.RESTORE, blob)
+            for worker in range(self._cluster.num_workers):
+                kind, payload = self._cluster.recv(worker)
+                if kind is FrameKind.ERROR:
+                    _raise_remote(worker, payload)
+                if kind is not FrameKind.CKPT_ACK:
+                    raise DistribError(
+                        f"worker {worker}: expected CKPT_ACK after "
+                        f"RESTORE, got {kind.value}")
+            self._restore_shards = {}
+            return super().resume_run()
+        finally:
+            self._cluster.shutdown()
+            self.transport.attach(None)
+            self._cluster = None
+
+    # -- checkpointing -------------------------------------------------------
+
+    def _checkpoint_blobs(self) -> Dict[str, bytes]:
+        """Coordinated snapshot: barrier every worker, then self.
+
+        The periodic hook fires between quanta, when every worker sits
+        idle in its frame loop — so CHECKPOINT can fan out to all
+        workers at once and each shard snapshot is consistent with the
+        coordinator's shared state by construction.
+        """
+        from repro.ckpt.snapshot import snapshot_bytes
+        cluster = self.cluster
+        for worker in range(cluster.num_workers):
+            cluster.send(worker, FrameKind.CHECKPOINT, None)
+        blobs: Dict[str, bytes] = {}
+        for worker in range(cluster.num_workers):
+            kind, payload = cluster.recv(worker)
+            if kind is FrameKind.ERROR:
+                _raise_remote(worker, payload)
+            if kind is not FrameKind.CKPT_ACK:
+                raise DistribError(
+                    f"worker {worker}: expected CKPT_ACK, got "
+                    f"{kind.value}")
+            blobs[f"shard{payload.worker}"] = payload.blob
+        blobs["coordinator"] = snapshot_bytes(self)
+        return blobs
 
     # -- spawning ------------------------------------------------------------
 

@@ -53,3 +53,19 @@ class WorkerCrashError(DistribError):
 
 class WorkerTimeoutError(DistribError):
     """A worker sent no frame within the configured timeout."""
+
+
+class JobRetryExhaustedError(DistribError):
+    """A sweep job kept landing on dying workers and ran out of retries.
+
+    Raised by :class:`repro.distrib.pool.SweepPool` when one job has
+    been requeued from dead workers more than the retry budget allows;
+    ``job_index`` and ``attempts`` identify the offender.
+    """
+
+    def __init__(self, job_index: int, attempts: int) -> None:
+        super().__init__(
+            f"sweep job {job_index} lost to dying workers "
+            f"{attempts} times; retry budget exhausted")
+        self.job_index = job_index
+        self.attempts = attempts

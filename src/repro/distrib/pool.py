@@ -17,13 +17,18 @@ children would oversubscribe the host.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import pickle
 import time
 import traceback
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.common.config import SimulationConfig
-from repro.distrib.errors import WorkerCrashError, WorkerTimeoutError
+from repro.distrib.errors import (
+    JobRetryExhaustedError,
+    WorkerCrashError,
+    WorkerTimeoutError,
+)
 from repro.distrib.wire import make_program_ref
 from repro.sim.results import SimulationResult
 
@@ -34,14 +39,26 @@ Job = Tuple[SimulationConfig, Any, tuple]
 _POLL_TICK = 0.1
 
 
-def _pool_child(task_queue, result_queue) -> None:  # pragma: no cover
-    """Child loop: pull jobs until the sentinel, run each in-process."""
+def _pool_child(task_queue, result_queue,
+                marker) -> None:  # pragma: no cover
+    """Child loop: pull jobs until the sentinel, run each in-process.
+
+    A start marker (job index + this child's pid) precedes every job so
+    the parent can attribute in-flight jobs to a worker — that is what
+    lets it requeue the jobs of a crashed worker onto survivors.  The
+    marker travels over a dedicated per-child pipe, NOT the result
+    queue: ``Connection.send`` writes synchronously in this thread (and
+    small messages are single atomic writes), whereas a ``Queue.put``
+    is flushed by a background feeder thread that a SIGKILL right after
+    a short job would silently take down marker-unsent.
+    """
     from repro.sim.simulator import Simulator
     while True:
         item = task_queue.get()
         if item is None:
             return
         index, config, ref, args = item
+        marker.send((index, os.getpid()))
         try:
             run_config = config.copy()
             run_config.distrib.backend = "inproc"
@@ -56,11 +73,17 @@ def _pool_child(task_queue, result_queue) -> None:  # pragma: no cover
 
 
 def run_jobs(jobs: Sequence[Job], workers: int,
-             timeout: float = 3600.0) -> List[SimulationResult]:
+             timeout: float = 3600.0,
+             max_attempts: int = 3) -> List[SimulationResult]:
     """Run ``jobs`` across ``workers`` processes; results in job order.
 
-    Any job failure aborts the pool and surfaces as
-    :class:`WorkerCrashError` carrying the child's traceback.  Programs
+    Robustness: a pool worker that *dies* (SIGKILL, OOM) does not fail
+    the sweep — its in-flight jobs are requeued onto the surviving
+    workers, each job up to ``max_attempts`` starts before
+    :class:`JobRetryExhaustedError` names it and gives up.  A job that
+    *raises* still aborts the pool as :class:`WorkerCrashError`
+    carrying the child's traceback (an application error would fail
+    again on a survivor), as does the death of every worker.  Programs
     must be shippable (module-level functions or references with
     ``resolve()``); closures are rejected up front with a clear error.
     """
@@ -85,17 +108,54 @@ def run_jobs(jobs: Sequence[Job], workers: int,
         ctx = multiprocessing.get_context("spawn")
     task_queue = ctx.Queue()
     result_queue = ctx.Queue()
-    procs = [ctx.Process(target=_pool_child,
-                         args=(task_queue, result_queue),
-                         name=f"repro-pool-{i}", daemon=True)
-             for i in range(workers)]
+    procs = []
+    markers = []
+    for i in range(workers):
+        reader, writer = ctx.Pipe(duplex=False)
+        procs.append(ctx.Process(target=_pool_child,
+                                 args=(task_queue, result_queue, writer),
+                                 name=f"repro-pool-{i}", daemon=True))
+        markers.append((reader, writer))
     for proc in procs:
         proc.start()
+    for reader, writer in markers:
+        writer.close()  # children hold the write ends now
+    #: job index -> pid of the child currently running it.
+    started_by: Dict[int, int] = {}
+    #: job index -> times a child has started it.
+    attempts: Dict[int, int] = {i: 0 for i in range(len(prepared))}
+    #: pids whose lost jobs were already requeued.
+    reaped_pids: set = set()
+
+    def _drain_start_markers() -> None:
+        for reader, _ in markers:
+            try:
+                while reader.poll():
+                    index, pid = reader.recv()
+                    attempts[index] += 1
+                    started_by[index] = pid
+            except (EOFError, OSError):
+                continue
+
+    def _requeue_from_dead_workers() -> None:
+        """Hand the in-flight jobs of newly dead children to survivors."""
+        _drain_start_markers()
+        for proc in procs:
+            if proc.is_alive() or proc.pid in reaped_pids:
+                continue
+            reaped_pids.add(proc.pid)
+            lost = sorted(i for i, pid in started_by.items()
+                          if pid == proc.pid)
+            for index in lost:
+                del started_by[index]
+                if attempts[index] >= max_attempts:
+                    raise JobRetryExhaustedError(index, attempts[index])
+                config, ref, args = prepared[index]
+                task_queue.put((index, config, ref, args))
+
     try:
         for index, (config, ref, args) in enumerate(prepared):
             task_queue.put((index, config, ref, args))
-        for _ in procs:
-            task_queue.put(None)
 
         results: List[Optional[SimulationResult]] = [None] * len(prepared)
         received = 0
@@ -124,12 +184,22 @@ def run_jobs(jobs: Sequence[Job], workers: int,
                     raise WorkerCrashError(
                         f"all pool workers exited (codes {codes}) with "
                         f"{len(prepared) - received} jobs unfinished")
+                _requeue_from_dead_workers()
                 continue
             if status == "error":
                 raise WorkerCrashError(
                     f"sweep job {index} failed", payload)
-            results[index] = payload
-            received += 1
+            started_by.pop(index, None)
+            if results[index] is None:
+                results[index] = payload
+                received += 1
+            # else: a requeued duplicate of a result that raced the
+            # worker's death; the first copy already counted.
+        # All results are in; only now may the children drain their
+        # sentinels (earlier sentinels would beat requeued jobs to the
+        # survivors and starve them).
+        for _ in procs:
+            task_queue.put(None)
         return [r for r in results if r is not None]
     finally:
         for proc in procs:
@@ -137,6 +207,8 @@ def run_jobs(jobs: Sequence[Job], workers: int,
                 proc.terminate()
         for proc in procs:
             proc.join(timeout=1.0)
+        for reader, _ in markers:
+            reader.close()
         task_queue.close()
         result_queue.close()
 

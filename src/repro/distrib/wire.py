@@ -28,7 +28,9 @@ from repro.distrib.errors import ProgramTransportError, WireFormatError
 #: aggregation from workers).
 #: v3: HOST_STATS / COLLECT_HOST_STATS frames (worker host-profiler
 #: scope exports for the merged cluster-wide host profile).
-WIRE_VERSION = 3
+#: v4: CHECKPOINT / CKPT_ACK / RESTORE frames (coordinated snapshot
+#: barrier and shard restore for fault-tolerant runs).
+WIRE_VERSION = 4
 
 
 class FrameKind(enum.Enum):
@@ -68,6 +70,15 @@ class FrameKind(enum.Enum):
     #: own busy/idle/serialization attribution; empty when the run is
     #: unprofiled).
     HOST_STATS = "host_stats"
+    #: coordinator -> worker: snapshot the shard (barrier; the worker
+    #: must be idle between quanta when this arrives).
+    CHECKPOINT = "checkpoint"
+    #: worker -> coordinator: a :class:`ShardCheckpoint` (the shard's
+    #: pickled kernel + interpreters), acknowledging the barrier.
+    CKPT_ACK = "ckpt_ack"
+    #: coordinator -> worker: adopt a :class:`ShardCheckpoint` blob
+    #: (sent after HELLO when resuming from a checkpoint).
+    RESTORE = "restore"
     #: coordinator -> worker: exit the worker loop.
     SHUTDOWN = "shutdown"
     #: worker -> coordinator: unrecoverable failure (with traceback).
@@ -107,6 +118,20 @@ class HostStatsBatch:
 
     worker: int
     scopes: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ShardCheckpoint:
+    """One worker's shard snapshot, as carried on the wire (v4).
+
+    ``blob`` is the surgical pickle (:mod:`repro.ckpt.snapshot`) of
+    ``{"kernel": KernelProxy, "interpreters": {tile: interpreter}}``;
+    the coordinator never unpickles it — it stores the bytes in the
+    checkpoint and ships them back verbatim in a RESTORE frame.
+    """
+
+    worker: int
+    blob: bytes
 
 
 # -- program references ------------------------------------------------------

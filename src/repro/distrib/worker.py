@@ -34,6 +34,7 @@ from repro.distrib.shard import ShardQueues
 from repro.distrib.wire import (
     FrameKind,
     HostStatsBatch,
+    ShardCheckpoint,
     decode_frame,
     encode_frame,
 )
@@ -397,6 +398,8 @@ class Worker:
         interpreter = ThreadInterpreter(self.kernel, TileId(tile), program,
                                         tuple(args),
                                         start_clock=start_clock)
+        if hasattr(ref, "resolve"):
+            interpreter.program_ref = ref
         self.interpreters[tile] = interpreter
         if self._tele_worker is not None:
             # Buffered only (no pipe write: this frame can arrive while
@@ -431,6 +434,45 @@ class Worker:
                     interpreter.core.cycles,
                     interpreter.core.instruction_count, outcome))
 
+    def _handle_checkpoint(self) -> None:
+        """Snapshot this shard and acknowledge the barrier (wire v4).
+
+        Arrives only between quanta, so no interpreter is mid-op; the
+        shard's entire mutable state is the kernel proxy (stats tree,
+        inbound queues) plus the interpreters, pickled as one graph so
+        shared references survive.
+        """
+        from repro.ckpt.snapshot import snapshot_bytes
+        blob = snapshot_bytes({"kernel": self.kernel,
+                               "interpreters": self.interpreters})
+        self._send(FrameKind.CKPT_ACK,
+                   ShardCheckpoint(self.process_index, blob))
+
+    def _handle_restore(self, blob: bytes) -> None:
+        """Adopt a checkpointed shard (sent right after HELLO).
+
+        The restored kernel proxy replaces the HELLO-built one; its
+        worker backref (excised by the snapshot pickler) is repointed
+        here, its program-id cache is dropped (object ids do not
+        survive a process boundary), and every live interpreter's
+        generator is replayed back to its checkpointed position.
+        """
+        shard = pickle.loads(blob)
+        kernel = shard["kernel"]
+        kernel._worker = self
+        kernel._code_bases = {}
+        kernel._pending_code_base = None
+        self.kernel = kernel
+        self.queues = kernel.queues
+        self.interpreters = shard["interpreters"]
+        # Observers (telemetry bus/channels) were excised to None; the
+        # resumed shard runs unobserved, like a --trace-less run.
+        self._tele_worker = None
+        for interpreter in self.interpreters.values():
+            interpreter.rebuild_generator()
+        self._send(FrameKind.CKPT_ACK,
+                   ShardCheckpoint(self.process_index, b""))
+
     def _handle_collect_stats(self) -> None:
         self._send(FrameKind.STATS, self.kernel.stats.to_dict())
 
@@ -464,6 +506,10 @@ class Worker:
             try:
                 if kind is FrameKind.RUN_QUANTUM:
                     self._handle_run_quantum(payload)
+                elif kind is FrameKind.CHECKPOINT:
+                    self._handle_checkpoint()
+                elif kind is FrameKind.RESTORE:
+                    self._handle_restore(payload)
                 elif kind is FrameKind.COLLECT_STATS:
                     self._handle_collect_stats()
                 elif kind is FrameKind.COLLECT_TELEMETRY:

@@ -11,13 +11,20 @@ interpreter after a wake-up and the *same op object* is retried (its
 mutable progress flags prevent duplicated side effects).  A wake-up
 carries the waker's simulated timestamp, which forwards this tile's
 clock — the lax synchronization rule.
+
+Checkpointing: the program generator itself cannot pickle, so when
+checkpoints are enabled (``config.ckpt.dir``) the interpreter records
+every value passed to ``generator.send`` and a restore re-creates the
+generator from the program reference and replays that log — pure
+generator stepping, with every replayed op discarded (the models
+already hold the post-op state from the snapshot).
 """
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any, List, Optional
 
-from repro.common.errors import SimulationError
+from repro.common.errors import CheckpointError, SimulationError
 from repro.common.ids import ThreadId, TileId
 from repro.core.instruction import (
     BranchInstruction,
@@ -63,6 +70,11 @@ class ThreadInterpreter(ThreadTask):
         self.kernel = kernel
         self.tile = tile
         self.program = program
+        self.args = tuple(args)
+        #: Shippable identity of ``program`` (a ``WorkloadRef`` /
+        #: ``PickledProgram``), set by the spawner when known; used to
+        #: re-create the generator after a checkpoint restore.
+        self.program_ref: Any = None
         stats = kernel.stats.child(f"thread{int(tile)}")
         core_config = kernel.config.core_config_for(int(tile))
         channel = None
@@ -92,6 +104,12 @@ class ThreadInterpreter(ThreadTask):
         self._code_base = kernel.code_base(program)
         self._model_ifetch = kernel.config.memory.l1i.enabled
         self._l1i_hit_latency = kernel.config.memory.l1i.access_latency
+        #: Replay log for checkpoint/restore: every value handed to
+        #: ``generator.send`` since genesis, or ``None`` when the run
+        #: is not snapshottable.  Cleared when the thread finishes.
+        ckpt = getattr(kernel.config, "ckpt", None)
+        self._ckpt_log: Optional[List[Any]] = (
+            [] if ckpt is not None and ckpt.enabled else None)
 
     # -- ThreadTask interface ------------------------------------------------------
 
@@ -125,6 +143,8 @@ class ThreadInterpreter(ThreadTask):
                 op = self._pending_op
                 self._consume_wake()
             else:
+                if self._ckpt_log is not None:
+                    self._ckpt_log.append(self._send_value)
                 try:
                     op = self.generator.send(self._send_value)
                 except StopIteration as stop:
@@ -142,10 +162,64 @@ class ThreadInterpreter(ThreadTask):
 
     def _finish(self, executed: int) -> QuantumResult:
         self._finished = True
+        # A finished thread never replays; drop the log so snapshots
+        # of long runs do not keep every completed thread's history.
+        self._ckpt_log = None
         # Retire everything in flight before reporting the final clock.
         self.core.drain()
         self.kernel.thread_finished(self.tile, self.core.cycles)
         return QuantumResult(QuantumStatus.DONE, executed)
+
+    # -- checkpoint support ---------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Pickle everything except the generator (unpicklable).
+
+        The program is replaced by its shippable reference so the
+        snapshot never embeds a workload-builder closure; restore
+        resolves it back and :meth:`rebuild_generator` replays the
+        send log to reconstruct the generator's position.
+        """
+        state = dict(self.__dict__)
+        state["generator"] = None
+        ref = self.program_ref
+        if ref is None:
+            from repro.distrib.wire import make_program_ref
+            ref = make_program_ref(self.program)
+        state["program"] = ref
+        state["program_ref"] = ref
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        if hasattr(self.program, "resolve"):
+            self.program = self.program.resolve()
+
+    def rebuild_generator(self) -> None:
+        """Reconstruct the generator after a restore by replaying.
+
+        Re-creates the generator from the resolved program and feeds
+        it the recorded send values; every op it yields during replay
+        is discarded — the models already hold the post-op state from
+        the snapshot, and a blocked thread retries its pickled
+        ``_pending_op`` (which carries the mutated progress flags),
+        not the freshly-yielded duplicate.
+        """
+        if self._finished or self.generator is not None:
+            return
+        if self._ckpt_log is None:
+            raise CheckpointError(
+                f"tile {int(self.tile)}: no replay log in snapshot")
+        generator = self.program(self.context, *self.args)
+        for index, value in enumerate(self._ckpt_log):
+            try:
+                generator.send(value)
+            except StopIteration:
+                raise CheckpointError(
+                    f"tile {int(self.tile)}: replay ended after "
+                    f"{index} of {len(self._ckpt_log)} sends — the "
+                    f"program is not deterministic") from None
+        self.generator = generator
 
     def _consume_wake(self) -> None:
         if self._wake_time is not None:

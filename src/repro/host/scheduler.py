@@ -278,6 +278,12 @@ class Scheduler:
             raise SimulationError("periodic hook period must be >= 1")
         self._periodic_hooks.append((hook, period))
 
+    @property
+    def turns(self) -> int:
+        """Completed scheduler turns (quanta) so far — the checkpoint
+        subsystem's notion of simulation position."""
+        return self._turns
+
     def thread_clocks(self) -> List[int]:
         """Local clocks of all live threads (for skew measurement)."""
         return [t.task.cycles for t in self.threads.values()

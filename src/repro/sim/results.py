@@ -37,6 +37,12 @@ class SimulationResult:
     miss_breakdown: Dict[str, int] = field(default_factory=dict)
     #: Value returned by the target's main thread, if any.
     main_result: object = None
+    #: Crash-recovery log: one dict per worker restart performed by
+    #: the fault-tolerance driver (attempt number, dead worker, the
+    #: checkpoint turn resumed from, backoff applied).  Empty on every
+    #: undisturbed run, so result equality across backends is
+    #: unaffected by the feature existing.
+    recoveries: List[dict] = field(default_factory=list)
 
     # -- derived metrics -------------------------------------------------------
 

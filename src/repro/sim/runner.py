@@ -26,5 +26,16 @@ def create_simulator(config: SimulationConfig) -> Simulator:
 
 def run_simulation(config: SimulationConfig, program: Any,
                    args: tuple = ()) -> SimulationResult:
-    """One-shot convenience: build the backend and run ``program``."""
-    return create_simulator(config).run(program, args)
+    """One-shot convenience: build the backend and run ``program``.
+
+    When checkpointing is enabled the run is wrapped in the
+    crash-recovery loop: a dead mp worker triggers a restore from the
+    last consistent checkpoint instead of failing the run (see
+    :func:`repro.ckpt.recovery.run_with_recovery`).
+    """
+    simulator = create_simulator(config)
+    if config.ckpt.enabled:
+        from repro.ckpt.recovery import run_with_recovery
+        result, _ = run_with_recovery(simulator, program, args)
+        return result
+    return simulator.run(program, args)

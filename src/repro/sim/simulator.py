@@ -150,6 +150,23 @@ class Simulator:
             self.scheduler.add_periodic_hook(
                 self._sample_metrics, config.telemetry.metrics_interval)
 
+        # Recovery log: one dict per crash-restart cycle performed by
+        # the fault-tolerance driver (:mod:`repro.ckpt.recovery`);
+        # empty on every undisturbed run.
+        self.recoveries: List[Dict[str, Any]] = []
+
+        # Checkpointing (``--ckpt-dir``): a store when enabled, and a
+        # periodic scheduler hook when a cadence is configured.  The
+        # hook runs between quanta, when no thread is mid-op.
+        self._ckpt_store = None
+        if config.ckpt.enabled:
+            from repro.ckpt.store import CheckpointStore
+            self._ckpt_store = CheckpointStore(config.ckpt.dir,
+                                               keep=config.ckpt.keep)
+            if config.ckpt.every > 0:
+                self.scheduler.add_periodic_hook(self._ckpt_hook,
+                                                 config.ckpt.every)
+
         # Host profiling (``--profile``): the same observer trick as
         # telemetry and the sanitizers — ``None`` when disabled, so no
         # call site is wrapped and the hot paths keep their original
@@ -217,8 +234,9 @@ class Simulator:
                      parent_tile: Optional[TileId],
                      parent_clock: int) -> ThreadId:
         """The spawn protocol: caller -> MCP -> owning LCP -> new thread."""
-        if hasattr(program, "resolve"):
-            program = program.resolve()
+        ref = program if hasattr(program, "resolve") else None
+        if ref is not None:
+            program = ref.resolve()
         tile = self.mcp.threads.allocate_tile()
         self.mcp.threads.register_spawn(tile)
         process = self.layout.process_of_tile(tile)
@@ -232,6 +250,8 @@ class Simulator:
         self.charge(self.config.host.thread_spawn_cost)
         interpreter = ThreadInterpreter(self, tile, program, args,
                                         start_clock=parent_clock)
+        if ref is not None:
+            interpreter.program_ref = ref
         self.interpreters[tile] = interpreter
         self.scheduler.add_thread(
             interpreter,
@@ -299,6 +319,20 @@ class Simulator:
         if self.profiler is not None:
             self.profiler.start_run()
         self.spawn_thread(main_program, args, None, 0)
+        return self._run_to_completion()
+
+    def resume_run(self) -> SimulationResult:
+        """Continue a checkpoint-restored simulation to completion.
+
+        The scheduler's state (core clocks, run queues, turn counter)
+        and every thread's position were reinstated from the snapshot,
+        so re-entering the scheduler loop picks up exactly where the
+        checkpointed run left off; the result is byte-identical to the
+        uninterrupted run's.
+        """
+        return self._run_to_completion()
+
+    def _run_to_completion(self) -> SimulationResult:
         report = self.scheduler.run()
         self._before_results()
         if self.profiler is not None:
@@ -334,6 +368,7 @@ class Simulator:
                 {t.value: n for t, n in self.classifier.counts().items()}
                 if self.classifier is not None else {}),
             main_result=main_interp.result if main_interp else None,
+            recoveries=list(self.recoveries),
         )
         if self.profiler is not None:
             from repro.profile.report import build_profile
@@ -342,6 +377,53 @@ class Simulator:
                 worker_scopes=self._worker_host_scopes,
                 top_n=self.config.profile.top_n)
         return result
+
+    # -- checkpointing ---------------------------------------------------------------------
+
+    def _ckpt_hook(self, scheduler: Scheduler) -> None:
+        """Periodic-hook shim: write one snapshot between quanta."""
+        self.save_checkpoint()
+
+    def save_checkpoint(self) -> str:
+        """Write one consistent snapshot; returns its directory.
+
+        Snapshotting is purely observational — it pickles the object
+        graph without mutating it — so a checkpointing run stays
+        byte-identical to a non-checkpointing one.
+        """
+        if self._ckpt_store is None:
+            from repro.common.errors import CheckpointError
+            raise CheckpointError(
+                "checkpointing is not enabled (set config.ckpt.dir)")
+        return self._ckpt_store.write(
+            turn=self.scheduler.turns,
+            backend=self.config.distrib.backend,
+            config=self.config,
+            blobs=self._checkpoint_blobs())
+
+    def _checkpoint_blobs(self) -> Dict[str, bytes]:
+        """Blobs of one snapshot; the mp backend adds worker shards."""
+        from repro.ckpt.snapshot import snapshot_bytes
+        return {"coordinator": snapshot_bytes(self)}
+
+    def _after_restore(self) -> None:
+        """Fix up excised members after a snapshot is unpickled.
+
+        The snapshot pickler excises host-side observers (telemetry
+        bus/channels, profiler, sanitizers) to ``None`` — exactly the
+        value every instrumented component already treats as
+        "disabled" — and drops thread generators.  This hook unwraps
+        the telemetry syscall tracer (its channel is gone) and replays
+        every live thread's generator back to its position.
+        """
+        syscalls = self.mcp.syscalls
+        inner = getattr(syscalls, "_inner", None)
+        if inner is not None:
+            self.mcp.syscalls = inner
+        for interpreter in self.interpreters.values():
+            rebuild = getattr(interpreter, "rebuild_generator", None)
+            if rebuild is not None:
+                rebuild()
 
     def _hand_profile_to_sinks(self) -> None:
         """Give Chrome sinks the host-profiler data (pre-close)."""

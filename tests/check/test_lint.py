@@ -162,6 +162,33 @@ class TestRealTree:
         findings = lint_tree()
         assert findings == [], "\n".join(f.render() for f in findings)
 
+    def test_recorded_schema_matches_real_wire_module(self):
+        """The committed wire_schema.json must pin the wire module as
+        it is today — the refresh after a version bump is mandatory."""
+        import json
+        root = package_root()
+        tree = ast.parse((root / "distrib" / "wire.py").read_text())
+        fingerprint, version = wire_fingerprint(tree)
+        recorded = json.loads(
+            (root / "check" / "wire_schema.json").read_text())
+        assert recorded == {"wire_version": version,
+                            "fingerprint": fingerprint}
+
+    def test_real_wire_drift_still_fails(self, tmp_path):
+        """Guard the guard: against a stale recorded schema, W001 must
+        fire on the real wire module (a silent pass here would mean
+        future frame/dataclass changes could ship unversioned)."""
+        import json
+        root = package_root()
+        wire_path = root / "distrib" / "wire.py"
+        tree = ast.parse(wire_path.read_text())
+        _, version = wire_fingerprint(tree)
+        stale = tmp_path / "schema.json"
+        stale.write_text(json.dumps(
+            {"wire_version": version, "fingerprint": "0" * 16}))
+        findings = check_wire_manifest(tree, str(wire_path), stale)
+        assert [f.rule for f in findings] == ["W001"]
+
     def test_lint_paths_recurses_directories(self):
         findings = lint_paths([FIXTURES])
         assert {f.rule for f in findings} >= {"D001", "D002", "D003",

@@ -1,0 +1,130 @@
+"""Fault tolerance: SIGKILL an mp worker mid-run, recover, finish.
+
+The headline robustness claim: a worker process dying under the mp
+backend does not lose the run — the recovery loop restores every shard
+from the last consistent checkpoint, restarts workers, and the final
+metrics equal an uninterrupted run's exactly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import signal
+
+import pytest
+
+from repro.common.config import SimulationConfig
+from repro.common.errors import CheckpointError
+from repro.ckpt.recovery import run_with_recovery
+from repro.distrib.errors import WorkerCrashError
+from repro.sim.runner import create_simulator
+
+
+def _config(ckpt_dir=None, every: int = 0) -> SimulationConfig:
+    cfg = SimulationConfig(num_tiles=4, seed=7)
+    cfg.host.num_machines = 2
+    cfg.host.cores_per_machine = 2
+    cfg.host.quantum_instructions = 100
+    cfg.distrib.backend = "mp"
+    if ckpt_dir is not None:
+        cfg.ckpt.dir = str(ckpt_dir)
+        cfg.ckpt.every = every
+        cfg.ckpt.backoff_base = 0.01  # keep test restarts snappy
+    cfg.validate()
+    return cfg
+
+
+def _fatal_program(ctx, marker):
+    """Work, then SIGKILL the hosting process once (first run only).
+
+    The kill branch performs no simulated ops, so the op stream is
+    identical whether the marker pre-exists (baseline) or is created on
+    the way down (crash run) — which is what makes the baseline a valid
+    byte-level reference for the recovered run.
+    """
+    yield from ctx.compute(3000)
+    if not os.path.exists(marker):
+        with open(marker, "w") as fh:
+            fh.write("went down here")
+        os.kill(os.getpid(), signal.SIGKILL)
+    yield from ctx.compute(200)
+    return "survived"
+
+
+def _always_fatal_program(ctx):
+    """SIGKILL the hosting worker on every attempt — unrecoverable."""
+    yield from ctx.compute(3000)
+    os.kill(os.getpid(), signal.SIGKILL)
+    yield  # pragma: no cover
+
+
+def test_killed_worker_recovers_to_identical_metrics(tmp_path):
+    marker = str(tmp_path / "already-died")
+    with open(marker, "w") as fh:  # baseline: take the survivor path
+        fh.write("baseline")
+    baseline = create_simulator(_config()).run(
+        _fatal_program, (marker,))
+    assert baseline.main_result == "survived"
+
+    crash_marker = str(tmp_path / "crash-run-died")
+    simulator = create_simulator(_config(tmp_path / "ck", every=4))
+    result, final = run_with_recovery(simulator, _fatal_program,
+                                      (crash_marker,))
+    assert os.path.exists(crash_marker), "the worker never died"
+    assert final is not simulator  # a restored instance finished
+
+    assert len(result.recoveries) == 1
+    event = result.recoveries[0]
+    assert event["error"] == "WorkerCrashError"
+    assert event["attempt"] == 1
+    assert event["turn"] > 0
+    assert event["backoff_seconds"] > 0
+
+    resumed = dataclasses.asdict(result)
+    resumed.pop("recoveries")
+    expected = dataclasses.asdict(baseline)
+    expected.pop("recoveries")
+    assert resumed == expected
+
+
+def test_recovery_emits_telemetry_event(tmp_path):
+    marker = str(tmp_path / "died-once")
+    cfg = _config(tmp_path / "ck", every=4)
+    cfg.telemetry.enabled = True
+    cfg.telemetry.events = ["worker"]
+    cfg.validate()
+    result, final = run_with_recovery(
+        create_simulator(cfg), _fatal_program, (marker,))
+    assert len(result.recoveries) == 1
+    recovery_events = [e for e in final.telemetry.events
+                       if e.name == "recovery"]
+    assert len(recovery_events) == 1
+    assert recovery_events[0].args["error"] == "WorkerCrashError"
+
+
+def test_crash_without_checkpoint_is_not_recoverable(tmp_path):
+    """every=0 writes no periodic snapshots: a crash then has nothing
+    to restore from, and the failure says so instead of retrying."""
+    marker = str(tmp_path / "died")
+    simulator = create_simulator(_config(tmp_path / "ck", every=0))
+    with pytest.raises(CheckpointError, match="cannot recover"):
+        run_with_recovery(simulator, _fatal_program, (marker,))
+
+
+def test_retry_budget_exhaustion_raises_original_failure(tmp_path):
+    """A worker that dies on every attempt exhausts max_restarts and
+    the last crash propagates."""
+    cfg = _config(tmp_path / "ck", every=4)
+    cfg.ckpt.max_restarts = 1
+    cfg.validate()
+    with pytest.raises(WorkerCrashError):
+        run_with_recovery(create_simulator(cfg), _always_fatal_program)
+
+
+def test_crash_without_ckpt_enabled_propagates(tmp_path):
+    """run_with_recovery degrades to plain run() when ckpt is off."""
+    marker = str(tmp_path / "died")
+    simulator = create_simulator(_config())
+    with pytest.raises(WorkerCrashError):
+        run_with_recovery(simulator, _fatal_program, (marker,))

@@ -1,0 +1,147 @@
+"""The acceptance bar of repro.ckpt: resume is byte-identical.
+
+Checkpointing must be invisible twice over: enabling it must not
+perturb an undisturbed run, and a run continued from a snapshot must
+produce a ``SimulationResult`` byte-for-byte equal to the
+uninterrupted run's — on both execution backends.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+
+import pytest
+
+from repro.common.config import SimulationConfig
+from repro.common.errors import CheckpointError, ConfigError
+from repro.ckpt.recovery import load_checkpoint
+from repro.ckpt.store import FORMAT, CheckpointStore
+from repro.distrib.wire import WorkloadRef
+from repro.sim.runner import create_simulator
+
+REF = WorkloadRef("matrix_multiply", nthreads=4, scale=0.05)
+
+BACKENDS = ["inproc", "mp"]
+
+
+def _config(backend: str, ckpt_dir=None, every: int = 0,
+            seed: int = 11) -> SimulationConfig:
+    cfg = SimulationConfig(num_tiles=4, seed=seed)
+    cfg.host.num_machines = 2
+    cfg.host.cores_per_machine = 2
+    cfg.host.quantum_instructions = 200
+    cfg.distrib.backend = backend
+    if ckpt_dir is not None:
+        cfg.ckpt.dir = str(ckpt_dir)
+        cfg.ckpt.every = every
+    cfg.validate()
+    return cfg
+
+
+def _asdict(result) -> dict:
+    return dataclasses.asdict(result)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_checkpointing_does_not_perturb_results(backend, tmp_path):
+    baseline = create_simulator(_config(backend)).run(REF)
+    ckpt = create_simulator(
+        _config(backend, tmp_path / "ck", every=20)).run(REF)
+    assert _asdict(ckpt) == _asdict(baseline)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_resume_is_byte_identical(backend, tmp_path):
+    """Checkpoint mid-run, restore into a fresh simulator, continue:
+    the result must equal the uninterrupted run's, field for field."""
+    baseline = create_simulator(_config(backend)).run(REF)
+
+    ckpt_dir = tmp_path / "ck"
+    create_simulator(_config(backend, ckpt_dir, every=20)).run(REF)
+    store = CheckpointStore(str(ckpt_dir))
+    assert store.list(), "periodic hook never wrote a checkpoint"
+
+    restored, manifest = load_checkpoint(str(ckpt_dir))
+    assert manifest["format"] == FORMAT
+    assert manifest["backend"] == backend
+    assert manifest["turn"] > 0
+    resumed = restored.resume_run()
+    assert _asdict(resumed) == _asdict(baseline)
+
+
+def test_resume_from_specific_snapshot(tmp_path):
+    """Every retained snapshot resumes identically, not just LATEST,
+    and a direct path to one ``ckpt-NNNNNNNN`` directory works."""
+    baseline = create_simulator(_config("inproc")).run(REF)
+    ckpt_dir = tmp_path / "ck"
+    cfg = _config("inproc", ckpt_dir, every=10)
+    cfg.ckpt.keep = 4
+    create_simulator(cfg).run(REF)
+    names = CheckpointStore(str(ckpt_dir)).list()
+    assert len(names) >= 2
+    for name in names:
+        restored, manifest = load_checkpoint(str(ckpt_dir), name)
+        assert f"{manifest['turn']:08d}" in name
+        assert _asdict(restored.resume_run()) == _asdict(baseline)
+    # A path straight at one snapshot directory is also accepted.
+    restored, _ = load_checkpoint(str(ckpt_dir / names[0]))
+    assert _asdict(restored.resume_run()) == _asdict(baseline)
+
+
+def test_manual_save_and_restored_state_consistency(tmp_path):
+    """save_checkpoint() after a run snapshots the finished state; a
+    restored simulator still passes the coherence audit."""
+    cfg = _config("inproc", tmp_path / "ck")
+    sim = create_simulator(cfg)
+    sim.run(REF)
+    path = sim.save_checkpoint()
+    assert os.path.isdir(path)
+    restored, _ = load_checkpoint(str(tmp_path / "ck"))
+    restored.engine.check_coherence_invariants()
+
+
+def test_corrupted_snapshot_is_rejected_on_load(tmp_path):
+    ckpt_dir = tmp_path / "ck"
+    create_simulator(_config("inproc", ckpt_dir, every=20)).run(REF)
+    name = CheckpointStore(str(ckpt_dir)).latest()
+    blob_path = ckpt_dir / name / "coordinator.pkl"
+    blob = bytearray(blob_path.read_bytes())
+    blob[len(blob) // 2] ^= 0xFF
+    blob_path.write_bytes(bytes(blob))
+    with pytest.raises(CheckpointError, match="corrupt"):
+        load_checkpoint(str(ckpt_dir))
+
+
+def test_save_checkpoint_requires_enablement():
+    sim = create_simulator(_config("inproc"))
+    with pytest.raises(CheckpointError, match="not enabled"):
+        sim.save_checkpoint()
+
+
+def test_ckpt_every_requires_dir():
+    cfg = SimulationConfig(num_tiles=2)
+    cfg.ckpt.every = 10
+    with pytest.raises(ConfigError):
+        cfg.validate()
+
+
+def test_ckpt_rejects_host_profiling():
+    """Profiling rebinds methods with closures — unpicklable; the
+    combination must fail loudly at validate time, not at snapshot
+    time deep inside a run."""
+    cfg = SimulationConfig(num_tiles=2)
+    cfg.ckpt.dir = "/tmp/never-used"
+    cfg.profile.enabled = True
+    with pytest.raises(ConfigError, match="profil"):
+        cfg.validate()
+
+
+def test_config_roundtrips_ckpt_section(tmp_path):
+    cfg = _config("inproc", tmp_path / "ck", every=5)
+    cfg.ckpt.max_restarts = 7
+    clone = SimulationConfig.from_dict(cfg.to_dict())
+    assert clone.ckpt.dir == str(tmp_path / "ck")
+    assert clone.ckpt.every == 5
+    assert clone.ckpt.max_restarts == 7
+    assert clone.ckpt.enabled

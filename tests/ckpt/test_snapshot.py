@@ -1,0 +1,84 @@
+"""The surgical pickler: sharing preserved, observers excised."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.common.config import SimulationConfig
+from repro.common.errors import CheckpointError
+from repro.ckpt.snapshot import load_bytes, snapshot_bytes
+
+
+def test_shared_references_survive_the_roundtrip():
+    """Whole-graph pickling must keep aliases aliased — the scheduler's
+    thread table and the stats tree rely on it."""
+    shared = [1, 2, 3]
+    clone = load_bytes(snapshot_bytes({"a": shared, "b": shared}))
+    assert clone["a"] == [1, 2, 3]
+    assert clone["a"] is clone["b"]
+
+
+def test_generators_are_excised_to_none():
+    gen = (x for x in range(3))
+    clone = load_bytes(snapshot_bytes({"gen": gen, "n": 7}))
+    assert clone["gen"] is None
+    assert clone["n"] == 7
+
+
+def test_telemetry_bus_and_channels_are_excised():
+    from repro.telemetry.bus import create_bus
+    from repro.telemetry.events import EventCategory
+
+    cfg = SimulationConfig(num_tiles=2)
+    cfg.telemetry.enabled = True
+    cfg.validate()
+    bus = create_bus(cfg.telemetry)
+    assert bus is not None
+    channel = bus.channel(EventCategory.NETWORK)
+    clone = load_bytes(snapshot_bytes(
+        {"bus": bus, "channel": channel, "kept": "data"}))
+    assert clone["bus"] is None
+    assert clone["channel"] is None
+    assert clone["kept"] == "data"
+
+
+def test_excised_none_matches_disabled_convention():
+    """An observer slot excised to None reads exactly like a run that
+    never enabled the observer — code guards on ``is not None``."""
+    from repro.telemetry.bus import create_bus
+
+    cfg = SimulationConfig(num_tiles=2)
+    cfg.telemetry.enabled = True
+    cfg.validate()
+    clone = load_bytes(snapshot_bytes(
+        {"telemetry": create_bus(cfg.telemetry)}))
+    disabled = create_bus(SimulationConfig(num_tiles=2).telemetry)
+    assert clone["telemetry"] is disabled is None
+
+
+def test_unpicklable_state_surfaces_checkpoint_error():
+    with pytest.raises(CheckpointError):
+        snapshot_bytes({"lock": threading.Lock()})
+
+
+def test_plain_state_pickles_without_loading_observers():
+    """Excision looks classes up lazily in ``sys.modules``: snapshotting
+    data must not import subsystems the run never used."""
+    import pathlib
+    import subprocess
+    import sys
+
+    code = (
+        "import sys\n"
+        "sys.path.insert(0, 'src')\n"
+        "from repro.ckpt.snapshot import snapshot_bytes\n"
+        "snapshot_bytes({'n': 1})\n"
+        "assert 'repro.distrib.worker' not in sys.modules\n"
+        "assert 'repro.distrib.coordinator' not in sys.modules\n"
+        "assert 'repro.check.sanitize' not in sys.modules\n"
+    )
+    root = pathlib.Path(__file__).resolve().parents[2]
+    subprocess.run([sys.executable, "-c", code], check=True,
+                   cwd=str(root))

@@ -2,10 +2,17 @@
 
 from __future__ import annotations
 
+import os
+import signal
+
 import pytest
 
 from repro.common.config import SimulationConfig
-from repro.distrib.errors import WorkerCrashError, WorkerTimeoutError
+from repro.distrib.errors import (
+    JobRetryExhaustedError,
+    WorkerCrashError,
+    WorkerTimeoutError,
+)
 from repro.distrib.pool import parallel_repeat, run_jobs
 from repro.distrib.wire import WorkloadRef
 from repro.sim.experiment import repeat_runs, sweep
@@ -117,6 +124,57 @@ def test_pool_deadline_names_unfinished_jobs():
     # builtin TimeoutError that callers could mistake for an IPC-level
     # timeout.
     assert not isinstance(excinfo.value, TimeoutError)
+
+
+def _die_once_program(ctx, marker):
+    """SIGKILL the hosting pool child on the first attempt only."""
+    yield from ctx.compute(5)
+    if not os.path.exists(marker):
+        with open(marker, "w") as fh:
+            fh.write("first attempt died here")
+        os.kill(os.getpid(), signal.SIGKILL)
+    yield from ctx.compute(5)
+    return "recovered"
+
+
+def _die_always_program(ctx):
+    """SIGKILL the hosting pool child on every attempt."""
+    yield from ctx.compute(5)
+    os.kill(os.getpid(), signal.SIGKILL)
+    yield  # pragma: no cover
+
+
+def test_pool_requeues_jobs_of_dead_worker(tmp_path):
+    """A SIGKILLed child fails nothing: its in-flight job reruns on a
+    survivor and the sweep completes with every result."""
+    marker = str(tmp_path / "died-once")
+    configs = _configs(3)
+    jobs = [(configs[0], _die_once_program, (marker,)),
+            (configs[1], REF, ()),
+            (configs[2], REF, ())]
+    results = run_jobs(jobs, workers=2)
+    assert os.path.exists(marker), "no child ever died"
+    assert len(results) == 3
+    assert results[0].main_result == "recovered"
+    baseline = run_jobs([(configs[1], REF, ())], workers=1)[0]
+    assert results[1].simulated_cycles == baseline.simulated_cycles
+
+
+def test_pool_retry_budget_names_the_job(tmp_path):
+    """A job that keeps killing its hosts exhausts ``max_attempts`` and
+    the error names the job and its start count."""
+    configs = _configs(3)
+    jobs = [(configs[0], _die_always_program, ()),
+            (configs[1], REF, ()),
+            (configs[2], REF, ())]
+    with pytest.raises(JobRetryExhaustedError) as excinfo:
+        run_jobs(jobs, workers=2, max_attempts=1)
+    assert excinfo.value.job_index == 0
+    assert excinfo.value.attempts == 1
+    assert "sweep job 0" in str(excinfo.value)
+    assert "retry budget" in str(excinfo.value)
+    from repro.distrib.errors import DistribError
+    assert isinstance(excinfo.value, DistribError)
 
 
 def test_pool_deadline_truncates_long_unfinished_list():

@@ -16,6 +16,7 @@ from repro.distrib.wire import (
     WIRE_VERSION,
     FrameKind,
     PickledProgram,
+    ShardCheckpoint,
     WorkloadRef,
     decode_frame,
     encode_frame,
@@ -238,3 +239,32 @@ def test_collect_telemetry_frame_roundtrip():
         encode_frame(FrameKind.COLLECT_TELEMETRY, None))
     assert kind is FrameKind.COLLECT_TELEMETRY
     assert payload is None
+
+
+# -- checkpoint frames (wire v4) ---------------------------------------------
+
+
+def test_wire_version_covers_checkpoint_frames():
+    """v4 added CHECKPOINT/CKPT_ACK/RESTORE; the version must say so."""
+    assert WIRE_VERSION >= 4
+    assert FrameKind.CHECKPOINT.value == "checkpoint"
+    assert FrameKind.CKPT_ACK.value == "ckpt_ack"
+    assert FrameKind.RESTORE.value == "restore"
+
+
+def test_shard_checkpoint_frame_roundtrip():
+    shard = ShardCheckpoint(worker=1, blob=b"\x80\x05surgical-pickle")
+    kind, decoded = decode_frame(encode_frame(FrameKind.CKPT_ACK, shard))
+    assert kind is FrameKind.CKPT_ACK
+    assert decoded == shard
+    assert decoded.worker == 1
+    assert decoded.blob == shard.blob
+
+
+def test_restore_frame_carries_raw_bytes():
+    """RESTORE ships the shard blob verbatim — the coordinator never
+    unpickles a worker's state on its own side."""
+    blob = bytes(range(256))
+    kind, decoded = decode_frame(encode_frame(FrameKind.RESTORE, blob))
+    assert kind is FrameKind.RESTORE
+    assert decoded == blob

@@ -81,3 +81,47 @@ class TestRun:
               "0.2", "--machines", "2", "--json"])
         data = json.loads(capsys.readouterr().out)
         assert data["machines"] == 2
+
+
+class TestCheckpointCli:
+    def test_run_then_resume_matches(self, tmp_path, capsys):
+        """`repro run --ckpt-dir` then `repro resume` end-to-end: the
+        resumed run reports the same metrics as the checkpointed run
+        (the CI resume-smoke job is this flow across two processes)."""
+        ckpt = str(tmp_path / "ck")
+        code = main(["run", "--workload", "matrix_multiply", "--tiles",
+                     "4", "--scale", "0.05", "--quantum", "200",
+                     "--ckpt-dir", ckpt, "--ckpt-every", "20",
+                     "--json"])
+        assert code == 0
+        original = json.loads(capsys.readouterr().out)
+        assert original["recoveries"] == []
+
+        assert main(["resume", ckpt, "--json"]) == 0
+        resumed = json.loads(capsys.readouterr().out)
+        shared = set(original) & set(resumed)
+        assert "simulated_cycles" in shared
+        for key in shared:
+            assert resumed[key] == original[key], key
+
+    def test_resume_text_output(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "ck")
+        main(["run", "--workload", "matrix_multiply", "--tiles", "4",
+              "--scale", "0.05", "--quantum", "200",
+              "--ckpt-dir", ckpt, "--ckpt-every", "20", "--json"])
+        capsys.readouterr()
+        assert main(["resume", ckpt]) == 0
+        out = capsys.readouterr().out
+        assert "resumed from" in out
+        assert "simulated run-time" in out
+
+    def test_ckpt_every_requires_dir(self):
+        from repro.common.errors import ConfigError
+        with pytest.raises(ConfigError, match="ckpt-dir"):
+            main(["run", "--workload", "fmm", "--tiles", "4",
+                  "--scale", "0.2", "--ckpt-every", "10"])
+
+    def test_resume_without_checkpoint_fails(self, tmp_path):
+        from repro.common.errors import CheckpointError
+        with pytest.raises(CheckpointError, match="no checkpoint"):
+            main(["resume", str(tmp_path / "nothing-here")])
