@@ -54,18 +54,21 @@ def add_check_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--json", action="store_true",
                         help="emit machine-readable JSON")
     parser.add_argument("--accept-wire-schema", action="store_true",
-                        help="record the current distrib/wire.py "
-                             "dataclass schema as the reference "
+                        help="record the current wire dataclass "
+                             "schemas (distrib/wire.py and "
+                             "serve/protocol.py) as the reference "
                              "(after a WIRE_VERSION bump)")
 
 
 def run_check(args: argparse.Namespace) -> int:
     if args.accept_wire_schema:
-        record = accept_wire_schema(
-            package_root() / "distrib" / "wire.py")
+        record = accept_wire_schema()
         print(f"recorded wire schema: version "
               f"{record['wire_version']}, "
-              f"fingerprint {record['fingerprint']}")
+              f"fingerprint {record['fingerprint']}; "
+              f"serve protocol version "
+              f"{record['serve']['wire_version']}, "
+              f"fingerprint {record['serve']['fingerprint']}")
         return 0
 
     failed = False

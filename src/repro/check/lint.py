@@ -69,9 +69,18 @@ MODEL_DIRS = ("core", "memory", "network", "sync", "sim")
 #: a scope — no per-line suppression markers needed there.
 D001_EXEMPT_DIRS = ("profile",)
 
-#: D003 additionally covers the wire/distribution layer: hash order
-#: leaking into frames breaks cross-process byte-identity.
-SET_ITER_DIRS = MODEL_DIRS + ("distrib",)
+#: D003 additionally covers the wire/distribution layers: hash order
+#: leaking into frames breaks cross-process byte-identity, and the
+#: serve daemon's scheduling decisions must not depend on it either.
+SET_ITER_DIRS = MODEL_DIRS + ("distrib", "serve")
+
+#: Modules under the W001 manifest, mapped to their record key inside
+#: ``check/wire_schema.json`` (``None`` = the top-level record — the
+#: original pickle wire keeps its historical layout).
+WIRE_MODULES: Dict[str, Optional[str]] = {
+    "distrib/wire.py": None,
+    "serve/protocol.py": "serve",
+}
 
 #: The one module allowed to construct random.Random.
 RNG_MODULE = "common/rng.py"
@@ -159,8 +168,8 @@ def scope_for(path: Path, package_root: Optional[Path]) -> RuleScope:
                 randomness=as_posix != RNG_MODULE,
                 set_iteration=top in SET_ITER_DIRS,
                 float_cycles=top in MODEL_DIRS,
-                wire_safety=as_posix == "distrib/wire.py",
-                wire_manifest=as_posix == "distrib/wire.py",
+                wire_safety=as_posix in WIRE_MODULES,
+                wire_manifest=as_posix in WIRE_MODULES,
             )
     return RuleScope(wall_clock=True, randomness=True, set_iteration=True,
                      float_cycles=True, wire_safety=True)
@@ -513,9 +522,15 @@ def wire_fingerprint(tree: ast.Module) -> Tuple[str, Optional[int]]:
 
 
 def check_wire_manifest(tree: ast.Module, path: str,
-                        schema_path: Path = _SCHEMA_PATH
+                        schema_path: Path = _SCHEMA_PATH,
+                        record_key: Optional[str] = None
                         ) -> List[LintFinding]:
-    """W001 manifest check: field changes require a version bump."""
+    """W001 manifest check: field changes require a version bump.
+
+    ``record_key`` selects the module's record inside the manifest:
+    ``None`` reads the top-level entry (the pickle wire), a string
+    reads a nested one (e.g. ``"serve"`` for the serve protocol).
+    """
     fingerprint, version = wire_fingerprint(tree)
     if not schema_path.exists():
         return [LintFinding(
@@ -523,6 +538,14 @@ def check_wire_manifest(tree: ast.Module, path: str,
             "no wire schema manifest recorded; run "
             "`python -m repro check --accept-wire-schema`")]
     recorded = json.loads(schema_path.read_text())
+    if record_key is not None:
+        recorded = recorded.get(record_key)
+        if not isinstance(recorded, dict):
+            return [LintFinding(
+                "W001", path, 1, 1,
+                f"no {record_key!r} record in the wire schema "
+                "manifest; run `python -m repro check "
+                "--accept-wire-schema`")]
     findings: List[LintFinding] = []
     if recorded.get("fingerprint") != fingerprint:
         findings.append(LintFinding(
@@ -539,13 +562,27 @@ def check_wire_manifest(tree: ast.Module, path: str,
     return findings
 
 
-def accept_wire_schema(wire_path: Path,
+def accept_wire_schema(root: Optional[Path] = None,
                        schema_path: Path = _SCHEMA_PATH) -> dict:
-    """Record the current wire schema fingerprint (after a version bump)."""
-    tree = ast.parse(wire_path.read_text(), filename=str(wire_path))
-    fingerprint, version = wire_fingerprint(tree)
-    record = {"wire_version": version, "fingerprint": fingerprint}
-    schema_path.write_text(json.dumps(record, indent=2) + "\n")
+    """Record every wire module's schema fingerprint (after a bump).
+
+    One manifest covers all of :data:`WIRE_MODULES`: the pickle wire's
+    record at the top level, each additional protocol (the serve JSON
+    frames) nested under its record key.
+    """
+    root = package_root() if root is None else root
+    record: dict = {}
+    for rel, key in WIRE_MODULES.items():
+        module = root / Path(rel)
+        tree = ast.parse(module.read_text(), filename=str(module))
+        fingerprint, version = wire_fingerprint(tree)
+        entry = {"wire_version": version, "fingerprint": fingerprint}
+        if key is None:
+            record.update(entry)
+        else:
+            record[key] = entry
+    schema_path.write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n")
     return record
 
 
@@ -579,7 +616,9 @@ def lint_file(path: Path,
             not probe.defines_wire_version:
         findings = [f for f in findings if f.rule != "W001"]
     if scope.wire_manifest:
-        findings.extend(check_wire_manifest(tree, str(path)))
+        rel = path.resolve().relative_to(root.resolve()).as_posix()
+        findings.extend(check_wire_manifest(
+            tree, str(path), record_key=WIRE_MODULES[rel]))
     findings.extend(suppressions.findings)
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings

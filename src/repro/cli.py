@@ -130,6 +130,33 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.profile.bench import add_bench_arguments
     add_bench_arguments(bench)
 
+    from repro.serve.cli import (
+        add_cancel_arguments,
+        add_fetch_arguments,
+        add_serve_arguments,
+        add_status_arguments,
+        add_submit_arguments,
+    )
+    serve = sub.add_parser(
+        "serve",
+        help="run the persistent simulation service: a scheduler "
+             "daemon over a worker fleet with priority queueing, "
+             "checkpoint preemption and a content-addressed result "
+             "cache")
+    add_serve_arguments(serve)
+    submit = sub.add_parser(
+        "submit", help="submit one job to a running serve daemon")
+    add_submit_arguments(submit)
+    status = sub.add_parser(
+        "status", help="show job states and daemon counters")
+    add_status_arguments(status)
+    fetch = sub.add_parser(
+        "fetch", help="fetch a finished job's canonical result")
+    add_fetch_arguments(fetch)
+    cancel = sub.add_parser(
+        "cancel", help="cancel a queued or running job")
+    add_cancel_arguments(cancel)
+
     sub.add_parser("list-workloads", help="list available workloads")
     sub.add_parser("show-config",
                    help="print the default configuration as JSON")
@@ -297,6 +324,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "resume":
         from repro.ckpt.cli import run_resume
         return run_resume(args)
+    if args.command in ("serve", "submit", "status", "fetch", "cancel"):
+        from repro.serve import cli as serve_cli
+        handler = getattr(serve_cli, f"run_{args.command}")
+        return handler(args)
     raise AssertionError(f"unhandled command {args.command}")
 
 

@@ -17,6 +17,8 @@ Interconnect            mesh network
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
@@ -31,6 +33,17 @@ DIRECTORY_TYPES = ("full_map", "limited", "limitless")
 
 #: Synchronization models (paper §3.6).
 SYNC_MODELS = ("lax", "lax_barrier", "lax_p2p")
+
+#: Config sections that are *purely observational*: each is guaranteed
+#: (and tested) to leave the :class:`~repro.sim.results.SimulationResult`
+#: byte-identical whatever its value — telemetry/profiling/sanitizers
+#: observe without consuming RNG draws or simulated time, checkpointing
+#: snapshots without mutating, and both execution backends produce
+#: identical metrics.  :meth:`SimulationConfig.content_hash` excludes
+#: them so a cached result stays addressable when only observability
+#: knobs (or a per-job checkpoint directory) differ.
+OBSERVATIONAL_SECTIONS = ("distrib", "telemetry", "check", "profile",
+                          "ckpt")
 
 #: Execution backends (see :mod:`repro.distrib`): ``inproc`` runs every
 #: tile in the calling process (the reference engine); ``mp`` executes
@@ -614,6 +627,40 @@ class SimulationConfig:
     def copy(self) -> "SimulationConfig":
         """Deep-copy via round-trip so sweeps can mutate safely."""
         return SimulationConfig.from_dict(self.to_dict())
+
+    # -- content addressing -------------------------------------------------
+
+    def semantic_dict(self) -> Dict[str, Any]:
+        """The result-determining subset of :meth:`to_dict`.
+
+        Drops :data:`OBSERVATIONAL_SECTIONS` — the knobs proven not to
+        change simulation metrics — and keeps everything else,
+        including the seed and every nested model parameter.
+        """
+        data = self.to_dict()
+        for section in OBSERVATIONAL_SECTIONS:
+            data.pop(section, None)
+        return data
+
+    def content_hash(self) -> str:
+        """Deterministic identity of this configuration's *results*.
+
+        The sha256 (hex) of the canonical JSON of
+        :meth:`semantic_dict` plus the wire/result format version:
+        equal hashes mean a simulation of this config is guaranteed to
+        produce byte-identical metrics, which is what lets the serve
+        result cache (:mod:`repro.serve.store`) return a stored
+        :class:`~repro.sim.results.SimulationResult` for a repeat
+        submission without simulating.  Stable across processes,
+        interpreters and ``PYTHONHASHSEED`` values: the JSON encoding
+        sorts keys and carries no addresses or wall-clock state.
+        """
+        from repro.distrib.wire import WIRE_VERSION
+        payload = {"config": self.semantic_dict(),
+                   "wire_version": WIRE_VERSION}
+        blob = json.dumps(payload, sort_keys=True,
+                          separators=(",", ":")).encode("utf-8")
+        return hashlib.sha256(blob).hexdigest()
 
     # -- pickling (wire format) ---------------------------------------------
     #

@@ -43,6 +43,15 @@ class CheckpointError(SimulationError):
     """
 
 
+class ServeError(SimulationError):
+    """A failure in the simulation service (:mod:`repro.serve`).
+
+    Raised for protocol-version mismatches on the client channel,
+    malformed frames, requests naming unknown jobs, and a daemon that
+    cannot be reached at its socket.
+    """
+
+
 class SanitizerViolation(SimulationError):
     """A runtime sanitizer observed a broken simulation invariant.
 

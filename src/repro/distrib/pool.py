@@ -39,6 +39,13 @@ Job = Tuple[SimulationConfig, Any, tuple]
 _POLL_TICK = 0.1
 
 
+def _effective_workers(workers: int, num_jobs: int) -> int:
+    """Children the pool actually forks: never more than there are
+    jobs (surplus children would start, find the queue drained and
+    exit — pure fork cost), never fewer than one."""
+    return max(1, min(workers, num_jobs))
+
+
 def _pool_child(task_queue, result_queue,
                 marker) -> None:  # pragma: no cover
     """Child loop: pull jobs until the sentinel, run each in-process.
@@ -92,7 +99,7 @@ def run_jobs(jobs: Sequence[Job], workers: int,
         return []
     prepared = [(config, make_program_ref(program), tuple(args))
                 for config, program, args in jobs]
-    workers = max(1, min(workers, len(prepared)))
+    workers = _effective_workers(workers, len(prepared))
     if workers == 1:
         from repro.sim.simulator import Simulator
         out = []

@@ -1,0 +1,239 @@
+"""CLI verbs for the simulation service.
+
+``repro serve`` runs the daemon in the foreground (or, with
+``--stop``, asks a running one to shut down); ``repro submit /
+status / fetch / cancel`` are thin :class:`~repro.serve.client.
+ServeClient` wrappers.  The daemon's socket lives in its spool
+directory (``<dir>/serve.sock``), so every verb takes ``--dir``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import sys
+from typing import Optional
+
+from repro.common.config import (
+    DIRECTORY_TYPES,
+    NETWORK_MODELS,
+    SYNC_MODELS,
+    SimulationConfig,
+    TelemetryConfig,
+)
+from repro.common.errors import ServeError
+
+
+def _add_spool_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dir", required=True, metavar="SPOOL",
+                        help="service spool directory (holds the "
+                             "socket, the result store and per-job "
+                             "checkpoints)")
+
+
+def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
+    _add_spool_argument(parser)
+    parser.add_argument("--fleet", type=int, default=2,
+                        help="persistent workers (default 2)")
+    parser.add_argument("--max-attempts", type=int, default=3,
+                        metavar="N",
+                        help="worker deaths tolerated per job before "
+                             "it fails (default 3)")
+    parser.add_argument("--socket", default=None, metavar="PATH",
+                        help="socket path (default SPOOL/serve.sock; "
+                             "mind the ~100-char AF_UNIX limit)")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="append serve.* lifecycle events to this "
+                             "JSONL ops stream")
+    parser.add_argument("--stop", action="store_true",
+                        help="ask the daemon on SPOOL's socket to shut "
+                             "down, instead of starting one")
+
+
+def add_submit_arguments(parser: argparse.ArgumentParser) -> None:
+    _add_spool_argument(parser)
+    parser.add_argument("--workload", required=True)
+    parser.add_argument("--tiles", type=int, default=32)
+    parser.add_argument("--threads", type=int, default=0,
+                        help="application threads (default: = tiles)")
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--sync", choices=SYNC_MODELS, default="lax")
+    parser.add_argument("--directory", choices=DIRECTORY_TYPES,
+                        default="full_map")
+    parser.add_argument("--network", choices=NETWORK_MODELS,
+                        default="mesh")
+    parser.add_argument("--quantum", type=int, default=0,
+                        help="scheduler quantum in instructions")
+    parser.add_argument("--priority", type=int, default=0,
+                        help="higher runs earlier and may preempt "
+                             "(default 0)")
+    parser.add_argument("--wait", action="store_true",
+                        help="block until the job reaches a terminal "
+                             "state")
+    parser.add_argument("--timeout", type=float, default=300.0,
+                        help="--wait limit in seconds (default 300)")
+    parser.add_argument("--json", action="store_true")
+
+
+def add_status_arguments(parser: argparse.ArgumentParser) -> None:
+    _add_spool_argument(parser)
+    parser.add_argument("job_id", nargs="?", default=None,
+                        help="job to show (default: every job, plus "
+                             "daemon stats)")
+    parser.add_argument("--json", action="store_true")
+
+
+def add_fetch_arguments(parser: argparse.ArgumentParser) -> None:
+    _add_spool_argument(parser)
+    parser.add_argument("job_id")
+    parser.add_argument("--json", action="store_true",
+                        help="print the full canonical result dict "
+                             "(default: a short metrics summary)")
+
+
+def add_cancel_arguments(parser: argparse.ArgumentParser) -> None:
+    _add_spool_argument(parser)
+    parser.add_argument("job_id")
+
+
+def _socket_path(args: argparse.Namespace) -> str:
+    explicit = getattr(args, "socket", None)
+    return explicit or os.path.join(args.dir, "serve.sock")
+
+
+def _client(args: argparse.Namespace):
+    from repro.serve.client import ServeClient
+    return ServeClient(_socket_path(args))
+
+
+def run_serve(args: argparse.Namespace) -> int:
+    if args.stop:
+        client = _client(args)
+        try:
+            client.shutdown()
+        except ServeError as exc:
+            print(f"serve: {exc}", file=sys.stderr)
+            return 1
+        print("serve: shutdown requested")
+        return 0
+
+    from repro.serve.daemon import SimServer
+    telemetry = None
+    if args.trace_out:
+        telemetry = TelemetryConfig(enabled=True, events=["serve"],
+                                    trace_path=args.trace_out,
+                                    trace_format="jsonl")
+    server = SimServer(args.dir, fleet=args.fleet,
+                       max_attempts=args.max_attempts,
+                       socket_path=args.socket, telemetry=telemetry)
+    server.start()
+    print(f"serve: listening on {server.socket_path} "
+          f"(fleet {server.fleet_size})", flush=True)
+
+    def _handle_signal(signum, frame):  # pragma: no cover - signals
+        server.request_stop()
+
+    signal.signal(signal.SIGTERM, _handle_signal)
+    signal.signal(signal.SIGINT, _handle_signal)
+    try:
+        while not server.wait(timeout=0.5):
+            pass
+    finally:
+        server.stop()
+    print("serve: stopped", flush=True)
+    return 0
+
+
+def _submit_config(args: argparse.Namespace) -> SimulationConfig:
+    config = SimulationConfig(num_tiles=args.tiles, seed=args.seed)
+    config.sync.model = args.sync
+    config.memory.directory_type = args.directory
+    config.network.memory_model = args.network
+    if args.quantum:
+        config.host.quantum_instructions = args.quantum
+    config.validate()
+    return config
+
+
+def _print_view(view: dict, as_json: bool) -> None:
+    if as_json:
+        print(json.dumps(view, indent=2, sort_keys=True))
+        return
+    error = f"  error: {view['error']}" if view.get("error") else ""
+    print(f"{view['job_id']}  {view['state']:<9} "
+          f"prio={view['priority']} attempts={view['attempts']} "
+          f"preemptions={view['preemptions']}{error}")
+
+
+def run_submit(args: argparse.Namespace) -> int:
+    client = _client(args)
+    try:
+        view = client.submit(config=_submit_config(args),
+                             workload=args.workload,
+                             nthreads=args.threads or args.tiles,
+                             scale=args.scale,
+                             priority=args.priority)
+        if args.wait:
+            view = client.wait(view["job_id"], timeout=args.timeout)
+    except ServeError as exc:
+        print(f"submit: {exc}", file=sys.stderr)
+        return 1
+    _print_view(view, args.json)
+    return 0 if view["state"] != "failed" else 1
+
+
+def run_status(args: argparse.Namespace) -> int:
+    client = _client(args)
+    try:
+        if args.job_id:
+            _print_view(client.status(args.job_id), args.json)
+            return 0
+        jobs = client.list_jobs()
+        stats = client.stats()
+    except ServeError as exc:
+        print(f"status: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps({"jobs": jobs, "stats": stats}, indent=2,
+                         sort_keys=True))
+        return 0
+    for view in jobs:
+        _print_view(view, False)
+    print(f"fleet={stats['fleet']} submitted={stats['submitted']} "
+          f"cache_hits={stats['cache_hits']} "
+          f"preemptions={stats['preemptions']} "
+          f"worker_deaths={stats['worker_deaths']}")
+    return 0
+
+
+def run_fetch(args: argparse.Namespace) -> int:
+    client = _client(args)
+    try:
+        reply = client.fetch(args.job_id)
+    except ServeError as exc:
+        print(f"fetch: {exc}", file=sys.stderr)
+        return 1
+    result = reply["result"]
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True))
+        return 0
+    view = reply["job"]
+    instructions = sum(result["thread_instructions"].values())
+    print(f"{view['job_id']}  {view['state']}  key={view['key'][:16]}")
+    print(f"simulated cycles:  {result['simulated_cycles']:,}")
+    print(f"instructions:      {instructions:,}")
+    return 0
+
+
+def run_cancel(args: argparse.Namespace) -> int:
+    client = _client(args)
+    try:
+        view = client.cancel(args.job_id)
+    except ServeError as exc:
+        print(f"cancel: {exc}", file=sys.stderr)
+        return 1
+    _print_view(view, False)
+    return 0

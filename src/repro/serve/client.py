@@ -1,0 +1,151 @@
+"""The thin serve client: one socket, versioned JSON frames.
+
+``ServeClient`` wraps the request/reply protocol of
+:mod:`repro.serve.protocol` for in-process use and for the ``repro
+submit/status/fetch/cancel`` CLI verbs.  Every method is one frame up,
+one frame down; an ``error`` reply raises :class:`ServeError` with the
+daemon's message.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.common.config import SimulationConfig
+from repro.common.errors import ServeError
+from repro.serve import protocol
+from repro.serve.store import result_from_jsonable
+
+#: Default per-request socket timeout (seconds).
+_TIMEOUT = 30.0
+
+
+class ServeClient:
+    """Client handle on a running serve daemon's Unix socket."""
+
+    def __init__(self, socket_path: str,
+                 timeout: float = _TIMEOUT) -> None:
+        self.socket_path = socket_path
+        self.timeout = timeout
+
+    # -- transport ----------------------------------------------------------
+
+    def request(self, kind: str,
+                payload: Optional[Dict[str, Any]] = None
+                ) -> Dict[str, Any]:
+        """One request/reply exchange; raises on ``error`` replies."""
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout)
+        try:
+            try:
+                sock.connect(self.socket_path)
+            except OSError as exc:
+                raise ServeError(
+                    f"cannot reach serve daemon at {self.socket_path}: "
+                    f"{exc}") from exc
+            protocol.send_message(sock, kind, payload or {})
+            reply_kind, reply = protocol.recv_message(sock)
+        finally:
+            sock.close()
+        if reply_kind == "error":
+            raise ServeError(reply.get("error", "serve request failed"))
+        if reply_kind != "ok":
+            raise ServeError(
+                f"unexpected serve reply kind {reply_kind!r}")
+        return reply
+
+    # -- verbs --------------------------------------------------------------
+
+    def ping(self) -> Dict[str, Any]:
+        return self.request("ping")
+
+    def alive(self) -> bool:
+        """``True`` when a compatible daemon answers the socket."""
+        try:
+            return "protocol" in self.ping()
+        except ServeError:
+            return False
+
+    def submit(self, config: Optional[SimulationConfig] = None,
+               workload: Optional[str] = None,
+               nthreads: int = 0, scale: float = 1.0,
+               params: Optional[Dict[str, Any]] = None,
+               program: Any = None, args: tuple = (),
+               priority: int = 0) -> Dict[str, Any]:
+        """Submit one job; returns the daemon's job view.
+
+        Pass either ``workload`` (a registry name) or ``program`` (a
+        module-level function or an existing program reference, pickled
+        for the wire — closures and lambdas are rejected exactly as the
+        sweep pool rejects them).
+        """
+        payload: Dict[str, Any] = {
+            "config": (config.to_dict() if config is not None else {}),
+            "args": list(args),
+            "priority": int(priority),
+        }
+        if (workload is None) == (program is None):
+            raise ServeError(
+                "submit needs exactly one of workload or program")
+        if workload is not None:
+            payload.update(workload=workload, nthreads=int(nthreads),
+                           scale=float(scale),
+                           params=dict(params or {}))
+        else:
+            from repro.distrib.wire import make_program_ref
+            ref = make_program_ref(program)
+            payload["program_hex"] = pickle.dumps(ref).hex()
+        return self.request("submit", payload)["job"]
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self.request("status", {"job_id": job_id})["job"]
+
+    def fetch(self, job_id: str) -> Dict[str, Any]:
+        """The stored result envelope's ``result`` dict for a job."""
+        return self.request("fetch", {"job_id": job_id})
+
+    def fetch_result(self, job_id: str):
+        """The job's :class:`~repro.sim.results.SimulationResult`."""
+        return result_from_jsonable(self.fetch(job_id)["result"])
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self.request("cancel", {"job_id": job_id})["job"]
+
+    def list_jobs(self) -> List[Dict[str, Any]]:
+        return self.request("list")["jobs"]
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request("stats")["stats"]
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self.request("shutdown")
+
+    # -- conveniences -------------------------------------------------------
+
+    def wait(self, job_id: str, timeout: float = 120.0,
+             poll: float = 0.05) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal state; returns its view."""
+        deadline = time.monotonic() + timeout
+        while True:
+            view = self.status(job_id)
+            if view["state"] in protocol.TERMINAL_STATES:
+                return view
+            if time.monotonic() >= deadline:
+                raise ServeError(
+                    f"timed out after {timeout:.0f}s waiting for "
+                    f"{job_id} (state {view['state']!r})")
+            time.sleep(poll)
+
+    def wait_up(self, timeout: float = 10.0,
+                poll: float = 0.05) -> None:
+        """Block until the daemon answers pings (startup race helper)."""
+        deadline = time.monotonic() + timeout
+        while not self.alive():
+            if time.monotonic() >= deadline:
+                raise ServeError(
+                    f"serve daemon at {self.socket_path} did not come "
+                    f"up within {timeout:.0f}s")
+            time.sleep(poll)

@@ -1,0 +1,600 @@
+"""The serve daemon: a persistent scheduler over one worker fleet.
+
+``SimServer`` owns three things:
+
+* a **worker fleet** — long-lived forked processes (:mod:`repro.serve.
+  worker`), one job each, respawned on death with the dead worker's
+  job requeued against its retry budget (the sweep pool's
+  requeue-on-dead-child rule, made per-job);
+* a **job queue** (:mod:`repro.serve.jobs`) — strict priority, FIFO
+  within a class, with checkpoint preemption when a higher-priority
+  job arrives and every worker is busy;
+* a **content-addressed result store** (:mod:`repro.serve.store`) — a
+  repeat submission whose key is already stored is answered as
+  ``cached`` without simulating.
+
+Two daemon threads run the service: the *pump* (scheduling, worker
+supervision, result collection) and the *listener* (versioned JSON
+frames from clients over a Unix socket, :mod:`repro.serve.protocol`).
+All shared state is guarded by one lock; both threads hold it only for
+bookkeeping, never across a simulation.
+
+Job and worker lifecycle events surface on the telemetry bus as
+``serve.*`` events — the service's ops stream (``--trace-out``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import socket
+import threading
+import traceback
+from typing import Any, Dict, List, Optional
+
+from repro.common.config import (
+    CheckConfig,
+    CkptConfig,
+    DistribConfig,
+    ProfileConfig,
+    SimulationConfig,
+    TelemetryConfig,
+)
+from repro.common.errors import ServeError
+from repro.serve import protocol
+from repro.serve.jobs import (
+    CACHED,
+    DONE,
+    FAILED,
+    PREEMPTED,
+    QUEUED,
+    RUNNING,
+    JobQueue,
+    ServeJob,
+)
+from repro.serve.protocol import ServerInfo, SubmitSpec, view_payload
+from repro.serve.store import ResultStore, job_key
+from repro.telemetry.events import EventCategory
+
+#: Seconds the pump sleeps between supervision passes.
+_DEFAULT_POLL = 0.02
+#: Listener accept timeout (also the stop-flag check cadence).
+_ACCEPT_TICK = 0.1
+#: Seconds allowed for orderly worker shutdown before termination.
+_SHUTDOWN_GRACE = 2.0
+
+
+class _FleetWorker:
+    """One fleet slot: the child process and its channels."""
+
+    def __init__(self, index: int, ctx) -> None:
+        self.index = index
+        self._ctx = ctx
+        self.proc = None
+        self.task_send = None
+        self.result_recv = None
+        self.preempt_flag = None
+        #: The job currently on this worker (``None`` = idle).
+        self.job: Optional[ServeJob] = None
+        #: A preempt signal is in flight for the current job.
+        self.preempt_pending = False
+
+    def spawn(self) -> None:
+        from repro.serve.worker import worker_main
+        task_recv, task_send = self._ctx.Pipe(duplex=False)
+        result_recv, result_send = self._ctx.Pipe(duplex=False)
+        flag = self._ctx.Event()
+        proc = self._ctx.Process(
+            target=worker_main, args=(task_recv, result_send, flag),
+            name=f"repro-serve-{self.index}", daemon=True)
+        proc.start()
+        task_recv.close()
+        result_send.close()
+        self.proc = proc
+        self.task_send = task_send
+        self.result_recv = result_recv
+        self.preempt_flag = flag
+        self.job = None
+        self.preempt_pending = False
+
+    @property
+    def idle(self) -> bool:
+        return self.job is None
+
+    def alive(self) -> bool:
+        return self.proc is not None and self.proc.is_alive()
+
+    def shutdown(self) -> None:
+        try:
+            if self.alive():
+                self.task_send.send(None)
+        except (OSError, ValueError):
+            pass
+        if self.proc is not None:
+            self.proc.join(timeout=_SHUTDOWN_GRACE)
+            if self.proc.is_alive():
+                self.proc.terminate()
+                self.proc.join(timeout=1.0)
+        for conn in (self.task_send, self.result_recv):
+            try:
+                if conn is not None:
+                    conn.close()
+            except OSError:
+                pass
+
+
+class SimServer:
+    """The persistent simulation service (daemon side)."""
+
+    def __init__(self, root: str, fleet: int = 2,
+                 max_attempts: int = 3,
+                 socket_path: Optional[str] = None,
+                 telemetry: Optional[TelemetryConfig] = None,
+                 poll_interval: float = _DEFAULT_POLL) -> None:
+        if fleet < 1:
+            raise ServeError("serve: fleet must have at least 1 worker")
+        self.root = os.path.abspath(root)
+        os.makedirs(self.root, exist_ok=True)
+        self.socket_path = socket_path or os.path.join(self.root,
+                                                       "serve.sock")
+        self.fleet_size = fleet
+        self.max_attempts = max(1, int(max_attempts))
+        self.poll_interval = poll_interval
+        self.store = ResultStore(os.path.join(self.root, "results"))
+
+        self.queue = JobQueue()
+        #: job_id -> ServeJob, in submission order.
+        self.jobs: Dict[str, ServeJob] = {}
+        self.workers: List[_FleetWorker] = []
+        self._job_ids = itertools.count(1)
+        self._lock = threading.RLock()
+        self._stop = threading.Event()
+        self._threads: List[threading.Thread] = []
+        self._listener: Optional[socket.socket] = None
+        self._started = False
+
+        # Ops counters (the ``stats`` verb).
+        self.submitted = 0
+        self.cache_hits = 0
+        self.preemptions = 0
+        self.worker_deaths = 0
+
+        # Ops stream: serve.* lifecycle events on the telemetry bus.
+        from repro.telemetry.bus import create_bus
+        self.bus = create_bus(telemetry) if telemetry is not None \
+            else None
+        self._channel = (self.bus.channel(EventCategory.SERVE)
+                         if self.bus is not None else None)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "SimServer":
+        """Fork the fleet, bind the socket, start the service threads."""
+        if self._started:
+            raise ServeError("serve: server already started")
+        self._started = True
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX hosts
+            ctx = multiprocessing.get_context("spawn")
+        for index in range(self.fleet_size):
+            worker = _FleetWorker(index, ctx)
+            worker.spawn()
+            self.workers.append(worker)
+            self._emit("worker.spawned", {"worker": index,
+                                          "pid": worker.proc.pid})
+        if os.path.exists(self.socket_path):
+            os.unlink(self.socket_path)
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        listener.bind(self.socket_path)
+        listener.listen(16)
+        listener.settimeout(_ACCEPT_TICK)
+        self._listener = listener
+        for name, target in (("serve-pump", self._pump_loop),
+                             ("serve-listen", self._listen_loop)):
+            thread = threading.Thread(target=target, name=name,
+                                      daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        self._emit("server.started", {"fleet": self.fleet_size,
+                                      "socket": self.socket_path})
+        return self
+
+    def request_stop(self) -> None:
+        """Ask the service to wind down (returns immediately)."""
+        self._stop.set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until a stop is requested; ``True`` if it was."""
+        return self._stop.wait(timeout)
+
+    def stop(self) -> None:
+        """Stop threads, retire the fleet, close the socket and bus.
+
+        Graceful but immediate: queued jobs stay queued (and are
+        reported as such by a later daemon over the same spool's
+        store), running jobs are terminated with their workers.
+        """
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        self._threads = []
+        for worker in self.workers:
+            worker.shutdown()
+        self.workers = []
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            finally:
+                self._listener = None
+        if os.path.exists(self.socket_path):
+            try:
+                os.unlink(self.socket_path)
+            except OSError:  # pragma: no cover - racing daemons
+                pass
+        self._emit("server.stopped", {})
+        if self.bus is not None:
+            self.bus.close()
+
+    # -- telemetry ----------------------------------------------------------
+
+    def _emit(self, name: str, args: Dict[str, Any]) -> None:
+        if self._channel is not None:
+            self._channel.emit(name, None, 0, args)
+
+    def _emit_job(self, name: str, job: ServeJob,
+                  extra: Optional[Dict[str, Any]] = None) -> None:
+        args = {"job": job.job_id, "state": job.state,
+                "priority": job.priority, "key": job.key}
+        if extra:
+            args.update(extra)
+        self._emit(name, args)
+
+    # -- submission (shared by socket handler and embedded use) -------------
+
+    def submit(self, config: SimulationConfig, program: Any,
+               args: tuple = (), priority: int = 0) -> ServeJob:
+        """Admit one job; returns its (possibly already-cached) record."""
+        key = job_key(config, program, args)
+        with self._lock:
+            job_id = f"job-{next(self._job_ids):06d}"
+            job = ServeJob(job_id=job_id, key=key,
+                           config=self._job_config(config, job_id),
+                           program=program, args=tuple(args),
+                           priority=int(priority),
+                           seqno=self.queue.next_seqno(),
+                           max_attempts=self.max_attempts)
+            self.jobs[job_id] = job
+            self.submitted += 1
+            if key in self.store:
+                job.state = CACHED
+                self.cache_hits += 1
+                self._emit_job("job.cached", job)
+            else:
+                self.queue.push(job)
+                self._emit_job("job.submitted", job)
+            return job
+
+    def _job_config(self, config: SimulationConfig,
+                    job_id: str) -> SimulationConfig:
+        """The config a worker actually runs: semantics untouched,
+        observational sections replaced by the service's own.
+
+        Client-side observability settings are not honoured inside
+        workers (they cannot change results — that is the cache
+        premise — and a worker must not open the client's trace
+        files); checkpointing is pointed at the job's private spool
+        directory so preemption has somewhere to snapshot.
+        """
+        run = config.copy()
+        run.distrib = DistribConfig()
+        run.telemetry = TelemetryConfig()
+        run.check = CheckConfig()
+        run.profile = ProfileConfig()
+        run.ckpt = CkptConfig(
+            dir=os.path.join(self.root, "jobs", job_id, "ckpt"))
+        run.validate()
+        return run
+
+    # -- the pump: scheduling, supervision, results -------------------------
+
+    def _pump_loop(self) -> None:  # pragma: no cover - thread driver
+        while not self._stop.is_set():
+            try:
+                self.pump_once()
+            except Exception:
+                # A pump crash would silently freeze the service;
+                # surface it on stderr and keep serving.
+                traceback.print_exc()
+            self._stop.wait(self.poll_interval)
+
+    def pump_once(self) -> None:
+        """One supervision pass (public for deterministic tests)."""
+        with self._lock:
+            self._drain_results()
+            self._reap_dead_workers()
+            self._assign_idle_workers()
+            self._consider_preemption()
+
+    def _drain_results(self) -> None:
+        for worker in self.workers:
+            if worker.job is None:
+                continue
+            try:
+                if not worker.result_recv.poll():
+                    continue
+                job_id, status, payload = worker.result_recv.recv()
+            except (EOFError, OSError):
+                continue  # death handled by _reap_dead_workers
+            job = self.jobs.get(job_id, worker.job)
+            worker.job = None
+            worker.preempt_pending = False
+            if status == "ok":
+                self._finish_ok(job, payload)
+            elif status == "preempted":
+                self._finish_preempted(job, payload)
+            else:
+                job.state = FAILED
+                job.error = str(payload)
+                self._emit_job("job.failed", job)
+
+    def _finish_ok(self, job: ServeJob, result: Any) -> None:
+        try:
+            self.store.put(job.key, result)
+        except ServeError as exc:
+            job.state = FAILED
+            job.error = str(exc)
+            self._emit_job("job.failed", job)
+            return
+        job.state = DONE
+        job.error = None
+        job.resume_dir = None
+        self._emit_job("job.done", job)
+
+    def _finish_preempted(self, job: ServeJob, ckpt_dir: str) -> None:
+        job.preemptions += 1
+        self.preemptions += 1
+        if job.cancel_requested:
+            job.state = FAILED
+            job.error = "cancelled by client"
+            self._emit_job("job.failed", job, {"cancelled": True})
+            return
+        job.state = PREEMPTED
+        job.resume_dir = ckpt_dir
+        self.queue.requeue(job)
+        self._emit_job("job.preempted", job, {"ckpt": ckpt_dir})
+
+    def _reap_dead_workers(self) -> None:
+        for worker in self.workers:
+            if worker.alive():
+                continue
+            job = worker.job
+            self.worker_deaths += 1
+            self._emit("worker.died", {
+                "worker": worker.index,
+                "job": job.job_id if job else None})
+            worker.spawn()
+            self._emit("worker.spawned", {"worker": worker.index,
+                                          "pid": worker.proc.pid})
+            if job is None:
+                continue
+            job.deaths += 1
+            if job.cancel_requested:
+                job.state = FAILED
+                job.error = "cancelled by client"
+                self._emit_job("job.failed", job, {"cancelled": True})
+            elif job.deaths >= job.max_attempts:
+                job.state = FAILED
+                job.error = (f"worker died {job.deaths} time(s); "
+                             f"retry budget ({job.max_attempts}) "
+                             f"exhausted")
+                self._emit_job("job.failed", job)
+            else:
+                # The pool's requeue-on-dead-child rule, per job: the
+                # job resumes from its last checkpoint if it has one,
+                # from scratch otherwise.
+                job.state = QUEUED
+                self.queue.requeue(job)
+                self._emit_job("job.requeued", job,
+                               {"deaths": job.deaths})
+
+    def _assign_idle_workers(self) -> None:
+        for worker in self.workers:
+            if not worker.idle or not worker.alive():
+                continue
+            job = self.queue.pop()
+            if job is None:
+                return
+            job.state = RUNNING
+            job.attempts += 1
+            worker.job = job
+            worker.preempt_pending = False
+            try:
+                worker.task_send.send(
+                    (job.job_id, job.config, job.program, job.args,
+                     job.resume_dir))
+            except (OSError, ValueError):
+                # Worker died between the alive() check and the send;
+                # the next reap pass respawns it and requeues the job.
+                continue
+            self._emit_job("job.started", job,
+                           {"worker": worker.index,
+                            "resumed": job.resume_dir is not None})
+
+    def _consider_preemption(self) -> None:
+        top = self.queue.peek()
+        if top is None:
+            return
+        victims = [
+            worker for worker in self.workers
+            if worker.job is not None and not worker.preempt_pending
+            and worker.job.priority < top.priority]
+        if not victims:
+            return
+        victim = min(victims,
+                     key=lambda w: (w.job.priority, -w.job.seqno))
+        victim.preempt_pending = True
+        victim.preempt_flag.set()
+        self._emit_job("job.preempt", victim.job,
+                       {"for": top.job_id, "worker": victim.index})
+
+    # -- client verbs (socket handler) --------------------------------------
+
+    def _listen_loop(self) -> None:  # pragma: no cover - thread driver
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            try:
+                self._serve_connection(conn)
+            except Exception:
+                traceback.print_exc()
+            finally:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        """Handle request frames until the client closes."""
+        conn.settimeout(30.0)
+        while True:
+            try:
+                message = protocol.try_recv_message(conn)
+            except ServeError as exc:
+                protocol.send_message(conn, "error",
+                                      {"error": str(exc)})
+                return
+            if message is None:
+                return
+            kind, payload = message
+            try:
+                reply = self.handle_request(kind, payload)
+            except ServeError as exc:
+                protocol.send_message(conn, "error",
+                                      {"error": str(exc)})
+                continue
+            protocol.send_message(conn, "ok", reply)
+            if kind == "shutdown":
+                return
+
+    def handle_request(self, kind: str,
+                       payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Dispatch one client verb; returns the ``ok`` payload."""
+        if kind == "ping":
+            return {"protocol": protocol.WIRE_VERSION,
+                    "fleet": self.fleet_size}
+        if kind == "submit":
+            return self._handle_submit(payload)
+        if kind == "status":
+            return {"job": view_payload(self._job(payload).view())}
+        if kind == "fetch":
+            return self._handle_fetch(payload)
+        if kind == "cancel":
+            return self._handle_cancel(payload)
+        if kind == "list":
+            with self._lock:
+                return {"jobs": [view_payload(job.view())
+                                 for job in self.jobs.values()]}
+        if kind == "stats":
+            return {"stats": view_payload(self._stats())}
+        if kind == "shutdown":
+            self.request_stop()
+            return {"stopping": True}
+        raise ServeError(f"unknown serve request kind {kind!r}")
+
+    def _job(self, payload: Dict[str, Any]) -> ServeJob:
+        job_id = payload.get("job_id")
+        with self._lock:
+            job = self.jobs.get(job_id)
+        if job is None:
+            raise ServeError(f"unknown job {job_id!r}")
+        return job
+
+    def _handle_submit(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        try:
+            spec = SubmitSpec(**payload)
+        except TypeError as exc:
+            raise ServeError(f"malformed submit payload: {exc}") from exc
+        from repro.common.errors import ConfigError
+        try:
+            config = SimulationConfig.from_dict(spec.config)
+        except (ConfigError, TypeError, ValueError) as exc:
+            raise ServeError(f"bad job config: {exc}") from exc
+        program = self._resolve_program(spec, config)
+        job = self.submit(config, program, tuple(spec.args),
+                          priority=spec.priority)
+        return {"job": view_payload(job.view())}
+
+    def _resolve_program(self, spec: SubmitSpec,
+                         config: SimulationConfig) -> Any:
+        from repro.distrib.wire import WorkloadRef
+        if (spec.workload is None) == (spec.program_hex is None):
+            raise ServeError("submit needs exactly one of workload or "
+                             "program_hex")
+        if spec.workload is not None:
+            from repro.workloads import WORKLOADS
+            if spec.workload not in WORKLOADS:
+                raise ServeError(
+                    f"unknown workload {spec.workload!r}")
+            nthreads = spec.nthreads or config.num_tiles
+            return WorkloadRef(spec.workload, nthreads, spec.scale,
+                               dict(spec.params))
+        import pickle
+        try:
+            ref = pickle.loads(bytes.fromhex(spec.program_hex))
+        except Exception as exc:
+            raise ServeError(f"bad program_hex: {exc}") from exc
+        if not hasattr(ref, "resolve"):
+            raise ServeError(
+                "program_hex must decode to a program reference "
+                "(WorkloadRef or PickledProgram)")
+        return ref
+
+    def _handle_fetch(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        job = self._job(payload)
+        if job.state not in (DONE, CACHED):
+            raise ServeError(
+                f"job {job.job_id} is {job.state}, not fetchable"
+                + (f": {job.error}" if job.error else ""))
+        envelope = self.store.get(job.key)
+        if envelope is None:  # pragma: no cover - store vanished
+            raise ServeError(f"result for {job.job_id} missing from "
+                             f"the store")
+        return {"job": view_payload(job.view()),
+                "result": envelope["result"]}
+
+    def _handle_cancel(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        job = self._job(payload)
+        with self._lock:
+            if job.finished:
+                raise ServeError(
+                    f"job {job.job_id} already {job.state}")
+            if job.state in (QUEUED, PREEMPTED):
+                self.queue.remove(job.job_id)
+                job.state = FAILED
+                job.error = "cancelled by client"
+                self._emit_job("job.failed", job, {"cancelled": True})
+            else:  # running: cancellation rides the preemption path
+                job.cancel_requested = True
+                for worker in self.workers:
+                    if worker.job is job and not worker.preempt_pending:
+                        worker.preempt_pending = True
+                        worker.preempt_flag.set()
+            return {"job": view_payload(job.view())}
+
+    def _stats(self) -> ServerInfo:
+        with self._lock:
+            states: Dict[str, int] = {}
+            for job in self.jobs.values():
+                states[job.state] = states.get(job.state, 0) + 1
+            return ServerInfo(
+                protocol=protocol.WIRE_VERSION, fleet=self.fleet_size,
+                states=states, submitted=self.submitted,
+                cache_hits=self.cache_hits,
+                preemptions=self.preemptions,
+                worker_deaths=self.worker_deaths)

@@ -1,0 +1,138 @@
+"""Jobs and the priority queue the serve daemon schedules from.
+
+This is :func:`repro.distrib.pool.run_jobs`'s job model generalized
+for a long-lived service: instead of one closed batch fanned over
+throwaway children, jobs arrive continuously, carry a *priority* and a
+*retry budget*, and can re-enter the queue — either because their
+worker died (the pool's requeue-on-dead-child machinery, made
+per-job) or because a higher-priority job checkpointed them off their
+worker (preemption).
+
+Ordering: strict priority first (higher number runs earlier), FIFO
+within a priority class.  FIFO position is the submission sequence
+number, which a job keeps across requeues — a preempted or
+crash-requeued job resumes *ahead* of anything submitted after it at
+the same priority.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+from repro.common.config import SimulationConfig
+from repro.serve.protocol import JOB_STATES, TERMINAL_STATES, JobView
+
+#: Job states re-exported for daemon/tests convenience.
+QUEUED, RUNNING, PREEMPTED, DONE, FAILED, CACHED = JOB_STATES
+
+
+@dataclass
+class ServeJob:
+    """One submitted simulation and its full service-side lifecycle."""
+
+    job_id: str
+    #: Content address of the result: hash of (semantic config,
+    #: program, args) — see :func:`repro.serve.store.job_key`.
+    key: str
+    config: SimulationConfig
+    #: Shippable program reference (``WorkloadRef``/``PickledProgram``).
+    program: Any
+    args: tuple = ()
+    priority: int = 0
+    #: Submission order; also the FIFO tiebreak within a priority.
+    seqno: int = 0
+    state: str = QUEUED
+    #: Worker starts consumed (every scheduling assignment, including
+    #: resumes after preemption — informational).
+    attempts: int = 0
+    #: Workers that died under this job.  The retry budget charges
+    #: deaths, not assignments, so preemption never eats the budget.
+    deaths: int = 0
+    #: Worker deaths tolerated before the job fails for good.
+    max_attempts: int = 3
+    #: Times this job was checkpointed off its worker.
+    preemptions: int = 0
+    #: Checkpoint directory to resume from (set while ``preempted``).
+    resume_dir: Optional[str] = None
+    error: Optional[str] = None
+    #: Client asked for cancellation while the job was running; the
+    #: in-flight preemption doubles as the cancellation path.
+    cancel_requested: bool = False
+
+    @property
+    def finished(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def view(self) -> JobView:
+        """The client-visible projection of this job."""
+        return JobView(job_id=self.job_id, state=self.state,
+                       priority=self.priority, attempts=self.attempts,
+                       deaths=self.deaths,
+                       preemptions=self.preemptions, key=self.key,
+                       error=self.error)
+
+
+class JobQueue:
+    """Priority queue with FIFO fairness inside each priority class.
+
+    ``push`` admits new submissions (assigning their FIFO seqno) and
+    ``requeue`` re-admits preempted/crash-recovered jobs with their
+    original seqno intact.  Entries removed by :meth:`remove` are
+    dropped lazily at pop time.
+    """
+
+    def __init__(self) -> None:
+        #: (-priority, seqno, tick) -> min-heap gives highest priority
+        #: first, then oldest submission; tick breaks the (impossible
+        #: in normal flow) tie of equal seqnos deterministically.
+        self._heap: List[Tuple[int, int, int, ServeJob]] = []
+        self._seq = itertools.count()
+        self._tick = itertools.count()
+        self._removed: dict = {}  # job_id -> True (ordered set)
+
+    def __len__(self) -> int:
+        return sum(1 for _, _, _, job in self._heap
+                   if job.job_id not in self._removed)
+
+    def next_seqno(self) -> int:
+        """Allocate the FIFO position for a fresh submission."""
+        return next(self._seq)
+
+    def push(self, job: ServeJob) -> None:
+        """Admit a job (new or re-entering); keeps its ``seqno``."""
+        self._removed.pop(job.job_id, None)
+        heapq.heappush(self._heap, (-job.priority, job.seqno,
+                                    next(self._tick), job))
+
+    #: ``requeue`` is ``push`` with intent spelled out at call sites:
+    #: the job keeps its original seqno, hence its FIFO position.
+    requeue = push
+
+    def pop(self) -> Optional[ServeJob]:
+        """Highest-priority, oldest job; ``None`` when empty."""
+        while self._heap:
+            _, _, _, job = heapq.heappop(self._heap)
+            if self._removed.pop(job.job_id, None) is None:
+                return job
+        return None
+
+    def peek(self) -> Optional[ServeJob]:
+        """The job :meth:`pop` would return, left in place."""
+        while self._heap:
+            _, _, _, job = self._heap[0]
+            if job.job_id not in self._removed:
+                return job
+            heapq.heappop(self._heap)
+            self._removed.pop(job.job_id, None)
+        return None
+
+    def remove(self, job_id: str) -> bool:
+        """Drop a queued job (cancellation); ``True`` if it was here."""
+        if any(job.job_id == job_id and job.job_id not in self._removed
+               for _, _, _, job in self._heap):
+            self._removed[job_id] = True
+            return True
+        return False

@@ -36,6 +36,9 @@ class EventCategory(enum.IntFlag):
     WORKER = 0x80
     #: Cadenced metrics-registry snapshots.
     METRICS = 0x100
+    #: Simulation-service lifecycle (:mod:`repro.serve`): job
+    #: submissions, cache hits, preemptions, worker deaths.
+    SERVE = 0x200
 
 
 #: Every category, i.e. the mask for ``events: ["all"]``.

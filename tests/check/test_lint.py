@@ -163,16 +163,23 @@ class TestRealTree:
         assert findings == [], "\n".join(f.render() for f in findings)
 
     def test_recorded_schema_matches_real_wire_module(self):
-        """The committed wire_schema.json must pin the wire module as
+        """The committed wire_schema.json must pin every wire module as
         it is today — the refresh after a version bump is mandatory."""
         import json
         root = package_root()
         tree = ast.parse((root / "distrib" / "wire.py").read_text())
         fingerprint, version = wire_fingerprint(tree)
+        serve_tree = ast.parse(
+            (root / "serve" / "protocol.py").read_text())
+        serve_fingerprint, serve_version = wire_fingerprint(serve_tree)
         recorded = json.loads(
             (root / "check" / "wire_schema.json").read_text())
-        assert recorded == {"wire_version": version,
-                            "fingerprint": fingerprint}
+        assert recorded == {
+            "wire_version": version,
+            "fingerprint": fingerprint,
+            "serve": {"wire_version": serve_version,
+                      "fingerprint": serve_fingerprint},
+        }
 
     def test_real_wire_drift_still_fails(self, tmp_path):
         """Guard the guard: against a stale recorded schema, W001 must
@@ -188,6 +195,49 @@ class TestRealTree:
             {"wire_version": version, "fingerprint": "0" * 16}))
         findings = check_wire_manifest(tree, str(wire_path), stale)
         assert [f.rule for f in findings] == ["W001"]
+
+    def test_serve_protocol_drift_still_fails(self, tmp_path):
+        """Same guard for the serve JSON protocol: a stale nested
+        record must flag the real serve/protocol.py module."""
+        import json
+        root = package_root()
+        proto_path = root / "serve" / "protocol.py"
+        tree = ast.parse(proto_path.read_text())
+        _, version = wire_fingerprint(tree)
+        stale = tmp_path / "schema.json"
+        stale.write_text(json.dumps({
+            "wire_version": 99, "fingerprint": "f" * 16,
+            "serve": {"wire_version": version,
+                      "fingerprint": "0" * 16}}))
+        findings = check_wire_manifest(tree, str(proto_path), stale,
+                                       record_key="serve")
+        assert [f.rule for f in findings] == ["W001"]
+        assert "bump WIRE_VERSION" in findings[0].message
+
+    def test_missing_serve_record_is_flagged(self, tmp_path):
+        import json
+        root = package_root()
+        proto_path = root / "serve" / "protocol.py"
+        tree = ast.parse(proto_path.read_text())
+        stale = tmp_path / "schema.json"
+        stale.write_text(json.dumps(
+            {"wire_version": 4, "fingerprint": "0" * 16}))
+        findings = check_wire_manifest(tree, str(proto_path), stale,
+                                       record_key="serve")
+        assert [f.rule for f in findings] == ["W001"]
+        assert "no 'serve' record" in findings[0].message
+
+    def test_accept_wire_schema_records_both_modules(self, tmp_path):
+        import json
+        from repro.check.lint import accept_wire_schema
+        schema = tmp_path / "schema.json"
+        record = accept_wire_schema(schema_path=schema)
+        on_disk = json.loads(schema.read_text())
+        assert on_disk == record
+        assert {"wire_version", "fingerprint", "serve"} \
+            <= set(record)
+        assert {"wire_version", "fingerprint"} \
+            == set(record["serve"])
 
     def test_lint_paths_recurses_directories(self):
         findings = lint_paths([FIXTURES])

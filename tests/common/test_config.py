@@ -181,3 +181,78 @@ class TestSerialisation:
         data = SimulationConfig().to_dict()
         assert isinstance(data, dict)
         assert not dataclasses.is_dataclass(data["memory"])
+
+
+class TestContentHash:
+    """``content_hash()`` is the cache key of the serve result store:
+    equal semantics must hash equal, any semantic change must not."""
+
+    def test_equal_configs_hash_equal(self):
+        assert SimulationConfig(num_tiles=8, seed=3).content_hash() \
+            == SimulationConfig(num_tiles=8, seed=3).content_hash()
+
+    def test_copy_hashes_equal(self):
+        cfg = SimulationConfig(num_tiles=16, seed=5)
+        cfg.sync.model = "lax_barrier"
+        assert cfg.copy().content_hash() == cfg.content_hash()
+
+    @pytest.mark.parametrize("mutate", [
+        lambda c: setattr(c, "seed", c.seed + 1),
+        lambda c: setattr(c, "num_tiles", c.num_tiles * 2),
+        lambda c: setattr(c.sync, "model", "lax_p2p"),
+        lambda c: setattr(c.memory.l2, "size_bytes", 1 * MB),
+        lambda c: setattr(c.memory, "directory_type", "limited"),
+        lambda c: setattr(c.network, "memory_model", "analytical"),
+        lambda c: setattr(c.host, "quantum_instructions", 123),
+    ])
+    def test_any_semantic_field_change_changes_the_hash(self, mutate):
+        base = SimulationConfig(num_tiles=8, seed=3)
+        changed = base.copy()
+        mutate(changed)
+        assert changed.content_hash() != base.content_hash()
+
+    @pytest.mark.parametrize("mutate", [
+        lambda c: setattr(c.distrib, "backend", "mp"),
+        lambda c: setattr(c.telemetry, "enabled", True),
+        lambda c: setattr(c.check, "sanitize", True),
+        lambda c: setattr(c.profile, "enabled", True),
+        lambda c: setattr(c.ckpt, "dir", "/tmp/ckpt-here"),
+    ])
+    def test_observational_sections_do_not_change_the_hash(self, mutate):
+        base = SimulationConfig(num_tiles=8, seed=3)
+        changed = base.copy()
+        mutate(changed)
+        assert changed.content_hash() == base.content_hash()
+
+    def test_semantic_dict_drops_only_observational_sections(self):
+        from repro.common.config import OBSERVATIONAL_SECTIONS
+        cfg = SimulationConfig()
+        semantic = cfg.semantic_dict()
+        full = cfg.to_dict()
+        assert set(full) - set(semantic) == set(OBSERVATIONAL_SECTIONS)
+        for section in OBSERVATIONAL_SECTIONS:
+            assert section not in semantic
+
+    def test_hash_is_stable_across_interpreter_processes(self):
+        """The cache key must not depend on interpreter state (hash
+        randomization, dict order): a daemon hashes submissions from
+        other processes, possibly days apart."""
+        import os
+        import subprocess
+        import sys
+        script = (
+            "from repro.common.config import SimulationConfig\n"
+            "c = SimulationConfig(num_tiles=8, seed=3)\n"
+            "c.sync.model = 'lax_p2p'\n"
+            "print(c.content_hash())\n")
+        hashes = set()
+        for hashseed in ("1", "2"):
+            env = dict(os.environ, PYTHONHASHSEED=hashseed)
+            out = subprocess.run(
+                [sys.executable, "-c", script], env=env,
+                capture_output=True, text=True, check=True)
+            hashes.add(out.stdout.strip())
+        local = SimulationConfig(num_tiles=8, seed=3)
+        local.sync.model = "lax_p2p"
+        hashes.add(local.content_hash())
+        assert len(hashes) == 1

@@ -184,3 +184,54 @@ def test_pool_deadline_truncates_long_unfinished_list():
                        match=r"indices 0, 1, 2, 3, 4, 5, 6, 7, \.\.\."):
         run_jobs([(c, _hanging_program, ()) for c in configs],
                  workers=2, timeout=0.5)
+
+
+def test_effective_workers_capped_at_job_count():
+    from repro.distrib.pool import _effective_workers
+    assert _effective_workers(8, 2) == 2
+    assert _effective_workers(2, 8) == 2
+    assert _effective_workers(0, 5) == 1
+    assert _effective_workers(4, 0) == 1
+    assert _effective_workers(3, 3) == 3
+
+
+def test_pool_never_forks_more_children_than_jobs(monkeypatch):
+    """Two jobs on an eight-way pool must fork exactly two children:
+    surplus children would be pure fork cost (start, find the queue
+    drained, exit)."""
+    import repro.distrib.pool as pool_mod
+    real_get_context = pool_mod.multiprocessing.get_context
+    spawned = []
+
+    class CountingCtx:
+        def __init__(self, ctx):
+            self._ctx = ctx
+
+        def __getattr__(self, name):
+            return getattr(self._ctx, name)
+
+        def Process(self, *args, **kwargs):
+            spawned.append(kwargs.get("name"))
+            return self._ctx.Process(*args, **kwargs)
+
+    monkeypatch.setattr(
+        pool_mod.multiprocessing, "get_context",
+        lambda kind: CountingCtx(real_get_context(kind)))
+    configs = _configs(2)
+    results = run_jobs([(cfg, REF, ()) for cfg in configs], workers=8)
+    assert len(results) == 2
+    assert len(spawned) == 2
+
+
+def test_single_job_takes_the_serial_path(monkeypatch):
+    """One job never forks at all — the serial fallback runs it
+    in-process regardless of the requested pool width."""
+    import repro.distrib.pool as pool_mod
+
+    def explode(kind):  # any fork attempt fails the test
+        raise AssertionError("pool forked for a single job")
+
+    monkeypatch.setattr(pool_mod.multiprocessing, "get_context",
+                        explode)
+    [result] = run_jobs([(_configs(1)[0], REF, ())], workers=8)
+    assert result.simulated_cycles > 0

@@ -1,0 +1,291 @@
+"""End-to-end serve daemon tests: the ISSUE's acceptance demos.
+
+Each test runs a real daemon (forked worker fleet, Unix socket) and a
+real client.  The load-bearing assertions are byte-level: a served
+result equals the canonical bytes of a direct in-process run of the
+same job — for plain runs, for cache hits, and for a job that was
+checkpoint-preempted mid-flight and resumed.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import shutil
+import signal
+import tempfile
+import time
+
+import pytest
+
+from repro.common.config import SimulationConfig, TelemetryConfig
+from repro.common.errors import ServeError
+from repro.distrib.wire import WorkloadRef
+from repro.serve.client import ServeClient
+from repro.serve.daemon import SimServer
+from repro.serve.store import canonical_result_bytes
+from repro.sim.simulator import Simulator
+
+#: Problem size that runs in ~tens of milliseconds.
+FAST_SCALE = 0.05
+#: Problem size long enough (~1s) to be preempted or cancelled.
+LONG_SCALE = 10.0
+
+
+def _config(seed: int) -> SimulationConfig:
+    cfg = SimulationConfig(num_tiles=2, seed=seed)
+    cfg.host.quantum_instructions = 200
+    return cfg
+
+
+def _direct_bytes(seed: int, workload: str, scale: float) -> bytes:
+    """Canonical bytes of an undisturbed in-process run."""
+    result = Simulator(_config(seed)).run(
+        WorkloadRef(workload, 2, scale))
+    return canonical_result_bytes(result)
+
+
+@contextlib.contextmanager
+def running_server(**kwargs):
+    # A short tempdir, not pytest's tmp_path: the spool holds an
+    # AF_UNIX socket and those paths cap out around 107 characters.
+    root = tempfile.mkdtemp(dir="/tmp", prefix="rs-")
+    server = SimServer(root, **kwargs).start()
+    client = ServeClient(server.socket_path)
+    try:
+        client.wait_up()
+        yield server, client
+    finally:
+        server.stop()
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def _kill_once_program(ctx, flag_path):
+    """Takes its worker down with it on the first attempt only."""
+    yield from ctx.compute(50)
+    if not os.path.exists(flag_path):
+        with open(flag_path, "w"):
+            pass
+        os.kill(os.getpid(), signal.SIGKILL)
+    yield from ctx.compute(50)
+
+
+def _always_kill_program(ctx):
+    yield from ctx.compute(50)
+    os.kill(os.getpid(), signal.SIGKILL)
+    yield from ctx.compute(1)  # pragma: no cover - never reached
+
+
+def test_fleet_serves_concurrent_submissions_byte_identical():
+    """One fleet, four concurrent submissions, every served result
+    byte-identical to its direct in-process run."""
+    with running_server(fleet=2) as (server, client):
+        seeds = [11, 12, 13, 14]
+        views = [client.submit(config=_config(seed),
+                               workload="matrix_multiply", nthreads=2,
+                               scale=FAST_SCALE)
+                 for seed in seeds]
+        finals = [client.wait(view["job_id"], timeout=120)
+                  for view in views]
+        assert [v["state"] for v in finals] == ["done"] * 4
+        for seed, view in zip(seeds, views):
+            served = client.fetch_result(view["job_id"])
+            assert canonical_result_bytes(served) == _direct_bytes(
+                seed, "matrix_multiply", FAST_SCALE)
+        stats = client.stats()
+        assert stats["submitted"] == 4
+        assert stats["states"] == {"done": 4}
+
+
+def test_duplicate_submission_is_a_cache_hit():
+    with running_server(fleet=1) as (server, client):
+        first = client.submit(config=_config(21),
+                              workload="matrix_multiply", nthreads=2,
+                              scale=FAST_SCALE)
+        client.wait(first["job_id"], timeout=120)
+        second = client.submit(config=_config(21),
+                               workload="matrix_multiply", nthreads=2,
+                               scale=FAST_SCALE)
+        # Provably-correct hit: same key, state cached, never queued.
+        assert second["state"] == "cached"
+        assert second["key"] == first["key"]
+        assert second["attempts"] == 0
+        a = client.fetch_result(first["job_id"])
+        b = client.fetch_result(second["job_id"])
+        assert canonical_result_bytes(a) == canonical_result_bytes(b)
+        assert client.stats()["cache_hits"] == 1
+
+
+def test_seed_flip_misses_the_cache():
+    with running_server(fleet=1) as (server, client):
+        first = client.submit(config=_config(31),
+                              workload="matrix_multiply", nthreads=2,
+                              scale=FAST_SCALE)
+        client.wait(first["job_id"], timeout=120)
+        flipped = client.submit(config=_config(32),
+                                workload="matrix_multiply", nthreads=2,
+                                scale=FAST_SCALE)
+        assert flipped["state"] != "cached"
+        assert flipped["key"] != first["key"]
+        assert client.wait(flipped["job_id"],
+                           timeout=120)["state"] == "done"
+        assert client.stats()["cache_hits"] == 0
+
+
+def test_preempted_job_resumes_byte_identical():
+    """A higher-priority arrival checkpoints the runner off its single
+    worker; the preempted job later resumes and finishes with a result
+    byte-identical to an undisturbed run."""
+    with running_server(fleet=1) as (server, client):
+        low = client.submit(config=_config(1),
+                            workload="matrix_multiply", nthreads=2,
+                            scale=LONG_SCALE, priority=0)
+        deadline = time.monotonic() + 30
+        while client.status(low["job_id"])["state"] != "running":
+            assert time.monotonic() < deadline, "job never started"
+            time.sleep(0.01)
+        high = client.submit(config=_config(2), workload="fft",
+                             nthreads=2, scale=0.1, priority=5)
+        high_final = client.wait(high["job_id"], timeout=120)
+        assert high_final["state"] == "done"
+        low_final = client.wait(low["job_id"], timeout=300)
+        assert low_final["state"] == "done"
+        assert low_final["preemptions"] >= 1
+        assert client.stats()["preemptions"] >= 1
+        served = client.fetch_result(low["job_id"])
+        assert canonical_result_bytes(served) == _direct_bytes(
+            1, "matrix_multiply", LONG_SCALE)
+
+
+def test_dead_worker_requeues_job_within_budget(tmp_path):
+    """A worker SIGKILLed mid-job is respawned and the job retried —
+    the sweep pool's requeue-on-dead-child rule, per job."""
+    flag = str(tmp_path / "died-once")
+    with running_server(fleet=1) as (server, client):
+        view = client.submit(config=_config(41),
+                             program=_kill_once_program,
+                             args=(flag,))
+        final = client.wait(view["job_id"], timeout=120)
+        assert final["state"] == "done"
+        assert final["deaths"] == 1
+        assert final["attempts"] == 2
+        assert client.stats()["worker_deaths"] >= 1
+
+
+def test_retry_budget_exhaustion_fails_the_job():
+    with running_server(fleet=1, max_attempts=2) as (server, client):
+        view = client.submit(config=_config(42),
+                             program=_always_kill_program)
+        final = client.wait(view["job_id"], timeout=120)
+        assert final["state"] == "failed"
+        assert final["deaths"] == 2
+        assert "retry budget" in final["error"]
+        # The fleet survives its losses: the next job still runs.
+        follow = client.submit(config=_config(43),
+                               workload="matrix_multiply", nthreads=2,
+                               scale=FAST_SCALE)
+        assert client.wait(follow["job_id"],
+                           timeout=120)["state"] == "done"
+
+
+def test_cancel_queued_and_running_jobs():
+    with running_server(fleet=1) as (server, client):
+        runner = client.submit(config=_config(51),
+                               workload="matrix_multiply", nthreads=2,
+                               scale=LONG_SCALE)
+        queued = client.submit(config=_config(52),
+                               workload="matrix_multiply", nthreads=2,
+                               scale=FAST_SCALE)
+        # Cancelling a queued job fails it immediately.
+        view = client.cancel(queued["job_id"])
+        assert view["state"] == "failed"
+        assert view["error"] == "cancelled by client"
+        # Cancelling the runner rides the preemption path.
+        client.cancel(runner["job_id"])
+        final = client.wait(runner["job_id"], timeout=120)
+        assert final["state"] == "failed"
+        assert final["error"] == "cancelled by client"
+        # Terminal jobs cannot be re-cancelled; unknown ids are errors.
+        with pytest.raises(ServeError, match="already failed"):
+            client.cancel(runner["job_id"])
+        with pytest.raises(ServeError, match="unknown job"):
+            client.cancel("job-999999")
+
+
+def test_submit_validation_errors():
+    with running_server(fleet=1) as (server, client):
+        with pytest.raises(ServeError, match="unknown workload"):
+            client.submit(config=_config(1), workload="not-a-workload")
+        with pytest.raises(ServeError, match="exactly one"):
+            client.submit(config=_config(1))
+        with pytest.raises(ServeError, match="bad job config"):
+            client.request("submit", {
+                "config": {"num_tiles": 0}, "workload": "fft"})
+        with pytest.raises(ServeError, match="not fetchable"):
+            view = client.submit(config=_config(1), workload="fft",
+                                 nthreads=2, scale=LONG_SCALE)
+            client.fetch(view["job_id"])
+
+
+def test_job_states_surface_on_the_telemetry_bus():
+    telemetry = TelemetryConfig(enabled=True, events=["serve"])
+    with running_server(fleet=1, telemetry=telemetry) \
+            as (server, client):
+        view = client.submit(config=_config(61),
+                             workload="matrix_multiply", nthreads=2,
+                             scale=FAST_SCALE)
+        client.wait(view["job_id"], timeout=120)
+        client.submit(config=_config(61), workload="matrix_multiply",
+                      nthreads=2, scale=FAST_SCALE)
+        names = {event.name for event in server.bus.events}
+        assert {"server.started", "worker.spawned", "job.submitted",
+                "job.started", "job.done", "job.cached"} <= names
+        categories = {event.category_name
+                      for event in server.bus.events}
+        assert categories == {"serve"}
+
+
+def test_status_list_and_ping_verbs():
+    with running_server(fleet=1) as (server, client):
+        assert client.ping()["protocol"] == 1
+        assert client.alive()
+        view = client.submit(config=_config(71),
+                             workload="matrix_multiply", nthreads=2,
+                             scale=FAST_SCALE)
+        client.wait(view["job_id"], timeout=120)
+        jobs = client.list_jobs()
+        assert [job["job_id"] for job in jobs] == [view["job_id"]]
+        with pytest.raises(ServeError, match="unknown job"):
+            client.status("job-424242")
+
+
+def test_cli_verbs_against_a_live_daemon(capsys):
+    """The repro submit/status/fetch CLI speaks to a real daemon."""
+    from repro.cli import main
+    with running_server(fleet=1) as (server, client):
+        spool = server.root
+        assert main(["submit", "--dir", spool,
+                     "--workload", "matrix_multiply", "--tiles", "2",
+                     "--scale", str(FAST_SCALE), "--seed", "81",
+                     "--quantum", "200", "--wait"]) == 0
+        out = capsys.readouterr().out
+        assert "done" in out
+        job_id = out.split()[0]
+        assert main(["status", "--dir", spool]) == 0
+        status_out = capsys.readouterr().out
+        assert job_id in status_out
+        assert "submitted=1" in status_out
+        assert main(["fetch", "--dir", spool, job_id]) == 0
+        fetch_out = capsys.readouterr().out
+        assert "simulated cycles" in fetch_out
+
+
+def test_cli_fails_cleanly_without_a_daemon(capsys):
+    from repro.cli import main
+    root = tempfile.mkdtemp(dir="/tmp", prefix="rs-")
+    try:
+        assert main(["status", "--dir", root]) == 1
+        assert "cannot reach serve daemon" in capsys.readouterr().err
+        assert main(["serve", "--dir", root, "--stop"]) == 1
+    finally:
+        shutil.rmtree(root, ignore_errors=True)

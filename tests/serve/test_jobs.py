@@ -1,0 +1,93 @@
+"""Job-queue tests: priority order, FIFO fairness, requeue, removal."""
+
+from __future__ import annotations
+
+from repro.common.config import SimulationConfig
+from repro.serve.jobs import QUEUED, JobQueue, ServeJob
+
+
+def _job(queue: JobQueue, job_id: str, priority: int = 0) -> ServeJob:
+    job = ServeJob(job_id=job_id, key=f"key-{job_id}",
+                   config=SimulationConfig(num_tiles=2), program=None,
+                   priority=priority, seqno=queue.next_seqno())
+    queue.push(job)
+    return job
+
+
+def _drain(queue: JobQueue):
+    out = []
+    while True:
+        job = queue.pop()
+        if job is None:
+            return out
+        out.append(job.job_id)
+
+
+def test_fifo_within_one_priority_class():
+    queue = JobQueue()
+    for name in ("a", "b", "c"):
+        _job(queue, name)
+    assert _drain(queue) == ["a", "b", "c"]
+
+
+def test_higher_priority_runs_earlier():
+    queue = JobQueue()
+    _job(queue, "low", priority=0)
+    _job(queue, "high", priority=5)
+    _job(queue, "mid", priority=2)
+    assert _drain(queue) == ["high", "mid", "low"]
+
+
+def test_fifo_inside_each_priority_class():
+    queue = JobQueue()
+    _job(queue, "l1", 0)
+    _job(queue, "h1", 3)
+    _job(queue, "l2", 0)
+    _job(queue, "h2", 3)
+    assert _drain(queue) == ["h1", "h2", "l1", "l2"]
+
+
+def test_requeue_keeps_original_fifo_position():
+    queue = JobQueue()
+    first = _job(queue, "first")
+    _job(queue, "second")
+    popped = queue.pop()
+    assert popped is first
+    _job(queue, "third")
+    # Preempted/crash-requeued work resumes ahead of later arrivals.
+    queue.requeue(first)
+    assert _drain(queue) == ["first", "second", "third"]
+
+
+def test_remove_cancels_a_queued_job():
+    queue = JobQueue()
+    _job(queue, "keep")
+    _job(queue, "drop")
+    assert queue.remove("drop") is True
+    assert queue.remove("drop") is False
+    assert queue.remove("never-queued") is False
+    assert _drain(queue) == ["keep"]
+
+
+def test_len_and_peek_skip_removed_entries():
+    queue = JobQueue()
+    _job(queue, "a")
+    b = _job(queue, "b")
+    assert len(queue) == 2
+    queue.remove("a")
+    assert len(queue) == 1
+    assert queue.peek() is b
+    assert queue.pop() is b
+    assert queue.peek() is None
+    assert len(queue) == 0
+
+
+def test_fresh_jobs_start_queued_with_budget():
+    queue = JobQueue()
+    job = _job(queue, "j")
+    assert job.state == QUEUED
+    assert not job.finished
+    assert job.deaths == 0
+    view = job.view()
+    assert view.job_id == "j"
+    assert view.state == QUEUED

@@ -1,0 +1,109 @@
+"""Serve protocol tests: frame round trips, versioning, socket flow."""
+
+from __future__ import annotations
+
+import json
+import socket
+
+import pytest
+
+from repro.common.errors import ServeError
+from repro.serve import protocol
+from repro.serve.protocol import (
+    JOB_STATES,
+    TERMINAL_STATES,
+    JobView,
+    ServerInfo,
+    SubmitSpec,
+    decode_frame,
+    encode_frame,
+    recv_message,
+    send_message,
+    try_recv_message,
+    view_payload,
+)
+
+
+class TestFrames:
+    def test_round_trip(self):
+        kind, payload = decode_frame(encode_frame(
+            "submit", {"workload": "fft", "priority": 3}))
+        assert kind == "submit"
+        assert payload == {"workload": "fft", "priority": 3}
+
+    def test_frames_are_canonical_bytes(self):
+        # Same message, same bytes — key order cannot leak in.
+        a = encode_frame("status", {"b": 1, "a": 2})
+        b = encode_frame("status", {"a": 2, "b": 1})
+        assert a == b
+
+    def test_version_travels_in_every_frame(self):
+        data = json.loads(encode_frame("ping", {}).decode())
+        assert data["v"] == protocol.WIRE_VERSION
+
+    def test_version_mismatch_fails_loudly(self):
+        blob = json.dumps({"v": protocol.WIRE_VERSION + 1,
+                           "kind": "ping", "payload": {}}).encode()
+        with pytest.raises(ServeError, match="version mismatch"):
+            decode_frame(blob)
+
+    @pytest.mark.parametrize("blob", [
+        b"not json",
+        b"[1,2,3]",
+        json.dumps({"kind": "ping", "payload": {}}).encode(),
+        json.dumps({"v": protocol.WIRE_VERSION,
+                    "payload": {}}).encode(),
+        json.dumps({"v": protocol.WIRE_VERSION, "kind": "ping",
+                    "payload": [1]}).encode(),
+    ])
+    def test_malformed_frames_rejected(self, blob):
+        with pytest.raises(ServeError):
+            decode_frame(blob)
+
+    def test_unencodable_payload_raises(self):
+        with pytest.raises(ServeError, match="cannot encode"):
+            encode_frame("submit", {"bad": object()})
+
+
+class TestSocketFlow:
+    def test_message_round_trip_over_socketpair(self):
+        a, b = socket.socketpair()
+        try:
+            send_message(a, "submit", {"workload": "radix"})
+            assert recv_message(b) == ("submit", {"workload": "radix"})
+            send_message(b, "ok", {"job": {"job_id": "job-000001"}})
+            assert recv_message(a) == (
+                "ok", {"job": {"job_id": "job-000001"}})
+        finally:
+            a.close()
+            b.close()
+
+    def test_clean_close_is_none(self):
+        a, b = socket.socketpair()
+        a.close()
+        try:
+            assert try_recv_message(b) is None
+        finally:
+            b.close()
+
+
+class TestSchema:
+    def test_job_states_cover_the_lifecycle(self):
+        assert JOB_STATES == ("queued", "running", "preempted", "done",
+                              "failed", "cached")
+        assert set(TERMINAL_STATES) < set(JOB_STATES)
+
+    def test_views_flatten_to_json_safe_payloads(self):
+        view = JobView(job_id="job-000001", state="done", key="k")
+        payload = view_payload(view)
+        assert json.loads(json.dumps(payload)) == payload
+        info = ServerInfo(protocol=1, fleet=2, states={"done": 1})
+        assert json.loads(json.dumps(view_payload(info))) \
+            == view_payload(info)
+
+    def test_submit_spec_round_trips_through_a_frame(self):
+        spec = SubmitSpec(config={"seed": 9}, workload="fft",
+                          nthreads=4, scale=0.5, priority=2)
+        kind, payload = decode_frame(
+            encode_frame("submit", view_payload(spec)))
+        assert SubmitSpec(**payload) == spec
