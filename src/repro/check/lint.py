@@ -80,6 +80,7 @@ SET_ITER_DIRS = MODEL_DIRS + ("distrib", "serve")
 WIRE_MODULES: Dict[str, Optional[str]] = {
     "distrib/wire.py": None,
     "serve/protocol.py": "serve",
+    "net/handshake.py": "net",
 }
 
 #: The one module allowed to construct random.Random.

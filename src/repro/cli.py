@@ -67,6 +67,39 @@ def build_parser() -> argparse.ArgumentParser:
                      help="execution backend: inproc runs everything "
                           "in this process, mp forks one worker per "
                           "host process (default inproc)")
+    run.add_argument("--transport", choices=("pipe", "tcp"),
+                     default="pipe",
+                     help="mp worker channel: pipe (forked children) "
+                          "or tcp (multi-host sockets; default pipe)")
+    run.add_argument("--listen", default="127.0.0.1:0",
+                     metavar="HOST:PORT",
+                     help="tcp transport: coordinator bind address "
+                          "(port 0 picks an ephemeral port)")
+    run.add_argument("--expect-workers", type=int, default=0,
+                     metavar="N",
+                     help="tcp transport: wait for N remote `repro "
+                          "worker --connect` dial-ins instead of "
+                          "forking local workers (default 0 = local)")
+    run.add_argument("--connect-timeout", type=float, default=60.0,
+                     metavar="SECONDS",
+                     help="seconds to wait for the expected dial-ins")
+    run.add_argument("--rebalance", choices=("off", "slowest"),
+                     default="off",
+                     help="live-migration policy: drain the slowest "
+                          "worker (by observed quantum.run host time) "
+                          "into the least busy one (default off)")
+    run.add_argument("--rebalance-every", type=int, default=8,
+                     metavar="TURNS",
+                     help="scheduler turns between rebalance checks")
+    run.add_argument("--drain-turn", type=int, default=0,
+                     metavar="TURN",
+                     help="scripted drain: at scheduler turn TURN, "
+                          "checkpoint-migrate one worker's shard away "
+                          "and release the worker (0 = never)")
+    run.add_argument("--drain-worker", type=int, default=-1,
+                     metavar="INDEX",
+                     help="which worker --drain-turn drains "
+                          "(default -1 = highest loaded index)")
     run.add_argument("--seed", type=int, default=42)
     run.add_argument("--classify-misses", action="store_true",
                      help="report the miss-type breakdown (Figure 8)")
@@ -108,6 +141,17 @@ def build_parser() -> argparse.ArgumentParser:
                      metavar="N",
                      help="crash-recovery restarts before giving up "
                           "(default 3)")
+
+    worker = sub.add_parser(
+        "worker",
+        help="join a remote coordinator (or serve daemon) as a "
+             "worker: dial host:port, handshake versions and config, "
+             "then execute whatever shard or jobs it assigns")
+    worker.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="listener address to dial")
+    worker.add_argument("--timeout", type=float, default=30.0,
+                        metavar="SECONDS",
+                        help="connect timeout (default 30)")
 
     resume = sub.add_parser(
         "resume",
@@ -180,6 +224,14 @@ def _configure(args: argparse.Namespace) -> SimulationConfig:
     config.network.memory_model = args.network
     config.memory.classify_misses = args.classify_misses
     config.distrib.backend = args.backend
+    config.distrib.transport = args.transport
+    config.distrib.listen = args.listen
+    config.distrib.expect_workers = args.expect_workers
+    config.distrib.connect_timeout = args.connect_timeout
+    config.distrib.rebalance = args.rebalance
+    config.distrib.rebalance_every = args.rebalance_every
+    config.distrib.drain_turn = args.drain_turn
+    config.distrib.drain_worker = args.drain_worker
     config.check.sanitize = args.sanitize
     config.profile.enabled = args.profile
     if args.quantum:
@@ -290,6 +342,35 @@ def _command_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_worker(args: argparse.Namespace) -> int:
+    """Dial a listener and serve it, whatever it turns out to be.
+
+    The welcome frame's role decides the loop: a simulation
+    coordinator gets a distrib shard worker, a serve daemon gets a
+    remote fleet worker running jobs.
+    """
+    from repro.distrib.wire import WIRE_VERSION
+    from repro.net.handshake import HandshakeError
+    from repro.net.listener import connect_worker
+    try:
+        channel, welcome = connect_worker(args.connect, WIRE_VERSION,
+                                          timeout=args.timeout)
+    except HandshakeError as exc:
+        print(f"worker: {exc}", file=sys.stderr)
+        return 1
+    if welcome.role == "serve":
+        from repro.serve.remote import run_remote_fleet_worker
+        run_remote_fleet_worker(channel)
+        return 0
+    from repro.distrib.worker import run_connected_worker
+    try:
+        run_connected_worker(channel, welcome)
+    except HandshakeError as exc:
+        print(f"worker: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _command_list() -> int:
     width = max(len(name) for name in WORKLOADS)
     for name in sorted(WORKLOADS):
@@ -308,6 +389,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
         return _command_run(args)
+    if args.command == "worker":
+        return _command_worker(args)
     if args.command == "list-workloads":
         return _command_list()
     if args.command == "show-config":

@@ -354,6 +354,47 @@ class DistribConfig:
     worker_timeout: float = 120.0
     #: Seconds allowed for orderly worker shutdown before termination.
     shutdown_timeout: float = 10.0
+    #: Worker channel: ``pipe`` (forked children over multiprocessing
+    #: pipes) or ``tcp`` (length-prefixed sockets via :mod:`repro.net`,
+    #: the multi-host transport).
+    transport: str = "pipe"
+    #: TCP bind address of the coordinator's listener (port 0 picks an
+    #: ephemeral port; only meaningful with ``transport="tcp"``).
+    listen: str = "127.0.0.1:0"
+    #: Remote dial-ins (``repro worker --connect``) to wait for before
+    #: the run starts.  0 means self-contained: the coordinator forks
+    #: local workers that dial its own listener.
+    expect_workers: int = 0
+    #: Seconds to wait for the expected dial-ins at startup.
+    connect_timeout: float = 60.0
+    #: Live-migration policy: ``off`` or ``slowest`` (drain the worker
+    #: with the largest ``quantum.run`` self-time delta into the least
+    #: busy one; see :mod:`repro.net.rebalance`).
+    rebalance: str = "off"
+    #: Scheduler turns between policy evaluations.
+    rebalance_every: int = 8
+    #: Busy-time ratio (slowest/fastest) that triggers a drain.
+    rebalance_threshold: float = 4.0
+    #: Scripted drain: at this scheduler turn, migrate one worker's
+    #: shard away (0 = never).  Deterministic hook for tests and the
+    #: CI migration smoke; independent of the rebalance policy.
+    drain_turn: int = 0
+    #: Worker index to drain at ``drain_turn`` (-1 = highest index).
+    drain_worker: int = -1
+
+    def migration_capable(self) -> bool:
+        """Can this run ever migrate a shard between workers?
+
+        True for every TCP-transport run (workers may join or die) and
+        for any run with a rebalance policy or scripted drain.  Workers
+        use this to keep interpreter replay logs (the same logs
+        checkpointing keeps) so their shards stay movable; keeping the
+        log is observational and does not perturb simulated metrics.
+        """
+        return self.backend == "mp" and (
+            self.transport == "tcp"
+            or self.rebalance != "off"
+            or self.drain_turn > 0)
 
     def validate(self) -> None:
         _require(self.backend in EXECUTION_BACKENDS,
@@ -363,6 +404,30 @@ class DistribConfig:
                  "distrib: worker_timeout must be positive")
         _require(self.shutdown_timeout > 0,
                  "distrib: shutdown_timeout must be positive")
+        _require(self.transport in ("pipe", "tcp"),
+                 f"distrib: unknown transport {self.transport!r} "
+                 f"(choose from ('pipe', 'tcp'))")
+        _require(self.expect_workers >= 0,
+                 "distrib: expect_workers must be >= 0")
+        _require(self.expect_workers == 0 or self.transport == "tcp",
+                 "distrib: expect_workers requires transport='tcp'")
+        _require(self.connect_timeout > 0,
+                 "distrib: connect_timeout must be positive")
+        _require(self.rebalance in ("off", "slowest"),
+                 f"distrib: unknown rebalance policy "
+                 f"{self.rebalance!r} (choose from ('off', 'slowest'))")
+        _require(self.rebalance_every > 0,
+                 "distrib: rebalance_every must be positive")
+        _require(self.rebalance_threshold >= 1.0,
+                 "distrib: rebalance_threshold must be >= 1.0")
+        _require(self.drain_turn >= 0,
+                 "distrib: drain_turn must be >= 0")
+        if self.transport == "tcp":
+            from repro.net.listener import parse_address
+            try:
+                parse_address(self.listen)
+            except ValueError as exc:
+                _require(False, f"distrib: {exc}")
 
 
 #: Trace file formats (see :mod:`repro.telemetry`): ``auto`` infers

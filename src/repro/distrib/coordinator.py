@@ -33,6 +33,7 @@ from repro.distrib.errors import (
 )
 from repro.distrib.shard import ShardTransport
 from repro.distrib.wire import (
+    WIRE_VERSION,
     FrameKind,
     HostStatsBatch,
     decode_frame,
@@ -41,6 +42,10 @@ from repro.distrib.wire import (
     program_key,
 )
 from repro.host.cluster import ClusterLayout
+from repro.net.channel import Channel, ChannelClosedError, PipeChannel
+from repro.net.handshake import HandshakeError
+from repro.net.listener import NetListener
+from repro.net.rebalance import create_policy
 from repro.host.scheduler import QuantumResult, QuantumStatus, ThreadTask
 from repro.sim.simulator import Simulator
 from repro.system.mcp import MCP_TILE
@@ -54,47 +59,224 @@ _POLL_TICK = 0.05
 
 
 class WorkerCluster:
-    """Lifecycle + framed I/O for the set of worker processes."""
+    """Lifecycle, framed I/O and tile ownership for the worker fleet.
+
+    The cluster speaks :class:`~repro.net.channel.Channel` — forked
+    children over multiprocessing pipes (``transport="pipe"``) or
+    TCP-connected workers (``transport="tcp"``, local self-dialed or
+    remote ``repro worker --connect`` dial-ins) — and owns the dynamic
+    tile→worker map.  Membership only changes between quanta (the
+    coordinator polls the listener from a scheduler hook), and a live
+    worker's whole shard can be migrated to another worker via the
+    checkpoint blobs of wire v4 (:meth:`migrate_shard`).  Placement is
+    host bookkeeping only: every modelled cost reads the simulated
+    :class:`~repro.host.cluster.ClusterLayout`, so joins, leaves and
+    migrations never perturb simulated metrics.
+    """
 
     def __init__(self, layout: ClusterLayout,
                  config: SimulationConfig,
                  profiler: Optional[Any] = None) -> None:
         self.layout = layout
+        self.config = config
         self.timeout = config.distrib.worker_timeout
         self.shutdown_timeout = config.distrib.shutdown_timeout
         #: Coordinator-side host profiler (``--profile``) or ``None``.
         #: Times wire serialization (``mp.wire.encode``/``decode``/
-        #: ``send``) and blocked pipe waits (``mp.idle.wait``).
+        #: ``send``) and blocked channel waits (``mp.idle.wait``).
         self.profiler = profiler
         try:
-            ctx = multiprocessing.get_context("fork")
+            self._ctx = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX hosts
-            ctx = multiprocessing.get_context("spawn")
-        self._conns = []
-        self._procs = []
-        shards = layout.shards()
+            self._ctx = multiprocessing.get_context("spawn")
+        self._channels: List[Channel] = []
+        #: False once a worker departed (drained + GOODBYE) or died.
+        self._active: List[bool] = []
+        #: Dynamic tile→worker map, covering *every* tile id; updated
+        #: by :meth:`migrate_shard`, read by every routed frame.
+        self._owner: Dict[int, int] = {}
+        #: Every process this cluster spawned (teardown safety net).
+        self._spawned: List[Any] = []
+        self.listener: Optional[NetListener] = None
         try:
-            for index, tiles in enumerate(shards):
-                parent, child = ctx.Pipe(duplex=True)
-                proc = ctx.Process(
-                    target=_worker_entry, args=(child, index),
-                    name=f"repro-worker-{index}", daemon=True)
-                proc.start()
-                child.close()
-                self._conns.append(parent)
-                self._procs.append(proc)
-                self.send(index, FrameKind.HELLO,
-                          (config, [int(t) for t in tiles]))
+            if config.distrib.transport == "tcp":
+                self._start_tcp(config)
+            else:
+                self._start_pipes(config)
         except Exception:
             self.shutdown()
             raise
 
+    # -- formation -----------------------------------------------------------
+
+    def _start_pipes(self, config: SimulationConfig) -> None:
+        for index, tiles in enumerate(self.layout.shards()):
+            parent, child = self._ctx.Pipe(duplex=True)
+            proc = self._ctx.Process(
+                target=_worker_entry, args=(child, index),
+                name=f"repro-worker-{index}", daemon=True)
+            proc.start()
+            child.close()
+            self._spawned.append(proc)
+            self._channels.append(PipeChannel(parent, proc))
+            self._active.append(True)
+            for tile in tiles:
+                self._owner[int(tile)] = index
+            self.send(index, FrameKind.HELLO,
+                      (config, [int(t) for t in tiles], index))
+
+    def _start_tcp(self, config: SimulationConfig) -> None:
+        self.listener = NetListener(
+            config.distrib.listen, role="coordinator",
+            wire_version=WIRE_VERSION,
+            config_fingerprint=config.content_hash())
+        expect = config.distrib.expect_workers
+        count = expect if expect > 0 else self.layout.num_processes
+        procs_by_pid: Dict[int, Any] = {}
+        if expect == 0:
+            # Self-contained multi-host shape: fork local workers that
+            # dial our own listener, exercising the full TCP path.
+            for index in range(count):
+                proc = self._ctx.Process(
+                    target=_tcp_worker_entry,
+                    args=(self.listener.address,),
+                    name=f"repro-worker-{index}", daemon=True)
+                proc.start()
+                self._spawned.append(proc)
+                procs_by_pid[proc.pid] = proc
+        deadline = time.monotonic() + config.distrib.connect_timeout
+        while len(self._channels) < count:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise WorkerTimeoutError(
+                    f"only {len(self._channels)} of {count} workers "
+                    f"dialed {self.listener.address} within "
+                    f"{config.distrib.connect_timeout:.0f}s")
+            accepted = self.listener.accept(timeout=min(remaining, 1.0))
+            if accepted is None:
+                continue
+            channel, hello = accepted
+            channel.proc = procs_by_pid.get(hello.pid)
+            self._channels.append(channel)
+            self._active.append(True)
+        for index in range(count):
+            tiles = [t for t in range(self.layout.num_tiles)
+                     if t % count == index]
+            for tile in tiles:
+                self._owner[tile] = index
+            self.send(index, FrameKind.HELLO, (config, tiles, index))
+
+    # -- membership ----------------------------------------------------------
+
     @property
     def num_workers(self) -> int:
-        return len(self._procs)
+        """Total worker slots ever attached (departed ones included)."""
+        return len(self._channels)
+
+    def workers(self) -> List[int]:
+        """Indices of the workers still attached."""
+        return [i for i, alive in enumerate(self._active) if alive]
+
+    def tiles_of(self, worker: int) -> List[int]:
+        return sorted(t for t, w in self._owner.items() if w == worker)
 
     def owner(self, tile: TileId) -> int:
-        return int(self.layout.process_of_tile(tile))
+        return self._owner[int(tile)]
+
+    def adopt_ownership(self, owner_map: Dict[int, int]) -> None:
+        """Install a checkpointed tile→worker map (resume path)."""
+        self._owner = dict(owner_map)
+
+    @property
+    def ownership(self) -> Dict[int, int]:
+        return dict(self._owner)
+
+    def poll_joins(self) -> List[int]:
+        """Accept any pending dial-ins; returns the new worker indices.
+
+        Called from the coordinator's scheduler hook, i.e. strictly
+        between quanta — a joiner becomes a registered (initially
+        tile-less) worker without ever racing a running quantum.  A
+        peer failing the handshake is rejected and skipped; it never
+        touches the pickle wire.
+        """
+        if self.listener is None:
+            return []
+        joined: List[int] = []
+        while True:
+            try:
+                accepted = self.listener.accept(timeout=0.0)
+            except HandshakeError:
+                continue  # rejected peer; keep draining the backlog
+            if accepted is None:
+                return joined
+            channel, _hello = accepted
+            index = len(self._channels)
+            self._channels.append(channel)
+            self._active.append(True)
+            self.send(index, FrameKind.HELLO, (self.config, [], index))
+            joined.append(index)
+
+    def migrate_shard(self, src: int, dst: int) -> List[int]:
+        """Move every tile owned by ``src`` into ``dst``, live.
+
+        The coordinated-checkpoint machinery of wire v4 does the heavy
+        lifting: ``src`` snapshots its shard (kernel proxy, inbound
+        queues, interpreters with their replay logs) into an opaque
+        blob, ``dst`` ADOPTs it — merging the migrated tiles into its
+        own shard — and the ownership map is rewired.  Runs strictly
+        between quanta, so the blob is consistent by construction.
+        """
+        tiles = self.tiles_of(src)
+        if not tiles or src == dst:
+            return []
+        self.send(src, FrameKind.CHECKPOINT, None)
+        kind, payload = self.recv(src)
+        if kind is FrameKind.ERROR:
+            _raise_remote(src, payload)
+        if kind is not FrameKind.CKPT_ACK:
+            raise DistribError(
+                f"worker {src}: expected CKPT_ACK, got {kind.value}")
+        self.send(dst, FrameKind.ADOPT, payload.blob)
+        kind, payload = self.recv(dst)
+        if kind is FrameKind.ERROR:
+            _raise_remote(dst, payload)
+        if kind is not FrameKind.CKPT_ACK:
+            raise DistribError(
+                f"worker {dst}: expected CKPT_ACK after ADOPT, got "
+                f"{kind.value}")
+        # The source sheds its (now stale) shard: its old kernel would
+        # otherwise keep double-reporting the moved tiles' stats, and a
+        # shard migrated back in later would collide with the leftover
+        # queue entries.  A departing source is GOODBYEd right after,
+        # which makes the release a harmless no-op.
+        self.send(src, FrameKind.RELEASE, None)
+        kind, payload = self.recv(src)
+        if kind is FrameKind.ERROR:
+            _raise_remote(src, payload)
+        if kind is not FrameKind.CKPT_ACK:
+            raise DistribError(
+                f"worker {src}: expected CKPT_ACK after RELEASE, got "
+                f"{kind.value}")
+        for tile in tiles:
+            self._owner[tile] = dst
+        return tiles
+
+    def depart(self, worker: int) -> None:
+        """Release a drained worker: GOODBYE, detach, reap."""
+        try:
+            self.send(worker, FrameKind.GOODBYE, None)
+        except WorkerCrashError:
+            pass
+        self._active[worker] = False
+        channel = self._channels[worker]
+        proc = channel.proc
+        if proc is not None:
+            proc.join(timeout=self.shutdown_timeout)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+                proc.join(timeout=1.0)
+        channel.close()
 
     # -- framed I/O ----------------------------------------------------------
 
@@ -108,40 +290,42 @@ class WorkerCluster:
                 prof.exit()
         else:
             blob = encode_frame(kind, payload)
+        channel = self._channels[worker]
         try:
             if prof is not None:
                 prof.enter("mp.wire.send")
                 try:
-                    self._conns[worker].send_bytes(blob)
+                    channel.send_bytes(blob)
                 finally:
                     prof.exit()
             else:
-                self._conns[worker].send_bytes(blob)
-        except (BrokenPipeError, OSError) as exc:
+                channel.send_bytes(blob)
+        except ChannelClosedError as exc:
             raise WorkerCrashError(
-                f"worker {worker} pipe closed while sending "
-                f"{kind.value}: {exc}") from exc
+                f"worker {worker} ({channel.describe()}) closed while "
+                f"sending {kind.value}: {exc}") from exc
 
     def recv(self, worker: int) -> Tuple[FrameKind, Any]:
         """Receive one frame, bounding the wait by the worker timeout.
 
         A dead worker is distinguished from a slow one: liveness is
         re-checked every poll tick, and a crash surfaces as
-        :class:`WorkerCrashError` (with exit code) rather than a hang.
+        :class:`WorkerCrashError` (with exit code, when the worker is
+        a local process) rather than a hang.
         """
-        conn = self._conns[worker]
-        proc = self._procs[worker]
+        channel = self._channels[worker]
         prof = self.profiler
         wait_start = time.perf_counter_ns() if prof is not None else 0
         deadline = time.monotonic() + self.timeout
         while True:
-            if conn.poll(_POLL_TICK):
+            if channel.poll(_POLL_TICK):
                 try:
-                    blob = conn.recv_bytes()
-                except EOFError as exc:
+                    blob = channel.recv_bytes()
+                except ChannelClosedError as exc:
                     raise WorkerCrashError(
-                        f"worker {worker} closed its pipe "
-                        f"(exit code {proc.exitcode})") from exc
+                        f"worker {worker} ({channel.describe()}) closed "
+                        f"its channel (exit code {channel.exitcode()})"
+                    ) from exc
                 if prof is not None:
                     prof.add_ns("mp.idle.wait",
                                 time.perf_counter_ns() - wait_start)
@@ -151,12 +335,13 @@ class WorkerCluster:
                     finally:
                         prof.exit()
                 return decode_frame(blob)
-            if not proc.is_alive():
+            if not channel.alive():
                 # One last poll: a frame may have raced with death.
-                if conn.poll(0):
+                if channel.poll(0):
                     continue
                 raise WorkerCrashError(
-                    f"worker {worker} died (exit code {proc.exitcode})")
+                    f"worker {worker} ({channel.describe()}) died "
+                    f"(exit code {channel.exitcode()})")
             if time.monotonic() > deadline:
                 raise WorkerTimeoutError(
                     f"worker {worker} sent nothing for "
@@ -177,9 +362,9 @@ class WorkerCluster:
                   (int(tile), ref, args, start_clock, code_base))
 
     def collect_stats(self) -> List[Dict[str, int]]:
-        """Fetch each worker's flattened local statistics."""
+        """Fetch each attached worker's flattened local statistics."""
         out = []
-        for worker in range(self.num_workers):
+        for worker in self.workers():
             self.send(worker, FrameKind.COLLECT_STATS, None)
             kind, payload = self.recv(worker)
             if kind is FrameKind.ERROR:
@@ -193,7 +378,7 @@ class WorkerCluster:
     def collect_telemetry(self) -> List[TelemetryBatch]:
         """Final telemetry drain: each worker's events + histograms."""
         out = []
-        for worker in range(self.num_workers):
+        for worker in self.workers():
             self.send(worker, FrameKind.COLLECT_TELEMETRY, None)
             kind, payload = self.recv(worker)
             if kind is FrameKind.ERROR:
@@ -208,7 +393,7 @@ class WorkerCluster:
     def collect_host_stats(self) -> List[HostStatsBatch]:
         """Fetch each worker's host-profiler scope export (wire v3)."""
         out = []
-        for worker in range(self.num_workers):
+        for worker in self.workers():
             self.send(worker, FrameKind.COLLECT_HOST_STATS, None)
             kind, payload = self.recv(worker)
             if kind is FrameKind.ERROR:
@@ -220,26 +405,45 @@ class WorkerCluster:
             out.append(payload)
         return out
 
+    def quantum_busy_ns(self) -> Dict[int, int]:
+        """Cumulative per-worker ``quantum.run`` self-time (rebalance)."""
+        busy = {}
+        for batch in self.collect_host_stats():
+            scope = batch.scopes.get("quantum.run", {})
+            busy[batch.worker] = int(scope.get("self_ns", 0))
+        return busy
+
     # -- teardown ------------------------------------------------------------
+
+    @property
+    def _procs(self) -> List[Any]:
+        """Local process handles by worker index (None for remotes)."""
+        return [channel.proc for channel in self._channels]
 
     def shutdown(self) -> None:
         """Stop all workers: ask nicely, then terminate stragglers."""
-        for worker, conn in enumerate(self._conns):
+        for worker, channel in enumerate(self._channels):
+            if not self._active[worker]:
+                continue
             try:
-                conn.send_bytes(encode_frame(FrameKind.SHUTDOWN, None))
+                channel.send_bytes(
+                    encode_frame(FrameKind.SHUTDOWN, None))
             except Exception:
                 pass
         deadline = time.monotonic() + self.shutdown_timeout
-        for proc in self._procs:
+        for proc in self._spawned:
             proc.join(timeout=max(deadline - time.monotonic(), 0.1))
             if proc.is_alive():
                 proc.terminate()
                 proc.join(timeout=1.0)
-        for conn in self._conns:
+        for channel in self._channels:
             try:
-                conn.close()
+                channel.close()
             except Exception:
                 pass
+        if self.listener is not None:
+            self.listener.close()
+            self.listener = None
 
     def __enter__(self) -> "WorkerCluster":
         return self
@@ -251,6 +455,11 @@ class WorkerCluster:
 def _worker_entry(conn, index: int) -> None:  # pragma: no cover - child
     from repro.distrib.worker import worker_main
     worker_main(conn, index)
+
+
+def _tcp_worker_entry(address: str) -> None:  # pragma: no cover - child
+    from repro.distrib.worker import tcp_worker_main
+    tcp_worker_main(address)
 
 
 def _raise_remote(worker: int, payload: tuple) -> None:
@@ -320,6 +529,20 @@ class DistribSimulator(Simulator):
         self._cluster: Optional[WorkerCluster] = None
         #: Shard blobs a checkpoint loader stashes for ``resume_run``.
         self._restore_shards: Dict[int, bytes] = {}
+        #: Tile ownership at snapshot time; rides the coordinator
+        #: snapshot so a checkpoint taken after a migration resumes
+        #: with the migrated placement, not the initial striping.
+        self._owner_at_ckpt: Dict[int, int] = {}
+        #: True once the scripted drain (``--drain-turn``) has fired.
+        self._drained = False
+        self._rebalance = create_policy(config)
+        if (config.distrib.backend == "mp"
+                and (config.distrib.transport == "tcp"
+                     or config.distrib.migration_capable())):
+            # Membership and migration act strictly between quanta:
+            # the hook polls for dial-ins, fires the scripted drain,
+            # and evaluates the rebalance policy.
+            self.scheduler.add_periodic_hook(self._net_hook, 1)
         self._build_handler_tables()
 
     def _build_handler_tables(self) -> None:
@@ -392,9 +615,11 @@ class DistribSimulator(Simulator):
         tele_worker = (self.telemetry.channel(EventCategory.WORKER)
                        if self.telemetry is not None else None)
         if tele_worker is not None:
-            for index, tiles in enumerate(self.layout.shards()):
-                tele_worker.emit("worker_start", None, 0,
-                                 {"worker": index, "tiles": len(tiles)})
+            for index in self._cluster.workers():
+                tele_worker.emit(
+                    "worker_start", None, 0,
+                    {"worker": index,
+                     "tiles": len(self._cluster.tiles_of(index))})
         try:
             return super().run(main_program, args)
         finally:
@@ -417,13 +642,30 @@ class DistribSimulator(Simulator):
         self._cluster = WorkerCluster(self.layout, self.config)
         self.transport.attach(self._cluster)
         try:
-            for worker in range(self._cluster.num_workers):
+            if self._owner_at_ckpt:
+                # The checkpoint was taken under a migrated placement;
+                # shards must land where the blobs say the tiles live.
+                highest = max(self._owner_at_ckpt.values())
+                if highest >= self._cluster.num_workers:
+                    raise CheckpointError(
+                        f"checkpoint placement references worker "
+                        f"{highest} but only "
+                        f"{self._cluster.num_workers} workers "
+                        f"attached; resume with at least "
+                        f"{highest + 1} workers")
+                self._cluster.adopt_ownership(self._owner_at_ckpt)
+            restored = []
+            for worker in self._cluster.workers():
                 blob = self._restore_shards.get(worker)
                 if blob is None:
-                    raise CheckpointError(
-                        f"checkpoint has no shard for worker {worker}")
+                    if self._cluster.tiles_of(worker):
+                        raise CheckpointError(
+                            f"checkpoint has no shard for worker "
+                            f"{worker}")
+                    continue  # fully drained before the snapshot
                 self._cluster.send(worker, FrameKind.RESTORE, blob)
-            for worker in range(self._cluster.num_workers):
+                restored.append(worker)
+            for worker in restored:
                 kind, payload = self._cluster.recv(worker)
                 if kind is FrameKind.ERROR:
                     _raise_remote(worker, payload)
@@ -438,6 +680,83 @@ class DistribSimulator(Simulator):
             self.transport.attach(None)
             self._cluster = None
 
+    # -- membership & migration ----------------------------------------------
+
+    def _net_channel(self):
+        if self.telemetry is None:
+            return None
+        return self.telemetry.channel(EventCategory.NET)
+
+    def _net_hook(self, scheduler) -> None:
+        """Between-quanta membership tick.
+
+        Fires after every scheduler turn — the one point where no
+        quantum is in flight anywhere — and performs the three
+        membership actions in a fixed order: accept pending dial-ins,
+        run the scripted drain, evaluate the rebalance policy.  All
+        three move host placement only, so the hook cannot change
+        simulated metrics.
+        """
+        cluster = self._cluster
+        if cluster is None:
+            return
+        channel = self._net_channel()
+        for index in cluster.poll_joins():
+            if channel is not None:
+                channel.emit(
+                    "worker.joined", None, 0,
+                    {"worker": index,
+                     "peer": cluster._channels[index].describe()})
+        distrib = self.config.distrib
+        turn = scheduler.turns
+        if (distrib.drain_turn and not self._drained
+                and turn >= distrib.drain_turn):
+            self._drained = True
+            self._scripted_drain(cluster, channel)
+        if (self._rebalance is not None
+                and turn % distrib.rebalance_every == 0):
+            self._policy_drain(cluster, channel)
+
+    def _scripted_drain(self, cluster: WorkerCluster, channel) -> None:
+        """Deterministic drain (``--drain-turn``): one worker's shard
+        moves and the worker departs — the migration path exercised
+        without depending on host timing."""
+        active = cluster.workers()
+        src = self.config.distrib.drain_worker
+        if src < 0:
+            loaded = [w for w in active if cluster.tiles_of(w)]
+            if not loaded:
+                return
+            src = max(loaded)
+        destinations = [w for w in active if w != src]
+        if src not in active or not destinations:
+            return
+        self._migrate(cluster, channel, src, min(destinations),
+                      depart=True)
+
+    def _policy_drain(self, cluster: WorkerCluster, channel) -> None:
+        busy = cluster.quantum_busy_ns()
+        active = cluster.workers()
+        loaded = [w for w in active if cluster.tiles_of(w)]
+        idle = [w for w in active if not cluster.tiles_of(w)]
+        decision = self._rebalance.observe(busy, loaded, idle)
+        if decision is not None:
+            self._migrate(cluster, channel, decision[0], decision[1],
+                          depart=False)
+
+    def _migrate(self, cluster: WorkerCluster, channel, src: int,
+                 dst: int, depart: bool) -> None:
+        tiles = cluster.migrate_shard(src, dst)
+        if not tiles:
+            return
+        if channel is not None:
+            channel.emit("worker.migrated", None, 0,
+                         {"src": src, "dst": dst, "tiles": len(tiles)})
+        if depart:
+            cluster.depart(src)
+            if channel is not None:
+                channel.emit("worker.left", None, 0, {"worker": src})
+
     # -- checkpointing -------------------------------------------------------
 
     def _checkpoint_blobs(self) -> Dict[str, bytes]:
@@ -450,10 +769,11 @@ class DistribSimulator(Simulator):
         """
         from repro.ckpt.snapshot import snapshot_bytes
         cluster = self.cluster
-        for worker in range(cluster.num_workers):
+        active = cluster.workers()
+        for worker in active:
             cluster.send(worker, FrameKind.CHECKPOINT, None)
         blobs: Dict[str, bytes] = {}
-        for worker in range(cluster.num_workers):
+        for worker in active:
             kind, payload = cluster.recv(worker)
             if kind is FrameKind.ERROR:
                 _raise_remote(worker, payload)
@@ -462,6 +782,9 @@ class DistribSimulator(Simulator):
                     f"worker {worker}: expected CKPT_ACK, got "
                     f"{kind.value}")
             blobs[f"shard{payload.worker}"] = payload.blob
+        # The coordinator snapshot carries the live tile→worker map so
+        # a post-migration checkpoint resumes with the same placement.
+        self._owner_at_ckpt = cluster.ownership
         blobs["coordinator"] = snapshot_bytes(self)
         return blobs
 
@@ -596,7 +919,7 @@ class DistribSimulator(Simulator):
         if self.telemetry is not None:
             channel = self.telemetry.channel(EventCategory.WORKER)
             if channel is not None:
-                for index in range(self.cluster.num_workers):
+                for index in self.cluster.workers():
                     channel.emit("worker_stop", None, 0,
                                  {"worker": index})
         for flat in self.cluster.collect_stats():

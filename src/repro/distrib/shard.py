@@ -63,6 +63,19 @@ class ShardQueues:
     def enqueue(self, message: Message) -> None:
         self._queues[int(message.dst)][message.kind].append(message)
 
+    def absorb(self, other: "ShardQueues") -> None:
+        """Take over another shard's tile queues (live migration).
+
+        Tiles are owned by exactly one worker at a time, so a
+        collision means the coordinator mis-routed a migration; fail
+        loudly rather than silently merging two queue histories.
+        """
+        for tile, queues in other._queues.items():
+            if tile in self._queues:
+                raise ValueError(
+                    f"tile {tile} already owned by this shard")
+            self._queues[tile] = queues
+
     def poll(self, tile: TileId, kind: MessageKind) -> Optional[Message]:
         queue = self._queues[int(tile)][kind]
         return queue.popleft() if queue else None

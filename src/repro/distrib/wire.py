@@ -30,7 +30,9 @@ from repro.distrib.errors import ProgramTransportError, WireFormatError
 #: scope exports for the merged cluster-wide host profile).
 #: v4: CHECKPOINT / CKPT_ACK / RESTORE frames (coordinated snapshot
 #: barrier and shard restore for fault-tolerant runs).
-WIRE_VERSION = 4
+#: v5: ADOPT / RELEASE / GOODBYE frames (live shard migration between
+#: workers and orderly departure of drained workers; :mod:`repro.net`).
+WIRE_VERSION = 5
 
 
 class FrameKind(enum.Enum):
@@ -79,6 +81,18 @@ class FrameKind(enum.Enum):
     #: coordinator -> worker: adopt a :class:`ShardCheckpoint` blob
     #: (sent after HELLO when resuming from a checkpoint).
     RESTORE = "restore"
+    #: coordinator -> worker: merge a migrated :class:`ShardCheckpoint`
+    #: blob into the worker's *existing* shard (live migration; unlike
+    #: RESTORE the current kernel and interpreters are kept).
+    ADOPT = "adopt"
+    #: coordinator -> worker: your shard has been migrated elsewhere;
+    #: discard it and continue with a fresh, empty one.  Sent to the
+    #: *source* of a non-departing migration so stale kernels never
+    #: double-report stats or collide with a later re-adoption.
+    RELEASE = "release"
+    #: coordinator -> worker: the worker has been drained; exit the
+    #: loop cleanly (its tiles now live elsewhere).
+    GOODBYE = "goodbye"
     #: coordinator -> worker: exit the worker loop.
     SHUTDOWN = "shutdown"
     #: worker -> coordinator: unrecoverable failure (with traceback).

@@ -281,6 +281,11 @@ class Worker:
         self.queues = ShardQueues([TileId(t) for t in tiles])
         self.kernel = KernelProxy(self, config)
         self.interpreters: dict = {}
+        #: Kernel proxies adopted through live shard migration: their
+        #: interpreters keep charging stats into these trees, so stat
+        #: and histogram collection folds them in alongside the
+        #: primary kernel.
+        self.adopted: List[KernelProxy] = []
         self._batch_events = config.telemetry.batch_events
         self._tele_worker = None
         if self.kernel.telemetry is not None:
@@ -296,6 +301,13 @@ class Worker:
         if self.profiler is not None:
             self._send = self._send_timed  # type: ignore[method-assign]
             self._recv = self._recv_timed  # type: ignore[method-assign]
+        elif config.distrib.migration_capable():
+            # Migration-capable runs always carry a minimal profiler:
+            # only ``quantum.run`` is bracketed (frame I/O stays
+            # untimed), which is exactly the per-worker busy signal
+            # the rebalance policy feeds on.
+            from repro.profile.timers import HostProfiler
+            self.profiler = HostProfiler()
 
     def _flush_telemetry(self) -> None:
         """Ship buffered events once the batch threshold is crossed.
@@ -444,7 +456,8 @@ class Worker:
         """
         from repro.ckpt.snapshot import snapshot_bytes
         blob = snapshot_bytes({"kernel": self.kernel,
-                               "interpreters": self.interpreters})
+                               "interpreters": self.interpreters,
+                               "adopted": self.adopted})
         self._send(FrameKind.CKPT_ACK,
                    ShardCheckpoint(self.process_index, blob))
 
@@ -465,6 +478,13 @@ class Worker:
         self.kernel = kernel
         self.queues = kernel.queues
         self.interpreters = shard["interpreters"]
+        # Shards snapshotted after a live migration carry the adopted
+        # kernels too; rewire each exactly like the primary.
+        self.adopted = list(shard.get("adopted", []))
+        for extra in self.adopted:
+            extra._worker = self
+            extra._code_bases = {}
+            extra._pending_code_base = None
         # Observers (telemetry bus/channels) were excised to None; the
         # resumed shard runs unobserved, like a --trace-less run.
         self._tele_worker = None
@@ -473,8 +493,67 @@ class Worker:
         self._send(FrameKind.CKPT_ACK,
                    ShardCheckpoint(self.process_index, b""))
 
+    def _handle_adopt(self, blob: bytes) -> None:
+        """Merge a migrated shard into this worker's own (wire v5).
+
+        Unlike RESTORE, the current kernel and interpreters stay: the
+        migrated interpreters join ours, their kernel proxies are
+        rewired to this worker's channel, their inbound queues are
+        folded into (and then shared with) ours, and each generator is
+        replayed back to its position.  Arrives only between quanta,
+        so nothing is mid-op on either side; migrated interpreters run
+        telemetry-unobserved afterwards, like a restored shard.
+        """
+        shard = pickle.loads(blob)
+        kernels = []
+        seen = set()
+        for kernel in [shard["kernel"], *shard.get("adopted", [])]:
+            if id(kernel) not in seen:
+                seen.add(id(kernel))
+                kernels.append(kernel)
+        self.queues.absorb(shard["kernel"].queues)
+        for kernel in kernels:
+            kernel._worker = self
+            kernel._code_bases = {}
+            kernel._pending_code_base = None
+            # One shared queue set per worker: DELIVER frames for the
+            # migrated tiles land in our queues, and the migrated
+            # interpreters poll through their (rewired) kernel.
+            kernel.queues = self.queues
+        for tile, interpreter in shard["interpreters"].items():
+            interpreter.rebuild_generator()
+            self.interpreters[tile] = interpreter
+        self.adopted.extend(kernels)
+        self._send(FrameKind.CKPT_ACK,
+                   ShardCheckpoint(self.process_index, b""))
+
+    def _handle_release(self) -> None:
+        """Shed the migrated-away shard; start over empty (wire v5).
+
+        The inverse of ADOPT, sent to the *source* of a non-departing
+        migration.  The old kernel proxy (whose stats the adopting
+        worker now reports), its queues and every interpreter are
+        dropped and replaced with a fresh empty shard — so this worker
+        neither double-counts the moved tiles' stats nor collides with
+        a shard migrated back in later.
+        """
+        self.queues = ShardQueues([])
+        self.kernel = KernelProxy(self, self.kernel.config)
+        self.interpreters = {}
+        self.adopted = []
+        self._tele_worker = None
+        if self.kernel.telemetry is not None:
+            self._tele_worker = self.kernel.telemetry.channel(
+                EventCategory.WORKER)
+        self._send(FrameKind.CKPT_ACK,
+                   ShardCheckpoint(self.process_index, b""))
+
     def _handle_collect_stats(self) -> None:
-        self._send(FrameKind.STATS, self.kernel.stats.to_dict())
+        flat = dict(self.kernel.stats.to_dict())
+        for kernel in self.adopted:
+            for path, value in kernel.stats.to_dict().items():
+                flat[path] = flat.get(path, 0) + value
+        self._send(FrameKind.STATS, flat)
 
     def _handle_collect_host_stats(self) -> None:
         """Ship this worker's host-profiler scopes (empty when off)."""
@@ -492,9 +571,17 @@ class Worker:
         """
         bus = self.kernel.telemetry
         events = bus.drain_pending() if bus is not None else []
+        histograms = self.kernel.stats.histogram_states()
+        if self.adopted:
+            scratch = StatGroup("sim")
+            scratch.merge_histogram_states(histograms)
+            for kernel in self.adopted:
+                scratch.merge_histogram_states(
+                    kernel.stats.histogram_states())
+            histograms = scratch.histogram_states()
         self._send(FrameKind.TELEMETRY,
                    TelemetryBatch(self.process_index, events,
-                                  self.kernel.stats.histogram_states()))
+                                  histograms))
 
     # -- main loop -----------------------------------------------------------
 
@@ -503,6 +590,9 @@ class Worker:
             kind, payload = self._recv()
             if kind is FrameKind.SHUTDOWN:
                 return
+            if kind is FrameKind.GOODBYE:
+                # Drained: our tiles live elsewhere now; leave cleanly.
+                return
             try:
                 if kind is FrameKind.RUN_QUANTUM:
                     self._handle_run_quantum(payload)
@@ -510,6 +600,10 @@ class Worker:
                     self._handle_checkpoint()
                 elif kind is FrameKind.RESTORE:
                     self._handle_restore(payload)
+                elif kind is FrameKind.ADOPT:
+                    self._handle_adopt(payload)
+                elif kind is FrameKind.RELEASE:
+                    self._handle_release()
                 elif kind is FrameKind.COLLECT_STATS:
                     self._handle_collect_stats()
                 elif kind is FrameKind.COLLECT_TELEMETRY:
@@ -530,18 +624,70 @@ class Worker:
                            (traceback.format_exc(), blob))
 
 
-def worker_main(conn, process_index: int) -> None:
-    """Entry point of a worker process."""
+def worker_main(conn, process_index: int = -1) -> None:
+    """Entry point of a pipe worker process.
+
+    ``conn`` is the raw multiprocessing connection; it is wrapped in a
+    :class:`~repro.net.channel.PipeChannel` so the worker loop speaks
+    the same channel surface whichever transport spawned it.
+    """
+    from repro.net.channel import PipeChannel
+    _channel_worker_main(PipeChannel(conn), process_index)
+
+
+def tcp_worker_main(address: str, timeout: float = 30.0) -> None:
+    """Entry point of a TCP worker: dial, handshake, serve frames.
+
+    Used both by coordinator-forked local workers (self-contained TCP
+    runs) and by ``repro worker --connect`` on another host.  The
+    handshake pins the net and pickle wire versions; the coordinator's
+    config fingerprint is then re-checked against the HELLO config so
+    a worker can never execute a different simulation than the one it
+    agreed to join.
+    """
+    from repro.distrib.wire import WIRE_VERSION
+    from repro.net.listener import connect_worker
+    channel, welcome = connect_worker(address, WIRE_VERSION,
+                                      timeout=timeout)
+    run_connected_worker(channel, welcome)
+
+
+def run_connected_worker(channel, welcome) -> None:
+    """Serve a coordinator over an already-handshaken channel."""
+    from repro.net.channel import ChannelClosedError
+    from repro.net.handshake import HandshakeError
     try:
-        kind, payload = decode_frame(conn.recv_bytes())
+        kind, payload = decode_frame(channel.recv_bytes())
         if kind is not FrameKind.HELLO:
             raise RuntimeError(f"expected HELLO, got {kind}")
-        config, tiles = payload
-        Worker(conn, process_index, config, tiles).loop()
-    except (EOFError, KeyboardInterrupt):
+        config, tiles, index = payload
+        if welcome.config_fingerprint and \
+                config.content_hash() != welcome.config_fingerprint:
+            raise HandshakeError(
+                "config fingerprint mismatch between handshake "
+                f"({welcome.config_fingerprint}) and HELLO "
+                f"({config.content_hash()}); refusing to desync")
+        Worker(channel, index, config, tiles).loop()
+    except (EOFError, ChannelClosedError, KeyboardInterrupt):
+        pass  # coordinator gone: nothing left to serve
+    finally:
+        channel.close()
+
+
+def _channel_worker_main(channel, process_index: int) -> None:
+    from repro.net.channel import ChannelClosedError
+    try:
+        kind, payload = decode_frame(channel.recv_bytes())
+        if kind is not FrameKind.HELLO:
+            raise RuntimeError(f"expected HELLO, got {kind}")
+        config, tiles, index = payload
+        if index < 0:
+            index = process_index
+        Worker(channel, index, config, tiles).loop()
+    except (EOFError, ChannelClosedError, KeyboardInterrupt):
         pass
     finally:
         try:
-            conn.close()
+            channel.close()
         except Exception:
             pass

@@ -107,9 +107,17 @@ class ThreadInterpreter(ThreadTask):
         #: Replay log for checkpoint/restore: every value handed to
         #: ``generator.send`` since genesis, or ``None`` when the run
         #: is not snapshottable.  Cleared when the thread finishes.
+        #: Shard migration (:mod:`repro.net`) rides the same log — a
+        #: migrated interpreter is rebuilt by replay on the adopting
+        #: worker — so migration-capable runs keep it too.
         ckpt = getattr(kernel.config, "ckpt", None)
+        distrib = getattr(kernel.config, "distrib", None)
+        snapshottable = (ckpt is not None and ckpt.enabled) or (
+            distrib is not None
+            and getattr(distrib, "migration_capable", None) is not None
+            and distrib.migration_capable())
         self._ckpt_log: Optional[List[Any]] = (
-            [] if ckpt is not None and ckpt.enabled else None)
+            [] if snapshottable else None)
 
     # -- ThreadTask interface ------------------------------------------------------
 

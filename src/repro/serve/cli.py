@@ -44,6 +44,11 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--socket", default=None, metavar="PATH",
                         help="socket path (default SPOOL/serve.sock; "
                              "mind the ~100-char AF_UNIX limit)")
+    parser.add_argument("--listen", default=None, metavar="HOST:PORT",
+                        help="also accept remote fleet workers "
+                             "(repro worker --connect) on this TCP "
+                             "address; with a shared spool filesystem "
+                             "preempted jobs resume anywhere")
     parser.add_argument("--trace-out", default=None, metavar="PATH",
                         help="append serve.* lifecycle events to this "
                              "JSONL ops stream")
@@ -126,12 +131,20 @@ def run_serve(args: argparse.Namespace) -> int:
         telemetry = TelemetryConfig(enabled=True, events=["serve"],
                                     trace_path=args.trace_out,
                                     trace_format="jsonl")
-    server = SimServer(args.dir, fleet=args.fleet,
-                       max_attempts=args.max_attempts,
-                       socket_path=args.socket, telemetry=telemetry)
-    server.start()
+    try:
+        server = SimServer(args.dir, fleet=args.fleet,
+                           max_attempts=args.max_attempts,
+                           socket_path=args.socket, telemetry=telemetry,
+                           listen=args.listen)
+        server.start()
+    except ServeError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 1
     print(f"serve: listening on {server.socket_path} "
           f"(fleet {server.fleet_size})", flush=True)
+    if server.listen_address is not None:
+        print(f"serve: accepting remote workers on "
+              f"{server.listen_address}", flush=True)
 
     def _handle_signal(signum, frame):  # pragma: no cover - signals
         server.request_stop()

@@ -68,6 +68,9 @@ _SHUTDOWN_GRACE = 2.0
 class _FleetWorker:
     """One fleet slot: the child process and its channels."""
 
+    #: Forked children are respawned in place when they die.
+    respawnable = True
+
     def __init__(self, index: int, ctx) -> None:
         self.index = index
         self._ctx = ctx
@@ -131,9 +134,11 @@ class SimServer:
                  max_attempts: int = 3,
                  socket_path: Optional[str] = None,
                  telemetry: Optional[TelemetryConfig] = None,
-                 poll_interval: float = _DEFAULT_POLL) -> None:
-        if fleet < 1:
-            raise ServeError("serve: fleet must have at least 1 worker")
+                 poll_interval: float = _DEFAULT_POLL,
+                 listen: Optional[str] = None) -> None:
+        if fleet < 1 and listen is None:
+            raise ServeError("serve: fleet must have at least 1 worker "
+                             "(or --listen for remote ones)")
         self.root = os.path.abspath(root)
         os.makedirs(self.root, exist_ok=True)
         self.socket_path = socket_path or os.path.join(self.root,
@@ -153,6 +158,11 @@ class SimServer:
         self._threads: List[threading.Thread] = []
         self._listener: Optional[socket.socket] = None
         self._started = False
+        #: ``host:port`` for remote ``repro worker --connect`` dial-ins
+        #: (``None`` = local fleet only).
+        self.listen = listen
+        self._net_listener = None
+        self._next_remote_index = 1000
 
         # Ops counters (the ``stats`` verb).
         self.submitted = 0
@@ -170,10 +180,26 @@ class SimServer:
     # -- lifecycle ----------------------------------------------------------
 
     def start(self) -> "SimServer":
-        """Fork the fleet, bind the socket, start the service threads."""
+        """Bind the socket, fork the fleet, start the service threads.
+
+        The socket is claimed *first* so a second daemon on the same
+        spool fails before forking anything.
+        """
         if self._started:
             raise ServeError("serve: server already started")
         self._started = True
+        if os.path.exists(self.socket_path):
+            self._clear_stale_socket()
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        listener.bind(self.socket_path)
+        listener.listen(16)
+        listener.settimeout(_ACCEPT_TICK)
+        self._listener = listener
+        if self.listen is not None:
+            from repro.distrib.wire import WIRE_VERSION
+            from repro.net.listener import NetListener
+            self._net_listener = NetListener(self.listen, role="serve",
+                                             wire_version=WIRE_VERSION)
         try:
             ctx = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX hosts
@@ -184,13 +210,6 @@ class SimServer:
             self.workers.append(worker)
             self._emit("worker.spawned", {"worker": index,
                                           "pid": worker.proc.pid})
-        if os.path.exists(self.socket_path):
-            os.unlink(self.socket_path)
-        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-        listener.bind(self.socket_path)
-        listener.listen(16)
-        listener.settimeout(_ACCEPT_TICK)
-        self._listener = listener
         for name, target in (("serve-pump", self._pump_loop),
                              ("serve-listen", self._listen_loop)):
             thread = threading.Thread(target=target, name=name,
@@ -200,6 +219,46 @@ class SimServer:
         self._emit("server.started", {"fleet": self.fleet_size,
                                       "socket": self.socket_path})
         return self
+
+    def _clear_stale_socket(self) -> None:
+        """Probe a leftover socket file; unlink only if nobody answers.
+
+        A daemon that died uncleanly leaves its socket behind — bind
+        would fail with EADDRINUSE even though nothing is listening.
+        Connecting distinguishes the two cases: a refused connection
+        means the socket is stale (safe to unlink), an accepted one
+        means a live daemon already serves this spool (fail loudly
+        instead of hijacking it).
+        """
+        probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        probe.settimeout(1.0)
+        try:
+            probe.connect(self.socket_path)
+        except (ConnectionRefusedError, socket.timeout):
+            pass  # nobody home: stale
+        except FileNotFoundError:
+            return  # already gone
+        except OSError as exc:
+            raise ServeError(
+                f"serve: cannot probe socket {self.socket_path}: "
+                f"{exc}") from exc
+        else:
+            raise ServeError(
+                f"serve: a daemon is already listening on "
+                f"{self.socket_path}")
+        finally:
+            probe.close()
+        try:
+            os.unlink(self.socket_path)
+        except FileNotFoundError:  # pragma: no cover - racing daemons
+            pass
+
+    @property
+    def listen_address(self) -> Optional[str]:
+        """The bound TCP address remote workers should dial, if any."""
+        if self._net_listener is None:
+            return None
+        return self._net_listener.address
 
     def request_stop(self) -> None:
         """Ask the service to wind down (returns immediately)."""
@@ -228,6 +287,11 @@ class SimServer:
                 self._listener.close()
             finally:
                 self._listener = None
+        if self._net_listener is not None:
+            try:
+                self._net_listener.close()
+            finally:
+                self._net_listener = None
         if os.path.exists(self.socket_path):
             try:
                 os.unlink(self.socket_path)
@@ -312,10 +376,35 @@ class SimServer:
     def pump_once(self) -> None:
         """One supervision pass (public for deterministic tests)."""
         with self._lock:
+            self._accept_remote_workers()
             self._drain_results()
             self._reap_dead_workers()
             self._assign_idle_workers()
             self._consider_preemption()
+
+    def _accept_remote_workers(self) -> None:
+        """Admit ``repro worker --connect`` dial-ins as fleet slots."""
+        if self._net_listener is None:
+            return
+        from repro.net.handshake import HandshakeError
+        from repro.serve.remote import RemoteFleetWorker
+        while True:
+            try:
+                accepted = self._net_listener.accept(0.0)
+            except HandshakeError as exc:
+                self._emit("worker.rejected", {"error": str(exc)})
+                continue
+            if accepted is None:
+                return
+            channel, hello = accepted
+            index = self._next_remote_index
+            self._next_remote_index += 1
+            worker = RemoteFleetWorker(index, channel, hello)
+            self.workers.append(worker)
+            self._emit("worker.joined", {"worker": index,
+                                         "peer": channel.describe(),
+                                         "host": hello.host,
+                                         "pid": hello.pid})
 
     def _drain_results(self) -> None:
         for worker in self.workers:
@@ -366,6 +455,7 @@ class SimServer:
         self._emit_job("job.preempted", job, {"ckpt": ckpt_dir})
 
     def _reap_dead_workers(self) -> None:
+        removed: List[Any] = []
         for worker in self.workers:
             if worker.alive():
                 continue
@@ -374,9 +464,15 @@ class SimServer:
             self._emit("worker.died", {
                 "worker": worker.index,
                 "job": job.job_id if job else None})
-            worker.spawn()
-            self._emit("worker.spawned", {"worker": worker.index,
-                                          "pid": worker.proc.pid})
+            if worker.respawnable:
+                worker.spawn()
+                self._emit("worker.spawned", {"worker": worker.index,
+                                              "pid": worker.proc.pid})
+            else:
+                # A remote host cannot be respawned from here: the
+                # slot leaves the fleet, its job does not.
+                removed.append(worker)
+                self._emit("worker.left", {"worker": worker.index})
             if job is None:
                 continue
             job.deaths += 1
@@ -398,6 +494,9 @@ class SimServer:
                 self.queue.requeue(job)
                 self._emit_job("job.requeued", job,
                                {"deaths": job.deaths})
+        for worker in removed:
+            self.workers.remove(worker)
+            worker.shutdown()
 
     def _assign_idle_workers(self) -> None:
         for worker in self.workers:

@@ -39,6 +39,9 @@ class EventCategory(enum.IntFlag):
     #: Simulation-service lifecycle (:mod:`repro.serve`): job
     #: submissions, cache hits, preemptions, worker deaths.
     SERVE = 0x200
+    #: Multi-host membership (:mod:`repro.net`): worker.joined,
+    #: worker.left, worker.migrated (live shard migration).
+    NET = 0x400
 
 
 #: Every category, i.e. the mask for ``events: ["all"]``.

@@ -25,14 +25,24 @@ _LENGTH = struct.Struct(">I")
 MAX_FRAME_BYTES = 64 * 1024 * 1024
 
 
-class ConnectionClosed(TransportError):
+class FrameError(TransportError):
+    """The byte stream violated the framing discipline.
+
+    Raised for an oversized length prefix (corrupt or hostile peer)
+    and for truncated reads — every way a stream can stop being a
+    sequence of well-formed frames, as one typed error callers can
+    catch without also swallowing unrelated transport failures.
+    """
+
+
+class ConnectionClosed(FrameError):
     """The peer closed the stream (possibly mid-frame)."""
 
 
 def send_frame(sock: socket.socket, payload: bytes) -> None:
     """Write one length-prefixed frame."""
     if len(payload) > MAX_FRAME_BYTES:
-        raise TransportError(
+        raise FrameError(
             f"frame of {len(payload)} bytes exceeds the "
             f"{MAX_FRAME_BYTES}-byte limit")
     sock.sendall(_LENGTH.pack(len(payload)) + payload)
@@ -55,7 +65,7 @@ def recv_exact(sock: socket.socket, count: int) -> bytes:
 def _frame_body(sock: socket.socket, header: bytes) -> bytes:
     length = _LENGTH.unpack(header)[0]
     if length > MAX_FRAME_BYTES:
-        raise TransportError(
+        raise FrameError(
             f"incoming frame claims {length} bytes, over the "
             f"{MAX_FRAME_BYTES}-byte limit")
     return recv_exact(sock, length) if length else b""

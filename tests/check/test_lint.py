@@ -172,6 +172,9 @@ class TestRealTree:
         serve_tree = ast.parse(
             (root / "serve" / "protocol.py").read_text())
         serve_fingerprint, serve_version = wire_fingerprint(serve_tree)
+        net_tree = ast.parse(
+            (root / "net" / "handshake.py").read_text())
+        net_fingerprint, net_version = wire_fingerprint(net_tree)
         recorded = json.loads(
             (root / "check" / "wire_schema.json").read_text())
         assert recorded == {
@@ -179,6 +182,8 @@ class TestRealTree:
             "fingerprint": fingerprint,
             "serve": {"wire_version": serve_version,
                       "fingerprint": serve_fingerprint},
+            "net": {"wire_version": net_version,
+                    "fingerprint": net_fingerprint},
         }
 
     def test_real_wire_drift_still_fails(self, tmp_path):
@@ -214,6 +219,24 @@ class TestRealTree:
         assert [f.rule for f in findings] == ["W001"]
         assert "bump WIRE_VERSION" in findings[0].message
 
+    def test_net_handshake_drift_still_fails(self, tmp_path):
+        """Same guard for the net handshake frames: a stale nested
+        record must flag the real net/handshake.py module."""
+        import json
+        root = package_root()
+        hs_path = root / "net" / "handshake.py"
+        tree = ast.parse(hs_path.read_text())
+        _, version = wire_fingerprint(tree)
+        stale = tmp_path / "schema.json"
+        stale.write_text(json.dumps({
+            "wire_version": 99, "fingerprint": "f" * 16,
+            "net": {"wire_version": version,
+                    "fingerprint": "0" * 16}}))
+        findings = check_wire_manifest(tree, str(hs_path), stale,
+                                       record_key="net")
+        assert [f.rule for f in findings] == ["W001"]
+        assert "bump WIRE_VERSION" in findings[0].message
+
     def test_missing_serve_record_is_flagged(self, tmp_path):
         import json
         root = package_root()
@@ -234,10 +257,12 @@ class TestRealTree:
         record = accept_wire_schema(schema_path=schema)
         on_disk = json.loads(schema.read_text())
         assert on_disk == record
-        assert {"wire_version", "fingerprint", "serve"} \
+        assert {"wire_version", "fingerprint", "serve", "net"} \
             <= set(record)
         assert {"wire_version", "fingerprint"} \
             == set(record["serve"])
+        assert {"wire_version", "fingerprint"} \
+            == set(record["net"])
 
     def test_lint_paths_recurses_directories(self):
         findings = lint_paths([FIXTURES])

@@ -1,0 +1,73 @@
+"""The ISSUE's multi-host acceptance run, at scale.
+
+A 1024-tile simulation spanning two TCP-connected workers, with a live
+shard migration mid-run, must finish with every simulated metric
+byte-identical to the undisturbed in-process run and to the original
+pipe transport.  This is the paper's distribution claim end to end:
+host topology — including a host topology that *changes while the run
+is in flight* — is invisible to the simulated machine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import SimulationConfig
+from repro.distrib.wire import WorkloadRef
+from repro.sim.runner import create_simulator
+from repro.sim.simulator import Simulator
+from repro.telemetry.events import EventCategory
+
+TILES = 1024
+REF = WorkloadRef("matrix_multiply", nthreads=8, scale=0.05)
+
+
+def _config() -> SimulationConfig:
+    cfg = SimulationConfig(num_tiles=TILES, seed=7)
+    cfg.host.num_machines = 2
+    cfg.host.cores_per_machine = 2
+    cfg.host.quantum_instructions = 200
+    return cfg
+
+
+def _assert_same_metrics(result, reference) -> None:
+    assert result.simulated_cycles == reference.simulated_cycles
+    assert result.thread_cycles == reference.thread_cycles
+    assert result.thread_start_cycles == reference.thread_start_cycles
+    assert result.thread_instructions == reference.thread_instructions
+    assert result.counters == reference.counters
+    assert result.wall_clock_seconds == reference.wall_clock_seconds
+    assert result.core_busy_seconds == reference.core_busy_seconds
+    assert result.main_result == reference.main_result
+
+
+@pytest.mark.slow
+def test_1024_tiles_over_tcp_with_live_migration_matches_inproc():
+    inproc_cfg = _config()
+    inproc_cfg.validate()
+    inproc = Simulator(inproc_cfg).run(REF)
+
+    pipe_cfg = _config()
+    pipe_cfg.distrib.backend = "mp"
+    pipe_cfg.distrib.transport = "pipe"
+    pipe_cfg.validate()
+    pipes = create_simulator(pipe_cfg).run(REF)
+    _assert_same_metrics(pipes, inproc)
+
+    tcp_cfg = _config()
+    tcp_cfg.distrib.backend = "mp"
+    tcp_cfg.distrib.transport = "tcp"
+    tcp_cfg.distrib.drain_turn = 3  # force a live migration mid-run
+    tcp_cfg.telemetry.enabled = True
+    tcp_cfg.telemetry.events = ["net"]
+    tcp_cfg.validate()
+    sim = create_simulator(tcp_cfg)
+    tcp = sim.run(REF)
+    _assert_same_metrics(tcp, inproc)
+
+    events = [e for e in sim.telemetry.events
+              if e.category == EventCategory.NET]
+    migrated = [e for e in events if e.name == "worker.migrated"]
+    assert migrated, "no live migration happened during the run"
+    assert sum(e.args["tiles"] for e in migrated) >= TILES // 2
+    assert any(e.name == "worker.left" for e in events)

@@ -1,0 +1,109 @@
+"""The hello/welcome exchange: round trips and loud version failures."""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+
+from repro.net.handshake import (
+    WIRE_VERSION,
+    HandshakeError,
+    Hello,
+    Reject,
+    Welcome,
+    decode_handshake,
+    encode_handshake,
+    greet_dialer,
+    greet_listener,
+)
+from repro.transport.frames import recv_frame, send_frame
+
+
+def test_frames_round_trip():
+    for frame in (
+        Hello(role="worker", net_version=1, wire_version=5, pid=42,
+              host="box"),
+        Welcome(role="coordinator", net_version=1, wire_version=5,
+                config_fingerprint="abc123"),
+        Reject(reason="wrong wire"),
+    ):
+        assert decode_handshake(encode_handshake(frame)) == frame
+
+
+def test_decode_rejects_garbage():
+    with pytest.raises(HandshakeError):
+        decode_handshake(b"\x80\x04not json")
+    with pytest.raises(HandshakeError):
+        decode_handshake(b'{"kind": "no-such-frame"}')
+
+
+def _paired_greet(listener_fn, dialer_fn):
+    """Run both greeting halves over a socketpair; return their fates."""
+    a, b = socket.socketpair()
+    results = {}
+
+    def _listener():
+        try:
+            results["listener"] = listener_fn(a)
+        except Exception as exc:  # noqa: BLE001 - recorded for asserts
+            results["listener"] = exc
+
+    thread = threading.Thread(target=_listener)
+    thread.start()
+    try:
+        results["dialer"] = dialer_fn(b)
+    except Exception as exc:  # noqa: BLE001 - recorded for asserts
+        results["dialer"] = exc
+    thread.join(timeout=5.0)
+    a.close()
+    b.close()
+    return results
+
+
+def test_matched_versions_exchange_roles_and_fingerprint():
+    results = _paired_greet(
+        lambda s: greet_dialer(s, "coordinator", wire_version=5,
+                               config_fingerprint="deadbeef"),
+        lambda s: greet_listener(s, wire_version=5))
+    hello = results["listener"]
+    welcome = results["dialer"]
+    assert isinstance(hello, Hello) and hello.role == "worker"
+    assert isinstance(welcome, Welcome)
+    assert welcome.role == "coordinator"
+    assert welcome.config_fingerprint == "deadbeef"
+
+
+def test_wire_version_skew_fails_both_ends():
+    results = _paired_greet(
+        lambda s: greet_dialer(s, "coordinator", wire_version=5,
+                               config_fingerprint=""),
+        lambda s: greet_listener(s, wire_version=4))
+    assert isinstance(results["listener"], HandshakeError)
+    assert isinstance(results["dialer"], HandshakeError)
+    assert "wire" in str(results["dialer"]).lower()
+
+
+def test_net_version_skew_fails_the_dialer():
+    """A dialer speaking a future handshake protocol is rejected."""
+    def _dial(s):
+        send_frame(s, encode_handshake(Hello(
+            role="worker", net_version=WIRE_VERSION + 1,
+            wire_version=5, pid=1, host="future")))
+        return decode_handshake(recv_frame(s))
+
+    results = _paired_greet(
+        lambda s: greet_dialer(s, "coordinator", wire_version=5,
+                               config_fingerprint=""),
+        _dial)
+    assert isinstance(results["listener"], HandshakeError)
+    assert isinstance(results["dialer"], Reject)
+
+
+def test_peer_vanishing_mid_handshake_is_a_handshake_error():
+    a, b = socket.socketpair()
+    b.close()
+    with pytest.raises(HandshakeError):
+        greet_listener(a, wire_version=5)
+    a.close()
