@@ -1,6 +1,6 @@
 """Static and dynamic correctness checking for the simulator.
 
-Three layers, all reachable through ``python -m repro check``:
+Five layers, all reachable through ``python -m repro check``:
 
 ``repro.check.lint``
     Repo-specific determinism lints that a generic linter cannot
@@ -8,11 +8,24 @@ Three layers, all reachable through ``python -m repro check``:
     the seeded streams, hash-order-dependent set iteration, float
     arithmetic on cycle counts, and wire-format field safety.
 
+``repro.check.wireproto``
+    Wire-protocol conformance (rules P001–P003) against the
+    declarative per-role spec in ``check/wire_proto.json``: frames a
+    role may send, frames it must handle, requests that must have a
+    reply site.
+
 ``repro.check.protocol``
     An exhaustive bounded-depth explorer that drives the *real*
     directory-MSI coherence engine through every interleaving of
     read/write requests for small configurations and asserts the
     protocol invariants at every reached state.
+
+``repro.check.membership``
+    The same treatment for the distributed membership machinery:
+    abstract coordinator/worker automata (the worker side is the
+    literal spec phase machine) driven through every ordering of
+    quantum, checkpoint, join, drain, migrate and crash events, with
+    worker death injected at every protocol state.
 
 ``repro.check.sanitize``
     Opt-in runtime sanitizers (``--sanitize``) that ride the telemetry
@@ -23,14 +36,26 @@ Three layers, all reachable through ``python -m repro check``:
 """
 
 from repro.check.lint import LintFinding, lint_paths, lint_tree
+from repro.check.membership import (
+    MembershipExplorer,
+    MembershipReport,
+    MembershipViolation,
+)
 from repro.check.protocol import ExplorationReport, ProtocolExplorer
 from repro.check.sanitize import Sanitizers
+from repro.check.wireproto import RoleSites, extract_role, load_spec
 
 __all__ = [
     "ExplorationReport",
     "LintFinding",
+    "MembershipExplorer",
+    "MembershipReport",
+    "MembershipViolation",
     "ProtocolExplorer",
+    "RoleSites",
     "Sanitizers",
+    "extract_role",
     "lint_paths",
     "lint_tree",
+    "load_spec",
 ]

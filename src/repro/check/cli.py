@@ -1,14 +1,18 @@
 """The ``python -m repro check`` entry point.
 
-Runs the static determinism lints over the simulator source tree and
-the bounded-depth protocol exploration against the real coherence
-engine, exiting nonzero if either finds anything.  With explicit paths
-the command lints just those paths (protocol exploration is then
-opt-in via ``--protocol``) so a single fixture can be checked fast::
+Runs the static determinism lints (including the P-rule wire-protocol
+conformance checks) over the simulator source tree, the bounded-depth
+coherence-protocol exploration against the real engine, and the
+membership/migration model checker, exiting nonzero if any of them
+finds anything.  With explicit paths the command lints just those
+paths (the explorers are then opt-in via ``--protocol`` /
+``--membership``) so a single fixture can be checked fast::
 
-    python -m repro check                      # full tree + explorer
+    python -m repro check                      # full tree + explorers
     python -m repro check path/to/file.py      # lint one file
     python -m repro check --depth 5 --tiles 2  # deeper, smaller config
+    python -m repro check --membership-depth 6 # quicker membership run
+    python -m repro check --format github      # CI annotations
     python -m repro check --accept-wire-schema # record wire schema
 """
 
@@ -17,14 +21,15 @@ from __future__ import annotations
 import argparse
 import json
 from pathlib import Path
-from typing import List
+from typing import List, Optional
 
 from repro.check.lint import (
+    LintFinding,
     accept_wire_schema,
     lint_paths,
     lint_tree,
-    package_root,
 )
+from repro.check.membership import MembershipExplorer
 from repro.check.protocol import ProtocolExplorer
 
 
@@ -51,26 +56,105 @@ def add_check_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--directory", default="full_map",
                         choices=("full_map", "limited", "limitless"),
                         help="explorer: directory type (default full_map)")
+    parser.add_argument("--no-membership", action="store_true",
+                        help="skip the membership/migration model "
+                             "checker")
+    parser.add_argument("--membership", action="store_true",
+                        help="run the membership checker even when "
+                             "explicit lint paths are given")
+    parser.add_argument("--membership-depth", type=int, default=9,
+                        help="membership: interleaving depth "
+                             "(default 9)")
+    parser.add_argument("--membership-workers", type=int, default=2,
+                        help="membership: initial workers (default 2)")
+    parser.add_argument("--membership-max-workers", type=int,
+                        default=3,
+                        help="membership: join capacity (default 3)")
+    parser.add_argument("--membership-shards", type=int, default=2,
+                        help="membership: shards (default 2)")
+    parser.add_argument("--membership-jobs", type=int, default=1,
+                        help="membership: serve jobs (default 1)")
+    parser.add_argument("--format", choices=("text", "github"),
+                        default="text", dest="output_format",
+                        help="finding format: human text or GitHub "
+                             "Actions ::error annotations")
     parser.add_argument("--json", action="store_true",
                         help="emit machine-readable JSON")
     parser.add_argument("--accept-wire-schema", action="store_true",
                         help="record the current wire dataclass "
-                             "schemas (distrib/wire.py and "
-                             "serve/protocol.py) as the reference "
-                             "(after a WIRE_VERSION bump)")
+                             "schemas (distrib/wire.py, "
+                             "serve/protocol.py and net/handshake.py) "
+                             "as the reference (after a WIRE_VERSION "
+                             "bump)")
+
+
+def _github_escape(text: str) -> str:
+    """Escape a message for a GitHub workflow command."""
+    return text.replace("%", "%25").replace("\r", "%0D") \
+        .replace("\n", "%0A")
+
+
+def _relative_to_cwd(path: str) -> str:
+    try:
+        return str(Path(path).resolve().relative_to(Path.cwd()))
+    except ValueError:
+        return path
+
+
+def _annotate_finding(finding: LintFinding) -> str:
+    return (f"::error file={_relative_to_cwd(finding.path)},"
+            f"line={finding.line},col={finding.col},"
+            f"title={finding.rule}::"
+            f"{_github_escape(finding.message)}")
+
+
+def _annotate_violation(title: str, rendered: str) -> str:
+    return f"::error title={title}::{_github_escape(rendered)}"
+
+
+def _describe_record(old: Optional[dict], new: dict) -> str:
+    if old == new:
+        return "unchanged"
+    fingerprint = new.get("fingerprint")
+    version = new.get("wire_version")
+    if old is None:
+        return f"NEW (v{version}, fingerprint {fingerprint})"
+    return (f"CHANGED (v{old.get('wire_version')} "
+            f"{old.get('fingerprint')} -> v{version} {fingerprint})")
+
+
+def _run_accept(args: argparse.Namespace) -> int:
+    from repro.check.lint import _SCHEMA_PATH
+    previous: dict = {}
+    if _SCHEMA_PATH.exists():
+        previous = json.loads(_SCHEMA_PATH.read_text())
+    record = accept_wire_schema()
+    rows = [
+        ("wire (distrib/wire.py)",
+         {k: previous.get(k) for k in ("wire_version", "fingerprint")}
+         if previous else None,
+         {k: record[k] for k in ("wire_version", "fingerprint")}),
+        ("serve (serve/protocol.py)", previous.get("serve"),
+         record["serve"]),
+        ("net (net/handshake.py)", previous.get("net"), record["net"]),
+    ]
+    if args.json:
+        print(json.dumps({
+            "schema": record,
+            "changed": [name for name, old, new in rows
+                        if old != new]}, indent=2))
+        return 0
+    print(f"recorded wire schema manifest at {_SCHEMA_PATH}:")
+    for name, old, new in rows:
+        print(f"  {name}: {_describe_record(old, new)}")
+    return 0
 
 
 def run_check(args: argparse.Namespace) -> int:
     if args.accept_wire_schema:
-        record = accept_wire_schema()
-        print(f"recorded wire schema: version "
-              f"{record['wire_version']}, "
-              f"fingerprint {record['fingerprint']}; "
-              f"serve protocol version "
-              f"{record['serve']['wire_version']}, "
-              f"fingerprint {record['serve']['fingerprint']}")
-        return 0
+        return _run_accept(args)
 
+    github = args.output_format == "github"
     failed = False
     payload: dict = {}
 
@@ -84,7 +168,8 @@ def run_check(args: argparse.Namespace) -> int:
             failed = True
         if not args.json:
             for finding in findings:
-                print(finding.render())
+                print(_annotate_finding(finding) if github
+                      else finding.render())
             scope = ", ".join(args.paths) if args.paths \
                 else "repro source tree"
             print(f"lint: {len(findings)} finding(s) in {scope}")
@@ -112,6 +197,42 @@ def run_check(args: argparse.Namespace) -> int:
             failed = True
         if not args.json:
             print(report.render())
+            if github:
+                for violation in report.violations:
+                    print(_annotate_violation("protocol-explorer",
+                                              violation.render()))
+
+    run_membership = not args.no_membership and \
+        (not args.paths or args.membership)
+    if run_membership:
+        membership = MembershipExplorer(
+            workers=args.membership_workers,
+            max_workers=args.membership_max_workers,
+            shards=args.membership_shards,
+            jobs=args.membership_jobs,
+            depth=args.membership_depth)
+        report = membership.explore()
+        payload["membership"] = {
+            "workers": report.workers,
+            "max_workers": report.max_workers,
+            "shards": report.shards,
+            "jobs": report.jobs,
+            "depth": report.depth,
+            "explored_states": report.explored_states,
+            "unique_states": report.unique_states,
+            "transitions": report.transitions,
+            "crash_injections": report.crash_injections,
+            "crash_phases": report.crash_phases,
+            "violations": [v.render() for v in report.violations],
+        }
+        if not report.ok:
+            failed = True
+        if not args.json:
+            print(report.render())
+            if github:
+                for violation in report.violations:
+                    print(_annotate_violation("membership-explorer",
+                                              violation.render()))
 
     if args.json:
         payload["ok"] = not failed

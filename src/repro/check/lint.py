@@ -41,6 +41,13 @@ These rules encode the repo-specific ways that property gets broken:
     schema requires a ``WIRE_VERSION`` bump (tracked via a fingerprint
     manifest, refreshed with ``repro check --accept-wire-schema``).
 
+``P001``–``P003``
+    Wire-*protocol* conformance (who may send what, what must be
+    handled, which requests must have a reply site), checked against
+    the declarative spec in ``check/wire_proto.json``.  The rules
+    live in :mod:`repro.check.wireproto` and run automatically for
+    the modules the spec names.
+
 A finding can be suppressed with an inline comment on the offending
 line::
 
@@ -72,7 +79,9 @@ D001_EXEMPT_DIRS = ("profile",)
 #: D003 additionally covers the wire/distribution layers: hash order
 #: leaking into frames breaks cross-process byte-identity, and the
 #: serve daemon's scheduling decisions must not depend on it either.
-SET_ITER_DIRS = MODEL_DIRS + ("distrib", "serve")
+#: ``net/`` carries both wires (TCP channels, handshake, listener
+#: accept order), so it is in scope too.
+SET_ITER_DIRS = MODEL_DIRS + ("distrib", "serve", "net")
 
 #: Modules under the W001 manifest, mapped to their record key inside
 #: ``check/wire_schema.json`` (``None`` = the top-level record — the
@@ -582,8 +591,11 @@ def accept_wire_schema(root: Optional[Path] = None,
             record.update(entry)
         else:
             record[key] = entry
-    schema_path.write_text(
-        json.dumps(record, indent=2, sort_keys=True) + "\n")
+    # Atomic replace: a crash mid-write must never leave a truncated
+    # manifest that would flag every wire module at once.
+    tmp = schema_path.with_name(schema_path.name + ".tmp")
+    tmp.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    tmp.replace(schema_path)
     return record
 
 
@@ -616,10 +628,22 @@ def lint_file(path: Path,
     if not scope.wire_manifest and scope.wire_safety and \
             not probe.defines_wire_version:
         findings = [f for f in findings if f.rule != "W001"]
-    if scope.wire_manifest:
+    try:
         rel = path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        rel = None
+    if scope.wire_manifest and rel is not None:
         findings.extend(check_wire_manifest(
             tree, str(path), record_key=WIRE_MODULES[rel]))
+    if rel is not None:
+        # Protocol conformance (P001-P003) for the modules the wire
+        # spec names.  Imported lazily: wireproto imports back from
+        # this module.
+        from repro.check import wireproto
+        spec = wireproto.load_spec()
+        if rel in wireproto.spec_modules(spec):
+            findings.extend(wireproto.lint_wireproto(
+                tree, str(path), rel, suppressions, spec))
     findings.extend(suppressions.findings)
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings

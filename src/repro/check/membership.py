@@ -1,0 +1,610 @@
+"""Exhaustive model checking of membership, migration and recovery.
+
+The elastic-membership machinery (PR 7) promises that *any* history of
+joins, drains, live migrations, checkpoints and worker crashes leaves
+the cluster consistent: every shard owned by exactly one live worker,
+stats never double-counted after a RELEASE, requeued jobs never lost,
+and the checkpoint barrier never deadlocked.  Those promises hold or
+break in the *interleavings* — exactly the thing example-based tests
+cannot enumerate.
+
+This checker explores them all, bounded by depth.  It drives abstract
+coordinator/worker automata — the worker side is the literal phase
+machine from ``check/wire_proto.json``, so the model and the lint
+rules share one source of truth — through every ordering of:
+
+- quantum rounds (RUN_QUANTUM fan-out, QUANTUM_DONE collection),
+- stats collection (COLLECT_STATS/STATS),
+- checkpoint barriers (CHECKPOINT fan-out, CKPT_ACK collection),
+- worker joins (HELLO at a quantum boundary) and drains (GOODBYE),
+- live migration handshakes (CHECKPOINT -> ADOPT -> RELEASE, with or
+  without a departing source),
+- serve-style job assignment/completion riding the same membership,
+- worker crashes, injected at **every** reachable protocol state
+  (mid-barrier, mid-quantum, mid-migration, mid-restore, ...), and
+- crash recovery (requeue + RESTORE fan-out from the last barrier).
+
+Safety invariants are asserted in every reached state:
+
+1. no shard is owned by two live workers at once;
+2. no shard is orphaned (quiescent states must cover every shard);
+3. no shard is resident in two live kernels (stats double-count);
+4. no requeued job is lost, and no job runs on a dead worker;
+5. the cluster never deadlocks: every non-failed state has a
+   successor, and a barrier blocked on a crashed worker is reported
+   at the blocking step.
+
+Like the coherence explorer, a violation carries the exact event
+sequence that produced it — a minimal reproduction, because the BFS
+reaches every state first via a shortest path.  The ``bugs=`` seeds
+(used by the test suite) demonstrate each invariant class actually
+fires: every flag injects one classic distributed-membership bug into
+the abstract coordinator.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.check.wireproto import load_spec
+
+_LIVE, _DEPARTED, _CRASHED = "live", "departed", "crashed"
+
+#: Seedable coordinator bugs, one per invariant class (tests only).
+KNOWN_BUGS = frozenset({
+    "double_owner",        # commit keeps src+dst in the owner map
+    "skip_release",        # migration skips the RELEASE leg
+    "orphan_on_recovery",  # recovery forgets one crashed shard
+    "lose_requeued_job",   # a crashed worker's job is dropped
+    "no_crash_detection",  # barrier sends block on dead peers
+    "barrier_in_quantum",  # checkpoint started mid-quantum
+})
+
+#: Micro-steps of the migration handshake, in wire order.
+_MIGRATE_STEPS = ("ckpt", "ckpt_ack", "adopt", "adopt_ack",
+                  "release", "release_ack", "goodbye")
+
+#: Fan-out/collect ops: (recv frame at fan-out, send frame at collect).
+_BARRIER_FRAMES = {
+    "quantum": (("recv", "RUN_QUANTUM"), ("send", "QUANTUM_DONE")),
+    "collect": (("recv", "COLLECT_STATS"), ("send", "STATS")),
+    "ckpt": (("recv", "CHECKPOINT"), ("send", "CKPT_ACK")),
+    "restore": (("recv", "RESTORE"), ("send", "CKPT_ACK")),
+}
+
+
+@dataclass(frozen=True)
+class ClusterState:
+    """One abstract cluster configuration (fully hashable)."""
+
+    status: Tuple[str, ...]                  # per worker slot
+    phase: Tuple[str, ...]                   # worker automaton phase
+    kernel: Tuple[FrozenSet[int], ...]       # shards resident per slot
+    owner: Tuple[FrozenSet[int], ...]        # owning slots per shard
+    ckpt: Optional[FrozenSet[int]]           # shards the last barrier covers
+    jobs: Tuple[Tuple[str, int], ...]        # (state, worker) per job
+    op: Optional[Tuple]                      # in-flight coordinator op
+    failed: bool = False                     # clean, accounted failure
+
+
+@dataclass(frozen=True)
+class MembershipViolation:
+    """An invariant failure plus the event sequence reproducing it."""
+
+    trace: Tuple[str, ...]
+    message: str
+
+    def render(self) -> str:
+        trace = " -> ".join(self.trace) if self.trace else "<initial>"
+        return f"[{trace}] {self.message}"
+
+
+@dataclass
+class MembershipReport:
+    """What the bounded-depth BFS covered and what it found."""
+
+    workers: int
+    max_workers: int
+    shards: int
+    jobs: int
+    depth: int
+    explored_states: int = 0
+    unique_states: int = 0
+    transitions: int = 0
+    crash_injections: int = 0
+    #: Worker-automaton phases a crash was injected in; "crash at
+    #: every protocol state" means this covers every phase the model
+    #: can occupy.
+    crash_phases: List[str] = field(default_factory=list)
+    violations: List[MembershipViolation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def render(self) -> str:
+        head = (f"workers={self.workers}..{self.max_workers} "
+                f"shards={self.shards} jobs={self.jobs} "
+                f"depth={self.depth}")
+        body = (f"explored {self.explored_states} states "
+                f"({self.unique_states} unique, "
+                f"{self.transitions} transitions, "
+                f"{self.crash_injections} crash injections over "
+                f"phases {self.crash_phases})")
+        out = [f"membership explorer: {head}", f"  {body}"]
+        for violation in self.violations:
+            out.append(f"  VIOLATION {violation.render()}")
+        if self.ok:
+            out.append("  all membership invariants hold in every "
+                       "reached state")
+        return "\n".join(out)
+
+
+def _set_at(items: Tuple, index: int, value) -> Tuple:
+    return items[:index] + (value,) + items[index + 1:]
+
+
+class MembershipExplorer:
+    """Bounded-depth BFS over membership/fault event interleavings."""
+
+    def __init__(self, workers: int = 2, max_workers: int = 3,
+                 shards: int = 2, jobs: int = 1, depth: int = 9,
+                 bugs: FrozenSet[str] = frozenset(),
+                 max_violations: int = 10,
+                 spec: Optional[dict] = None) -> None:
+        if workers < 1 or shards < 1:
+            raise ValueError("need at least one worker and one shard")
+        unknown = set(bugs) - KNOWN_BUGS
+        if unknown:
+            raise ValueError(f"unknown bug seed(s) {sorted(unknown)}")
+        self.workers = workers
+        self.max_workers = max(max_workers, workers)
+        self.shards = shards
+        self.jobs = jobs
+        self.depth = depth
+        self.bugs = frozenset(bugs)
+        self.max_violations = max_violations
+        spec = load_spec() if spec is None else spec
+        machine = spec["phases"]["worker"]
+        self._transitions: Dict[str, Dict[str, str]] = \
+            machine["transitions"]
+        #: Phase a worker lands in once greeted (HELLO completes).
+        self._joined = self._transitions[machine["initial"]]["recv HELLO"]
+
+    # -- spec-driven worker automaton ----------------------------------------
+
+    def _phase_after(self, phase: str, direction: str,
+                     frame: str) -> Optional[str]:
+        return self._transitions.get(phase, {}).get(
+            f"{direction} {frame}")
+
+    # -- initial state --------------------------------------------------------
+
+    def initial_state(self) -> ClusterState:
+        owner = tuple(frozenset({s % self.workers})
+                      for s in range(self.shards))
+        kernel = tuple(
+            frozenset(s for s in range(self.shards)
+                      if w in owner[s])
+            for w in range(self.workers))
+        return ClusterState(
+            status=(_LIVE,) * self.workers,
+            phase=(self._joined,) * self.workers,
+            kernel=kernel,
+            owner=owner,
+            ckpt=None,
+            jobs=(("queued", -1),) * self.jobs,
+            op=None,
+            failed=False)
+
+    # -- invariants -----------------------------------------------------------
+
+    def _live(self, state: ClusterState) -> List[int]:
+        return [w for w in range(len(state.status))
+                if state.status[w] == _LIVE]
+
+    def _dirty(self, state: ClusterState, w: int) -> bool:
+        """A crashed worker the coordinator has not yet recovered."""
+        if state.status[w] != _CRASHED:
+            return False
+        return bool(state.kernel[w]) or \
+            any(w in owners for owners in state.owner) or \
+            any(js == "run" and jw == w for js, jw in state.jobs)
+
+    def _quiescent(self, state: ClusterState) -> bool:
+        return state.op is None and not state.failed and not any(
+            self._dirty(state, w) for w in range(len(state.status)))
+
+    def invariant_errors(self, state: ClusterState) -> List[str]:
+        errors: List[str] = []
+        live = set(self._live(state))
+        for s, owners in enumerate(state.owner):
+            live_owners = sorted(owners & live)
+            if len(live_owners) > 1:
+                errors.append(
+                    f"shard {s} owned by {len(live_owners)} live "
+                    f"workers {live_owners} at once "
+                    "(single-owner invariant)")
+        for j, (js, jw) in enumerate(state.jobs):
+            if js == "lost":
+                errors.append(
+                    f"job {j} was lost instead of requeued after its "
+                    "worker crashed (job-conservation invariant)")
+        if self._quiescent(state):
+            for s, owners in enumerate(state.owner):
+                if not owners & live:
+                    errors.append(
+                        f"shard {s} orphaned: no live owner after "
+                        "the membership change (coverage invariant)")
+            for s in range(self.shards):
+                holders = sorted(w for w in live
+                                 if s in state.kernel[w])
+                if len(holders) > 1:
+                    errors.append(
+                        f"shard {s} resident in {len(holders)} live "
+                        f"kernels {holders}: its stats would "
+                        "double-count (post-RELEASE invariant)")
+            for j, (js, jw) in enumerate(state.jobs):
+                if js == "run" and jw not in live:
+                    errors.append(
+                        f"job {j} recorded as running on non-live "
+                        f"worker {jw} (job-conservation invariant)")
+        return errors
+
+    # -- successor generation -------------------------------------------------
+
+    def _successors(self, state: ClusterState
+                    ) -> Tuple[List[Tuple[str, ClusterState]],
+                               List[Tuple[str, str]]]:
+        """Enabled transitions plus violations raised *at* this state.
+
+        The second list holds (event label, message) pairs for steps
+        the protocol cannot take — an illegal frame for the target's
+        phase, or a barrier blocked forever on a dead peer.
+        """
+        if state.failed:
+            return [], []
+        transitions: List[Tuple[str, ClusterState]] = []
+        immediate: List[Tuple[str, str]] = []
+        for w in self._live(state):
+            transitions.append((
+                f"crash w={w}",
+                replace(state, status=_set_at(state.status, w,
+                                              _CRASHED))))
+        if state.op is not None:
+            self._op_steps(state, transitions, immediate)
+            return transitions, immediate
+        dirty = [w for w in range(len(state.status))
+                 if self._dirty(state, w)]
+        if dirty:
+            self._recover(state, transitions)
+            return transitions, immediate
+        self._start_events(state, transitions)
+        return transitions, immediate
+
+    def _start_events(self, state: ClusterState,
+                      transitions: List[Tuple[str, ClusterState]]
+                      ) -> None:
+        live = self._live(state)
+        parts = tuple(live)
+        if parts:
+            transitions.append((
+                "quantum:begin",
+                replace(state, op=("quantum", parts, 0, 0))))
+            transitions.append((
+                "collect:begin",
+                replace(state, op=("collect", parts, 0, 0))))
+            transitions.append((
+                "ckpt:begin",
+                replace(state, op=("ckpt", parts, 0, 0))))
+        if len(state.status) < self.max_workers:
+            transitions.append((
+                f"join w={len(state.status)}",
+                replace(
+                    state,
+                    status=state.status + (_LIVE,),
+                    phase=state.phase + (self._joined,),
+                    kernel=state.kernel + (frozenset(),))))
+        for src in live:
+            busy = any(js == "run" and jw == src
+                       for js, jw in state.jobs)
+            moving = tuple(sorted(
+                s for s in range(self.shards)
+                if src in state.owner[s]))
+            if not moving and not busy:
+                # Draining a shardless worker is just a GOODBYE.
+                phase = self._phase_after(state.phase[src], "recv",
+                                          "GOODBYE")
+                if phase is not None:
+                    transitions.append((
+                        f"drain:empty w={src}",
+                        replace(
+                            state,
+                            status=_set_at(state.status, src,
+                                           _DEPARTED),
+                            phase=_set_at(state.phase, src, phase))))
+            if not moving:
+                continue
+            for dst in live:
+                if dst == src:
+                    continue
+                for depart in (False, True):
+                    if depart and busy:
+                        continue
+                    label = ("migrate" if not depart else "drain")
+                    transitions.append((
+                        f"{label}:begin src={src} dst={dst}",
+                        replace(state, op=("migrate", src, dst,
+                                           depart, moving, 0))))
+        for j, (js, jw) in enumerate(state.jobs):
+            if js == "queued":
+                for w in live:
+                    new_jobs = _set_at(state.jobs, j, ("run", w))
+                    transitions.append((
+                        f"job:assign j={j} w={w}",
+                        replace(state, jobs=new_jobs)))
+            elif js == "run" and jw in live:
+                new_jobs = _set_at(state.jobs, j, ("done", -1))
+                transitions.append((
+                    f"job:finish j={j}",
+                    replace(state, jobs=new_jobs)))
+
+    # -- in-flight op micro-steps ---------------------------------------------
+
+    def _op_steps(self, state: ClusterState,
+                  transitions: List[Tuple[str, ClusterState]],
+                  immediate: List[Tuple[str, str]]) -> None:
+        op = state.op
+        if op[0] == "migrate":
+            self._migrate_step(state, transitions, immediate)
+            return
+        kind, parts, idx, stage = op
+        if kind == "quantum" and "barrier_in_quantum" in self.bugs:
+            runner = next((w for w in parts
+                           if state.phase[w] == "running"), None)
+            if runner is not None:
+                immediate.append((
+                    f"ckpt:begin (mid-quantum, w={runner} running)",
+                    f"protocol violation: CHECKPOINT sent to worker "
+                    f"{runner} in phase 'running'; barriers must wait "
+                    "for the quantum boundary"))
+        w = parts[idx]
+        label = (f"{kind}:{'send' if stage == 0 else 'ack'} w={w}")
+        if state.status[w] != _LIVE:
+            self._blocked_peer(state, kind, w, label, transitions,
+                               immediate)
+            return
+        direction, frame = _BARRIER_FRAMES[kind][stage]
+        phase = self._phase_after(state.phase[w], direction, frame)
+        if phase is None:
+            immediate.append((
+                label,
+                f"protocol violation: {frame} ({direction}) is "
+                f"illegal for worker {w} in phase "
+                f"{state.phase[w]!r}"))
+            return
+        new = replace(state, phase=_set_at(state.phase, w, phase))
+        idx += 1
+        if idx == len(parts):
+            idx, stage = 0, stage + 1
+        if stage == 2:
+            new = self._finish_barrier(new, kind, parts)
+        else:
+            new = replace(new, op=(kind, parts, idx, stage))
+        transitions.append((label, new))
+
+    def _blocked_peer(self, state: ClusterState, kind: str, w: int,
+                      label: str,
+                      transitions: List[Tuple[str, ClusterState]],
+                      immediate: List[Tuple[str, str]]) -> None:
+        if "no_crash_detection" in self.bugs:
+            immediate.append((
+                label,
+                f"{kind} barrier cannot complete: worker {w} crashed "
+                "in-flight and crash detection is disabled — the "
+                "coordinator blocks forever (deadlock invariant)"))
+        else:
+            # Detection aborts the whole op and the surviving workers
+            # are re-formed (fresh processes, HELLO, idle) before
+            # anything else happens — mirrors run_with_recovery's
+            # tear-down-and-rebuild.
+            transitions.append((
+                f"{kind}:abort (w={w} crashed)",
+                replace(state, op=None,
+                        phase=self._reformed_phases(state))))
+
+    def _reformed_phases(self, state: ClusterState) -> Tuple[str, ...]:
+        """Live workers back at the joined phase (cluster rebuild)."""
+        return tuple(
+            self._joined if status == _LIVE else phase
+            for status, phase in zip(state.status, state.phase))
+
+    def _finish_barrier(self, state: ClusterState, kind: str,
+                        parts: Tuple[int, ...]) -> ClusterState:
+        state = replace(state, op=None)
+        if kind == "ckpt":
+            return replace(state,
+                           ckpt=frozenset(range(self.shards)))
+        if kind == "restore":
+            # Restore rebuilds every shard from the snapshot: after
+            # it, residency is exactly ownership (stale copies from an
+            # interrupted migration are gone with the old kernels).
+            kernel = tuple(
+                frozenset(s for s in range(self.shards)
+                          if w in state.owner[s])
+                if state.status[w] == _LIVE else frozenset()
+                for w in range(len(state.status)))
+            return replace(state, kernel=kernel)
+        return state
+
+    def _migrate_step(self, state: ClusterState,
+                      transitions: List[Tuple[str, ClusterState]],
+                      immediate: List[Tuple[str, str]]) -> None:
+        _, src, dst, depart, moving, pc = state.op
+        step = _MIGRATE_STEPS[pc]
+        target = dst if step.startswith("adopt") else src
+        label = f"migrate:{step} src={src} dst={dst}"
+        if state.status[target] != _LIVE:
+            self._blocked_peer(state, "migrate", target, label,
+                               transitions, immediate)
+            return
+        direction, frame = {
+            "ckpt": ("recv", "CHECKPOINT"),
+            "ckpt_ack": ("send", "CKPT_ACK"),
+            "adopt": ("recv", "ADOPT"),
+            "adopt_ack": ("send", "CKPT_ACK"),
+            "release": ("recv", "RELEASE"),
+            "release_ack": ("send", "CKPT_ACK"),
+            "goodbye": ("recv", "GOODBYE"),
+        }[step]
+        phase = self._phase_after(state.phase[target], direction,
+                                  frame)
+        if phase is None:
+            immediate.append((
+                label,
+                f"protocol violation: {frame} ({direction}) is "
+                f"illegal for worker {target} in phase "
+                f"{state.phase[target]!r}"))
+            return
+        new = replace(state,
+                      phase=_set_at(state.phase, target, phase))
+        if step == "adopt_ack":
+            new = replace(new, kernel=_set_at(
+                new.kernel, dst, new.kernel[dst] | set(moving)))
+            if "skip_release" in self.bugs:
+                # The buggy coordinator commits straight after the
+                # adopt, never telling the source to shed its copy.
+                new = self._commit_migration(new, src, dst, moving)
+                pc = _MIGRATE_STEPS.index("goodbye") - 1
+        elif step == "release_ack":
+            new = replace(new, kernel=_set_at(
+                new.kernel, src, new.kernel[src] - set(moving)))
+            new = self._commit_migration(new, src, dst, moving)
+        pc += 1
+        if pc == len(_MIGRATE_STEPS) - 1 and not depart:
+            new = replace(new, op=None)
+        elif step == "goodbye":
+            new = replace(new,
+                          status=_set_at(new.status, src, _DEPARTED),
+                          op=None)
+        else:
+            new = replace(new, op=("migrate", src, dst, depart,
+                                   moving, pc))
+        transitions.append((label, new))
+
+    def _commit_migration(self, state: ClusterState, src: int,
+                          dst: int, moving: Sequence[int]
+                          ) -> ClusterState:
+        owner = list(state.owner)
+        for s in moving:
+            if "double_owner" in self.bugs:
+                owner[s] = owner[s] | {dst}
+            else:
+                owner[s] = frozenset({dst})
+        return replace(state, owner=tuple(owner))
+
+    # -- crash recovery -------------------------------------------------------
+
+    def _recover(self, state: ClusterState,
+                 transitions: List[Tuple[str, ClusterState]]) -> None:
+        live = set(self._live(state))
+        jobs = list(state.jobs)
+        for j, (js, jw) in enumerate(jobs):
+            if js == "run" and state.status[jw] == _CRASHED:
+                jobs[j] = ("lost", -1) \
+                    if "lose_requeued_job" in self.bugs \
+                    else ("queued", -1)
+        lost_shards = sorted(
+            s for s in range(self.shards)
+            if not (state.owner[s] & live))
+        if lost_shards and (not live or state.ckpt is None):
+            # No snapshot (or no capacity) to restore from: the run
+            # fails loudly but accounted — jobs are still conserved.
+            transitions.append((
+                "recover:fail",
+                replace(state, jobs=tuple(jobs), failed=True)))
+            return
+        owner = list(state.owner)
+        orphan = lost_shards[-1] \
+            if "orphan_on_recovery" in self.bugs and lost_shards \
+            else None
+        for s in range(self.shards):
+            live_owners = owner[s] & live
+            if live_owners:
+                owner[s] = frozenset({min(live_owners)})
+            elif s == orphan:
+                owner[s] = frozenset()
+            else:
+                owner[s] = frozenset({min(live)})
+        kernel = tuple(
+            state.kernel[w] if state.status[w] == _LIVE
+            else frozenset()
+            for w in range(len(state.status)))
+        new = replace(state, jobs=tuple(jobs), owner=tuple(owner),
+                      kernel=kernel,
+                      phase=self._reformed_phases(state))
+        if lost_shards:
+            new = replace(new, op=("restore", tuple(sorted(live)),
+                                   0, 0))
+        transitions.append(("recover", new))
+
+    # -- the search -----------------------------------------------------------
+
+    def explore(self) -> MembershipReport:
+        report = MembershipReport(
+            workers=self.workers, max_workers=self.max_workers,
+            shards=self.shards, jobs=self.jobs, depth=self.depth)
+        init = self.initial_state()
+        parent: Dict[ClusterState,
+                     Optional[Tuple[ClusterState, str]]] = {init: None}
+        depth_of: Dict[ClusterState, int] = {init: 0}
+        queue: deque = deque([init])
+        crash_phases: set = set()
+
+        def trace(state: ClusterState) -> Tuple[str, ...]:
+            labels: List[str] = []
+            cursor = state
+            while parent[cursor] is not None:
+                cursor, label = parent[cursor]
+                labels.append(label)
+            return tuple(reversed(labels))
+
+        def record(base: Tuple[str, ...], message: str) -> None:
+            if len(report.violations) < self.max_violations:
+                report.violations.append(
+                    MembershipViolation(base, message))
+
+        for message in self.invariant_errors(init):
+            record((), message)
+        while queue:
+            state = queue.popleft()
+            if depth_of[state] >= self.depth:
+                continue
+            transitions, immediate = self._successors(state)
+            base = trace(state)
+            for label, message in immediate:
+                record(base + (label,), message)
+            if not transitions and not immediate and not state.failed:
+                record(base, "deadlock: no transition is enabled and "
+                             "the cluster has not failed cleanly")
+            for label, nxt in transitions:
+                report.transitions += 1
+                report.explored_states += 1
+                if label.startswith("crash w="):
+                    report.crash_injections += 1
+                    crash_phases.add(
+                        state.phase[int(label.split("w=")[1])])
+                errors = self.invariant_errors(nxt)
+                if errors:
+                    for message in errors:
+                        record(base + (label,), message)
+                    continue  # do not expand broken states
+                if nxt not in parent:
+                    parent[nxt] = (state, label)
+                    depth_of[nxt] = depth_of[state] + 1
+                    queue.append(nxt)
+        report.unique_states = len(parent)
+        report.crash_phases = sorted(crash_phases)
+        return report

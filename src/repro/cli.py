@@ -207,8 +207,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     check = sub.add_parser(
         "check",
-        help="run determinism lints and the coherence-protocol "
-             "state-space explorer (exits nonzero on findings)")
+        help="run the determinism and wire-protocol lints plus the "
+             "coherence-protocol and membership/migration state-space "
+             "explorers (exits nonzero on findings)")
     from repro.check.cli import add_check_arguments
     add_check_arguments(check)
     return parser

@@ -1,0 +1,12 @@
+"""Fixture: a bare allow marker on a multi-line statement (W002).
+
+The marker sits on the *last* line of a statement spanning three
+lines.  Without a justification it must not suppress the D004 finding
+(anchored at the statement's first line) and must itself be reported.
+"""
+
+
+def stretch(total_cycles):
+    return (
+        total_cycles
+        / 2)  # check: allow D004

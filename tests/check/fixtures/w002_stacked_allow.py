@@ -1,0 +1,10 @@
+"""Fixture: a stacked allow marker without a justification (W002).
+
+``allow D001,D002`` names two rules but justifies neither, so neither
+finding is suppressed and the bare marker is reported once.
+"""
+
+import random
+import time
+
+t0 = (time.time(), random.random())  # check: allow D001,D002

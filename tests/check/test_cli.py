@@ -48,3 +48,67 @@ def test_json_includes_protocol_report(capsys):
     protocol = payload["protocol"]
     assert protocol["violations"] == []
     assert protocol["explored_states"] > 0
+
+
+def test_json_includes_membership_report(capsys):
+    code = main(["check", "--no-lint", "--no-protocol",
+                 "--membership-depth", "6", "--json"])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    membership = payload["membership"]
+    assert membership["violations"] == []
+    assert membership["depth"] == 6
+    assert membership["unique_states"] > 0
+    assert membership["crash_injections"] > 0
+    assert "running" in membership["crash_phases"]
+
+
+def test_membership_config_flags_are_honoured(capsys):
+    code = main(["check", "--no-lint", "--no-protocol",
+                 "--membership-workers", "1",
+                 "--membership-max-workers", "2",
+                 "--membership-shards", "1",
+                 "--membership-jobs", "0",
+                 "--membership-depth", "4", "--json"])
+    assert code == 0
+    membership = json.loads(capsys.readouterr().out)["membership"]
+    assert (membership["workers"], membership["max_workers"],
+            membership["shards"], membership["jobs"]) == (1, 2, 1, 0)
+
+
+def test_no_membership_skips_the_explorer(capsys):
+    code = main(["check", "--no-lint", "--no-membership",
+                 "--tiles", "2", "--depth", "2", "--json"])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert "membership" not in payload
+
+
+def test_github_format_emits_error_annotations(capsys):
+    code = main(["check", str(FIXTURES / "d002_random.py"),
+                 "--format", "github"])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "::error file=" in out
+    assert "line=8" in out
+    assert "title=D002" in out
+    # The human summary line still closes the section.
+    assert "3 finding(s)" in out
+
+
+def test_github_format_escapes_newlines(capsys):
+    # Workflow-command payloads are single-line: the escaper is what
+    # keeps multi-line messages from truncating the annotation.
+    from repro.check.cli import _github_escape
+    assert _github_escape("a%b\r\nc") == "a%25b%0D%0Ac"
+
+
+def test_accept_wire_schema_reports_each_record(capsys):
+    # The committed manifest is current, so accepting it again must
+    # be a no-op that says so for every wire module.
+    code = main(["check", "--accept-wire-schema"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "wire (distrib/wire.py): unchanged" in out
+    assert "serve (serve/protocol.py): unchanged" in out
+    assert "net (net/handshake.py): unchanged" in out

@@ -42,6 +42,20 @@ class TestFixturesTrigger:
         assert finding.line == 8
         assert "d002_random.py:8:" in finding.render()
 
+    def test_bare_allow_on_multiline_statement_is_a_finding(self):
+        # The marker sits on the statement's *last* line; without a
+        # justification neither the D004 (anchored at the first line)
+        # nor the marker itself gets a pass.
+        findings = lint_file(FIXTURES / "w002_multiline_allow.py")
+        assert sorted(f.rule for f in findings) == ["D004", "W002"]
+
+    def test_stacked_bare_allow_suppresses_nothing(self):
+        # ``allow D001,D002`` without a justification: both findings
+        # stay, the bare marker is reported exactly once.
+        findings = lint_file(FIXTURES / "w002_stacked_allow.py")
+        assert sorted(f.rule for f in findings) == \
+            ["D001", "D002", "W002"]
+
 
 class TestSuppression:
     def test_justified_allow_suppresses(self, tmp_path):
@@ -66,6 +80,38 @@ class TestSuppression:
             "t0 = time.time()  # check: allow D002 -- wrong rule\n")
         assert [f.rule for f in lint_file(path)] == ["D001"]
 
+    def test_stacked_justified_allow_suppresses_all_named(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(
+            "import random\n"
+            "import time\n"
+            "t0 = (time.time(), random.random())"
+            "  # check: allow D001,D002 -- boot entropy probe\n")
+        assert lint_file(path) == []
+
+    def test_stacked_allow_tolerates_unmatched_rule(self, tmp_path):
+        # Naming a rule that does not fire on the line is harmless:
+        # the matched rule is still suppressed.
+        path = tmp_path / "mod.py"
+        path.write_text(
+            "import time\n"
+            "t0 = time.time()"
+            "  # check: allow D001,D003 -- migration scan\n")
+        assert lint_file(path) == []
+
+    def test_stacked_allow_covers_multiline_nodes(self, tmp_path):
+        # Two different rules on one statement spanning three lines,
+        # one stacked marker on the closing line: both violating
+        # nodes' spans reach the marker, so both are suppressed.
+        path = tmp_path / "mod.py"
+        path.write_text(
+            "import time\n"
+            "def f(cycles):\n"
+            "    return (cycles /\n"
+            "            time.time(\n"
+            "            ))  # check: allow D001,D004 -- wall ratio\n")
+        assert lint_file(path) == []
+
 
 class TestScoping:
     def test_model_dirs_get_wall_clock_rule(self):
@@ -81,6 +127,26 @@ class TestScoping:
         # ...but distrib is still covered by the set-iteration rule.
         assert scope_for(root / "distrib" / "wire.py",
                          root).set_iteration
+
+    def test_wire_carrying_dirs_get_set_iteration_rule(self):
+        # net/ and serve/ both put data on wires; hash-order set
+        # iteration there reorders frames across hosts, so D003
+        # covers them like distrib/ (without the model-only rules).
+        root = package_root()
+        for sub in ("net", "serve"):
+            scope = scope_for(root / sub / "anything.py", root)
+            assert scope.set_iteration, sub
+            assert not scope.wall_clock and not scope.float_cycles
+
+    def test_d003_fires_under_net_scope(self, tmp_path):
+        source = ("def fanout() -> list:\n"
+                  "    return list({1, 2, 3})\n")
+        for sub, rules in (("net", ["D003"]), ("host", [])):
+            (tmp_path / sub).mkdir()
+            path = tmp_path / sub / "mod.py"
+            path.write_text(source)
+            found = [f.rule for f in lint_file(path, root=tmp_path)]
+            assert found == rules, (sub, found)
 
     def test_rng_module_may_construct_random(self):
         root = package_root()
