@@ -73,8 +73,11 @@ MODEL_DIRS = ("core", "memory", "network", "sync", "sim")
 
 #: Sub-packages sanctioned to read wall clocks (D001): host profiling
 #: *is* wall-clock measurement, so ``src/repro/profile/`` is exempt as
-#: a scope — no per-line suppression markers needed there.
-D001_EXEMPT_DIRS = ("profile",)
+#: a scope — no per-line suppression markers needed there.  The
+#: observability layer (``src/repro/obs/`` — ``repro top`` refresh
+#: loops, flight-recorder dump timestamps) is host-side by definition
+#: and exempt for the same reason; model code stays rejected.
+D001_EXEMPT_DIRS = ("profile", "obs")
 
 #: D003 additionally covers the wire/distribution layers: hash order
 #: leaking into frames breaks cross-process byte-identity, and the

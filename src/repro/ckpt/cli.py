@@ -26,11 +26,15 @@ def add_resume_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--json", action="store_true",
                         help="emit machine-readable JSON instead of "
                              "text")
+    from repro.cli import add_telemetry_arguments
+    add_telemetry_arguments(parser)
 
 
 def run_resume(args: argparse.Namespace) -> int:
+    from repro.cli import telemetry_from_args
     from repro.ckpt.recovery import resume_with_recovery
-    result, simulator = resume_with_recovery(args.dir, args.name)
+    result, simulator = resume_with_recovery(
+        args.dir, args.name, telemetry=telemetry_from_args(args))
     simulator.engine.check_coherence_invariants()
 
     if args.json:

@@ -56,11 +56,49 @@ def _recovery_bus(simulator: Any) -> None:
     Component-level channels were excised by the snapshot (the resumed
     run's subsystems run unobserved), but recovery events and the
     final worker merges still surface when the user asked for tracing.
+    The flight recorder and the run-level span emitter
+    (:mod:`repro.obs`) were excised too; both re-arm here so a resumed
+    run keeps its forensics ring and its place in the job's span tree.
     """
     from repro.telemetry.bus import create_bus
-    simulator.telemetry = create_bus(simulator.config.telemetry)
+    config = simulator.config.telemetry
+    simulator.telemetry = create_bus(config)
+    simulator.flight = None
+    if config.flight_dir:
+        from repro.obs.flight import FlightRecorder
+        from repro.telemetry.bus import TelemetryBus
+        from repro.telemetry.events import ALL_CATEGORIES
+        if simulator.telemetry is None:
+            simulator.telemetry = TelemetryBus(0)
+        simulator.flight = FlightRecorder(config.flight_events)
+        simulator.telemetry.observe(simulator.flight.on_event,
+                                    ALL_CATEGORIES)
+    simulator._span_emitter = None
+    simulator._run_span = ""
+    if config.trace_id and simulator.telemetry is not None:
+        from repro.obs.spans import SpanEmitter
+        from repro.telemetry.events import EventCategory
+        simulator._span_emitter = SpanEmitter(
+            simulator.telemetry.channel(EventCategory.OBS),
+            config.trace_id, parent=config.span_parent)
     if simulator.telemetry is not None:
         simulator._configure_trace_sinks()
+
+
+def _dump_flight(simulator: Any, failure: Exception) -> None:
+    """Write the flight-recorder forensics bundle for a dead run."""
+    flight = getattr(simulator, "flight", None)
+    directory = simulator.config.telemetry.flight_dir
+    if flight is None or not directory:
+        return
+    detail = str(failure).splitlines()[0] if str(failure) else ""
+    try:
+        flight.dump(directory, type(failure).__name__, detail=detail,
+                    extra={"trace": simulator.config.telemetry.trace_id},
+                    host_profile=getattr(simulator, "host_profile",
+                                         None))
+    except OSError:  # pragma: no cover - forensics must never mask
+        pass         # the original failure
 
 
 def _emit_recovery(simulator: Any, event: Dict[str, Any]) -> None:
@@ -88,22 +126,35 @@ def run_with_recovery(simulator: Any, program: Any,
     try:
         return simulator.run(program, args), simulator
     except (WorkerCrashError, WorkerTimeoutError) as exc:
+        _dump_flight(simulator, exc)
         if not config.ckpt.enabled:
             raise
         failure = exc
     return _resume_loop(simulator, failure)
 
 
-def resume_with_recovery(path: str, name: Optional[str] = None
+def resume_with_recovery(path: str, name: Optional[str] = None,
+                         telemetry: Optional[Any] = None
                          ) -> Tuple[Any, Any]:
     """``repro resume``: load a checkpoint and drive it to completion,
-    with the same crash-recovery loop as :func:`run_with_recovery`."""
+    with the same crash-recovery loop as :func:`run_with_recovery`.
+
+    ``telemetry`` optionally replaces the checkpointed run's telemetry
+    section (a :class:`~repro.common.config.TelemetryConfig`) before
+    the bus is rebuilt — how ``repro resume --trace`` re-arms tracing
+    on a run checkpointed without it.  Observational only: it cannot
+    change the resumed result.
+    """
     from repro.distrib.errors import WorkerCrashError, WorkerTimeoutError
     simulator, manifest = load_checkpoint(path, name)
+    if telemetry is not None:
+        simulator.config.telemetry = telemetry
+        simulator.config.validate()
     _recovery_bus(simulator)
     try:
         return simulator.resume_run(), simulator
     except (WorkerCrashError, WorkerTimeoutError) as exc:
+        _dump_flight(simulator, exc)
         failure = exc
     return _resume_loop(simulator, failure)
 
@@ -143,5 +194,6 @@ def _resume_loop(simulator: Any, failure: Exception) -> Tuple[Any, Any]:
         try:
             return restored.resume_run(), restored
         except (WorkerCrashError, WorkerTimeoutError) as exc:
+            _dump_flight(restored, exc)
             failure = exc
             simulator = restored

@@ -41,6 +41,8 @@ _EXCISED_CLASSES = (
     ("repro.check.sanitize", "Sanitizers"),
     ("repro.distrib.coordinator", "WorkerCluster"),
     ("repro.distrib.worker", "Worker"),
+    ("repro.obs.spans", "SpanEmitter"),
+    ("repro.obs.flight", "FlightRecorder"),
 )
 
 

@@ -31,6 +31,65 @@ from repro.sim.runner import create_simulator
 from repro.workloads import WORKLOADS, get_workload
 
 
+def add_telemetry_arguments(parser: argparse.ArgumentParser,
+                            metrics_metavar: str = "TURNS",
+                            metrics_help: str =
+                            "snapshot all counters every N scheduler "
+                            "turns into metric time-series (implies "
+                            "--trace)") -> None:
+    """The uniform observability flags (``repro.obs``).
+
+    Every long-running verb — ``run``, ``resume``, ``worker``,
+    ``serve`` — accepts the same four flags; only the meaning of the
+    metrics cadence differs (scheduler turns for a simulation, seconds
+    for the daemon), so callers override its metavar/help.
+    """
+    parser.add_argument("--trace", nargs="?", const="all", default=None,
+                        metavar="CATEGORIES",
+                        help="enable event tracing; optional comma-"
+                             "separated categories (e.g. cache,network), "
+                             "default all")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="trace file; .json gets Chrome trace-event "
+                             "format (load in Perfetto), anything else "
+                             "JSONL (implies --trace)")
+    parser.add_argument("--metrics-interval", type=int, default=0,
+                        metavar=metrics_metavar, help=metrics_help)
+    parser.add_argument("--flight-dir", default=None, metavar="DIR",
+                        help="arm the crash flight recorder: keep a "
+                             "bounded ring of recent events (even "
+                             "without --trace) and dump a forensics "
+                             "bundle into DIR when a worker dies or a "
+                             "run crashes")
+
+
+def telemetry_from_args(args: argparse.Namespace,
+                        default_events: Optional[List[str]] = None):
+    """Build the :class:`~repro.common.config.TelemetryConfig` the
+    shared observability flags describe, or ``None`` when no flag was
+    given.  ``--flight-dir`` alone arms the recorder without enabling
+    recording (the ring observes a mask-0 bus)."""
+    from repro.common.config import TelemetryConfig
+    trace = getattr(args, "trace", None)
+    trace_out = getattr(args, "trace_out", None)
+    metrics = getattr(args, "metrics_interval", 0)
+    flight = getattr(args, "flight_dir", None)
+    if not (trace or trace_out or metrics or flight):
+        return None
+    telemetry = TelemetryConfig()
+    if trace or trace_out or metrics:
+        telemetry.enabled = True
+        telemetry.events = (
+            [c.strip() for c in trace.split(",") if c.strip()]
+            if trace else list(default_events or ["all"]))
+        telemetry.trace_path = trace_out
+        telemetry.metrics_interval = metrics
+    if flight:
+        telemetry.flight_dir = flight
+    telemetry.validate()
+    return telemetry
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -103,20 +162,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=42)
     run.add_argument("--classify-misses", action="store_true",
                      help="report the miss-type breakdown (Figure 8)")
-    run.add_argument("--trace", nargs="?", const="all", default=None,
-                     metavar="CATEGORIES",
-                     help="enable event tracing; optional comma-"
-                          "separated categories (e.g. cache,network), "
-                          "default all")
-    run.add_argument("--trace-out", default=None, metavar="PATH",
-                     help="trace file; .json gets Chrome trace-event "
-                          "format (load in Perfetto), anything else "
-                          "JSONL (implies --trace)")
-    run.add_argument("--metrics-interval", type=int, default=0,
-                     metavar="TURNS",
-                     help="snapshot all counters every N scheduler "
-                          "turns into metric time-series (implies "
-                          "--trace)")
+    add_telemetry_arguments(run)
     run.add_argument("--json", action="store_true",
                      help="emit machine-readable JSON instead of text")
     run.add_argument("--report", action="store_true",
@@ -152,6 +198,9 @@ def build_parser() -> argparse.ArgumentParser:
     worker.add_argument("--timeout", type=float, default=30.0,
                         metavar="SECONDS",
                         help="connect timeout (default 30)")
+    add_telemetry_arguments(
+        worker, metrics_metavar="SECONDS",
+        metrics_help="(reserved) cadence for local metric samples")
 
     resume = sub.add_parser(
         "resume",
@@ -180,6 +229,7 @@ def build_parser() -> argparse.ArgumentParser:
         add_serve_arguments,
         add_status_arguments,
         add_submit_arguments,
+        add_top_arguments,
     )
     serve = sub.add_parser(
         "serve",
@@ -200,6 +250,12 @@ def build_parser() -> argparse.ArgumentParser:
     cancel = sub.add_parser(
         "cancel", help="cancel a queued or running job")
     add_cancel_arguments(cancel)
+    top = sub.add_parser(
+        "top",
+        help="live fleet metrics from a running serve daemon: queue "
+             "depth, per-priority wait, cache hit rate, per-worker "
+             "utilization (refreshing console view)")
+    add_top_arguments(top)
 
     sub.add_parser("list-workloads", help="list available workloads")
     sub.add_parser("show-config",
@@ -251,6 +307,17 @@ def _configure(args: argparse.Namespace) -> SimulationConfig:
             if args.trace else ["all"])
         config.telemetry.trace_path = args.trace_out
         config.telemetry.metrics_interval = args.metrics_interval
+        if config.telemetry.events_include("obs"):
+            # Standalone runs have no serve daemon to mint a trace
+            # identity, so the run span would never arm; mint one here
+            # from the semantic config, deterministically.
+            from repro.obs.spans import mint_trace_id
+            config.telemetry.trace_id = mint_trace_id(
+                "run", args.workload, config.content_hash())
+    if args.flight_dir:
+        # Arms the ring even without --trace: the recorder observes a
+        # mask-0 bus, so nothing is recorded or shipped unless asked.
+        config.telemetry.flight_dir = args.flight_dir
     config.validate()
     return config
 
@@ -349,26 +416,74 @@ def _command_worker(args: argparse.Namespace) -> int:
     The welcome frame's role decides the loop: a simulation
     coordinator gets a distrib shard worker, a serve daemon gets a
     remote fleet worker running jobs.
+
+    The shared observability flags act *locally*: ``--trace`` records
+    this host's view of the work (tagged with the coordinator's trace
+    id from the welcome frame, never overriding the job telemetry the
+    coordinator ships), and ``--flight-dir`` arms a local flight
+    recorder dumped when the connection dies on a protocol error.
     """
     from repro.distrib.wire import WIRE_VERSION
     from repro.net.handshake import HandshakeError
     from repro.net.listener import connect_worker
+
+    bus = None
+    flight = None
+    telemetry = telemetry_from_args(
+        args, default_events=["net", "worker", "serve", "obs"])
+    if telemetry is not None:
+        from repro.telemetry.bus import TelemetryBus, create_bus
+        bus = create_bus(telemetry)
+        if telemetry.flight_dir:
+            from repro.obs.flight import FlightRecorder
+            from repro.telemetry.events import ALL_CATEGORIES
+            if bus is None:
+                bus = TelemetryBus(0)
+            flight = FlightRecorder(telemetry.flight_events)
+            bus.observe(flight.on_event, ALL_CATEGORIES)
+    ops = None
+    if bus is not None:
+        from repro.telemetry.events import EventCategory
+        ops = bus.channel(EventCategory.WORKER)
+
+    def fail(exc: Exception) -> int:
+        if ops is not None:
+            ops.emit("worker.error", None, 0, {"error": str(exc)})
+        if flight is not None and telemetry.flight_dir:
+            try:
+                flight.dump(telemetry.flight_dir,
+                            type(exc).__name__,
+                            detail=str(exc).splitlines()[0]
+                            if str(exc) else "")
+            except OSError:
+                pass
+        if bus is not None:
+            bus.close()
+        print(f"worker: {exc}", file=sys.stderr)
+        return 1
+
     try:
         channel, welcome = connect_worker(args.connect, WIRE_VERSION,
                                           timeout=args.timeout)
     except HandshakeError as exc:
-        print(f"worker: {exc}", file=sys.stderr)
-        return 1
-    if welcome.role == "serve":
-        from repro.serve.remote import run_remote_fleet_worker
-        run_remote_fleet_worker(channel)
-        return 0
-    from repro.distrib.worker import run_connected_worker
+        return fail(exc)
+    if ops is not None:
+        ops.emit("worker.connected", None, 0,
+                 {"peer": args.connect, "role": welcome.role,
+                  "trace": welcome.trace})
     try:
-        run_connected_worker(channel, welcome)
+        if welcome.role == "serve":
+            from repro.serve.remote import run_remote_fleet_worker
+            run_remote_fleet_worker(channel, ops=ops)
+        else:
+            from repro.distrib.worker import run_connected_worker
+            run_connected_worker(channel, welcome)
     except HandshakeError as exc:
-        print(f"worker: {exc}", file=sys.stderr)
-        return 1
+        return fail(exc)
+    if ops is not None:
+        ops.emit("worker.disconnected", None, 0, {"peer": args.connect})
+    if bus is not None:
+        bus.close()
     return 0
 
 
@@ -408,7 +523,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "resume":
         from repro.ckpt.cli import run_resume
         return run_resume(args)
-    if args.command in ("serve", "submit", "status", "fetch", "cancel"):
+    if args.command in ("serve", "submit", "status", "fetch", "cancel",
+                        "top"):
         from repro.serve import cli as serve_cli
         handler = getattr(serve_cli, f"run_{args.command}")
         return handler(args)

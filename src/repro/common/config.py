@@ -381,6 +381,11 @@ class DistribConfig:
     drain_turn: int = 0
     #: Worker index to drain at ``drain_turn`` (-1 = highest index).
     drain_worker: int = -1
+    #: Straggler watchdog (:mod:`repro.obs.watchdog`): emit a
+    #: ``straggler.warn`` telemetry event when a worker's interval
+    #: ``quantum.run`` rate falls below this fraction of the fleet
+    #: median (the signal ``rebalance="slowest"`` acts on).  0 = off.
+    straggler_fraction: float = 0.0
 
     def migration_capable(self) -> bool:
         """Can this run ever migrate a shard between workers?
@@ -395,6 +400,11 @@ class DistribConfig:
             self.transport == "tcp"
             or self.rebalance != "off"
             or self.drain_turn > 0)
+
+    def needs_worker_busy_signal(self) -> bool:
+        """True when something consumes per-worker ``quantum.run``
+        self-time: the rebalance policy or the straggler watchdog."""
+        return self.rebalance != "off" or self.straggler_fraction > 0
 
     def validate(self) -> None:
         _require(self.backend in EXECUTION_BACKENDS,
@@ -422,6 +432,8 @@ class DistribConfig:
                  "distrib: rebalance_threshold must be >= 1.0")
         _require(self.drain_turn >= 0,
                  "distrib: drain_turn must be >= 0")
+        _require(0.0 <= self.straggler_fraction <= 1.0,
+                 "distrib: straggler_fraction must be in [0, 1]")
         if self.transport == "tcp":
             from repro.net.listener import parse_address
             try:
@@ -459,6 +471,21 @@ class TelemetryConfig:
     #: mp backend: worker flushes its event batch to the coordinator
     #: once this many events are pending.
     batch_events: int = 256
+    #: Distributed-tracing context (:mod:`repro.obs.spans`): the trace
+    #: id this run belongs to ("" = untraced) and the parent span id
+    #: minted by the submitting process.  Pure propagation — carried
+    #: through the serve protocol, the distrib wire and the net
+    #: handshake, honoured only when telemetry is enabled.
+    trace_id: str = ""
+    span_parent: str = ""
+    #: Crash flight recorder (:mod:`repro.obs.flight`): directory to
+    #: dump forensics bundles into when a worker crashes or a protocol
+    #: error kills a connection ("" = recorder off), and the ring
+    #: capacity in events.  Works with telemetry otherwise disabled —
+    #: the recorder rides a mask-0 bus as an observer, so the recorded
+    #: trace and the simulated results are unchanged either way.
+    flight_dir: str = ""
+    flight_events: int = 256
 
     def resolved_trace_format(self) -> str:
         if self.trace_format != "auto":
@@ -466,6 +493,10 @@ class TelemetryConfig:
         if self.trace_path and str(self.trace_path).endswith(".json"):
             return "chrome"
         return "jsonl"
+
+    def events_include(self, name: str) -> bool:
+        """Whether the requested category set covers ``name``."""
+        return "all" in self.events or name in self.events
 
     def validate(self) -> None:
         _require(self.trace_format in TRACE_FORMATS,
@@ -475,6 +506,8 @@ class TelemetryConfig:
                  "telemetry: metrics_interval must be >= 0")
         _require(self.batch_events >= 1,
                  "telemetry: batch_events must be >= 1")
+        _require(self.flight_events >= 1,
+                 "telemetry: flight_events must be >= 1")
         # Resolves category names; raises ConfigError on unknown ones.
         from repro.telemetry.events import parse_event_mask
         parse_event_mask(self.events)

@@ -85,6 +85,11 @@ class WorkerCluster:
         #: Times wire serialization (``mp.wire.encode``/``decode``/
         #: ``send``) and blocked channel waits (``mp.idle.wait``).
         self.profiler = profiler
+        #: Optional :class:`~repro.obs.flight.FlightRecorder` whose
+        #: wire-frame ring :meth:`send`/:meth:`recv` feed; installed by
+        #: the simulator after formation (formation frames are not
+        #: recorded — the ring is for steady-state forensics).
+        self.flight = None
         try:
             self._ctx = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX hosts
@@ -129,7 +134,8 @@ class WorkerCluster:
         self.listener = NetListener(
             config.distrib.listen, role="coordinator",
             wire_version=WIRE_VERSION,
-            config_fingerprint=config.content_hash())
+            config_fingerprint=config.content_hash(),
+            trace=config.telemetry.trace_id)
         expect = config.distrib.expect_workers
         count = expect if expect > 0 else self.layout.num_processes
         procs_by_pid: Dict[int, Any] = {}
@@ -291,6 +297,9 @@ class WorkerCluster:
         else:
             blob = encode_frame(kind, payload)
         channel = self._channels[worker]
+        if self.flight is not None:
+            self.flight.note_frame("send", f"worker{worker}",
+                                   kind.value, len(blob))
         try:
             if prof is not None:
                 prof.enter("mp.wire.send")
@@ -331,10 +340,15 @@ class WorkerCluster:
                                 time.perf_counter_ns() - wait_start)
                     prof.enter("mp.wire.decode")
                     try:
-                        return decode_frame(blob)
+                        frame = decode_frame(blob)
                     finally:
                         prof.exit()
-                return decode_frame(blob)
+                else:
+                    frame = decode_frame(blob)
+                if self.flight is not None:
+                    self.flight.note_frame("recv", f"worker{worker}",
+                                           frame[0].value, len(blob))
+                return frame
             if not channel.alive():
                 # One last poll: a frame may have raced with death.
                 if channel.poll(0):
@@ -536,12 +550,21 @@ class DistribSimulator(Simulator):
         #: True once the scripted drain (``--drain-turn``) has fired.
         self._drained = False
         self._rebalance = create_policy(config)
+        self._watchdog = None
+        if config.distrib.straggler_fraction > 0:
+            from repro.obs.watchdog import StragglerWatchdog
+            self._watchdog = StragglerWatchdog(
+                self.telemetry.channel(EventCategory.OBS)
+                if self.telemetry is not None else None,
+                config.distrib.straggler_fraction)
         if (config.distrib.backend == "mp"
                 and (config.distrib.transport == "tcp"
-                     or config.distrib.migration_capable())):
+                     or config.distrib.migration_capable()
+                     or config.distrib.needs_worker_busy_signal())):
             # Membership and migration act strictly between quanta:
             # the hook polls for dial-ins, fires the scripted drain,
-            # and evaluates the rebalance policy.
+            # and evaluates the rebalance policy and the straggler
+            # watchdog.
             self.scheduler.add_periodic_hook(self._net_hook, 1)
         self._build_handler_tables()
 
@@ -611,6 +634,7 @@ class DistribSimulator(Simulator):
             self.profiler.start_run()
         self._cluster = WorkerCluster(self.layout, self.config,
                                       profiler=self.profiler)
+        self._cluster.flight = getattr(self, "flight", None)
         self.transport.attach(self._cluster)
         tele_worker = (self.telemetry.channel(EventCategory.WORKER)
                        if self.telemetry is not None else None)
@@ -640,6 +664,7 @@ class DistribSimulator(Simulator):
                 "no shard blobs to restore; load the checkpoint via "
                 "repro.ckpt.recovery.load_checkpoint")
         self._cluster = WorkerCluster(self.layout, self.config)
+        self._cluster.flight = getattr(self, "flight", None)
         self.transport.attach(self._cluster)
         try:
             if self._owner_at_ckpt:
@@ -713,9 +738,16 @@ class DistribSimulator(Simulator):
                 and turn >= distrib.drain_turn):
             self._drained = True
             self._scripted_drain(cluster, channel)
-        if (self._rebalance is not None
+        watchdog = getattr(self, "_watchdog", None)
+        if ((self._rebalance is not None or watchdog is not None)
                 and turn % distrib.rebalance_every == 0):
-            self._policy_drain(cluster, channel)
+            # One host-stats sweep feeds both consumers of the
+            # per-worker busy signal.
+            busy = cluster.quantum_busy_ns()
+            if watchdog is not None:
+                watchdog.observe(busy, turn=turn)
+            if self._rebalance is not None:
+                self._policy_drain(cluster, channel, busy)
 
     def _scripted_drain(self, cluster: WorkerCluster, channel) -> None:
         """Deterministic drain (``--drain-turn``): one worker's shard
@@ -734,8 +766,8 @@ class DistribSimulator(Simulator):
         self._migrate(cluster, channel, src, min(destinations),
                       depart=True)
 
-    def _policy_drain(self, cluster: WorkerCluster, channel) -> None:
-        busy = cluster.quantum_busy_ns()
+    def _policy_drain(self, cluster: WorkerCluster, channel,
+                      busy: Dict[int, int]) -> None:
         active = cluster.workers()
         loaded = [w for w in active if cluster.tiles_of(w)]
         idle = [w for w in active if not cluster.tiles_of(w)]

@@ -286,6 +286,22 @@ class Worker:
         #: and histogram collection folds them in alongside the
         #: primary kernel.
         self.adopted: List[KernelProxy] = []
+        # Crash flight recorder (``--flight-dir``): every process keeps
+        # its own bounded ring of recent events.  It observes a mask-0
+        # bus when tracing is off, so nothing is recorded or shipped —
+        # batches drain only *recorded* events, keeping the
+        # coordinator's merged trace byte-identical either way.  Must
+        # attach before any channel resolves (observer mask).
+        self.flight = None
+        if config.telemetry.flight_dir:
+            from repro.obs.flight import FlightRecorder
+            from repro.telemetry.bus import TelemetryBus
+            from repro.telemetry.events import ALL_CATEGORIES
+            if self.kernel.telemetry is None:
+                self.kernel.telemetry = TelemetryBus(0)
+            self.flight = FlightRecorder(config.telemetry.flight_events)
+            self.kernel.telemetry.observe(self.flight.on_event,
+                                          ALL_CATEGORIES)
         self._batch_events = config.telemetry.batch_events
         self._tele_worker = None
         if self.kernel.telemetry is not None:
@@ -301,11 +317,13 @@ class Worker:
         if self.profiler is not None:
             self._send = self._send_timed  # type: ignore[method-assign]
             self._recv = self._recv_timed  # type: ignore[method-assign]
-        elif config.distrib.migration_capable():
-            # Migration-capable runs always carry a minimal profiler:
-            # only ``quantum.run`` is bracketed (frame I/O stays
-            # untimed), which is exactly the per-worker busy signal
-            # the rebalance policy feeds on.
+        elif config.distrib.migration_capable() or \
+                config.distrib.needs_worker_busy_signal():
+            # Migration-capable runs (and runs with a straggler
+            # watchdog) always carry a minimal profiler: only
+            # ``quantum.run`` is bracketed (frame I/O stays untimed),
+            # which is exactly the per-worker busy signal the
+            # rebalance policy and the watchdog feed on.
             from repro.profile.timers import HostProfiler
             self.profiler = HostProfiler()
 

@@ -34,7 +34,9 @@ from repro.transport.frames import FrameError, recv_frame, send_frame
 
 #: Version of the handshake/membership exchange itself (independent of
 #: the pickle wire version it reports).  v1: hello/welcome/reject.
-WIRE_VERSION = 1
+#: v2: Welcome carries the coordinator's ``trace`` span context so a
+#: dialing worker joins the job's span tree (:mod:`repro.obs`).
+WIRE_VERSION = 2
 
 
 class HandshakeError(TransportError):
@@ -60,12 +62,18 @@ class Hello:
 
 @dataclass(frozen=True)
 class Welcome:
-    """Listener's acceptance: its versions, role and run fingerprint."""
+    """Listener's acceptance: its versions, role and run fingerprint.
+
+    ``trace`` is the listener's distributed-trace ID (empty when the
+    run is untraced): a worker that joins mid-run tags its own
+    telemetry with it so the merged timeline stays one span tree.
+    """
 
     role: str
     net_version: int
     wire_version: int
     config_fingerprint: str
+    trace: str = ""
 
 
 @dataclass(frozen=True)
@@ -137,7 +145,7 @@ def greet_listener(sock: socket.socket, wire_version: int,
 
 
 def greet_dialer(sock: socket.socket, role: str, wire_version: int,
-                 config_fingerprint: str) -> Hello:
+                 config_fingerprint: str, trace: str = "") -> Hello:
     """Listener side: validate the Hello, answer Welcome or Reject."""
     hello = _recv_handshake(sock)
     if not isinstance(hello, Hello):
@@ -159,7 +167,7 @@ def greet_dialer(sock: socket.socket, role: str, wire_version: int,
             f"rejected {hello.role} {hello.host}/{hello.pid}: {reason}")
     _send_handshake(sock, Welcome(
         role=role, net_version=WIRE_VERSION, wire_version=wire_version,
-        config_fingerprint=config_fingerprint))
+        config_fingerprint=config_fingerprint, trace=trace))
     return hello
 
 

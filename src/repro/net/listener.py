@@ -44,10 +44,11 @@ class NetListener:
     """A bound, listening socket that hands out handshaken channels."""
 
     def __init__(self, address: str, role: str, wire_version: int,
-                 config_fingerprint: str = "") -> None:
+                 config_fingerprint: str = "", trace: str = "") -> None:
         self.role = role
         self.wire_version = wire_version
         self.config_fingerprint = config_fingerprint
+        self.trace = trace
         host, port = parse_address(address)
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -78,7 +79,8 @@ class NetListener:
         conn.settimeout(_HANDSHAKE_TIMEOUT)
         try:
             hello = greet_dialer(conn, self.role, self.wire_version,
-                                 self.config_fingerprint)
+                                 self.config_fingerprint,
+                                 trace=self.trace)
         except HandshakeError:
             conn.close()
             raise

@@ -1,0 +1,114 @@
+"""Prometheus text exposition rendering for the fleet metrics endpoint.
+
+The serve daemon answers a ``metrics`` request with both a structured
+fields dict (for ``repro top`` and tests) and this module's rendering
+of it — Prometheus text exposition format 0.0.4, the de-facto lingua
+franca of scrapers.  Pure formatting: no sockets, no wall clocks; the
+daemon supplies every value.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Tuple
+
+#: One metric family: name, type, help, and (labels, value) samples.
+Family = Dict[str, Any]
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _format_sample(name: str, labels: Dict[str, Any], value: Any) -> str:
+    if labels:
+        body = ",".join(
+            f'{key}="{_escape_label(str(labels[key]))}"'
+            for key in sorted(labels))
+        return f"{name}{{{body}}} {_format_value(value)}"
+    return f"{name} {_format_value(value)}"
+
+
+def render_prometheus(families: Iterable[Family]) -> str:
+    """Render metric families to exposition text (trailing newline)."""
+    lines: List[str] = []
+    for family in families:
+        name = family["name"]
+        if family.get("help"):
+            lines.append(f"# HELP {name} {_escape_help(family['help'])}")
+        lines.append(f"# TYPE {name} {family.get('type', 'gauge')}")
+        for labels, value in family.get("samples", []):
+            lines.append(_format_sample(name, labels, value))
+    return "\n".join(lines) + "\n"
+
+
+def _samples(mapping: Dict[Any, Any], label: str) -> List[Tuple[dict, Any]]:
+    return [({label: key}, mapping[key]) for key in sorted(mapping)]
+
+
+def fleet_families(fields: Dict[str, Any]) -> List[Family]:
+    """Map the daemon's ``metrics_fields()`` dict to metric families."""
+    workers = fields.get("workers", {})
+    waits = fields.get("wait_seconds", {})
+    families: List[Family] = [
+        {"name": "repro_serve_uptime_seconds", "type": "gauge",
+         "help": "Seconds since the serve daemon started.",
+         "samples": [({}, fields.get("uptime_seconds", 0.0))]},
+        {"name": "repro_serve_queue_depth", "type": "gauge",
+         "help": "Jobs waiting in the priority queue.",
+         "samples": [({}, fields.get("queue_depth", 0))]},
+        {"name": "repro_serve_jobs", "type": "gauge",
+         "help": "Jobs by lifecycle state.",
+         "samples": _samples(fields.get("jobs", {}), "state")},
+        {"name": "repro_serve_submitted_total", "type": "counter",
+         "help": "Jobs ever submitted.",
+         "samples": [({}, fields.get("submitted", 0))]},
+        {"name": "repro_serve_cache_hits_total", "type": "counter",
+         "help": "Submissions answered from the result cache.",
+         "samples": [({}, fields.get("cache_hits", 0))]},
+        {"name": "repro_serve_preemptions_total", "type": "counter",
+         "help": "Checkpoint preemptions performed.",
+         "samples": [({}, fields.get("preemptions", 0))]},
+        {"name": "repro_serve_worker_deaths_total", "type": "counter",
+         "help": "Fleet worker deaths observed.",
+         "samples": [({}, fields.get("worker_deaths", 0))]},
+        {"name": "repro_serve_workers", "type": "gauge",
+         "help": "Fleet workers by occupancy.",
+         "samples": [({"state": "busy"}, workers.get("busy", 0)),
+                     ({"state": "idle"}, workers.get("idle", 0))]},
+        {"name": "repro_serve_wait_seconds_total", "type": "counter",
+         "help": "Cumulative queue wait time by priority.",
+         "samples": [({"priority": p},
+                      waits[p].get("total", 0.0))
+                     for p in sorted(waits)]},
+        {"name": "repro_serve_wait_jobs_total", "type": "counter",
+         "help": "Jobs that left the queue, by priority.",
+         "samples": [({"priority": p},
+                      waits[p].get("count", 0))
+                     for p in sorted(waits)]},
+        {"name": "repro_serve_worker_busy_seconds_total",
+         "type": "counter",
+         "help": "Cumulative busy time per fleet worker slot.",
+         "samples": _samples(fields.get("worker_busy_seconds", {}),
+                             "worker")},
+        {"name": "repro_serve_worker_jobs_total", "type": "counter",
+         "help": "Assignments completed per fleet worker slot.",
+         "samples": _samples(fields.get("worker_jobs", {}), "worker")},
+    ]
+    return families
+
+
+def render_fleet_metrics(fields: Dict[str, Any]) -> str:
+    return render_prometheus(fleet_families(fields))

@@ -1,0 +1,82 @@
+"""``repro top``: a refreshing console view of a live serve daemon.
+
+Polls the daemon's ``metrics`` endpoint (the same structured fields
+the Prometheus rendering exposes) and paints a small fleet dashboard:
+queue depth, job states, cache hit rate, per-priority wait times and
+per-worker utilization.  ``--once`` prints a single snapshot and
+exits — the mode CI and tests use.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, Dict, IO, Optional
+
+
+def _rate(hits: int, total: int) -> str:
+    if total <= 0:
+        return "-"
+    return f"{100.0 * hits / total:.0f}%"
+
+
+def render_fields(fields: Dict[str, Any]) -> str:
+    """One dashboard frame from the daemon's metrics fields."""
+    workers = fields.get("workers", {})
+    jobs = fields.get("jobs", {})
+    lines = [
+        "repro serve fleet"
+        f" · up {fields.get('uptime_seconds', 0.0):.0f}s"
+        f" · workers {workers.get('busy', 0)} busy"
+        f" / {workers.get('idle', 0)} idle",
+        f"queue depth {fields.get('queue_depth', 0)}"
+        f" · submitted {fields.get('submitted', 0)}"
+        f" · cache hits {fields.get('cache_hits', 0)}"
+        f" ({_rate(fields.get('cache_hits', 0), fields.get('submitted', 0))})"
+        f" · preemptions {fields.get('preemptions', 0)}"
+        f" · worker deaths {fields.get('worker_deaths', 0)}",
+    ]
+    if jobs:
+        states = "  ".join(f"{state}={jobs[state]}"
+                           for state in sorted(jobs))
+        lines.append(f"jobs: {states}")
+    waits = fields.get("wait_seconds", {})
+    if waits:
+        lines.append("queue wait by priority:")
+        for priority in sorted(waits):
+            entry = waits[priority]
+            count = entry.get("count", 0)
+            total = entry.get("total", 0.0)
+            mean = total / count if count else 0.0
+            lines.append(f"  prio {priority}: {count} jobs,"
+                         f" mean wait {mean:.2f}s")
+    busy = fields.get("worker_busy_seconds", {})
+    done = fields.get("worker_jobs", {})
+    if busy or done:
+        lines.append("per-worker:")
+        for worker in sorted(set(busy) | set(done)):
+            lines.append(
+                f"  worker {worker}: {done.get(worker, 0)} jobs,"
+                f" busy {busy.get(worker, 0.0):.1f}s")
+    return "\n".join(lines)
+
+
+def run_top(socket_path: str, interval: float = 2.0,
+            once: bool = False, out: Optional[IO[str]] = None) -> int:
+    """Poll the daemon and repaint; returns a process exit code."""
+    from repro.serve.client import ServeClient, ServeError
+    stream = sys.stdout if out is None else out
+    client = ServeClient(socket_path)
+    while True:
+        try:
+            payload = client.metrics()
+        except (ServeError, OSError) as exc:
+            print(f"repro top: {exc}", file=stream)
+            return 1
+        frame = render_fields(payload.get("fields", {}))
+        if once:
+            print(frame, file=stream)
+            return 0
+        # Cursor-home + clear-to-end keeps the repaint flicker-free.
+        print("\x1b[H\x1b[J" + frame, file=stream, flush=True)
+        time.sleep(interval)

@@ -1,0 +1,74 @@
+"""Straggler watchdog: WARN when one worker falls behind the fleet.
+
+Feeds on the same signal :class:`~repro.net.rebalance.SlowestWorkerPolicy`
+rebalances on — cumulative per-worker ``quantum.run`` self-time — and
+applies the same interval-delta discipline: each observation compares
+the busy time accrued *since the previous observation*, so a worker
+that was slow an hour ago but has recovered stops warning.
+
+A worker whose interval busy time exceeds ``1/fraction`` times the
+fleet median (equivalently: whose rate falls below ``fraction`` of the
+median rate) is flagged with a ``straggler.warn`` telemetry event.
+Workers seen for the first time only establish a baseline — a joiner
+absorbing its first shard is not a straggler — and intervals below the
+noise floor are ignored, mirroring the rebalance policy, so elastic
+membership (joins, drains, migrations mid-run) never produces spurious
+warnings.  Purely observational: the watchdog emits events and nothing
+else.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+
+def _median(values: List[int]) -> int:
+    ordered = sorted(values)
+    return ordered[len(ordered) // 2]
+
+
+class StragglerWatchdog:
+    """Flags workers whose interval rate drops below ``fraction`` of
+    the fleet median rate."""
+
+    def __init__(self, channel: Any, fraction: float,
+                 min_busy_ns: int = 1_000_000) -> None:
+        self._channel = channel
+        self.fraction = fraction
+        self.min_busy_ns = min_busy_ns
+        #: Cumulative busy-ns per worker at the previous observation.
+        self._previous: Dict[int, int] = {}
+        #: Every warning raised, for tests and post-mortems.
+        self.warnings: List[dict] = []
+
+    def observe(self, busy_ns: Dict[int, int],
+                turn: Optional[int] = None) -> List[int]:
+        """Compare interval deltas to the fleet median; returns the
+        workers flagged this observation."""
+        deltas: Dict[int, int] = {}
+        for worker in sorted(busy_ns):
+            total = busy_ns[worker]
+            if worker in self._previous:
+                deltas[worker] = total - self._previous[worker]
+            self._previous[worker] = total
+        measured = [d for d in deltas.values() if d >= self.min_busy_ns]
+        if len(measured) < 2:
+            return []
+        median = _median(measured)
+        flagged: List[int] = []
+        for worker in sorted(deltas):
+            delta = deltas[worker]
+            # rate below fraction*median  <=>  busy above median/fraction
+            if delta >= self.min_busy_ns and \
+                    median < self.fraction * delta:
+                flagged.append(worker)
+                record = {"worker": worker, "busy_ns": delta,
+                          "median_ns": median,
+                          "fraction": self.fraction, "level": "warn"}
+                if turn is not None:
+                    record["turn"] = turn
+                self.warnings.append(record)
+                if self._channel is not None:
+                    self._channel.emit("straggler.warn", None, 0,
+                                       dict(record))
+        return flagged

@@ -21,7 +21,6 @@ from repro.common.config import (
     NETWORK_MODELS,
     SYNC_MODELS,
     SimulationConfig,
-    TelemetryConfig,
 )
 from repro.common.errors import ServeError
 
@@ -49,9 +48,11 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
                              "(repro worker --connect) on this TCP "
                              "address; with a shared spool filesystem "
                              "preempted jobs resume anywhere")
-    parser.add_argument("--trace-out", default=None, metavar="PATH",
-                        help="append serve.* lifecycle events to this "
-                             "JSONL ops stream")
+    from repro.cli import add_telemetry_arguments
+    add_telemetry_arguments(
+        parser, metrics_metavar="SECONDS",
+        metrics_help="emit a fleet.sample metrics event every N "
+                     "seconds onto the ops stream")
     parser.add_argument("--stop", action="store_true",
                         help="ask the daemon on SPOOL's socket to shut "
                              "down, instead of starting one")
@@ -104,6 +105,21 @@ def add_cancel_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("job_id")
 
 
+def add_top_arguments(parser: argparse.ArgumentParser) -> None:
+    _add_spool_argument(parser)
+    parser.add_argument("--socket", default=None, metavar="PATH",
+                        help="socket path (default SPOOL/serve.sock)")
+    parser.add_argument("--interval", type=float, default=2.0,
+                        metavar="SECONDS",
+                        help="refresh cadence (default 2.0)")
+    parser.add_argument("--once", action="store_true",
+                        help="print one snapshot and exit (scripting)")
+    parser.add_argument("--prom", action="store_true",
+                        help="print the raw Prometheus text exposition "
+                             "instead of the console view (implies "
+                             "--once)")
+
+
 def _socket_path(args: argparse.Namespace) -> str:
     explicit = getattr(args, "socket", None)
     return explicit or os.path.join(args.dir, "serve.sock")
@@ -125,12 +141,10 @@ def run_serve(args: argparse.Namespace) -> int:
         print("serve: shutdown requested")
         return 0
 
+    from repro.cli import telemetry_from_args
     from repro.serve.daemon import SimServer
-    telemetry = None
-    if args.trace_out:
-        telemetry = TelemetryConfig(enabled=True, events=["serve"],
-                                    trace_path=args.trace_out,
-                                    trace_format="jsonl")
+    telemetry = telemetry_from_args(
+        args, default_events=["serve", "obs", "metrics", "net"])
     try:
         server = SimServer(args.dir, fleet=args.fleet,
                            max_attempts=args.max_attempts,
@@ -239,6 +253,23 @@ def run_fetch(args: argparse.Namespace) -> int:
     print(f"simulated cycles:  {result['simulated_cycles']:,}")
     print(f"instructions:      {instructions:,}")
     return 0
+
+
+def run_top(args: argparse.Namespace) -> int:
+    if args.prom:
+        try:
+            print(_client(args).metrics()["text"], end="")
+        except ServeError as exc:
+            print(f"top: {exc}", file=sys.stderr)
+            return 1
+        return 0
+    from repro.obs.top import run_top as obs_run_top
+    try:
+        return obs_run_top(_socket_path(args), interval=args.interval,
+                           once=args.once)
+    except ServeError as exc:
+        print(f"top: {exc}", file=sys.stderr)
+        return 1
 
 
 def run_cancel(args: argparse.Namespace) -> int:

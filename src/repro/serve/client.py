@@ -33,6 +33,12 @@ class ServeClient:
 
     # -- transport ----------------------------------------------------------
 
+    def _exchange(self, frame: tuple) -> Dict[str, Any]:
+        """Send one ``(verb, payload)`` frame tuple (the shape the
+        wire-protocol lint extracts as this role's send sites)."""
+        kind, payload = frame
+        return self.request(kind, payload)
+
     def request(self, kind: str,
                 payload: Optional[Dict[str, Any]] = None
                 ) -> Dict[str, Any]:
@@ -60,7 +66,7 @@ class ServeClient:
     # -- verbs --------------------------------------------------------------
 
     def ping(self) -> Dict[str, Any]:
-        return self.request("ping")
+        return self._exchange(("ping", {}))
 
     def alive(self) -> bool:
         """``True`` when a compatible daemon answers the socket."""
@@ -98,30 +104,38 @@ class ServeClient:
             from repro.distrib.wire import make_program_ref
             ref = make_program_ref(program)
             payload["program_hex"] = pickle.dumps(ref).hex()
-        return self.request("submit", payload)["job"]
+        return self._exchange(("submit", payload))["job"]
 
     def status(self, job_id: str) -> Dict[str, Any]:
-        return self.request("status", {"job_id": job_id})["job"]
+        return self._exchange(("status", {"job_id": job_id}))["job"]
 
     def fetch(self, job_id: str) -> Dict[str, Any]:
         """The stored result envelope's ``result`` dict for a job."""
-        return self.request("fetch", {"job_id": job_id})
+        return self._exchange(("fetch", {"job_id": job_id}))
 
     def fetch_result(self, job_id: str):
         """The job's :class:`~repro.sim.results.SimulationResult`."""
         return result_from_jsonable(self.fetch(job_id)["result"])
 
     def cancel(self, job_id: str) -> Dict[str, Any]:
-        return self.request("cancel", {"job_id": job_id})["job"]
+        return self._exchange(("cancel", {"job_id": job_id}))["job"]
 
     def list_jobs(self) -> List[Dict[str, Any]]:
-        return self.request("list")["jobs"]
+        return self._exchange(("list", {}))["jobs"]
 
     def stats(self) -> Dict[str, Any]:
-        return self.request("stats")["stats"]
+        return self._exchange(("stats", {}))["stats"]
+
+    def metrics(self) -> Dict[str, Any]:
+        """Live fleet metrics: ``{"fields": {...}, "text": "..."}``.
+
+        ``fields`` is the structured snapshot ``repro top`` renders;
+        ``text`` is the same data in Prometheus exposition format.
+        """
+        return self._exchange(("metrics", {}))
 
     def shutdown(self) -> Dict[str, Any]:
-        return self.request("shutdown")
+        return self._exchange(("shutdown", {}))
 
     # -- conveniences -------------------------------------------------------
 

@@ -30,6 +30,7 @@ import multiprocessing
 import os
 import socket
 import threading
+import time
 import traceback
 from typing import Any, Dict, List, Optional
 
@@ -53,6 +54,7 @@ from repro.serve.jobs import (
     JobQueue,
     ServeJob,
 )
+from repro.obs.spans import SpanEmitter, mint_trace_id
 from repro.serve.protocol import ServerInfo, SubmitSpec, view_payload
 from repro.serve.store import ResultStore, job_key
 from repro.telemetry.events import EventCategory
@@ -170,12 +172,58 @@ class SimServer:
         self.preemptions = 0
         self.worker_deaths = 0
 
+        # Fleet-metrics accounting (the ``metrics`` verb): wall-clock
+        # bookkeeping for queue wait and worker utilization.  These
+        # are host-side ops timers (like :mod:`repro.profile`), never
+        # simulated time, so they cannot perturb results.
+        self._started_at = time.monotonic()
+        #: job_id -> the moment the job (re-)entered the queue.
+        self._enqueued_at: Dict[str, float] = {}
+        #: worker index -> the moment its current job was assigned.
+        self._assigned_at: Dict[int, float] = {}
+        #: priority -> {"total": seconds, "count": assignments}.
+        self._wait_totals: Dict[int, Dict[str, float]] = {}
+        #: worker index -> cumulative busy seconds / jobs run.
+        self._worker_busy: Dict[int, float] = {}
+        self._worker_jobs: Dict[int, int] = {}
+
         # Ops stream: serve.* lifecycle events on the telemetry bus.
         from repro.telemetry.bus import create_bus
         self.bus = create_bus(telemetry) if telemetry is not None \
             else None
+
+        # Crash flight recorder: rides the bus as a pure observer, so
+        # it sees every ops event (even masked-out categories) without
+        # changing what the sinks record.  Must attach before any
+        # channel is resolved — ``channel()`` honours the observer
+        # mask.
+        self.flight = None
+        self._flight_dir = ""
+        if telemetry is not None and telemetry.flight_dir:
+            from repro.obs.flight import FlightRecorder
+            from repro.telemetry.bus import TelemetryBus
+            from repro.telemetry.events import ALL_CATEGORIES
+            if self.bus is None:
+                self.bus = TelemetryBus(0)
+            self.flight = FlightRecorder(telemetry.flight_events)
+            self.bus.observe(self.flight.on_event, ALL_CATEGORIES)
+            self._flight_dir = telemetry.flight_dir
+
         self._channel = (self.bus.channel(EventCategory.SERVE)
                          if self.bus is not None else None)
+        #: Span stream (:mod:`repro.obs.spans`): job lifecycle trees.
+        self._obs_channel = (self.bus.channel(EventCategory.OBS)
+                             if self.bus is not None else None)
+        #: job_id -> {"emitter", "job", "queue", "run"} span state.
+        self._traces: Dict[str, Dict[str, Any]] = {}
+        #: Cadence (seconds) for METRICS fleet.sample events, 0 = off.
+        self._metrics_every = (telemetry.metrics_interval
+                               if telemetry is not None else 0)
+        self._metrics_channel = (
+            self.bus.channel(EventCategory.METRICS)
+            if self.bus is not None and self._metrics_every > 0
+            else None)
+        self._last_sample = self._started_at
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -210,8 +258,8 @@ class SimServer:
             self.workers.append(worker)
             self._emit("worker.spawned", {"worker": index,
                                           "pid": worker.proc.pid})
-        for name, target in (("serve-pump", self._pump_loop),
-                             ("serve-listen", self._listen_loop)):
+        for name, target in [["serve-pump", self._pump_loop],
+                             ["serve-listen", self._listen_loop]]:
             thread = threading.Thread(target=target, name=name,
                                       daemon=True)
             thread.start()
@@ -311,9 +359,55 @@ class SimServer:
                   extra: Optional[Dict[str, Any]] = None) -> None:
         args = {"job": job.job_id, "state": job.state,
                 "priority": job.priority, "key": job.key}
+        if job.trace_id:
+            args["trace"] = job.trace_id
         if extra:
             args.update(extra)
         self._emit(name, args)
+
+    # -- distributed tracing (repro.obs spans) ------------------------------
+
+    def _trace_open(self, job: ServeJob) -> None:
+        """Mint the job's trace and open its root lifecycle span."""
+        emitter = SpanEmitter(self._obs_channel, job.trace_id)
+        root = emitter.begin("job", job=job.job_id, key=job.key,
+                             priority=job.priority)
+        self._traces[job.job_id] = {"emitter": emitter, "job": root,
+                                    "queue": "", "run": ""}
+
+    def _trace_begin(self, job: ServeJob, op: str, **args: Any) -> str:
+        """Open a child span (``queue``/``run``) under the job root."""
+        state = self._traces.get(job.job_id)
+        if state is None:
+            return ""
+        state[op] = state["emitter"].begin(op, parent=state["job"],
+                                           job=job.job_id, **args)
+        return state[op]
+
+    def _trace_end(self, job: ServeJob, op: str, **args: Any) -> None:
+        """Close the job's open ``op`` span, if any."""
+        state = self._traces.get(job.job_id)
+        if state is None or not state.get(op):
+            return
+        state["emitter"].end(state[op], op, **args)
+        state[op] = ""
+
+    def _trace_note(self, job: ServeJob, name: str,
+                    **args: Any) -> None:
+        """Attach an instant note to the job's root span."""
+        state = self._traces.get(job.job_id)
+        if state is not None:
+            state["emitter"].note(state["job"], name, **args)
+
+    def _trace_close(self, job: ServeJob, outcome: str) -> None:
+        """Terminal state: close every open span and the root."""
+        state = self._traces.pop(job.job_id, None)
+        if state is None:
+            return
+        for op in ["run", "queue"]:
+            if state.get(op):
+                state["emitter"].end(state[op], op, outcome=outcome)
+        state["emitter"].end(state["job"], "job", outcome=outcome)
 
     # -- submission (shared by socket handler and embedded use) -------------
 
@@ -329,15 +423,20 @@ class SimServer:
                            priority=int(priority),
                            seqno=self.queue.next_seqno(),
                            max_attempts=self.max_attempts)
+            job.trace_id = mint_trace_id(job_id, key)
             self.jobs[job_id] = job
             self.submitted += 1
+            self._trace_open(job)
             if key in self.store:
                 job.state = CACHED
                 self.cache_hits += 1
                 self._emit_job("job.cached", job)
+                self._trace_close(job, "cached")
             else:
                 self.queue.push(job)
+                self._enqueued_at[job_id] = time.monotonic()
                 self._emit_job("job.submitted", job)
+                self._trace_begin(job, "queue")
             return job
 
     def _job_config(self, config: SimulationConfig,
@@ -381,6 +480,17 @@ class SimServer:
             self._reap_dead_workers()
             self._assign_idle_workers()
             self._consider_preemption()
+            self._sample_metrics()
+
+    def _release_worker(self, worker: Any) -> None:
+        """Utilization bookkeeping when a worker gives up its job."""
+        started = self._assigned_at.pop(worker.index, None)
+        if started is None:
+            return
+        index = worker.index
+        self._worker_busy[index] = (self._worker_busy.get(index, 0.0)
+                                    + time.monotonic() - started)
+        self._worker_jobs[index] = self._worker_jobs.get(index, 0) + 1
 
     def _accept_remote_workers(self) -> None:
         """Admit ``repro worker --connect`` dial-ins as fleet slots."""
@@ -419,6 +529,7 @@ class SimServer:
             job = self.jobs.get(job_id, worker.job)
             worker.job = None
             worker.preempt_pending = False
+            self._release_worker(worker)
             if status == "ok":
                 self._finish_ok(job, payload)
             elif status == "preempted":
@@ -427,6 +538,7 @@ class SimServer:
                 job.state = FAILED
                 job.error = str(payload)
                 self._emit_job("job.failed", job)
+                self._trace_close(job, "failed")
 
     def _finish_ok(self, job: ServeJob, result: Any) -> None:
         try:
@@ -435,11 +547,14 @@ class SimServer:
             job.state = FAILED
             job.error = str(exc)
             self._emit_job("job.failed", job)
+            self._trace_close(job, "failed")
             return
         job.state = DONE
         job.error = None
         job.resume_dir = None
         self._emit_job("job.done", job)
+        self._trace_end(job, "run", outcome="done")
+        self._trace_close(job, "done")
 
     def _finish_preempted(self, job: ServeJob, ckpt_dir: str) -> None:
         job.preemptions += 1
@@ -448,11 +563,15 @@ class SimServer:
             job.state = FAILED
             job.error = "cancelled by client"
             self._emit_job("job.failed", job, {"cancelled": True})
+            self._trace_close(job, "cancelled")
             return
         job.state = PREEMPTED
         job.resume_dir = ckpt_dir
         self.queue.requeue(job)
+        self._enqueued_at[job.job_id] = time.monotonic()
         self._emit_job("job.preempted", job, {"ckpt": ckpt_dir})
+        self._trace_end(job, "run", outcome="preempted", ckpt=ckpt_dir)
+        self._trace_begin(job, "queue", resumed=True)
 
     def _reap_dead_workers(self) -> None:
         removed: List[Any] = []
@@ -461,9 +580,18 @@ class SimServer:
                 continue
             job = worker.job
             self.worker_deaths += 1
+            self._release_worker(worker)
             self._emit("worker.died", {
                 "worker": worker.index,
                 "job": job.job_id if job else None})
+            if self.flight is not None:
+                self.flight.dump(
+                    self._flight_dir, "worker.died",
+                    detail=f"worker {worker.index} died"
+                           + (f" running {job.job_id}" if job else ""),
+                    extra={"worker": worker.index,
+                           "job": job.job_id if job else None,
+                           "trace": job.trace_id if job else ""})
             if worker.respawnable:
                 worker.spawn()
                 self._emit("worker.spawned", {"worker": worker.index,
@@ -476,24 +604,31 @@ class SimServer:
             if job is None:
                 continue
             job.deaths += 1
+            self._trace_end(job, "run", outcome="died",
+                            worker=worker.index)
+            self._trace_note(job, "worker.died", worker=worker.index)
             if job.cancel_requested:
                 job.state = FAILED
                 job.error = "cancelled by client"
                 self._emit_job("job.failed", job, {"cancelled": True})
+                self._trace_close(job, "cancelled")
             elif job.deaths >= job.max_attempts:
                 job.state = FAILED
                 job.error = (f"worker died {job.deaths} time(s); "
                              f"retry budget ({job.max_attempts}) "
                              f"exhausted")
                 self._emit_job("job.failed", job)
+                self._trace_close(job, "failed")
             else:
                 # The pool's requeue-on-dead-child rule, per job: the
                 # job resumes from its last checkpoint if it has one,
                 # from scratch otherwise.
                 job.state = QUEUED
                 self.queue.requeue(job)
+                self._enqueued_at[job.job_id] = time.monotonic()
                 self._emit_job("job.requeued", job,
                                {"deaths": job.deaths})
+                self._trace_begin(job, "queue", requeued=True)
         for worker in removed:
             self.workers.remove(worker)
             worker.shutdown()
@@ -509,6 +644,23 @@ class SimServer:
             job.attempts += 1
             worker.job = job
             worker.preempt_pending = False
+            now = time.monotonic()
+            queued_at = self._enqueued_at.pop(job.job_id, None)
+            wait = now - queued_at if queued_at is not None else 0.0
+            bucket = self._wait_totals.setdefault(
+                job.priority, {"total": 0.0, "count": 0})
+            bucket["total"] += wait
+            bucket["count"] += 1
+            self._assigned_at[worker.index] = now
+            self._trace_end(job, "queue", wait_seconds=round(wait, 6))
+            run_span = self._trace_begin(
+                job, "run", worker=worker.index,
+                resumed=job.resume_dir is not None)
+            # Span context travels inside the job's config: the worker
+            # (forked or TCP-remote) sees the same trace id, and any
+            # simulator it builds parents its run span under ours.
+            job.config.telemetry.trace_id = job.trace_id
+            job.config.telemetry.span_parent = run_span
             try:
                 worker.task_send.send(
                     (job.job_id, job.config, job.program, job.args,
@@ -537,6 +689,66 @@ class SimServer:
         victim.preempt_flag.set()
         self._emit_job("job.preempt", victim.job,
                        {"for": top.job_id, "worker": victim.index})
+        self._trace_note(victim.job, "preempt.request",
+                         preempted_for=top.job_id,
+                         worker=victim.index)
+
+    def _sample_metrics(self) -> None:
+        """Cadenced METRICS snapshot of the fleet (``fleet.sample``)."""
+        if self._metrics_channel is None:
+            return
+        now = time.monotonic()
+        if now - self._last_sample < self._metrics_every:
+            return
+        self._last_sample = now
+        busy = sum(1 for worker in self.workers
+                   if worker.job is not None)
+        self._metrics_channel.emit("fleet.sample", None, 0, {
+            "queue_depth": len(self.queue),
+            "busy": busy,
+            "idle": len(self.workers) - busy,
+            "submitted": self.submitted,
+            "cache_hits": self.cache_hits,
+            "preemptions": self.preemptions,
+            "worker_deaths": self.worker_deaths})
+
+    def metrics_fields(self) -> Dict[str, Any]:
+        """The live fleet-metrics snapshot (the ``metrics`` verb).
+
+        The same structured fields back the Prometheus text rendering
+        (:func:`repro.obs.prom.render_fleet_metrics`) and the ``repro
+        top`` dashboard.
+        """
+        with self._lock:
+            states: Dict[str, int] = {}
+            for job in self.jobs.values():
+                states[job.state] = states.get(job.state, 0) + 1
+            busy = sum(1 for worker in self.workers
+                       if worker.job is not None)
+            now = time.monotonic()
+            worker_busy = dict(self._worker_busy)
+            for worker in self.workers:
+                started = self._assigned_at.get(worker.index)
+                if started is not None:
+                    worker_busy[worker.index] = (
+                        worker_busy.get(worker.index, 0.0)
+                        + now - started)
+            return {
+                "uptime_seconds": now - self._started_at,
+                "queue_depth": len(self.queue),
+                "jobs": states,
+                "submitted": self.submitted,
+                "cache_hits": self.cache_hits,
+                "preemptions": self.preemptions,
+                "worker_deaths": self.worker_deaths,
+                "workers": {"busy": busy,
+                            "idle": len(self.workers) - busy},
+                "wait_seconds": {priority: dict(bucket)
+                                 for priority, bucket
+                                 in self._wait_totals.items()},
+                "worker_busy_seconds": worker_busy,
+                "worker_jobs": dict(self._worker_jobs),
+            }
 
     # -- client verbs (socket handler) --------------------------------------
 
@@ -558,6 +770,12 @@ class SimServer:
                 except OSError:
                     pass
 
+    @staticmethod
+    def _reply(conn: socket.socket, frame: tuple) -> None:
+        """Send one ``(kind, payload)`` reply frame tuple (the shape
+        the wire-protocol lint extracts as this role's send sites)."""
+        protocol.send_message(conn, frame[0], frame[1])
+
     def _serve_connection(self, conn: socket.socket) -> None:
         """Handle request frames until the client closes."""
         conn.settimeout(30.0)
@@ -565,8 +783,7 @@ class SimServer:
             try:
                 message = protocol.try_recv_message(conn)
             except ServeError as exc:
-                protocol.send_message(conn, "error",
-                                      {"error": str(exc)})
+                self._reply(conn, ("error", {"error": str(exc)}))
                 return
             if message is None:
                 return
@@ -574,10 +791,9 @@ class SimServer:
             try:
                 reply = self.handle_request(kind, payload)
             except ServeError as exc:
-                protocol.send_message(conn, "error",
-                                      {"error": str(exc)})
+                self._reply(conn, ("error", {"error": str(exc)}))
                 continue
-            protocol.send_message(conn, "ok", reply)
+            self._reply(conn, ("ok", reply))
             if kind == "shutdown":
                 return
 
@@ -601,6 +817,11 @@ class SimServer:
                                  for job in self.jobs.values()]}
         if kind == "stats":
             return {"stats": view_payload(self._stats())}
+        if kind == "metrics":
+            from repro.obs.prom import render_fleet_metrics
+            fields = self.metrics_fields()
+            return {"fields": fields,
+                    "text": render_fleet_metrics(fields)}
         if kind == "shutdown":
             self.request_stop()
             return {"stopping": True}
@@ -678,6 +899,7 @@ class SimServer:
                 job.state = FAILED
                 job.error = "cancelled by client"
                 self._emit_job("job.failed", job, {"cancelled": True})
+                self._trace_close(job, "cancelled")
             else:  # running: cancellation rides the preemption path
                 job.cancel_requested = True
                 for worker in self.workers:

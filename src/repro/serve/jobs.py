@@ -57,6 +57,10 @@ class ServeJob:
     preemptions: int = 0
     #: Checkpoint directory to resume from (set while ``preempted``).
     resume_dir: Optional[str] = None
+    #: Distributed-trace id minted at submit (:mod:`repro.obs.spans`);
+    #: propagated into the worker's config so every process touching
+    #: this job stamps the same id.
+    trace_id: str = ""
     error: Optional[str] = None
     #: Client asked for cancellation while the job was running; the
     #: in-flight preemption doubles as the cancellation path.
@@ -72,7 +76,7 @@ class ServeJob:
                        priority=self.priority, attempts=self.attempts,
                        deaths=self.deaths,
                        preemptions=self.preemptions, key=self.key,
-                       error=self.error)
+                       trace_id=self.trace_id, error=self.error)
 
 
 class JobQueue:

@@ -29,11 +29,13 @@ from repro.transport.frames import recv_frame, send_frame, try_recv_frame
 #: Bump on any incompatible change to frame payloads or the
 #: dataclasses below.  v1: submit/status/fetch/cancel/list/stats/
 #: ping/shutdown verbs, six job states, content-addressed fetch.
-WIRE_VERSION = 1
+#: v2: ``metrics`` verb (live fleet metrics, :mod:`repro.obs`) and
+#: the ``trace_id`` span-context field on :class:`JobView`.
+WIRE_VERSION = 2
 
 #: Client -> daemon request verbs.
 REQUEST_KINDS = ("ping", "submit", "status", "fetch", "cancel", "list",
-                 "stats", "shutdown")
+                 "stats", "metrics", "shutdown")
 
 #: Daemon -> client reply kinds.
 REPLY_KINDS = ("ok", "error")
@@ -83,6 +85,9 @@ class JobView:
     deaths: int = 0
     preemptions: int = 0
     key: str = ""
+    #: Deterministic distributed-trace id minted at submit; every span
+    #: of the job's lifecycle carries it (:mod:`repro.obs.spans`).
+    trace_id: str = ""
     error: Optional[str] = None
 
 

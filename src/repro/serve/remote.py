@@ -191,17 +191,33 @@ class _ChannelPreemptFlag:
             # A stale preempt aimed at the job we just finished.
 
 
-def run_remote_fleet_worker(channel: Channel) -> None:
-    """Serve jobs from a daemon over one channel until shut down."""
+def run_remote_fleet_worker(channel: Channel, ops: Any = None) -> None:
+    """Serve jobs from a daemon over one channel until shut down.
+
+    ``ops`` is an optional worker-side telemetry channel (``repro
+    worker --trace``): each assignment and outcome is mirrored as a
+    local ``job.*`` event carrying the job's trace id, so a remote
+    host's view of the work can be merged into the daemon's span tree.
+    """
     from repro.serve.worker import JobPreempted, run_job
     flag = _ChannelPreemptFlag(channel)
+
+    def note(name, job_id, trace, **extra):
+        if ops is not None:
+            record = dict(extra)
+            record.update(job=job_id, trace=trace)
+            ops.emit(name, None, 0, record)
+
     try:
         while True:
             item = flag.next_job()
             if item is None:
                 return
             job_id, config, program, args, resume_dir = item
+            trace = config.telemetry.trace_id
             flag.clear()
+            note("job.assigned", job_id, trace,
+                 resumed=bool(resume_dir))
             try:
                 result = run_job(config, program, args, resume_dir,
                                  flag)
@@ -209,13 +225,17 @@ def run_remote_fleet_worker(channel: Channel) -> None:
                     pickle.dumps(result.main_result)
                 except Exception:
                     result.main_result = None
+                note("job.done", job_id, trace)
                 _send(channel, ("result", (job_id, "ok", result)))
             except JobPreempted as preempted:
+                note("job.preempted", job_id, trace,
+                     ckpt=preempted.checkpoint_dir)
                 _send(channel, ("result", (job_id, "preempted",
                                            preempted.checkpoint_dir)))
             except ChannelClosedError:
                 raise
             except BaseException:
+                note("job.failed", job_id, trace)
                 _send(channel, ("result",
                                 (job_id, "failed",
                                  traceback.format_exc())))

@@ -72,6 +72,36 @@ class Simulator:
             self.sanitizers = Sanitizers(config.num_tiles,
                                          self.telemetry)
 
+        # Crash flight recorder (``--flight-dir``): a bounded ring of
+        # the most recent events, riding the bus exactly like the
+        # sanitizers — a mask-0 bus when tracing is off, so neither
+        # the recorded trace nor the results change either way.  The
+        # recovery path dumps the ring as a forensics bundle when a
+        # worker crash or timeout kills the run.
+        self.flight = None
+        if config.telemetry.flight_dir:
+            from repro.obs.flight import FlightRecorder
+            from repro.telemetry.bus import TelemetryBus
+            from repro.telemetry.events import ALL_CATEGORIES
+            if self.telemetry is None:
+                self.telemetry = TelemetryBus(0)
+            self.flight = FlightRecorder(config.telemetry.flight_events)
+            self.telemetry.observe(self.flight.on_event,
+                                   ALL_CATEGORIES)
+
+        # Run-level span (:mod:`repro.obs.spans`): when a trace id was
+        # propagated into this config (e.g. by the serve daemon at job
+        # assignment), the run stamps its lifecycle onto that job's
+        # span tree.  Purely observational, like every bus client.
+        self._span_emitter = None
+        self._run_span = ""
+        if config.telemetry.trace_id and self.telemetry is not None:
+            from repro.obs.spans import SpanEmitter
+            self._span_emitter = SpanEmitter(
+                self.telemetry.channel(EventCategory.OBS),
+                config.telemetry.trace_id,
+                parent=config.telemetry.span_parent)
+
         sync_channel = (self.telemetry.channel(EventCategory.SYNC)
                         if self.telemetry is not None else None)
 
@@ -318,8 +348,17 @@ class Simulator:
         """
         if self.profiler is not None:
             self.profiler.start_run()
+        self._begin_run_span(resumed=False)
         self.spawn_thread(main_program, args, None, 0)
         return self._run_to_completion()
+
+    def _begin_run_span(self, resumed: bool) -> None:
+        if self._span_emitter is None:
+            return
+        self._run_span = self._span_emitter.begin(
+            "sim.run", resumed=resumed,
+            backend=self.config.distrib.backend,
+            tiles=self.config.num_tiles)
 
     def resume_run(self) -> SimulationResult:
         """Continue a checkpoint-restored simulation to completion.
@@ -330,6 +369,7 @@ class Simulator:
         checkpointed run left off; the result is byte-identical to the
         uninterrupted run's.
         """
+        self._begin_run_span(resumed=True)
         return self._run_to_completion()
 
     def _run_to_completion(self) -> SimulationResult:
@@ -337,6 +377,14 @@ class Simulator:
         self._before_results()
         if self.profiler is not None:
             self.profiler.stop_run()
+        if self._span_emitter is not None and self._run_span:
+            final = max((i.core.cycles
+                         for i in self.interpreters.values()),
+                        default=0)
+            self._span_emitter.end(self._run_span, "sim.run", t=final,
+                                   outcome="done",
+                                   turns=self.scheduler.turns)
+            self._run_span = ""
         if self.telemetry is not None:
             # Chrome sinks render host-profiler tracks alongside the
             # target timeline; hand them the scope data before close.
@@ -395,11 +443,15 @@ class Simulator:
             from repro.common.errors import CheckpointError
             raise CheckpointError(
                 "checkpointing is not enabled (set config.ckpt.dir)")
-        return self._ckpt_store.write(
+        path = self._ckpt_store.write(
             turn=self.scheduler.turns,
             backend=self.config.distrib.backend,
             config=self.config,
             blobs=self._checkpoint_blobs())
+        if self._span_emitter is not None and self._run_span:
+            self._span_emitter.note(self._run_span, "checkpoint",
+                                    turn=self.scheduler.turns)
+        return path
 
     def _checkpoint_blobs(self) -> Dict[str, bytes]:
         """Blobs of one snapshot; the mp backend adds worker shards."""

@@ -58,10 +58,17 @@ class _TracedSyscalls:
         self._tele = channel
 
     def execute(self, name: str, args: tuple):
-        self._tele.emit("forward", None, 0, {"name": name})
+        # The channel is excised to ``None`` across checkpoints; a
+        # restored run keeps delegating, just unobserved.
+        if self._tele is not None:
+            self._tele.emit("forward", None, 0, {"name": name})
         return self._inner.execute(name, args)
 
     def __getattr__(self, attr: str):
+        if attr.startswith("_"):
+            # Unpickling probes dunders (``__setstate__``...) before
+            # ``_inner`` exists; delegating those would recurse forever.
+            raise AttributeError(attr)
         return getattr(self._inner, attr)
 
 

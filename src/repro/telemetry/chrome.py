@@ -36,6 +36,11 @@ HOST_PID = 2_000_000
 #: Worker utilization tracks start at this tid within HOST_PID.
 _HOST_WORKER_TRACK = 1000
 
+#: Trace process id of the span-tree view (:mod:`repro.obs`): job
+#: lifecycle spans render as async nestable events in their own
+#: process so the causal tree sits beside the per-tile timeline.
+OBS_PID = 3_000_000
+
 
 def _us(cycles: float, clock_hz: float) -> float:
     return cycles * 1e6 / clock_hz
@@ -143,6 +148,23 @@ def write_chrome_trace(events: Iterable[Event], path: str,
                       "bp": "e", "id": flow_id, "pid": dpid, "tid": dtid,
                       "ts": _us(event.t + latency, clock_hz)}
             out.extend((start, finish))
+        elif category == EventCategory.OBS and \
+                event.name in ("span.begin", "span.end", "span.note"):
+            # Async nestable events: one Perfetto track group per
+            # trace id, spans correlated by their deterministic ids.
+            phase = {"span.begin": "b", "span.end": "e",
+                     "span.note": "n"}[event.name]
+            record = {
+                "name": event.args.get("op",
+                                       event.args.get("note", "span")),
+                "cat": "obs", "ph": phase,
+                "id": event.args.get("span", ""),
+                "scope": event.args.get("trace", ""),
+                "pid": OBS_PID, "tid": 0,
+                "ts": _us(event.t, clock_hz),
+                "args": dict(event.args)}
+            out.append(record)
+            seen_tracks.add((OBS_PID, 0))
         elif category == EventCategory.DRAM:
             record = base(event, pid, tid)
             record["ph"] = "C"
@@ -159,10 +181,17 @@ def write_chrome_trace(events: Iterable[Event], path: str,
 
     metadata: List[dict] = []
     for pid in sorted({p for p, _ in seen_tracks}):
+        pname = ("job spans (repro.obs)" if pid == OBS_PID
+                 else f"host process {pid}")
         metadata.append({"name": "process_name", "ph": "M", "pid": pid,
-                         "args": {"name": f"host process {pid}"}})
+                         "args": {"name": pname}})
     for pid, tid in sorted(seen_tracks):
-        label = "simulator" if tid == SIM_TRACK else f"tile {tid}"
+        if pid == OBS_PID:
+            label = "spans"
+        elif tid == SIM_TRACK:
+            label = "simulator"
+        else:
+            label = f"tile {tid}"
         metadata.append({"name": "thread_name", "ph": "M", "pid": pid,
                          "tid": tid, "args": {"name": label}})
 

@@ -42,6 +42,10 @@ class EventCategory(enum.IntFlag):
     #: Multi-host membership (:mod:`repro.net`): worker.joined,
     #: worker.left, worker.migrated (live shard migration).
     NET = 0x400
+    #: Observability spans and warnings (:mod:`repro.obs`):
+    #: span.begin/span.end/span.note with trace context, plus the
+    #: straggler watchdog's straggler.warn.
+    OBS = 0x800
 
 
 #: Every category, i.e. the mask for ``events: ["all"]``.

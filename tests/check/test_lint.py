@@ -179,6 +179,30 @@ class TestScoping:
             found = [f.rule for f in lint_file(path, root=tmp_path)]
             assert found == rules, (sub, found)
 
+    def test_obs_package_may_read_wall_clocks(self):
+        # repro.obs is host-side observability: `repro top` refresh
+        # loops and flight-recorder dump timestamps ARE wall-clock
+        # reads, so the whole src/repro/obs/ scope is D001-exempt —
+        # and stays exempt even if obs ever joins the model dirs.
+        from repro.check.lint import D001_EXEMPT_DIRS
+        assert "obs" in D001_EXEMPT_DIRS
+        root = package_root()
+        for module in ("top.py", "flight.py", "spans.py"):
+            assert not scope_for(root / "obs" / module,
+                                 root).wall_clock, module
+
+    def test_obs_exemption_is_scoped(self, tmp_path):
+        # Same discipline as profile/: the exemption covers the obs
+        # directory, not wall-clock calls wherever they appear.
+        source = ("import time\n"
+                  "stamp = time.time()\n")
+        for sub, rules in (("obs", []), ("sync", ["D001"])):
+            (tmp_path / sub).mkdir()
+            path = tmp_path / sub / "mod.py"
+            path.write_text(source)
+            found = [f.rule for f in lint_file(path, root=tmp_path)]
+            assert found == rules, (sub, found)
+
 
 class TestWireManifest:
     WIRE_SRC = (

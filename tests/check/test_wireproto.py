@@ -31,7 +31,7 @@ from repro.check.wireproto import (
 )
 
 ROLES = ("coordinator", "worker", "serve_daemon", "serve_remote",
-         "net_dialer", "net_listener")
+         "serve_client", "serve_api", "net_dialer", "net_listener")
 
 
 def _lint(source, rel, spec):
@@ -56,7 +56,8 @@ class TestSpecValidation:
     def test_spec_covers_all_wire_modules(self):
         assert spec_modules(load_spec()) == {
             "distrib/coordinator.py", "distrib/worker.py",
-            "serve/remote.py", "net/handshake.py"}
+            "serve/remote.py", "serve/client.py", "serve/daemon.py",
+            "net/handshake.py"}
 
     @pytest.mark.parametrize("mutate,needle", [
         (lambda s: s.update(format="repro.wire_proto/9"),

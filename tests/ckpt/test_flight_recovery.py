@@ -1,0 +1,98 @@
+"""The flight recorder on the recovery path: crash forensics for runs.
+
+A SIGKILLed mp worker triggers the recovery loop; with
+``telemetry.flight_dir`` set the loop first dumps the coordinator's
+ring — recent events plus the last wire-frame summaries — before
+restoring.  The ring is a pure observer, so arming it must not change
+the recovered result.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import signal
+
+from repro.ckpt.recovery import run_with_recovery
+from repro.common.config import SimulationConfig
+from repro.obs.flight import load_bundles
+from repro.sim.runner import create_simulator
+
+
+def _config(ckpt_dir, flight_dir, enabled: bool = False
+            ) -> SimulationConfig:
+    cfg = SimulationConfig(num_tiles=4, seed=7)
+    cfg.host.num_machines = 2
+    cfg.host.cores_per_machine = 2
+    cfg.host.quantum_instructions = 100
+    cfg.distrib.backend = "mp"
+    cfg.ckpt.dir = str(ckpt_dir)
+    cfg.ckpt.every = 4
+    cfg.ckpt.backoff_base = 0.01
+    cfg.telemetry.enabled = enabled
+    if enabled:
+        cfg.telemetry.events = ["worker", "obs"]
+    cfg.telemetry.flight_dir = str(flight_dir)
+    cfg.validate()
+    return cfg
+
+
+def _fatal_program(ctx, marker):
+    yield from ctx.compute(3000)
+    if not os.path.exists(marker):
+        with open(marker, "w") as fh:
+            fh.write("went down here")
+        os.kill(os.getpid(), signal.SIGKILL)
+    yield from ctx.compute(200)
+    return "survived"
+
+
+def test_crash_dumps_a_flight_bundle_with_telemetry_off(tmp_path):
+    """The mask-0 ring: no trace recorded anywhere, yet the crash
+    still leaves a forensics bundle with the lead-up events."""
+    marker = str(tmp_path / "died-once")
+    flight_dir = tmp_path / "flight"
+    simulator = create_simulator(
+        _config(tmp_path / "ck", flight_dir))
+    result, final = run_with_recovery(simulator, _fatal_program,
+                                      (marker,))
+    assert result.main_result == "survived"
+    assert len(result.recoveries) == 1
+    bundles = load_bundles(str(flight_dir))
+    assert len(bundles) == 1
+    (bundle,) = bundles
+    assert bundle["reason"] == "WorkerCrashError"
+    assert bundle["detail"]
+    # Nothing was recorded on the bus itself: pure observation.
+    assert final.telemetry is None or final.telemetry.events == []
+
+
+def test_crash_bundle_carries_events_when_telemetry_on(tmp_path):
+    marker = str(tmp_path / "died-once")
+    flight_dir = tmp_path / "flight"
+    simulator = create_simulator(
+        _config(tmp_path / "ck", flight_dir, enabled=True))
+    result, _final = run_with_recovery(simulator, _fatal_program,
+                                       (marker,))
+    assert len(result.recoveries) == 1
+    (bundle,) = load_bundles(str(flight_dir))
+    assert bundle["reason"] == "WorkerCrashError"
+    assert bundle["events"], "ring should hold the lead-up events"
+
+
+def test_armed_ring_leaves_the_recovered_result_unchanged(tmp_path):
+    """Byte-level: recovery with the recorder armed equals recovery
+    without it (the ring is invisible to the simulation)."""
+    def recovered(sub: str, flight: bool):
+        marker = str(tmp_path / f"{sub}-died")
+        cfg = _config(tmp_path / f"{sub}-ck",
+                      tmp_path / f"{sub}-flight")
+        if not flight:
+            cfg.telemetry.flight_dir = ""
+        result, _ = run_with_recovery(
+            create_simulator(cfg), _fatal_program, (marker,))
+        data = dataclasses.asdict(result)
+        data.pop("recoveries")
+        return data
+
+    assert recovered("armed", True) == recovered("bare", False)

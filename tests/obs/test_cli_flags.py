@@ -1,0 +1,128 @@
+"""The uniform observability flags across run/resume/serve/worker/top."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, telemetry_from_args
+
+
+def _parse(argv):
+    return build_parser().parse_args(argv)
+
+
+class TestFlagUniformity:
+    """Every long-running verb accepts the same four obs flags."""
+
+    @pytest.mark.parametrize("argv", [
+        ["run", "--workload", "fft"],
+        ["resume", "ck"],
+        ["serve", "--dir", "spool"],
+        ["worker", "--connect", "host:1"],
+    ])
+    def test_verb_accepts_all_four_flags(self, argv):
+        args = _parse(argv + ["--trace", "cache,network",
+                              "--trace-out", "t.json",
+                              "--metrics-interval", "5",
+                              "--flight-dir", "fl"])
+        assert args.trace == "cache,network"
+        assert args.trace_out == "t.json"
+        assert args.metrics_interval == 5
+        assert args.flight_dir == "fl"
+
+    def test_bare_trace_means_all_categories(self):
+        args = _parse(["run", "--workload", "fft", "--trace"])
+        assert args.trace == "all"
+
+    def test_top_verb_parses(self):
+        args = _parse(["top", "--dir", "spool", "--once"])
+        assert args.command == "top"
+        assert args.once is True
+        assert args.interval == 2.0
+        assert args.prom is False
+        prom = _parse(["top", "--dir", "spool", "--prom"])
+        assert prom.prom is True
+
+
+class TestTelemetryFromArgs:
+    def test_no_flags_means_none(self):
+        args = _parse(["run", "--workload", "fft"])
+        assert telemetry_from_args(args) is None
+
+    def test_trace_categories_are_split(self):
+        args = _parse(["run", "--workload", "fft",
+                       "--trace", "cache, network"])
+        telemetry = telemetry_from_args(args)
+        assert telemetry.enabled
+        assert telemetry.events == ["cache", "network"]
+
+    def test_trace_out_alone_enables_with_defaults(self):
+        args = _parse(["serve", "--dir", "spool",
+                       "--trace-out", "ops.jsonl"])
+        telemetry = telemetry_from_args(
+            args, default_events=["serve", "obs"])
+        assert telemetry.enabled
+        assert telemetry.events == ["serve", "obs"]
+        assert telemetry.trace_path == "ops.jsonl"
+
+    def test_metrics_interval_implies_tracing(self):
+        args = _parse(["run", "--workload", "fft",
+                       "--metrics-interval", "10"])
+        telemetry = telemetry_from_args(args)
+        assert telemetry.enabled
+        assert telemetry.metrics_interval == 10
+
+    def test_flight_dir_alone_arms_without_enabling(self):
+        """The mask-0 ring: forensics without recording a trace."""
+        args = _parse(["run", "--workload", "fft",
+                       "--flight-dir", "fl"])
+        telemetry = telemetry_from_args(args)
+        assert telemetry is not None
+        assert telemetry.flight_dir == "fl"
+        assert telemetry.enabled is False
+
+    def test_flight_dir_composes_with_tracing(self):
+        args = _parse(["run", "--workload", "fft", "--trace",
+                       "--flight-dir", "fl"])
+        telemetry = telemetry_from_args(args)
+        assert telemetry.enabled
+        assert telemetry.flight_dir == "fl"
+
+    def test_bad_category_is_rejected(self):
+        args = _parse(["run", "--workload", "fft",
+                       "--trace", "not-a-category"])
+        with pytest.raises(Exception):
+            telemetry_from_args(args)
+
+
+class TestStandaloneTraceIdentity:
+    """``run --trace obs`` mints a trace id so the run span arms.
+
+    Served jobs get their identity from the daemon at submit; a
+    standalone CLI run has no daemon, so ``_configure`` mints one
+    deterministically from the semantic config.
+    """
+
+    def _config(self, argv):
+        from repro.cli import _configure
+        return _configure(_parse(argv))
+
+    def test_obs_tracing_mints_a_deterministic_trace_id(self):
+        argv = ["run", "--workload", "fft", "--trace", "obs"]
+        first = self._config(argv).telemetry.trace_id
+        again = self._config(argv).telemetry.trace_id
+        assert first and first == again
+        assert len(first) == 16
+
+    def test_trace_id_varies_with_the_semantic_config(self):
+        base = self._config(
+            ["run", "--workload", "fft", "--trace", "obs"])
+        other = self._config(
+            ["run", "--workload", "fft", "--seed", "99",
+             "--trace", "obs"])
+        assert base.telemetry.trace_id != other.telemetry.trace_id
+
+    def test_non_obs_tracing_stays_untraced(self):
+        config = self._config(
+            ["run", "--workload", "fft", "--trace", "cache"])
+        assert config.telemetry.trace_id == ""

@@ -1,0 +1,139 @@
+"""The crash flight recorder: bounded ring, atomic dumps, bus observer.
+
+The recorder's contract has two halves: forensics (the last N events
+and wire-frame summaries survive into a JSON bundle) and invisibility
+(riding the bus as an observer records nothing — the exported trace
+and the simulated result are byte-identical with the ring armed).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.obs.flight import (
+    FLIGHT_FORMAT,
+    FlightRecorder,
+    event_to_dict,
+    load_bundles,
+)
+from repro.telemetry.bus import TelemetryBus
+from repro.telemetry.events import ALL_CATEGORIES, EventCategory
+
+
+def _armed_bus(mask: int = ALL_CATEGORIES):
+    """A bus with a recorder observing every category.
+
+    Observers must attach before channels resolve — the same order the
+    daemon, simulator and worker use."""
+    bus = TelemetryBus(mask)
+    recorder = FlightRecorder()
+    bus.observe(recorder.on_event, ALL_CATEGORIES)
+    return bus, recorder, bus.channel(EventCategory.WORKER)
+
+
+class TestRing:
+    def test_capacity_bounds_the_event_ring(self):
+        recorder = FlightRecorder(capacity=4)
+        for n in range(10):
+            recorder.on_event(n)
+        assert list(recorder.events) == [6, 7, 8, 9]
+
+    def test_frame_ring_is_bounded_separately(self):
+        recorder = FlightRecorder(capacity=2, frame_capacity=3)
+        for n in range(5):
+            recorder.note_frame("send", "worker0", "RUN_QUANTUM", n)
+        assert len(recorder.frames) == 3
+        assert [frame["bytes"] for frame in recorder.frames] == [2, 3, 4]
+
+    def test_frame_summary_shape_never_holds_payloads(self):
+        recorder = FlightRecorder()
+        recorder.note_frame("recv", 3, "QUANTUM_DONE", 1234)
+        assert recorder.frames[0] == {"dir": "recv", "peer": "3",
+                                      "kind": "QUANTUM_DONE",
+                                      "bytes": 1234}
+
+
+class TestBusObserver:
+    def test_mask_zero_bus_records_nothing_but_feeds_the_ring(self):
+        """The zero-overhead-when-disabled half: a mask-0 bus stays
+        empty (no store, no seq) while the ring still sees events."""
+        bus, recorder, channel = _armed_bus(mask=0)
+        assert channel is not None  # observer mask keeps it resolvable
+        channel.emit("quantum.start", None, 100, {"turn": 1})
+        assert bus.events == []
+        assert bus._seq == 0
+        assert [event.name for event in recorder.events] == [
+            "quantum.start"]
+
+    def test_enabled_bus_feeds_store_and_ring_alike(self):
+        bus, recorder, channel = _armed_bus()
+        channel.emit("worker.spawned", None, 0, {"worker": 1})
+        assert [event.name for event in bus.events] == ["worker.spawned"]
+        assert [event.name for event in recorder.events] == [
+            "worker.spawned"]
+
+
+class TestBundles:
+    def test_dump_and_load_round_trip(self, tmp_path):
+        bus, recorder, channel = _armed_bus(mask=0)
+        channel.emit("quantum.start", 2, 500, {"turn": 7})
+        recorder.note_frame("send", "worker0", "CHECKPOINT", 99)
+        path = recorder.dump(str(tmp_path), "worker.died",
+                             detail="worker 0 died",
+                             extra={"worker": 0})
+        assert os.path.basename(path).startswith(
+            f"flight-{os.getpid()}-")
+        (bundle,) = load_bundles(str(tmp_path))
+        assert bundle["format"] == FLIGHT_FORMAT
+        assert bundle["reason"] == "worker.died"
+        assert bundle["detail"] == "worker 0 died"
+        assert bundle["extra"] == {"worker": 0}
+        assert bundle["pid"] == os.getpid()
+        (event,) = bundle["events"]
+        assert event["name"] == "quantum.start"
+        assert event["tile"] == 2 and event["t"] == 500
+        assert event["args"] == {"turn": 7}
+        assert bundle["frames"] == [{"dir": "send", "peer": "worker0",
+                                     "kind": "CHECKPOINT", "bytes": 99}]
+
+    def test_successive_dumps_get_distinct_names(self, tmp_path):
+        recorder = FlightRecorder()
+        first = recorder.dump(str(tmp_path), "one")
+        second = recorder.dump(str(tmp_path), "two")
+        assert first != second
+        assert recorder.dumped == [first, second]
+        assert [b["reason"] for b in load_bundles(str(tmp_path))] == [
+            "one", "two"]
+
+    def test_dump_is_atomic_no_tmp_left_behind(self, tmp_path):
+        FlightRecorder().dump(str(tmp_path), "crash")
+        names = os.listdir(tmp_path)
+        assert len(names) == 1
+        assert not any(name.endswith(".tmp") for name in names)
+
+    def test_dump_creates_the_directory(self, tmp_path):
+        target = tmp_path / "deep" / "flight"
+        FlightRecorder().dump(str(target), "crash")
+        assert len(load_bundles(str(target))) == 1
+
+    def test_load_bundles_on_missing_dir_is_empty(self, tmp_path):
+        assert load_bundles(str(tmp_path / "nope")) == []
+
+    def test_unjsonable_args_degrade_to_str(self, tmp_path):
+        """``default=str`` in the dump: forensics never crash the
+        crash handler over an exotic event payload."""
+        bus, recorder, channel = _armed_bus(mask=0)
+        channel.emit("weird", None, 0, {"obj": object()})
+        path = recorder.dump(str(tmp_path), "crash")
+        with open(path, encoding="utf-8") as handle:
+            bundle = json.load(handle)
+        assert "object object" in bundle["events"][0]["args"]["obj"]
+
+    def test_event_to_dict_mirrors_jsonl_fields(self):
+        bus, recorder, channel = _armed_bus()
+        channel.emit("x", 1, 2, {"k": "v"})
+        (event,) = bus.events
+        assert event_to_dict(event) == {
+            "cat": "worker", "name": "x", "tile": 1, "t": 2,
+            "args": {"k": "v"}, "seq": 0, "origin": event.origin}

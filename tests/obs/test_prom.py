@@ -1,0 +1,100 @@
+"""Prometheus text exposition rendering for the metrics endpoint."""
+
+from __future__ import annotations
+
+from repro.obs.prom import (
+    fleet_families,
+    render_fleet_metrics,
+    render_prometheus,
+)
+
+#: A snapshot in the exact shape the daemon's ``metrics_fields()``
+#: takes *after* a JSON round-trip — mapping keys are strings, the
+#: shape ``repro top`` and remote scrapers actually see.
+FIELDS = {
+    "uptime_seconds": 12.5,
+    "queue_depth": 3,
+    "jobs": {"done": 4, "running": 1},
+    "submitted": 6,
+    "cache_hits": 1,
+    "preemptions": 2,
+    "worker_deaths": 0,
+    "workers": {"busy": 1, "idle": 1},
+    "wait_seconds": {"0": {"total": 1.5, "count": 3},
+                     "5": {"total": 0.25, "count": 1}},
+    "worker_busy_seconds": {"0": 9.75, "1": 2.0},
+    "worker_jobs": {"0": 4, "1": 1},
+}
+
+
+class TestRenderer:
+    def test_help_type_and_samples(self):
+        text = render_prometheus([{
+            "name": "x_total", "type": "counter", "help": "Things.",
+            "samples": [({}, 7)]}])
+        assert text == ("# HELP x_total Things.\n"
+                        "# TYPE x_total counter\n"
+                        "x_total 7\n")
+
+    def test_labels_are_sorted_and_escaped(self):
+        text = render_prometheus([{
+            "name": "x", "samples": [
+                ({"b": 'say "hi"', "a": "line\nbreak"}, 1)]}])
+        assert ('x{a="line\\nbreak",b="say \\"hi\\""} 1' in text)
+
+    def test_value_formatting(self):
+        text = render_prometheus([{"name": "x", "samples": [
+            ({"k": "i"}, 3), ({"k": "f"}, 2.5), ({"k": "b"}, True)]}])
+        assert 'x{k="i"} 3' in text
+        assert 'x{k="f"} 2.5' in text
+        assert 'x{k="b"} 1' in text
+
+    def test_type_defaults_to_gauge(self):
+        assert "# TYPE x gauge" in render_prometheus(
+            [{"name": "x", "samples": []}])
+
+    def test_output_ends_with_newline(self):
+        assert render_prometheus([]).endswith("\n")
+
+
+class TestFleetFamilies:
+    def test_every_family_renders_even_when_empty(self):
+        """A freshly started daemon (no jobs yet) still exposes the
+        full metric vocabulary, so dashboards never see gaps."""
+        text = render_fleet_metrics({})
+        for name in ("repro_serve_uptime_seconds",
+                     "repro_serve_queue_depth",
+                     "repro_serve_jobs",
+                     "repro_serve_submitted_total",
+                     "repro_serve_cache_hits_total",
+                     "repro_serve_preemptions_total",
+                     "repro_serve_worker_deaths_total",
+                     "repro_serve_workers",
+                     "repro_serve_wait_seconds_total",
+                     "repro_serve_wait_jobs_total",
+                     "repro_serve_worker_busy_seconds_total",
+                     "repro_serve_worker_jobs_total"):
+            assert f"# TYPE {name} " in text
+
+    def test_wire_shape_fields_render(self):
+        text = render_fleet_metrics(FIELDS)
+        assert "repro_serve_queue_depth 3" in text
+        assert 'repro_serve_jobs{state="done"} 4' in text
+        assert 'repro_serve_jobs{state="running"} 1' in text
+        assert "repro_serve_submitted_total 6" in text
+        assert "repro_serve_cache_hits_total 1" in text
+        assert 'repro_serve_workers{state="busy"} 1' in text
+        assert 'repro_serve_wait_seconds_total{priority="0"} 1.5' in text
+        assert 'repro_serve_wait_jobs_total{priority="5"} 1' in text
+        assert 'repro_serve_worker_busy_seconds_total{worker="0"} 9.75' \
+            in text
+        assert 'repro_serve_worker_jobs_total{worker="1"} 1' in text
+
+    def test_counters_and_gauges_are_typed_correctly(self):
+        by_name = {family["name"]: family
+                   for family in fleet_families(FIELDS)}
+        assert by_name["repro_serve_queue_depth"]["type"] == "gauge"
+        assert by_name["repro_serve_workers"]["type"] == "gauge"
+        for name, family in by_name.items():
+            if name.endswith("_total"):
+                assert family["type"] == "counter", name

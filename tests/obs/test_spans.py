@@ -1,0 +1,153 @@
+"""Deterministic span identity and tree reconstruction.
+
+The tracing layer must stay deterministic (id minting never touches a
+clock or RNG), observational (a ``None`` channel mints identical ids),
+and reconstructable from either live events or decoded JSONL dicts.
+"""
+
+from __future__ import annotations
+
+from repro.obs.spans import (
+    SpanEmitter,
+    build_span_tree,
+    mint_trace_id,
+    orphan_spans,
+    span_id,
+    span_records,
+)
+from repro.telemetry.bus import TelemetryBus
+from repro.telemetry.events import ALL_CATEGORIES, EventCategory
+
+
+def _channel():
+    bus = TelemetryBus(ALL_CATEGORIES)
+    return bus, bus.channel(EventCategory.OBS)
+
+
+class TestIds:
+    def test_trace_id_is_deterministic(self):
+        assert mint_trace_id("job-1", "key") == mint_trace_id(
+            "job-1", "key")
+
+    def test_trace_id_is_16_hex_chars(self):
+        tid = mint_trace_id("job-1")
+        assert len(tid) == 16
+        int(tid, 16)  # raises if not hex
+
+    def test_distinct_parts_distinct_ids(self):
+        assert mint_trace_id("job-1") != mint_trace_id("job-2")
+        # The separator keeps ("ab", "c") and ("a", "bc") apart.
+        assert mint_trace_id("ab", "c") != mint_trace_id("a", "bc")
+
+    def test_span_id_varies_with_serial(self):
+        tid = mint_trace_id("job-1")
+        assert span_id(tid, "run", 1) != span_id(tid, "run", 2)
+        assert span_id(tid, "run", 1) == span_id(tid, "run", 1)
+
+
+class TestEmitter:
+    def test_none_channel_mints_identical_ids(self):
+        """Telemetry off must not change span identity: the ids a
+        silent emitter propagates match the recorded run exactly."""
+        tid = mint_trace_id("job-7")
+        _, channel = _channel()
+        loud = SpanEmitter(channel, tid)
+        quiet = SpanEmitter(None, tid)
+        for emitter in (loud, quiet):
+            root = emitter.begin("job")
+            child = emitter.begin("queue", parent=root)
+            emitter.end(child, "queue")
+            emitter.end(root, "job", outcome="done")
+        assert loud._serial == quiet._serial
+        assert (span_id(tid, "job", 1) ==
+                SpanEmitter(None, tid).begin("job"))
+
+    def test_event_shapes(self):
+        bus, channel = _channel()
+        emitter = SpanEmitter(channel, mint_trace_id("job-1"))
+        root = emitter.begin("job", job="job-1")
+        emitter.note(root, "preempt.request", worker=2)
+        emitter.end(root, "job", outcome="done")
+        names = [event.name for event in bus.events]
+        assert names == ["span.begin", "span.note", "span.end"]
+        begin, note, end = (event.args for event in bus.events)
+        assert begin["span"] == root and begin["parent"] == ""
+        assert begin["op"] == "job" and begin["job"] == "job-1"
+        assert note["note"] == "preempt.request" and note["worker"] == 2
+        assert end["outcome"] == "done"
+        assert {event.args["trace"] for event in bus.events} == {
+            emitter.trace_id}
+
+    def test_emitter_level_parent_is_the_default(self):
+        bus, channel = _channel()
+        emitter = SpanEmitter(channel, mint_trace_id("j"), parent="abcd")
+        emitter.begin("run")
+        emitter.begin("run", parent="")
+        first, second = (event.args for event in bus.events)
+        assert first["parent"] == "abcd"
+        assert second["parent"] == ""
+
+
+class TestReconstruction:
+    def _job_events(self):
+        bus, channel = _channel()
+        emitter = SpanEmitter(channel, mint_trace_id("job-1"))
+        root = emitter.begin("job")
+        queue = emitter.begin("queue", parent=root)
+        emitter.end(queue, "queue")
+        run = emitter.begin("run", parent=root, worker=0)
+        emitter.note(run, "preempt.request")
+        emitter.end(run, "run", outcome="preempted")
+        requeue = emitter.begin("queue", parent=root, resumed=True)
+        emitter.end(requeue, "queue")
+        rerun = emitter.begin("run", parent=root, worker=1,
+                              resumed=True)
+        emitter.end(rerun, "run", outcome="done")
+        emitter.end(root, "job", outcome="done")
+        return bus.events, root, run
+
+    def test_records_fold_ends_and_notes(self):
+        events, root, run = self._job_events()
+        spans = span_records(events)
+        assert spans[root]["outcome"] == "done"
+        assert spans[run]["outcome"] == "preempted"
+        assert spans[run]["notes"][0]["note"] == "preempt.request"
+        assert all(record["ended"] for record in spans.values())
+
+    def test_tree_is_connected_single_trace(self):
+        events, root, _ = self._job_events()
+        tree = build_span_tree(events)
+        assert tree["roots"] == [root]
+        assert len(tree["traces"]) == 1
+        assert len(tree["children"][root]) == 4
+        assert orphan_spans(events) == []
+
+    def test_orphans_are_detected(self):
+        bus, channel = _channel()
+        emitter = SpanEmitter(channel, mint_trace_id("job-1"))
+        sid = emitter.begin("run", parent="feedfacedeadbeef")
+        assert orphan_spans(bus.events) == [sid]
+        # An orphan is also a root candidate: its parent is absent.
+        assert build_span_tree(bus.events)["roots"] == [sid]
+
+    def test_reconstruction_from_decoded_dicts(self):
+        """JSONL round-trip: dicts and live events reconstruct alike."""
+        events, _, _ = self._job_events()
+        dicts = [{"name": event.name, "args": dict(event.args)}
+                 for event in events]
+        assert span_records(dicts) == span_records(events)
+        assert build_span_tree(dicts) == build_span_tree(events)
+
+    def test_unended_span_has_no_outcome(self):
+        bus, channel = _channel()
+        emitter = SpanEmitter(channel, mint_trace_id("j"))
+        sid = emitter.begin("run")
+        record = span_records(bus.events)[sid]
+        assert record["ended"] is False
+        assert record["outcome"] is None
+
+    def test_end_and_note_for_unknown_span_are_ignored(self):
+        dicts = [{"name": "span.end", "args": {"span": "nope"}},
+                 {"name": "span.note", "args": {"span": "nope"}},
+                 {"name": "other.event", "args": {}}]
+        assert span_records(dicts) == {}

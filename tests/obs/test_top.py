@@ -1,0 +1,57 @@
+"""``repro top`` rendering and its failure mode without a daemon."""
+
+from __future__ import annotations
+
+import io
+
+from repro.obs.top import _rate, render_fields, run_top
+
+FIELDS = {
+    "uptime_seconds": 42.0,
+    "queue_depth": 2,
+    "jobs": {"done": 3, "running": 1},
+    "submitted": 4,
+    "cache_hits": 1,
+    "preemptions": 1,
+    "worker_deaths": 0,
+    "workers": {"busy": 1, "idle": 1},
+    "wait_seconds": {"0": {"total": 1.0, "count": 2}},
+    "worker_busy_seconds": {"0": 3.5},
+    "worker_jobs": {"0": 3},
+}
+
+
+class TestRate:
+    def test_zero_total_is_a_dash(self):
+        assert _rate(0, 0) == "-"
+
+    def test_percentage(self):
+        assert _rate(1, 4) == "25%"
+
+
+class TestRenderFields:
+    def test_frame_carries_the_fleet_story(self):
+        frame = render_fields(FIELDS)
+        assert "up 42s" in frame
+        assert "workers 1 busy / 1 idle" in frame
+        assert "queue depth 2" in frame
+        assert "cache hits 1 (25%)" in frame
+        assert "preemptions 1" in frame
+        assert "done=3" in frame and "running=1" in frame
+        assert "prio 0: 2 jobs, mean wait 0.50s" in frame
+        assert "worker 0: 3 jobs, busy 3.5s" in frame
+
+    def test_empty_fields_render_a_minimal_frame(self):
+        frame = render_fields({})
+        assert "repro serve fleet" in frame
+        assert "queue depth 0" in frame
+
+
+class TestRunTop:
+    def test_unreachable_daemon_fails_cleanly(self, tmp_path):
+        out = io.StringIO()
+        code = run_top(str(tmp_path / "no-such.sock"), once=True,
+                       out=out)
+        assert code == 1
+        assert "repro top:" in out.getvalue()
+        assert "cannot reach serve daemon" in out.getvalue()

@@ -1,0 +1,130 @@
+"""The straggler watchdog under steady state and elastic membership.
+
+Interval-delta discipline is the whole game: first sight is a
+baseline, recovered workers stop warning, and membership churn
+(joins, drains, counter resets after migration) never fabricates a
+straggler.
+"""
+
+from __future__ import annotations
+
+from repro.obs.watchdog import StragglerWatchdog, _median
+from repro.telemetry.bus import TelemetryBus
+from repro.telemetry.events import ALL_CATEGORIES, EventCategory
+
+#: 10ms in ns — comfortably above the default noise floor.
+TICK = 10_000_000
+
+
+def _watchdog(fraction: float = 0.5, channel=None) -> StragglerWatchdog:
+    return StragglerWatchdog(channel, fraction)
+
+
+class TestMedian:
+    def test_odd_and_even_counts(self):
+        assert _median([3, 1, 2]) == 2
+        assert _median([4, 1, 3, 2]) == 3
+        assert _median([7]) == 7
+
+
+class TestSteadyState:
+    def test_first_observation_is_baseline_only(self):
+        dog = _watchdog()
+        assert dog.observe({0: 50 * TICK, 1: 50 * TICK}) == []
+        assert dog.warnings == []
+
+    def test_slow_worker_is_flagged_on_the_interval(self):
+        dog = _watchdog(fraction=0.5)
+        dog.observe({0: 0, 1: 0, 2: 0})
+        # Deltas 1, 1, 3 ticks: median 1 < 0.5 * 3 — worker 2 runs at
+        # a third of the median rate, below the 50% floor.
+        flagged = dog.observe({0: TICK, 1: TICK, 2: 3 * TICK}, turn=8)
+        assert flagged == [2]
+        (warning,) = dog.warnings
+        assert warning["worker"] == 2
+        assert warning["busy_ns"] == 3 * TICK
+        assert warning["median_ns"] == TICK
+        assert warning["turn"] == 8
+        assert warning["level"] == "warn"
+
+    def test_uniform_fleet_never_warns(self):
+        dog = _watchdog(fraction=0.5)
+        totals = {0: 0, 1: 0, 2: 0}
+        for _ in range(5):
+            totals = {w: t + TICK for w, t in totals.items()}
+            assert dog.observe(totals) == []
+
+    def test_recovered_worker_stops_warning(self):
+        """Interval deltas, not cumulative totals: a worker that was
+        slow once but caught up is clean on the next observation."""
+        dog = _watchdog(fraction=0.5)
+        dog.observe({0: 0, 1: 0, 2: 0})
+        assert dog.observe({0: TICK, 1: TICK, 2: 3 * TICK}) == [2]
+        # Worker 2's *cumulative* total stays the largest, but its
+        # interval now matches the fleet.
+        assert dog.observe({0: 2 * TICK, 1: 2 * TICK,
+                            2: 4 * TICK}) == []
+
+    def test_noise_floor_suppresses_tiny_intervals(self):
+        dog = _watchdog(fraction=0.5)
+        dog.observe({0: 0, 1: 0, 2: 0})
+        # All deltas below min_busy_ns: fewer than two measured, no
+        # verdict at all.
+        assert dog.observe({0: 10, 1: 10, 2: 500}) == []
+
+    def test_single_worker_has_no_fleet_to_lag(self):
+        dog = _watchdog(fraction=0.5)
+        dog.observe({0: 0})
+        assert dog.observe({0: 5 * TICK}) == []
+
+
+class TestElasticMembership:
+    def test_joiner_only_establishes_a_baseline(self):
+        """A worker adopting its first shard mid-run shows a huge
+        cumulative total; first sight must not flag it."""
+        dog = _watchdog(fraction=0.5)
+        dog.observe({0: 0, 1: 0})
+        dog.observe({0: TICK, 1: TICK})
+        flagged = dog.observe({0: 2 * TICK, 1: 2 * TICK,
+                               2: 90 * TICK})
+        assert flagged == []
+        # Once it has an interval of its own it is judged like anyone.
+        assert dog.observe({0: 3 * TICK, 1: 3 * TICK,
+                            2: 95 * TICK}) == [2]
+
+    def test_drained_worker_simply_disappears(self):
+        dog = _watchdog(fraction=0.5)
+        dog.observe({0: 0, 1: 0, 2: 0})
+        dog.observe({0: TICK, 1: TICK, 2: TICK})
+        # Worker 2 drained away: the remaining fleet is judged alone.
+        assert dog.observe({0: 2 * TICK, 1: 2 * TICK}) == []
+
+    def test_counter_reset_after_rejoin_is_not_a_straggler(self):
+        """A worker re-appearing with a reset counter produces a
+        negative delta — below the noise floor, silently ignored."""
+        dog = _watchdog(fraction=0.5)
+        dog.observe({0: 50 * TICK, 1: 50 * TICK, 2: 50 * TICK})
+        flagged = dog.observe({0: 51 * TICK, 1: 51 * TICK, 2: TICK})
+        assert flagged == []
+
+
+class TestTelemetry:
+    def test_warning_emits_an_obs_event(self):
+        bus = TelemetryBus(ALL_CATEGORIES)
+        dog = _watchdog(fraction=0.5,
+                        channel=bus.channel(EventCategory.OBS))
+        dog.observe({0: 0, 1: 0, 2: 0})
+        dog.observe({0: TICK, 1: TICK, 2: 3 * TICK}, turn=4)
+        (event,) = bus.events
+        assert event.name == "straggler.warn"
+        assert event.category_name == "obs"
+        assert event.args["worker"] == 2
+        assert event.args["turn"] == 4
+
+    def test_none_channel_still_accumulates_warnings(self):
+        """Snapshot-safe: channels are excised across checkpoints, the
+        watchdog keeps judging and recording without one."""
+        dog = _watchdog(fraction=0.5, channel=None)
+        dog.observe({0: 0, 1: 0, 2: 0})
+        assert dog.observe({0: TICK, 1: TICK, 2: 3 * TICK}) == [2]
+        assert len(dog.warnings) == 1

@@ -247,7 +247,7 @@ def test_job_states_surface_on_the_telemetry_bus():
 
 def test_status_list_and_ping_verbs():
     with running_server(fleet=1) as (server, client):
-        assert client.ping()["protocol"] == 1
+        assert client.ping()["protocol"] == 2
         assert client.alive()
         view = client.submit(config=_config(71),
                              workload="matrix_multiply", nthreads=2,
