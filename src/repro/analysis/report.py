@@ -139,6 +139,43 @@ def render_report(config: SimulationConfig,
     if barriers:
         lines.append(f"LaxBarrier epochs: {barriers:,}")
 
+    # --- sampling -----------------------------------------------------------------------------
+    if result.sample:
+        from repro.analysis.tables import sampling_table
+        sample = result.sample
+        lines.append(_section("Sampling"))
+        ff = sample.get("ff")
+        if ff:
+            switched = (f"switched at {ff['cycle']:,}"
+                        if ff.get("cycle") is not None
+                        else "target not reached")
+            lines.append(f"fast-forward:     target {ff['until']:,} "
+                         f"cycles, {switched}")
+        lines.append("mode switches:    "
+                     f"{len(sample.get('mode_switches', []))}")
+        library = sample.get("library")
+        if library:
+            origin = "primed" if library.get("primed") else "forked"
+            lines.append(f"snapshot library: {origin} entry "
+                         f"{library.get('key')}")
+        extrapolation = sample.get("extrapolation")
+        if extrapolation:
+            lines.append(
+                f"measured:         {extrapolation['windows']} "
+                f"window(s), "
+                f"{extrapolation['measured_instructions']:,} "
+                f"instructions over "
+                f"{extrapolation['measured_cycles']:,} cycles")
+            confidence = int(round(extrapolation["confidence"] * 100))
+            lines.append(
+                f"extrapolated:     {extrapolation['cycles']:,} cycles, "
+                f"{confidence}% CI "
+                f"[{extrapolation['cycles_low']:,}, "
+                f"{extrapolation['cycles_high']:,}]")
+            if sample.get("windows"):
+                lines.append("")
+                lines.append(sampling_table(sample).render())
+
     # --- host ---------------------------------------------------------------------------------
     lines.append(_section("Host"))
     busy = sum(result.core_busy_seconds.values())

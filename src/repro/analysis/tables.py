@@ -73,3 +73,24 @@ class Table:
 
     def __str__(self) -> str:
         return self.render()
+
+
+def sampling_table(sample: dict) -> Table:
+    """Per-window breakdown of an interval-sampled run.
+
+    ``sample`` is a result's sampling payload (``result.sample``); the
+    rows are the measured detail windows the extrapolation was built
+    from, so a reader can see which stretches of target time the CPI
+    estimate rests on.
+    """
+    table = Table("Measured windows",
+                  ["window", "start", "end", "cycles",
+                   "instructions", "CPI"])
+    for index, window in enumerate(sample.get("windows", [])):
+        instructions = window.get("instructions", 0)
+        cpi = (window.get("cycles", 0) / instructions
+               if instructions else 0.0)
+        table.add_row(index, window.get("start", 0),
+                      window.get("end", 0), window.get("cycles", 0),
+                      instructions, f"{cpi:.2f}")
+    return table

@@ -69,7 +69,10 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 #: Sub-packages whose code models the target and must be wall-clock and
 #: float-cycle clean (D001/D004) and set-iteration clean (D003).
-MODEL_DIRS = ("core", "memory", "network", "sync", "sim")
+#: ``sample`` is in scope because mode switches and window boundaries
+#: are decided in target cycles — a wall clock or a float there would
+#: break byte-identical forking.
+MODEL_DIRS = ("core", "memory", "network", "sync", "sim", "sample")
 
 #: Sub-packages sanctioned to read wall clocks (D001): host profiling
 #: *is* wall-clock measurement, so ``src/repro/profile/`` is exempt as

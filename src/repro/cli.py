@@ -159,6 +159,24 @@ def build_parser() -> argparse.ArgumentParser:
                      metavar="INDEX",
                      help="which worker --drain-turn drains "
                           "(default -1 = highest loaded index)")
+    run.add_argument("--ff-until", type=int, default=0,
+                     metavar="CYCLES",
+                     help="fast-forward functionally (architectural "
+                          "state warm, timing bypassed) until CYCLES, "
+                          "then switch to detailed execution")
+    run.add_argument("--sample", default=None,
+                     metavar="PERIOD:DETAIL:WARMUP",
+                     help="interval sampling after the fast-forward: "
+                          "per PERIOD cycles, run WARMUP + DETAIL "
+                          "cycles detailed (only DETAIL measured) and "
+                          "fast-forward the rest; run time is "
+                          "extrapolated with a confidence interval "
+                          "(requires --ff-until)")
+    run.add_argument("--sample-library", default=None, metavar="DIR",
+                     help="snapshot library: share the fast-forward "
+                          "prefix across runs — the first run primes "
+                          "a switch-point checkpoint, later runs fork "
+                          "from it (requires --ff-until)")
     run.add_argument("--seed", type=int, default=42)
     run.add_argument("--classify-misses", action="store_true",
                      help="report the miss-type breakdown (Figure 8)")
@@ -257,6 +275,13 @@ def build_parser() -> argparse.ArgumentParser:
              "utilization (refreshing console view)")
     add_top_arguments(top)
 
+    sample = sub.add_parser(
+        "sample",
+        help="manage the snapshot library of fast-forward "
+             "checkpoints: ls, prime, gc")
+    from repro.sample.cli import add_sample_arguments
+    add_sample_arguments(sample)
+
     sub.add_parser("list-workloads", help="list available workloads")
     sub.add_parser("show-config",
                    help="print the default configuration as JSON")
@@ -300,6 +325,25 @@ def _configure(args: argparse.Namespace) -> SimulationConfig:
     elif args.ckpt_every:
         from repro.common.errors import ConfigError
         raise ConfigError("--ckpt-every requires --ckpt-dir")
+    if args.ff_until:
+        config.sample.ff_until = args.ff_until
+    if args.sample:
+        from repro.common.errors import ConfigError
+        try:
+            period, detail, warmup = (
+                int(part) for part in args.sample.split(":"))
+        except ValueError:
+            raise ConfigError(
+                "--sample expects PERIOD:DETAIL:WARMUP in cycles, "
+                f"got {args.sample!r}") from None
+        config.sample.period = period
+        config.sample.detail = detail
+        config.sample.warmup = warmup
+    if args.sample_library:
+        if not args.ff_until:
+            from repro.common.errors import ConfigError
+            raise ConfigError("--sample-library requires --ff-until")
+        config.sample.library = args.sample_library
     if args.trace or args.trace_out or args.metrics_interval:
         config.telemetry.enabled = True
         config.telemetry.events = (
@@ -330,11 +374,23 @@ def _command_run(args: argparse.Namespace) -> int:
     # it at spawn time, and the mp backend can ship it to workers.
     from repro.distrib.wire import WorkloadRef
     program = WorkloadRef(args.workload, threads, args.scale)
-    simulator = create_simulator(config)
-    if config.ckpt.enabled:
+    if config.sample.ff_until > 0 and config.sample.library:
+        # Snapshot-library run: prime the shared prefix once, fork
+        # from the stored checkpoint (kept apart from run_simulation
+        # so the forked simulator stays visible for the report below).
+        from repro.sample.library import SnapshotLibrary
+        library = SnapshotLibrary(config.sample.library)
+        key, primed = library.ensure(config, program)
+        simulator = library.fork(key, config)
+        result = simulator.resume_run()
+        result.sample["library"] = {"key": key, "primed": primed,
+                                    "root": library.root}
+    elif config.ckpt.enabled:
         from repro.ckpt.recovery import run_with_recovery
+        simulator = create_simulator(config)
         result, simulator = run_with_recovery(simulator, program)
     else:
+        simulator = create_simulator(config)
         result = simulator.run(program)
     simulator.engine.check_coherence_invariants()
     if simulator.sanitizers is not None and not args.json:
@@ -365,6 +421,8 @@ def _command_run(args: argparse.Namespace) -> int:
             "messages": result.counter("transport.messages_sent"),
             "miss_breakdown": result.miss_breakdown,
         }
+        if config.sample.enabled:
+            payload["sample"] = result.sample
         if config.ckpt.enabled:
             payload["recoveries"] = result.recoveries
         if config.telemetry.enabled:
@@ -396,6 +454,24 @@ def _command_run(args: argparse.Namespace) -> int:
         parts = ", ".join(f"{k}={v}" for k, v in
                           sorted(result.miss_breakdown.items()) if v)
         print(f"miss breakdown:      {parts}")
+    if result.sample:
+        ff = result.sample.get("ff")
+        if ff and ff.get("cycle") is not None:
+            print(f"fast-forward:        functional until cycle "
+                  f"{ff['cycle']:,} (target {ff['until']:,})")
+        library = result.sample.get("library")
+        if library:
+            origin = "primed" if library.get("primed") else "forked"
+            print(f"snapshot library:    {origin} entry "
+                  f"{library.get('key')}")
+        extrapolation = result.sample.get("extrapolation")
+        if extrapolation and extrapolation["windows"]:
+            confidence = int(round(extrapolation["confidence"] * 100))
+            print(f"extrapolated:        {extrapolation['cycles']:,} "
+                  f"cycles from {extrapolation['windows']} window(s), "
+                  f"{confidence}% CI "
+                  f"[{extrapolation['cycles_low']:,}, "
+                  f"{extrapolation['cycles_high']:,}]")
     if config.telemetry.enabled:
         where = (f" -> {config.telemetry.trace_path}"
                  if config.telemetry.trace_path else "")
@@ -523,6 +599,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "resume":
         from repro.ckpt.cli import run_resume
         return run_resume(args)
+    if args.command == "sample":
+        from repro.sample.cli import run_sample
+        return run_sample(args)
     if args.command in ("serve", "submit", "status", "fetch", "cancel",
                         "top"):
         from repro.serve import cli as serve_cli

@@ -45,6 +45,18 @@ SYNC_MODELS = ("lax", "lax_barrier", "lax_p2p")
 OBSERVATIONAL_SECTIONS = ("distrib", "telemetry", "check", "profile",
                           "ckpt")
 
+#: Config sections that are irrelevant to the *functional prefix* of a
+#: run: during functional fast-forward (:mod:`repro.sample`) the core
+#: timing models are bypassed (fixed unit cost), the network is
+#: zero-latency and synchronization is magic, so two configs differing
+#: only here reach ``sample.ff_until`` with byte-identical architectural
+#: state.  :meth:`SimulationConfig.prefix_hash` excludes them (plus
+#: per-tile core overrides, which are core timing too), which is what
+#: lets the snapshot library share one fast-forwarded checkpoint across
+#: sweep variants.  ``sync`` stays prefix-relevant: its constructed
+#: state is part of the snapshot and is not reapplied at fork time.
+PREFIX_IRRELEVANT_SECTIONS = ("core", "network", "sample")
+
 #: Execution backends (see :mod:`repro.distrib`): ``inproc`` runs every
 #: tile in the calling process (the reference engine); ``mp`` executes
 #: the cluster layout on real OS processes — one worker per simulated
@@ -605,6 +617,82 @@ class CkptConfig:
 
 
 @dataclass
+class SampleConfig:
+    """Checkpoint-accelerated sampling (see :mod:`repro.sample`).
+
+    Two composable mechanisms, both switching execution mode only at
+    scheduler-quantum boundaries:
+
+    * **Functional fast-forward**: until every live tile clock reaches
+      ``ff_until``, the run executes functionally — caches, directory
+      and shared memory stay architecturally warm, but the core retires
+      at a fixed unit cost, the network and DRAM are zero-latency and
+      synchronization is magic.
+    * **Interval sampling**: after ``ff_until``, each ``period`` cycles
+      opens with a detailed-but-unmeasured ``warmup`` window, then a
+      measured ``detail`` window, then fast-forwards the remainder;
+      :mod:`repro.sample.stats` extrapolates whole-run metrics from the
+      measured windows with Student-t confidence intervals.
+
+    The section is *semantic* — fast-forwarding legitimately changes
+    ``simulated_cycles`` — except ``library``, which only names where
+    shared prefix snapshots live and is excluded from
+    :meth:`SimulationConfig.semantic_dict`.
+    """
+
+    #: Fast-forward functionally until every live tile clock reaches
+    #: this cycle count; 0 disables fast-forward.
+    ff_until: int = 0
+    #: Interval sampling period in cycles; 0 disables interval sampling.
+    period: int = 0
+    #: Measured detailed window after each period's warmup, in cycles.
+    detail: int = 0
+    #: Detailed (unmeasured) warmup opening each period.
+    warmup: int = 0
+    #: Snapshot-library root for prefix sharing; ``None`` = no library.
+    #: Observational: two configs differing only here hash identically.
+    library: Optional[str] = None
+    #: Confidence level of the Student-t interval on extrapolations.
+    confidence: float = 0.95
+
+    @property
+    def enabled(self) -> bool:
+        return self.ff_until > 0 or self.period > 0
+
+    @property
+    def intervals_enabled(self) -> bool:
+        return self.period > 0
+
+    @classmethod
+    def parse_intervals(cls, spec: str) -> Tuple[int, int, int]:
+        """Parse the CLI's ``period:detail:warmup`` interval spec."""
+        parts = spec.split(":")
+        if len(parts) != 3:
+            raise ConfigError(
+                f"sample: interval spec {spec!r} is not "
+                "'period:detail:warmup'")
+        try:
+            period, detail, warmup = (int(p) for p in parts)
+        except ValueError as exc:
+            raise ConfigError(
+                f"sample: non-integer interval spec {spec!r}") from exc
+        return period, detail, warmup
+
+    def validate(self) -> None:
+        _require(self.ff_until >= 0, "sample: ff_until must be >= 0")
+        _require(self.period >= 0, "sample: period must be >= 0")
+        _require(self.detail >= 0, "sample: detail must be >= 0")
+        _require(self.warmup >= 0, "sample: warmup must be >= 0")
+        if self.period:
+            _require(self.detail >= 1,
+                     "sample: interval sampling needs detail >= 1")
+            _require(self.detail + self.warmup <= self.period,
+                     "sample: detail + warmup must fit in the period")
+        _require(0.0 < self.confidence < 1.0,
+                 "sample: confidence must be in (0, 1)")
+
+
+@dataclass
 class SimulationConfig:
     """Top-level configuration: the target architecture plus the host."""
 
@@ -619,6 +707,7 @@ class SimulationConfig:
     check: CheckConfig = field(default_factory=CheckConfig)
     profile: ProfileConfig = field(default_factory=ProfileConfig)
     ckpt: CkptConfig = field(default_factory=CkptConfig)
+    sample: SampleConfig = field(default_factory=SampleConfig)
     #: Master seed for all RNG streams.
     seed: int = 42
     #: Heterogeneous tiles (paper §2: "tiles may be homogeneous or
@@ -661,6 +750,7 @@ class SimulationConfig:
         self.check.validate()
         self.profile.validate()
         self.ckpt.validate()
+        self.sample.validate()
         # Host-profiling instrumentation rebinds instance methods with
         # closure wrappers, which cannot cross a snapshot pickle.
         _require(not (self.ckpt.enabled and self.profile.enabled),
@@ -701,6 +791,7 @@ class SimulationConfig:
             "check": (CheckConfig,),
             "profile": (ProfileConfig,),
             "ckpt": (CkptConfig,),
+            "sample": (SampleConfig,),
         }
         kwargs: Dict[str, Any] = {}
         for key, value in data.items():
@@ -733,11 +824,17 @@ class SimulationConfig:
 
         Drops :data:`OBSERVATIONAL_SECTIONS` — the knobs proven not to
         change simulation metrics — and keeps everything else,
-        including the seed and every nested model parameter.
+        including the seed and every nested model parameter.  The
+        ``sample`` section stays (fast-forwarding changes results),
+        minus its ``library`` field, which only locates shared prefix
+        snapshots on disk.
         """
         data = self.to_dict()
         for section in OBSERVATIONAL_SECTIONS:
             data.pop(section, None)
+        if "sample" in data:
+            data["sample"] = {k: v for k, v in data["sample"].items()
+                              if k != "library"}
         return data
 
     def content_hash(self) -> str:
@@ -756,6 +853,29 @@ class SimulationConfig:
         from repro.distrib.wire import WIRE_VERSION
         payload = {"config": self.semantic_dict(),
                    "wire_version": WIRE_VERSION}
+        blob = json.dumps(payload, sort_keys=True,
+                          separators=(",", ":")).encode("utf-8")
+        return hashlib.sha256(blob).hexdigest()
+
+    def prefix_hash(self) -> str:
+        """Identity of this config's *functional prefix*.
+
+        Like :meth:`content_hash` but additionally dropping
+        :data:`PREFIX_IRRELEVANT_SECTIONS` and the per-tile core
+        overrides: sections that only steer timing models bypassed
+        during functional fast-forward.  Two configs with equal prefix
+        hashes fast-forwarded to the same cycle produce byte-identical
+        architectural state, so the snapshot library
+        (:mod:`repro.sample.library`) may serve both from one stored
+        checkpoint.  Stable across processes and ``PYTHONHASHSEED``
+        for the same reasons as :meth:`content_hash`.
+        """
+        from repro.distrib.wire import WIRE_VERSION
+        data = self.semantic_dict()
+        for section in PREFIX_IRRELEVANT_SECTIONS:
+            data.pop(section, None)
+        data.pop("tile_core_overrides", None)
+        payload = {"prefix": data, "wire_version": WIRE_VERSION}
         blob = json.dumps(payload, sort_keys=True,
                           separators=(",", ":")).encode("utf-8")
         return hashlib.sha256(blob).hexdigest()

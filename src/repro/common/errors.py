@@ -43,6 +43,17 @@ class CheckpointError(SimulationError):
     """
 
 
+class SampleError(SimulationError):
+    """A failure in checkpoint-accelerated sampling (:mod:`repro.sample`).
+
+    Raised by the snapshot library for workloads that finish before the
+    requested fast-forward target, corrupt or missing library entries,
+    and — loudly — whenever the determinism check finds a forked run
+    whose metrics are not byte-identical to an unshared run of the same
+    configuration.
+    """
+
+
 class ServeError(SimulationError):
     """A failure in the simulation service (:mod:`repro.serve`).
 

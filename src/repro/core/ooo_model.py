@@ -156,6 +156,15 @@ class OutOfOrderCoreModel:
         if pseudo.cost:
             self.clock.advance(pseudo.cost)
 
+    def retire_functional(self, count: int = 1) -> None:
+        """Unit-cost retirement for fast-forward (:mod:`repro.sample`).
+
+        Identical to the in-order model's — fast-forward progress must
+        not depend on which timing model a variant selects, or shared
+        prefix snapshots would diverge."""
+        self.clock.advance(count)
+        self._instructions.add(count)
+
     # -- accessors ------------------------------------------------------------------
 
     @property

@@ -131,6 +131,17 @@ class CorePerfModel:
         parity with the out-of-order model.
         """
 
+    def retire_functional(self, count: int = 1) -> None:
+        """Retire ``count`` instructions at fixed unit cost.
+
+        The fast-forward path (:mod:`repro.sample`): the instruction
+        counter and the local clock advance — lax synchronization
+        still needs monotone per-tile clocks — but the predictor,
+        LSU and stall accounting are untouched.
+        """
+        self.clock.advance(count)
+        self._instructions.add(count)
+
     # -- accessors -----------------------------------------------------------
 
     @property

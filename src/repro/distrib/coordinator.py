@@ -102,6 +102,9 @@ class WorkerCluster:
         self._owner: Dict[int, int] = {}
         #: Every process this cluster spawned (teardown safety net).
         self._spawned: List[Any] = []
+        #: Current interpreter execution mode (:mod:`repro.sample`),
+        #: mirrored here so late joiners can be brought up to date.
+        self.exec_functional = False
         self.listener: Optional[NetListener] = None
         try:
             if config.distrib.transport == "tcp":
@@ -221,7 +224,28 @@ class WorkerCluster:
             self._channels.append(channel)
             self._active.append(True)
             self.send(index, FrameKind.HELLO, (self.config, [], index))
+            if self.exec_functional:
+                # The Welcome already advertised the mode, but the
+                # frame makes it authoritative on the pickle wire too.
+                self.send(index, FrameKind.SET_MODE, True)
             joined.append(index)
+
+    def set_execution_mode(self, functional: bool) -> None:
+        """Broadcast the execution mode to every worker (wire v6).
+
+        Called by the coordinator strictly between quanta (the sample
+        controller is a periodic hook), when every worker is parked on
+        its control pipe — so the flag lands before any worker runs
+        another quantum.  Also remembered for membership: later
+        dial-ins get a SET_MODE right after HELLO, and the handshake
+        Welcome advertises the current mode.
+        """
+        self.exec_functional = bool(functional)
+        if self.listener is not None:
+            self.listener.mode = ("functional" if functional
+                                  else "detailed")
+        for worker in self.workers():
+            self.send(worker, FrameKind.SET_MODE, bool(functional))
 
     def migrate_shard(self, src: int, dst: int) -> List[int]:
         """Move every tile owned by ``src`` into ``dst``, live.
@@ -624,6 +648,26 @@ class DistribSimulator(Simulator):
     def _make_transport(self) -> Transport:
         return ShardTransport(self.layout, self.stats.child("transport"))
 
+    # -- execution mode (repro.sample, wire v6) ------------------------------
+
+    def set_execution_mode(self, mode: str) -> None:
+        """Flip the mode on the coordinator's models *and* the workers.
+
+        The coordinator owns every timing model (memory system,
+        network fabric, host cost), so the base-class flip already
+        covers them in the mp backend; what it cannot reach is the
+        interpreter dispatch in the worker processes.  A SET_MODE
+        broadcast closes that gap — sent between quanta, like every
+        mode switch, so both sides agree before the next quantum.
+        """
+        before = self.exec_functional
+        super().set_execution_mode(mode)
+        # getattr: the ``ff_until`` flip happens inside the base-class
+        # constructor, before this subclass sets ``_cluster``.
+        cluster = getattr(self, "_cluster", None)
+        if self.exec_functional != before and cluster is not None:
+            cluster.set_execution_mode(self.exec_functional)
+
     # -- lifecycle -----------------------------------------------------------
 
     def run(self, main_program: Any, args: tuple = ()):
@@ -644,6 +688,11 @@ class DistribSimulator(Simulator):
                     "worker_start", None, 0,
                     {"worker": index,
                      "tiles": len(self._cluster.tiles_of(index))})
+        if self.exec_functional:
+            # The initial fast-forward flip (``sample.ff_until``)
+            # happened in ``__init__``, before any worker existed;
+            # replay it now the cluster is up.
+            self._cluster.set_execution_mode(True)
         try:
             return super().run(main_program, args)
         finally:
@@ -699,6 +748,11 @@ class DistribSimulator(Simulator):
                         f"worker {worker}: expected CKPT_ACK after "
                         f"RESTORE, got {kind.value}")
             self._restore_shards = {}
+            if self.exec_functional:
+                # A checkpoint taken mid-fast-forward: the shard
+                # kernels pickled the flag too, but the replay also
+                # updates the membership listener for late joiners.
+                self._cluster.set_execution_mode(True)
             return super().resume_run()
         finally:
             self._cluster.shutdown()

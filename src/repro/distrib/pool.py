@@ -69,7 +69,16 @@ def _pool_child(task_queue, result_queue,
         try:
             run_config = config.copy()
             run_config.distrib.backend = "inproc"
-            result = Simulator(run_config).run(ref, args)
+            if run_config.sample.ff_until > 0 and \
+                    run_config.sample.library:
+                # Snapshot-library path: fork from the shared prefix
+                # checkpoint (primed up front by a share_prefix sweep,
+                # or by whichever pool child gets there first — entry
+                # creation is atomic, the race loser's work discarded).
+                from repro.sample.library import run_with_library
+                result = run_with_library(run_config, ref, args)
+            else:
+                result = Simulator(run_config).run(ref, args)
             try:
                 pickle.dumps(result.main_result)
             except Exception:

@@ -32,7 +32,9 @@ from repro.distrib.errors import ProgramTransportError, WireFormatError
 #: barrier and shard restore for fault-tolerant runs).
 #: v5: ADOPT / RELEASE / GOODBYE frames (live shard migration between
 #: workers and orderly departure of drained workers; :mod:`repro.net`).
-WIRE_VERSION = 5
+#: v6: SET_MODE frame (execution-mode propagation for functional
+#: fast-forward and interval sampling; :mod:`repro.sample`).
+WIRE_VERSION = 6
 
 
 class FrameKind(enum.Enum):
@@ -56,6 +58,12 @@ class FrameKind(enum.Enum):
     DELIVER = "deliver"
     #: coordinator -> worker: forward a wake timestamp to a tile.
     NOTIFY_WAKE = "notify_wake"
+    #: coordinator -> worker: switch the interpreter execution mode
+    #: (payload: ``True`` = functional, ``False`` = detailed).  Sent
+    #: only between quanta — the sample controller is a periodic
+    #: scheduler hook — so no interpreter is ever mid-quantum when the
+    #: mode flips (:mod:`repro.sample`).
+    SET_MODE = "set_mode"
     #: coordinator -> worker: request the flattened local stats.
     COLLECT_STATS = "collect_stats"
     #: worker -> coordinator: flattened local stats.

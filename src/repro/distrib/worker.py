@@ -219,6 +219,12 @@ class KernelProxy:
                  config: SimulationConfig) -> None:
         self._worker = worker
         self.config = config
+        #: Execution mode sampled by the interpreters once per quantum
+        #: (:mod:`repro.sample`).  Driven by SET_MODE frames (wire v6)
+        #: so it only ever changes between quanta; pickles with the
+        #: shard, so a checkpoint taken mid-fast-forward resumes
+        #: functional.
+        self.exec_functional = False
         self.stats = StatGroup("sim")
         self.queues = worker.queues
         #: Worker-local event bus: no sinks (a worker never opens the
@@ -409,8 +415,20 @@ class Worker:
             self.interpreters[tile].notify_wake(timestamp)
         elif kind is FrameKind.SPAWN:
             self._handle_spawn(payload)
+        elif kind is FrameKind.SET_MODE:
+            self._handle_set_mode(payload)
         else:
             raise RuntimeError(f"unexpected frame {kind} in worker")
+
+    def _handle_set_mode(self, functional: bool) -> None:
+        """Flip the interpreter execution mode (wire v6).
+
+        Purely local, like SPAWN: just a flag the interpreters sample
+        at their next quantum.  Adopted kernels (live migration) flip
+        too — their interpreters dispatch through them.
+        """
+        for kernel in [self.kernel, *self.adopted]:
+            kernel.exec_functional = bool(functional)
 
     def _handle_spawn(self, payload: tuple) -> None:
         """Create an interpreter for a tile we own.  Purely local.
@@ -488,6 +506,7 @@ class Worker:
         survive a process boundary), and every live interpreter's
         generator is replayed back to its checkpointed position.
         """
+        hello_config = self.kernel.config
         shard = pickle.loads(blob)
         kernel = shard["kernel"]
         kernel._worker = self
@@ -506,10 +525,45 @@ class Worker:
         # Observers (telemetry bus/channels) were excised to None; the
         # resumed shard runs unobserved, like a --trace-less run.
         self._tele_worker = None
+        self._redress_shard(hello_config)
         for interpreter in self.interpreters.values():
             interpreter.rebuild_generator()
         self._send(FrameKind.CKPT_ACK,
                    ShardCheckpoint(self.process_index, b""))
+
+    def _redress_shard(self, hello_config: SimulationConfig) -> None:
+        """Re-dress a restored shard for the HELLO config (wire v6).
+
+        A snapshot-library fork (:mod:`repro.sample.library`) resumes
+        a shared prefix checkpoint under a *variant* config that may
+        differ from the pickled one in prefix-irrelevant sections —
+        the core model above all.  Mirror of the coordinator-side fork
+        re-dressing: each interpreter whose core disagrees with the
+        variant gets a freshly built model (its ``core`` stat subtree
+        rebuilt from scratch, so no stale counters from the primer's
+        model type survive) carrying the clock and instruction total
+        over — exactly the state fast-forward advances.  A plain
+        crash-recovery resume restores under the identical config and
+        rebuilds nothing.
+        """
+        from repro.core.factory import create_core_model
+        for kernel in [self.kernel, *self.adopted]:
+            kernel.config = hello_config
+        for tile, interpreter in self.interpreters.items():
+            target = hello_config.core_config_for(int(tile))
+            old = interpreter.core
+            if not hasattr(old, "config") or old.config == target:
+                continue
+            clock_now = old.clock.now
+            retired = old.instruction_count
+            stats = interpreter.kernel.stats.child(f"thread{int(tile)}")
+            stats.children.pop("core", None)
+            core = create_core_model(target, stats.child("core"),
+                                     telemetry=None, tile=int(tile))
+            core.clock.forward_to(clock_now)
+            if retired:
+                core._instructions.add(retired)
+            interpreter.core = core
 
     def _handle_adopt(self, blob: bytes) -> None:
         """Merge a migrated shard into this worker's own (wire v5).
@@ -685,7 +739,12 @@ def run_connected_worker(channel, welcome) -> None:
                 "config fingerprint mismatch between handshake "
                 f"({welcome.config_fingerprint}) and HELLO "
                 f"({config.content_hash()}); refusing to desync")
-        Worker(channel, index, config, tiles).loop()
+        worker = Worker(channel, index, config, tiles)
+        # Net wire v3: a worker joining mid-fast-forward starts
+        # functional; a SET_MODE frame follows HELLO regardless.
+        worker.kernel.exec_functional = (
+            getattr(welcome, "mode", "detailed") == "functional")
+        worker.loop()
     except (EOFError, ChannelClosedError, KeyboardInterrupt):
         pass  # coordinator gone: nothing left to serve
     finally:

@@ -143,13 +143,17 @@ class ThreadInterpreter(ThreadTask):
             cycle_limit: Optional[int] = None) -> QuantumResult:
         if self._finished:
             raise SimulationError("running a finished thread")
+        # Execution mode is sampled once per quantum: the scheduler only
+        # flips it at quantum boundaries (:mod:`repro.sample`).
+        functional = bool(getattr(self.kernel, "exec_functional", False))
+        handlers = self._FF_HANDLERS if functional else self._HANDLERS
         executed = 0
         while executed < budget_instructions:
             if cycle_limit is not None and self.core.cycles >= cycle_limit:
                 return QuantumResult(QuantumStatus.RAN, executed)
             if self._pending_op is not None:
                 op = self._pending_op
-                self._consume_wake()
+                self._consume_wake(functional)
             else:
                 if self._ckpt_log is not None:
                     self._ckpt_log.append(self._send_value)
@@ -159,7 +163,10 @@ class ThreadInterpreter(ThreadTask):
                     self.result = stop.value
                     return self._finish(executed)
                 self._send_value = None
-            result = self._execute(op)
+            handler = handlers.get(type(op))
+            if handler is None:
+                raise SimulationError(f"unknown front-end op {op!r}")
+            result = handler(self, op)
             if result is _BLOCK:
                 self._pending_op = op
                 return QuantumResult(QuantumStatus.BLOCKED, executed)
@@ -229,10 +236,13 @@ class ThreadInterpreter(ThreadTask):
                     f"program is not deterministic") from None
         self.generator = generator
 
-    def _consume_wake(self) -> None:
+    def _consume_wake(self, functional: bool = False) -> None:
         if self._wake_time is not None:
-            self.core.execute_pseudo(PseudoInstruction(
-                PseudoKind.SYNC, time=self._wake_time))
+            if functional:
+                self.core.clock.forward_to(self._wake_time)
+            else:
+                self.core.execute_pseudo(PseudoInstruction(
+                    PseudoKind.SYNC, time=self._wake_time))
             self._wake_time = None
 
     # -- op dispatch ------------------------------------------------------------------
@@ -437,6 +447,126 @@ class ThreadInterpreter(ThreadTask):
         self.kernel.fabric.transfer(MCP_TILE, self.tile,
                                     MessageKind.SYSTEM, 32, clock + out)
 
+    # -- functional fast-forward handlers (:mod:`repro.sample`) -------------------------
+
+    # Every handler below performs the *identical* functional work as
+    # its detailed twin — bytes move, locks acquire, messages deliver,
+    # threads spawn — but time is accounted at fixed unit cost: no
+    # instruction fetch, no branch predictor, no LSU, no host-cost
+    # charges.  The instruction counter advances by the same amounts as
+    # the detailed handlers so fast-forwarded instruction totals remain
+    # comparable.  Crucially, nothing here depends on the core or
+    # network configuration, so variants forked from a shared
+    # fast-forward snapshot see byte-identical architectural state.
+
+    def _ff_compute(self, op: ops.Compute) -> None:
+        self.core.retire_functional(op.count)
+
+    def _ff_branch(self, op: ops.Branch) -> None:
+        self.core.retire_functional(1)
+
+    def _ff_load(self, op: ops.Load) -> bytes:
+        data, _ = self.memory.load(op.address, op.size, self.core.cycles)
+        self.core.retire_functional(1)
+        return data
+
+    def _ff_store(self, op: ops.Store) -> None:
+        self.memory.store(op.address, op.data, self.core.cycles)
+        self.core.retire_functional(1)
+
+    def _ff_malloc(self, op: ops.Malloc) -> int:
+        self.core.clock.advance(MALLOC_CYCLES)
+        return self.kernel.allocator.malloc(op.size, op.align)
+
+    def _ff_free(self, op: ops.Free) -> None:
+        self.core.clock.advance(FREE_CYCLES)
+        self.kernel.allocator.free(op.address)
+
+    def _ff_send(self, op: ops.Send) -> None:
+        self.core.retire_functional(SEND_CYCLES)
+        dst_tile = TileId(int(op.dst))
+        self.netif.send(dst_tile, payload=(int(self.tile), op.payload),
+                        kind=MessageKind.USER,
+                        size_bytes=len(op.payload) + USER_MESSAGE_HEADER,
+                        timestamp=self.core.cycles, tag=op.tag)
+        self.kernel.wake_scheduler(dst_tile)
+
+    def _ff_recv(self, op: ops.Recv) -> Any:
+        src_tile = TileId(int(op.src)) if op.src is not None else None
+        message = self.netif.poll_match(MessageKind.USER, src=src_tile,
+                                        tag=op.tag)
+        if message is None:
+            return _BLOCK
+        self.core.clock.forward_to(message.arrival_time)
+        self.core.clock.advance(RECV_CYCLES)
+        sender, payload = message.payload
+        return (ThreadId(sender), payload)
+
+    def _ff_rmw_lock_word(self, address: int) -> int:
+        data, _ = self.memory.load(address, 8, self.core.cycles)
+        self.memory.store(address, data, self.core.cycles)
+        self.core.retire_functional(2 + LOCK_ALU_CYCLES)
+        return int.from_bytes(data, "little")
+
+    def _ff_lock(self, op: ops.Lock) -> Any:
+        value = self._ff_rmw_lock_word(op.address)
+        if value == 0:
+            holder = int(self.tile) + 1
+            self.memory.store(op.address, holder.to_bytes(8, "little"),
+                              self.core.cycles)
+            self.core.retire_functional(1)
+            return None
+        self.core.clock.advance(SYSCALL_TRAP_CYCLES)
+        self.kernel.mcp.futex.wait(op.address, self.tile)
+        return _BLOCK
+
+    def _ff_unlock(self, op: ops.Unlock) -> None:
+        self.memory.store(op.address, bytes(8), self.core.cycles)
+        self.core.retire_functional(1)
+        self.kernel.mcp.futex.wake(op.address, 1, self.core.cycles)
+
+    def _ff_barrier(self, op: ops.BarrierWait) -> Any:
+        if not op.registered:
+            self._ff_rmw_lock_word(op.address)
+            release = self.kernel.mcp.barrier_arrive(
+                op.address, op.participants, self.tile, self.core.cycles)
+            op.registered = True
+            if release is None:
+                return _BLOCK
+            op.registered = False
+            self.core.clock.forward_to(release)
+            return None
+        if self.kernel.mcp.barrier_is_waiting(op.address, self.tile):
+            return _BLOCK
+        op.registered = False
+        return None
+
+    def _ff_spawn(self, op: ops.Spawn) -> ThreadId:
+        self.core.clock.advance(SPAWN_CYCLES)
+        return self.kernel.spawn_thread(op.program, op.args, self.tile,
+                                        self.core.cycles)
+
+    def _ff_join(self, op: ops.Join) -> Any:
+        target = TileId(int(op.thread))
+        if not op.registered:
+            self.core.clock.advance(JOIN_CYCLES)
+            final = self.kernel.mcp.threads.try_join(self.tile, target)
+            op.registered = True
+            if final is None:
+                return _BLOCK
+            op.registered = False
+            self.core.clock.forward_to(final)
+            return None
+        final = self.kernel.mcp.threads.final_clock(target)
+        if final is None:
+            return _BLOCK
+        op.registered = False
+        return None
+
+    def _ff_syscall(self, op: ops.Syscall) -> Any:
+        self.core.clock.advance(SYSCALL_TRAP_CYCLES)
+        return self.kernel.mcp.syscalls.execute(op.name, op.args)
+
     _HANDLERS = {
         ops.Compute: _op_compute,
         ops.Branch: _op_branch,
@@ -452,4 +582,21 @@ class ThreadInterpreter(ThreadTask):
         ops.Spawn: _op_spawn,
         ops.Join: _op_join,
         ops.Syscall: _op_syscall,
+    }
+
+    _FF_HANDLERS = {
+        ops.Compute: _ff_compute,
+        ops.Branch: _ff_branch,
+        ops.Load: _ff_load,
+        ops.Store: _ff_store,
+        ops.Malloc: _ff_malloc,
+        ops.Free: _ff_free,
+        ops.Send: _ff_send,
+        ops.Recv: _ff_recv,
+        ops.Lock: _ff_lock,
+        ops.Unlock: _ff_unlock,
+        ops.BarrierWait: _ff_barrier,
+        ops.Spawn: _ff_spawn,
+        ops.Join: _ff_join,
+        ops.Syscall: _ff_syscall,
     }

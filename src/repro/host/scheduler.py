@@ -147,6 +147,11 @@ class Scheduler:
             [] for _ in range(num_cores)]
         self._quantum_charge = 0.0
         self._quantum_blocking = 0.0
+        #: Functional fast-forward (:mod:`repro.sample`): bypass the
+        #: sync model's pacing (no cycle limits, no quantum-end
+        #: arrivals) while keeping the thread lifecycle callbacks.
+        #: Flipped only between quanta by the sample controller.
+        self.functional = False
         self._running: Optional[ScheduledThread] = None
         self._running_core: int = 0
         self._turns = 0
@@ -284,10 +289,29 @@ class Scheduler:
         subsystem's notion of simulation position."""
         return self._turns
 
+    @property
+    def instructions_retired(self) -> int:
+        """Target instructions retired across all threads so far.
+
+        The sample controller reads this (with :meth:`thread_clocks`)
+        at measurement-window edges to compute per-window CPI; it is
+        identical on both backends because QUANTUM_DONE carries the
+        same instruction counts the in-process engine produces."""
+        return self._total_instructions
+
     def thread_clocks(self) -> List[int]:
         """Local clocks of all live threads (for skew measurement)."""
         return [t.task.cycles for t in self.threads.values()
                 if t.state is not ThreadState.DONE]
+
+    def total_cycles(self) -> int:
+        """Sum of every thread's clock, finished threads included.
+
+        Finished threads' clocks are frozen, so differencing this at
+        two points measures exactly the cycles live threads progressed
+        in between — the sample controller's window metric, robust to
+        threads finishing mid-window."""
+        return sum(t.task.cycles for t in self.threads.values())
 
     def active_thread_clocks(self) -> List[int]:
         """Clocks of threads that are actually progressing.
@@ -417,7 +441,11 @@ class Scheduler:
         self._running_core = core
         self._quantum_charge = 0.0
         self._quantum_blocking = 0.0
-        cycle_limit = self.sync_model.cycle_limit(thread)
+        # Magic sync under fast-forward: no epoch/slack pacing.  The
+        # lifecycle callbacks (done/blocked/woken) still fire so the
+        # sync model's membership stays correct across mode switches.
+        cycle_limit = (None if self.functional
+                       else self.sync_model.cycle_limit(thread))
         budget = self.quantum_instructions
         if self._rng is not None:
             # OS-like dispatch variability: quantum in [0.75x, 1.25x).
@@ -456,7 +484,8 @@ class Scheduler:
         else:
             if thread.state is ThreadState.RUNNING:
                 thread.state = ThreadState.RUNNABLE
-            self.sync_model.on_quantum_end(thread)
+            if not self.functional:
+                self.sync_model.on_quantum_end(thread)
 
     def _diagnose_stall(self) -> None:
         states = {int(t.tile): t.state.value for t in self.threads.values()

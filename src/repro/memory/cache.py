@@ -91,7 +91,10 @@ class Cache:
         ``count=False`` makes the probe invisible to hit/miss statistics
         (used by coherence-side probes that are not program accesses).
         """
-        cache_set = self._set_of(line_address)
+        # ``_set_of`` inlined: lookup and peek dominate the memory
+        # system's host cost on both execution modes.
+        cache_set = self._sets[(line_address >> self._line_shift)
+                               % self.num_sets]
         line = cache_set.get(line_address)
         if count:
             self._lookups.add()
@@ -146,7 +149,8 @@ class Cache:
 
     def peek(self, line_address: int) -> Optional[CacheLine]:
         """Lookup without LRU update or statistics."""
-        return self._set_of(line_address).get(line_address)
+        return self._sets[(line_address >> self._line_shift)
+                          % self.num_sets].get(line_address)
 
     # -- introspection -------------------------------------------------------
 

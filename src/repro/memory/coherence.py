@@ -71,6 +71,12 @@ class CoherenceEngine:
             self._tele_cache = telemetry.channel(EventCategory.CACHE)
             tele_dir = telemetry.channel(EventCategory.DIRECTORY)
             tele_dram = telemetry.channel(EventCategory.DRAM)
+        #: Functional fast-forward (:mod:`repro.sample`): when set, the
+        #: protocol still performs every state transition — directory,
+        #: caches, backing store — through the one shared code path,
+        #: but network legs and DRAM timing are bypassed.  Flipped by
+        #: :meth:`repro.sim.simulator.Simulator.set_execution_mode`.
+        self.functional = False
         window = max(num_tiles * config.dram.progress_window_factor, 8)
         self.progress = ProgressEstimator(window)
         self.hierarchies: List[CacheHierarchy] = [
@@ -94,8 +100,22 @@ class CoherenceEngine:
 
     def _transfer(self, src: TileId, dst: TileId, size_bytes: int,
                   timestamp: int) -> int:
+        if self.functional:
+            return 0
         return self.fabric.transfer(src, dst, MessageKind.MEMORY,
                                     size_bytes, timestamp)
+
+    # -- DRAM timing helpers (bypassed under fast-forward) -------------------
+
+    def _dram_read(self, home: TileId, now: int) -> int:
+        if self.functional:
+            return 0
+        return self.drams[int(home)].read(now, self.line_bytes)
+
+    def _dram_post_write(self, home: TileId, now: int) -> None:
+        if self.functional:
+            return
+        self.drams[int(home)].post_write(now, self.line_bytes)
 
     # -- public protocol operations --------------------------------------------------
 
@@ -144,7 +164,7 @@ class CoherenceEngine:
             self.backing.write_line(line_address, owner_line.data)
             now += self._transfer(owner, home,
                                   self.line_bytes + HEADER_BYTES, now)
-            self.drams[int(home)].post_write(now, self.line_bytes)
+            self._dram_post_write(home, now)
             entry.state = DirState.SHARED
         elif entry.state is DirState.SHARED and entry.sharers \
                 and self.config.forward_shared_reads:
@@ -160,7 +180,7 @@ class CoherenceEngine:
             data_forwarded = True
         elif entry.state is not DirState.MODIFIED:
             # Data comes from the home memory controller.
-            now += self.drams[int(home)].read(now, self.line_bytes)
+            now += self._dram_read(home, now)
 
         result = directory.add_sharer(entry, tile, timestamp=now)
         now += result.extra_latency
@@ -255,7 +275,7 @@ class CoherenceEngine:
                                                   due_to_write=True)
             now += self._transfer(owner, home,
                                   self.line_bytes + HEADER_BYTES, now)
-            self.drams[int(home)].post_write(now, self.line_bytes)
+            self._dram_post_write(home, now)
             entry.sharers.clear()
         elif entry.state is DirState.SHARED:
             now += directory.invalidation_latency(entry)
@@ -263,9 +283,9 @@ class CoherenceEngine:
                                             line_address, now,
                                             exclude=None)
             entry.sharers.clear()
-            now += self.drams[int(home)].read(now, self.line_bytes)
+            now += self._dram_read(home, now)
         else:
-            now += self.drams[int(home)].read(now, self.line_bytes)
+            now += self._dram_read(home, now)
 
         result = directory.add_sharer(entry, tile, timestamp=now)
         now += result.extra_latency
@@ -347,8 +367,7 @@ class CoherenceEngine:
             self._transfer(tile, victim_home,
                            self.line_bytes + HEADER_BYTES, timestamp)
             self.backing.write_line(victim.address, victim.data)
-            self.drams[int(victim_home)].post_write(timestamp,
-                                                    self.line_bytes)
+            self._dram_post_write(victim_home, timestamp)
         else:
             # Evict notice keeps the full-map sharer list precise.
             self._transfer(tile, victim_home, CONTROL_BYTES, timestamp)

@@ -34,7 +34,7 @@ class MemoryController:
         self.space = engine.space
         self.hierarchy = engine.hierarchies[int(tile)]
         self.line_bytes = engine.line_bytes
-        self._charge = charge_memory_access
+        self._charge_fn = charge_memory_access
         self._loads = stats.counter("loads")
         self._stores = stats.counter("stores")
         self._fetches = stats.counter("fetches")
@@ -42,6 +42,13 @@ class MemoryController:
         l1i = engine.config.l1i
         self._l1d_latency = l1d.access_latency if l1d.enabled else 0
         self._l1i_latency = l1i.access_latency if l1i.enabled else 0
+
+    def _charge(self) -> None:
+        # Host-cost accounting is timing bookkeeping; fast-forward
+        # (:mod:`repro.sample`) skips it along with the rest of the
+        # memory timing model.
+        if not self.engine.functional:
+            self._charge_fn()
 
     # -- splitting ---------------------------------------------------------------
 
@@ -66,6 +73,27 @@ class MemoryController:
         """Read target memory; returns (bytes, modelled latency)."""
         self.space.check_access(address, size)
         self._loads.add()
+        line_address = self.space.line_of(address)
+        offset = address - line_address
+        if offset + size <= self.line_bytes:
+            # Fast path: the overwhelmingly common single-line access
+            # skips the split loop and the result buffer.  Same probes,
+            # same counters, same state transitions as the loop below.
+            self._charge()
+            if self.hierarchy.l1d_hit(line_address):
+                line = self.hierarchy.l2.peek(line_address)
+                if line is None:
+                    raise ProtocolError(
+                        f"L1 holds {line_address:#x} but L2 does not "
+                        f"(tile {int(self.tile)})")
+                latency = self._l1d_latency
+            else:
+                line, miss_latency = self.engine.read_access(
+                    self.tile, address, size, timestamp)
+                self.hierarchy.fill_l1d(line_address)
+                latency = self._l1d_latency + miss_latency
+            assert line.data is not None
+            return bytes(line.data[offset:offset + size]), latency
         out = bytearray()
         latency = 0
         for piece_address, offset, chunk in self._split(address, size):
@@ -93,6 +121,28 @@ class MemoryController:
         size = len(data)
         self.space.check_access(address, size)
         self._stores.add()
+        line_address = self.space.line_of(address)
+        offset = address - line_address
+        if offset + size <= self.line_bytes:
+            # Fast path mirroring :meth:`load`'s single-line case.
+            self._charge()
+            resident = self.hierarchy.l2.peek(line_address)
+            if (self.hierarchy.l1d_hit(line_address)
+                    and resident is not None
+                    and resident.state is LineState.MODIFIED):
+                line = resident
+                latency = self._l1d_latency
+            else:
+                line, miss_latency = self.engine.write_access(
+                    self.tile, address, size, timestamp)
+                self.hierarchy.fill_l1d(line_address)
+                latency = self._l1d_latency + miss_latency
+            assert line.data is not None
+            line.data[offset:offset + size] = data
+            if self.engine.classifier is not None:
+                self.engine.classifier.note_store(self.tile, address,
+                                                  size)
+            return latency
         latency = 0
         consumed = 0
         for piece_address, offset, chunk in self._split(address, size):

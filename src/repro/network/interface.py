@@ -39,6 +39,11 @@ class NetworkFabric:
         if telemetry is not None:
             from repro.telemetry.events import EventCategory
             self._tele = telemetry.channel(EventCategory.NETWORK)
+        #: Functional fast-forward (:mod:`repro.sample`): packets still
+        #: deliver through the transport (functionality), but the
+        #: network models are bypassed — zero latency, no contention
+        #: state, no bandwidth accounting (modeling).
+        self.functional = False
         model_names = {
             MessageKind.USER: config.user_model,
             MessageKind.MEMORY: config.memory_model,
@@ -59,6 +64,12 @@ class NetworkFabric:
              payload: Any = None, size_bytes: int = 8, timestamp: int = 0,
              tag: Optional[int] = None) -> Message:
         """Route, timestamp and deliver one packet; returns the message."""
+        if self.functional:
+            message = Message(src=src, dst=dst, kind=kind, payload=payload,
+                              size_bytes=size_bytes, timestamp=timestamp,
+                              arrival_time=timestamp, tag=tag)
+            self.transport.send(message)
+            return message
         latency = self.models[kind].route(src, dst, size_bytes, timestamp)
         message = Message(src=src, dst=dst, kind=kind, payload=payload,
                           size_bytes=size_bytes, timestamp=timestamp,
@@ -81,6 +92,8 @@ class NetworkFabric:
         queued (paper §3.3: messages are forwarded immediately).  All
         statistics and host-cost accounting still apply.
         """
+        if self.functional:
+            return 0
         latency = self.models[kind].route(src, dst, size_bytes, timestamp)
         if self._tele is not None:
             self._tele.emit("msg", int(src), timestamp,

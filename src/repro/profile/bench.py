@@ -14,7 +14,10 @@ the perf baseline future PRs are compared against:
   factor (default 3x — deliberately loose, because CI machines and
   laptops differ in absolute speed; the guard catches order-of-
   magnitude regressions, not noise),
-- ``--accept-baseline`` refreshes the committed baseline in place.
+- ``--accept-baseline`` refreshes the committed baseline in place,
+- ``--sampling`` runs the checkpoint-accelerated sampling comparison
+  (full detail vs library-sampled; docs/sampling.md) and writes its
+  own ``BENCH_sampling.json`` trajectory instead.
 """
 
 from __future__ import annotations
@@ -52,6 +55,16 @@ QUICK_COUNT = 5
 #: Subsystem rows recorded per benchmark.
 _TOP_N = 5
 
+#: The ``--sampling`` set: (workload, scale, (ff_until, period, detail,
+#: warmup)) at 8 tiles.  Geometries are tuned so the library-warm
+#: sampled run is several times faster than full detail while the
+#: extrapolated cycle count's confidence interval still covers the
+#: full-detail truth (benchmarks/bench_sampling.py asserts both).
+SAMPLING_BENCHMARKS = (
+    ("fft", 2.0, (50_000, 25_000, 7_000, 6_000)),
+    ("lu_cont", 2.0, (400_000, 60_000, 12_000, 10_000)),
+)
+
 
 def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--quick", action="store_true",
@@ -86,6 +99,10 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
                         choices=("inproc", "mp"),
                         help="execution backend (default inproc)")
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--sampling", action="store_true",
+                        help="run the checkpoint-accelerated sampling "
+                             "comparison (full detail vs library-"
+                             "sampled) instead of the host-profile set")
     parser.add_argument("--json", action="store_true",
                         help="print the trajectory JSON to stdout too")
 
@@ -123,6 +140,93 @@ def run_benchmark(workload: str, scale: float, tiles: int,
         "simulated_cycles": rates["simulated_cycles"],
         "instructions": rates["instructions"],
         "top_subsystems": top_subsystems(profile["subsystems"], _TOP_N),
+    }
+
+
+def run_sampling_benchmark(workload: str, scale: float,
+                           geometry: "tuple[int, int, int, int]",
+                           tiles: int = 8, seed: int = 42,
+                           library: Optional[str] = None,
+                           backend: str = "inproc") -> Dict[str, Any]:
+    """Full-detail vs library-sampled comparison for one workload.
+
+    Runs the workload three ways: full detail (the truth), a cold
+    sampled run that primes the snapshot library, and a warm sampled
+    run that forks from it.  Host times take the best of two
+    repetitions on both sides of each ratio, since single runs of
+    sub-second workloads are dominated by host noise.  Returns a
+    record with the speedups, the extrapolation error against the
+    full-detail cycle count, and whether the confidence interval
+    covers it.
+    """
+    import tempfile
+    import time
+
+    from repro.common.config import SimulationConfig
+    from repro.distrib.wire import WorkloadRef
+    from repro.sample.library import (SnapshotLibrary, roi_metrics,
+                                      run_with_library)
+    from repro.sim.runner import create_simulator
+
+    ff_until, period, detail, warmup = geometry
+
+    def make_config(sampled: bool) -> SimulationConfig:
+        config = SimulationConfig(num_tiles=tiles, seed=seed)
+        config.distrib.backend = backend
+        if sampled:
+            config.sample.ff_until = ff_until
+            config.sample.period = period
+            config.sample.detail = detail
+            config.sample.warmup = warmup
+        config.validate()
+        return config
+
+    def best_of(fn, reps: int = 2):
+        result, best = None, float("inf")
+        for _ in range(reps):
+            start = time.perf_counter()
+            result = fn()
+            best = min(best, time.perf_counter() - start)
+        return result, best
+
+    program = WorkloadRef(workload, tiles, scale)
+    full, full_seconds = best_of(
+        lambda: create_simulator(make_config(False)).run(program))
+
+    with tempfile.TemporaryDirectory() as scratch:
+        root = library if library is not None else scratch
+        snapshots = SnapshotLibrary(root)
+        cold, cold_seconds = best_of(
+            lambda: run_with_library(make_config(True), program,
+                                     library=snapshots), reps=1)
+        warm, warm_seconds = best_of(
+            lambda: run_with_library(make_config(True), program,
+                                     library=snapshots))
+
+    extrapolation = warm.sample["extrapolation"]
+    truth = full.simulated_cycles
+    estimate = extrapolation["cycles"]
+    return {
+        "workload": workload,
+        "tiles": tiles,
+        "scale": scale,
+        "backend": backend,
+        "geometry": {"ff_until": ff_until, "period": period,
+                     "detail": detail, "warmup": warmup},
+        "full_cycles": truth,
+        "full_host_seconds": full_seconds,
+        "cold_host_seconds": cold_seconds,
+        "warm_host_seconds": warm_seconds,
+        "cold_speedup": full_seconds / cold_seconds,
+        "warm_speedup": full_seconds / warm_seconds,
+        "windows": extrapolation["windows"],
+        "estimated_cycles": estimate,
+        "cycles_low": extrapolation["cycles_low"],
+        "cycles_high": extrapolation["cycles_high"],
+        "error_percent": (estimate - truth) / truth * 100.0,
+        "ci_covers_truth": (extrapolation["cycles_low"] <= truth
+                            <= extrapolation["cycles_high"]),
+        "roi_identical": roi_metrics(cold) == roi_metrics(warm),
     }
 
 
@@ -166,7 +270,38 @@ def check_baseline(baseline: Mapping[str, Any],
     return problems
 
 
+def run_sampling_bench(args: argparse.Namespace) -> int:
+    """``repro bench --sampling``: the sampled-vs-detail comparison."""
+    records: Dict[str, Dict[str, Any]] = {}
+    for workload, scale, geometry in SAMPLING_BENCHMARKS:
+        record = run_sampling_benchmark(
+            workload, scale * args.scale, geometry, tiles=args.tiles,
+            seed=args.seed, backend=args.backend)
+        records[workload] = record
+        print(f"bench {workload}: full {record['full_host_seconds']:.2f}s, "
+              f"sampled cold {record['cold_host_seconds']:.2f}s "
+              f"({record['cold_speedup']:.1f}x) / warm "
+              f"{record['warm_host_seconds']:.2f}s "
+              f"({record['warm_speedup']:.1f}x), "
+              f"error {record['error_percent']:+.1f}%, "
+              f"CI covers truth: {record['ci_covers_truth']}")
+
+    trajectory = build_trajectory("sampling", records, args.tolerance)
+    payload = json.dumps(trajectory, indent=2, sort_keys=True) + "\n"
+    # Never clobber the committed host-profile baseline with the
+    # sampling trajectory: they share a schema, not a meaning.
+    out_path = Path("BENCH_sampling.json" if args.out == DEFAULT_OUT
+                    else args.out)
+    out_path.write_text(payload, encoding="utf-8")
+    print(f"bench: {len(records)} sampling comparison(s) -> {out_path}")
+    if args.json:
+        print(payload, end="")
+    return 0
+
+
 def run_bench(args: argparse.Namespace) -> int:
+    if args.sampling:
+        return run_sampling_bench(args)
     selected = BENCHMARKS[:QUICK_COUNT] if args.quick else BENCHMARKS
     mode = "quick" if args.quick else "full"
 

@@ -1,0 +1,140 @@
+"""``repro sample`` — manage the snapshot library from the shell.
+
+Three verbs over a library directory (:mod:`repro.sample.library`):
+
+* ``ls`` lists every complete entry with its workload descriptor,
+  fast-forward target and backend;
+* ``prime`` fast-forwards one workload/config to its target and files
+  the switch-point checkpoint, so later sweeps (and serve jobs) fork
+  instead of re-running the prefix;
+* ``gc`` bounds the library's disk footprint, keeping the most
+  recently used entries and dropping the rest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+from typing import List, Tuple
+
+
+def add_sample_arguments(parser: argparse.ArgumentParser) -> None:
+    sub = parser.add_subparsers(dest="sample_command", required=True)
+
+    ls = sub.add_parser("ls", help="list the library's entries")
+    ls.add_argument("--library", required=True, metavar="DIR",
+                    help="snapshot library directory")
+    ls.add_argument("--json", action="store_true",
+                    help="machine-readable output")
+
+    prime = sub.add_parser(
+        "prime",
+        help="fast-forward one workload to its target and file the "
+             "switch-point checkpoint")
+    prime.add_argument("--library", required=True, metavar="DIR",
+                       help="snapshot library directory")
+    prime.add_argument("--workload", required=True,
+                       help="registered workload name")
+    prime.add_argument("--ff-until", type=int, required=True,
+                       metavar="CYCLES",
+                       help="fast-forward target in simulated cycles")
+    prime.add_argument("--tiles", type=int, default=32,
+                       help="number of target tiles (default 32)")
+    prime.add_argument("--threads", type=int, default=0,
+                       help="worker threads (default: one per tile)")
+    prime.add_argument("--scale", type=float, default=1.0,
+                       help="workload problem-size scale factor")
+    prime.add_argument("--seed", type=int, default=42)
+    prime.add_argument("--backend", choices=("inproc", "mp"),
+                       default="inproc",
+                       help="execution backend for the primer run")
+
+    gc = sub.add_parser(
+        "gc", help="drop all but the most recently used entries")
+    gc.add_argument("--library", required=True, metavar="DIR",
+                    help="snapshot library directory")
+    gc.add_argument("--keep", type=int, default=8, metavar="N",
+                    help="entries to keep, newest first (default 8)")
+
+
+def _entry_mtime(library, key: str) -> float:
+    """Last-use time of an entry (the metadata file's mtime)."""
+    try:
+        return os.path.getmtime(
+            os.path.join(library.entry_dir(key), "LIBRARY.json"))
+    except OSError:
+        return 0.0
+
+
+def _command_ls(args: argparse.Namespace) -> int:
+    from repro.sample.library import SnapshotLibrary
+    library = SnapshotLibrary(args.library)
+    entries = library.entries()
+    if args.json:
+        print(json.dumps(
+            [{"key": key, **meta} for key, meta in entries], indent=2))
+        return 0
+    if not entries:
+        print(f"library {args.library}: no entries")
+        return 0
+    print(f"library {args.library}: {len(entries)} entry(ies)")
+    for key, meta in entries:
+        descriptor = meta.get("descriptor", {})
+        workload = descriptor.get(
+            "workload", descriptor.get("program_sha", "?")[:12])
+        print(f"  {key}  {workload}"
+              f" x{descriptor.get('nthreads', '?')}"
+              f" scale={descriptor.get('scale', '?')}"
+              f"  ff_until={meta.get('ff_until')}"
+              f"  backend={meta.get('backend')}"
+              f"  tiles={meta.get('num_tiles')}")
+    return 0
+
+
+def _command_prime(args: argparse.Namespace) -> int:
+    from repro.common.config import SimulationConfig
+    from repro.distrib.wire import WorkloadRef
+    from repro.sample.library import SnapshotLibrary
+    from repro.workloads import get_workload
+    get_workload(args.workload)  # fail fast on unknown names
+    config = SimulationConfig(num_tiles=args.tiles, seed=args.seed)
+    config.distrib.backend = args.backend
+    config.sample.ff_until = args.ff_until
+    config.validate()
+    threads = args.threads or args.tiles
+    program = WorkloadRef(args.workload, threads, args.scale)
+    library = SnapshotLibrary(args.library)
+    key, primed = library.ensure(config, program)
+    verb = "primed" if primed else "already present"
+    print(f"entry {key} {verb} ({args.workload} x{threads}, "
+          f"ff_until={args.ff_until})")
+    return 0
+
+
+def _command_gc(args: argparse.Namespace) -> int:
+    from repro.sample.library import SnapshotLibrary
+    library = SnapshotLibrary(args.library)
+    ranked: List[Tuple[float, str]] = sorted(
+        ((_entry_mtime(library, key), key)
+         for key, _meta in library.entries()),
+        reverse=True)
+    keep = max(args.keep, 0)
+    dropped = 0
+    for _mtime, key in ranked[keep:]:
+        if library.drop(key):
+            print(f"dropped {key}")
+            dropped += 1
+    print(f"kept {min(len(ranked), keep)}, dropped {dropped}")
+    return 0
+
+
+def run_sample(args: argparse.Namespace) -> int:
+    if args.sample_command == "ls":
+        return _command_ls(args)
+    if args.sample_command == "prime":
+        return _command_prime(args)
+    if args.sample_command == "gc":
+        return _command_gc(args)
+    raise AssertionError(
+        f"unhandled sample verb {args.sample_command}")

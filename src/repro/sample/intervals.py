@@ -1,0 +1,75 @@
+"""Interval-sampling phase geometry.
+
+After the initial fast-forward (``sample.ff_until``), simulated time is
+tiled into periods of ``sample.period`` cycles.  Each period opens with
+a detailed-but-unmeasured ``warmup`` window (re-warming the timing
+state the fast-forward left cold: predictors, DRAM queues, network
+contention), then the measured ``detail`` window, then fast-forwards
+the period's remainder::
+
+    ff_until                     period                    period
+    |<--- functional --->|<-warmup->|<-detail->|<--ff-->|<-warmup->|...
+
+Warmup-first ordering makes ``ff_until`` the exact cycle detailed
+execution begins whether or not intervals are configured — which is
+what lets the snapshot library prime one switch-point checkpoint
+(taken by a fast-forward-only run) and fork interval-sampled variants
+from it byte-identically.
+
+Phase boundaries are *targets*: the sample controller compares the
+progress horizon (the maximum live thread clock — elapsed target time)
+against them between scheduler quanta, so actual switches land on the
+first quantum boundary at or past each target — deterministically, and
+identically on both execution backends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.config import SampleConfig
+
+#: Phase names.
+FF = "ff"
+WARMUP = "warmup"
+DETAIL = "detail"
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One contiguous stretch of a single execution treatment."""
+
+    name: str
+    #: Absolute cycle the phase begins at.
+    start: int
+    #: Absolute cycle the phase ends at; ``None`` = until run end.
+    end: Optional[int]
+
+    @property
+    def functional(self) -> bool:
+        return self.name == FF
+
+    @property
+    def measured(self) -> bool:
+        return self.name == DETAIL
+
+
+def phase_at(config: SampleConfig, cycle: int) -> Phase:
+    """The phase the progress frontier ``cycle`` falls in."""
+    base = config.ff_until
+    if config.ff_until > 0 and cycle < base:
+        return Phase(FF, 0, base)
+    if not config.intervals_enabled:
+        return Phase(DETAIL, base, None)
+    period = config.period
+    offset = (cycle - base) % period
+    period_start = cycle - offset
+    warmup, detail = config.warmup, config.detail
+    if offset < warmup:
+        return Phase(WARMUP, period_start, period_start + warmup)
+    if offset < warmup + detail:
+        return Phase(DETAIL, period_start + warmup,
+                     period_start + warmup + detail)
+    return Phase(FF, period_start + warmup + detail,
+                 period_start + period)

@@ -1,0 +1,172 @@
+"""Extrapolation statistics for interval sampling.
+
+Measured detail windows yield per-window CPI samples; whole-run cycle
+counts are extrapolated as ``total_instructions x mean CPI`` with a
+Student-t confidence interval on the mean.  The t critical values are
+a hardcoded two-sided table (the environment has no scipy); requested
+confidence levels snap to the nearest tabulated level.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+#: Two-sided Student-t critical values by confidence level and degrees
+#: of freedom.  Entries beyond the last key fall back to the normal
+#: approximation (the ``inf`` row).
+_T_TABLE: Dict[float, Dict[int, float]] = {
+    0.90: {1: 6.314, 2: 2.920, 3: 2.353, 4: 2.132, 5: 2.015,
+           6: 1.943, 7: 1.895, 8: 1.860, 9: 1.833, 10: 1.812,
+           12: 1.782, 15: 1.753, 20: 1.725, 25: 1.708, 30: 1.697,
+           40: 1.684, 60: 1.671, 120: 1.658},
+    0.95: {1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+           6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+           12: 2.179, 15: 2.131, 20: 2.086, 25: 2.060, 30: 2.042,
+           40: 2.021, 60: 2.000, 120: 1.980},
+    0.99: {1: 63.657, 2: 9.925, 3: 5.841, 4: 4.604, 5: 4.032,
+           6: 3.707, 7: 3.499, 8: 3.355, 9: 3.250, 10: 3.169,
+           12: 3.055, 15: 2.947, 20: 2.845, 25: 2.787, 30: 2.750,
+           40: 2.704, 60: 2.660, 120: 2.617},
+}
+
+#: Normal (df = infinity) critical values per confidence level.
+_Z_VALUES: Dict[float, float] = {0.90: 1.645, 0.95: 1.960, 0.99: 2.576}
+
+
+def t_critical(confidence: float, df: int) -> float:
+    """Two-sided Student-t critical value for ``df`` degrees of freedom.
+
+    ``confidence`` snaps to the nearest tabulated level (0.90, 0.95,
+    0.99); ``df`` snaps down to the nearest tabulated row, which makes
+    the interval conservative never optimistic.
+    """
+    if df < 1:
+        raise ValueError("t_critical needs at least 1 degree of freedom")
+    level = min(_T_TABLE, key=lambda lv: abs(lv - confidence))
+    table = _T_TABLE[level]
+    if df in table:
+        return table[df]
+    below = [d for d in table if d <= df]
+    if not below:
+        return table[min(table)]
+    if df > max(table):
+        return _Z_VALUES[level]
+    return table[max(below)]
+
+
+def confidence_interval(samples: Sequence[float],
+                        confidence: float = 0.95
+                        ) -> "tuple[float, float]":
+    """``(mean, half_width)`` of the Student-t CI on the sample mean.
+
+    With fewer than two samples the half-width is 0.0 — there is no
+    variance estimate, and callers surface the window count alongside
+    the interval so a degenerate CI is visible rather than misleading.
+    """
+    n = len(samples)
+    if n == 0:
+        return 0.0, 0.0
+    mean = sum(samples) / n  # check: allow D004 -- sampling statistics
+    if n < 2:
+        return mean, 0.0
+    variance = sum((s - mean) ** 2 for s in samples) / (n - 1)  # check: allow D004 -- sampling statistics
+    stderr = math.sqrt(variance / n)  # check: allow D004 -- sampling statistics
+    return mean, t_critical(confidence, n - 1) * stderr
+
+
+def extrapolate(windows: List[dict], total_instructions: int,
+                confidence: float = 0.95) -> Dict[str, object]:
+    """Extrapolate whole-run cycles from measured detail windows.
+
+    ``windows`` are the sample controller's window records (each with
+    ``cycles``, ``instructions`` and ``instructions_before`` — the
+    window's position in the retired-instruction stream); windows that
+    measured no instructions carry no CPI information and are dropped.
+
+    The estimator reconstructs the detailed timeline piecewise: the
+    measured windows contribute their cycles directly, and every
+    unmeasured *gap* of the instruction stream (the fast-forwarded and
+    warmup stretches between windows, plus the leading and trailing
+    stretches) is costed at the CPI of its *neighbouring* windows
+    (pooled).  Using local CPI for each gap is what keeps the estimate
+    honest on phase-heterogeneous workloads: a serial stretch is costed
+    at serial CPI and a parallel stretch at parallel CPI, instead of
+    one global mean that oversamples whichever phase the periodic
+    window placement happened to favour.
+
+    The confidence interval applies the pooled ratio-estimator
+    standard error of the CPI to the unmeasured instruction count with
+    a Student-t critical value — measured cycles are exact, only the
+    reconstructed gaps are uncertain.
+    """
+    usable = sorted(
+        (w for w in windows if w.get("instructions", 0) > 0
+         and w.get("cycles", 0) > 0),
+        key=lambda w: w.get("instructions_before", 0))
+    n = len(usable)
+    measured_cycles = sum(w["cycles"] for w in usable)
+    measured_instructions = sum(w["instructions"] for w in usable)
+    if n == 0 or measured_instructions == 0:
+        return {
+            "windows": 0,
+            "confidence": confidence,
+            "mean_cpi": 0.0,
+            "cpi_half_width": 0.0,
+            "measured_cycles": 0,
+            "measured_instructions": 0,
+            "cycles": 0,
+            "cycles_low": 0,
+            "cycles_high": 0,
+        }
+    mean_cpi = measured_cycles / measured_instructions  # check: allow D004 -- sampling statistics
+
+    def neighbour_cpi(left: int, right: int) -> float:
+        """Pooled CPI of the windows flanking one gap."""
+        cycles = instructions = 0
+        for index in (left, right):
+            if 0 <= index < n:
+                cycles += usable[index]["cycles"]
+                instructions += usable[index]["instructions"]
+        return cycles / instructions  # check: allow D004 -- sampling statistics
+
+    # Gap sizes in instructions: before the first window, between
+    # consecutive windows, and after the last one.
+    reconstructed = float(measured_cycles)
+    unmeasured = 0
+    previous_end = 0
+    for index, window in enumerate(usable):
+        gap = window.get("instructions_before", 0) - previous_end
+        if gap > 0:
+            reconstructed += gap * neighbour_cpi(index - 1, index)  # check: allow D004 -- sampling statistics
+            unmeasured += gap
+        previous_end = (window.get("instructions_before", 0)
+                        + window["instructions"])
+    tail = total_instructions - previous_end
+    if tail > 0:
+        reconstructed += tail * neighbour_cpi(n - 1, n - 1)  # check: allow D004 -- sampling statistics
+        unmeasured += tail
+
+    # Ratio-estimator standard error of the pooled CPI, applied to the
+    # unmeasured instructions only.
+    half_width = 0.0
+    if n >= 2:
+        residual_sq = sum(
+            (w["cycles"] - mean_cpi * w["instructions"]) ** 2  # check: allow D004 -- sampling statistics
+            for w in usable)
+        variance = (n * residual_sq
+                    / ((n - 1) * measured_instructions ** 2))  # check: allow D004 -- sampling statistics
+        half_width = t_critical(confidence, n - 1) * math.sqrt(variance)
+    cycles = int(round(reconstructed))
+    spread = int(round(half_width * unmeasured))
+    return {
+        "windows": n,
+        "confidence": confidence,
+        "mean_cpi": mean_cpi,
+        "cpi_half_width": half_width,
+        "measured_cycles": measured_cycles,
+        "measured_instructions": measured_instructions,
+        "cycles": cycles,
+        "cycles_low": max(cycles - spread, measured_cycles),
+        "cycles_high": cycles + spread,
+    }

@@ -96,6 +96,22 @@ def run_job(config: SimulationConfig, program: Any, args: tuple,
     from repro.sim.simulator import Simulator
     run_config = config.copy()
     run_config.distrib.backend = "inproc"
+    if run_config.sample.ff_until > 0 and run_config.sample.library:
+        # Snapshot-library job (:mod:`repro.sample.library`): the
+        # fleet fast-forwards each shared prefix once; every later job
+        # with the same prefix forks from the stored checkpoint.
+        # Entry creation is atomic, so concurrent fleet children
+        # racing to prime the same prefix stay correct.
+        from repro.sample.library import SnapshotLibrary
+        library = SnapshotLibrary(run_config.sample.library)
+        key, primed = library.ensure(run_config, program, args)
+        simulator = library.fork(key, run_config)
+        if preempt_flag is not None:
+            attach_preempt_guard(simulator, preempt_flag)
+        result = simulator.resume_run()
+        result.sample["library"] = {"key": key, "primed": primed,
+                                    "root": library.root}
+        return result
     simulator = Simulator(run_config)
     if preempt_flag is not None:
         attach_preempt_guard(simulator, preempt_flag)

@@ -39,26 +39,42 @@ class RunStatistics:
     @property
     def mean_cycles(self) -> float:
         cycles = self.simulated_cycles
+        if not cycles:
+            return 0.0
         return sum(cycles) / len(cycles)
 
     @property
     def mean_wall_clock(self) -> float:
+        if not self.results:
+            return 0.0
         return (sum(r.wall_clock_seconds for r in self.results)
                 / len(self.results))
 
     @property
     def cov_percent(self) -> float:
-        """Coefficient of variation of simulated run-time, percent."""
+        """Coefficient of variation of simulated run-time, percent.
+
+        Degenerate aggregates report 0.0 rather than raising: a single
+        run has no variance estimate, and a zero mean (every run
+        measured nothing) has no meaningful relative spread.
+        """
         cycles = self.simulated_cycles
+        if len(cycles) < 2:
+            return 0.0
         mean = self.mean_cycles
-        if len(cycles) < 2 or mean == 0:
+        if mean == 0:
             return 0.0
         var = sum((c - mean) ** 2 for c in cycles) / len(cycles)
         return math.sqrt(var) / mean * 100.0
 
     def error_percent(self, baseline_mean_cycles: float) -> float:
-        """Percentage deviation of mean run-time from a baseline."""
-        if baseline_mean_cycles == 0:
+        """Percentage deviation of mean run-time from a baseline.
+
+        A zero or degenerate baseline (no runs) yields 0.0 — there is
+        nothing to deviate from, and the aggregate tables render the
+        run counts alongside so the degenerate case stays visible.
+        """
+        if baseline_mean_cycles == 0 or not self.results:
             return 0.0
         deviation = abs(self.mean_cycles - baseline_mean_cycles)
         return deviation / baseline_mean_cycles * 100.0  # check: allow D004 -- stats on run means
@@ -102,20 +118,77 @@ def repeat_runs(config: SimulationConfig,
 def sweep(configs: Sequence[SimulationConfig],
           program: Callable[..., Any],
           args: tuple = (),
-          workers: int = 1) -> List[SimulationResult]:
+          workers: int = 1,
+          share_prefix: bool = False,
+          library: Optional[Any] = None) -> List[SimulationResult]:
     """Run one program across a sequence of configurations.
 
     ``workers > 1`` fans the configurations out across a process pool;
     ordering and per-configuration results match the serial path.
+
+    ``share_prefix`` routes each variant through the snapshot library
+    (:mod:`repro.sample.library`): variants that request a
+    fast-forward (``sample.ff_until > 0``) and name a library
+    directory (``sample.library``) prime the shared prefix exactly
+    once and fork every later run from the stored switch-point
+    checkpoint — the paper's checkpoint-accelerated sweep.  Pass
+    ``library`` (a :class:`~repro.sample.library.SnapshotLibrary`) to
+    share one instance — and its prime/hit accounting — with the
+    caller; by default one instance per distinct library root is
+    created.  With ``workers > 1`` the distinct prefixes are primed
+    serially up front so the pool's processes all fork instead of
+    racing to fast-forward.
     """
+    libraries: dict = {}
+
+    def _library_for(config: SimulationConfig) -> Optional[Any]:
+        if not share_prefix or config.sample.ff_until <= 0:
+            return None
+        # An explicitly-passed library serves every fast-forwarding
+        # variant, whether or not its config names a root.
+        if library is not None:
+            return library
+        if not config.sample.library:
+            return None
+        from repro.sample.library import SnapshotLibrary
+        root = config.sample.library
+        if root not in libraries:
+            libraries[root] = SnapshotLibrary(root)
+        return libraries[root]
+
+    def _with_root(config: SimulationConfig,
+                   lib: Optional[Any]) -> SimulationConfig:
+        # Pool children rebuild the library from the config (the
+        # instance cannot cross the process boundary), and
+        # run_with_library keys off the same field — fill it in when
+        # only the ``library`` argument named the root.
+        if lib is None or config.sample.library:
+            return config
+        config = config.copy()
+        config.sample.library = lib.root
+        return config
+
     if workers > 1:
+        staged = []
+        for config in configs:
+            lib = _library_for(config)
+            config = _with_root(config, lib)
+            if lib is not None:
+                lib.ensure(config, program, args)
+            staged.append(config)
         from repro.distrib.pool import parallel_sweep
-        return parallel_sweep(configs, program, args, workers=workers)
+        return parallel_sweep(staged, program, args, workers=workers)
     results = []
     for index, config in enumerate(configs):
         if config.telemetry.trace_path:
             config = config.copy()
             config.telemetry.trace_path = _per_run_trace_path(
                 config.telemetry.trace_path, index)
-        results.append(create_simulator(config).run(program, args))
+        lib = _library_for(config)
+        if lib is not None:
+            from repro.sample.library import run_with_library
+            results.append(run_with_library(_with_root(config, lib),
+                                            program, args, library=lib))
+        else:
+            results.append(create_simulator(config).run(program, args))
     return results

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Any, Dict, List, Tuple
 
 
 @dataclass
@@ -43,6 +43,11 @@ class SimulationResult:
     #: undisturbed run, so result equality across backends is
     #: unaffected by the feature existing.
     recoveries: List[dict] = field(default_factory=list)
+    #: Sampling summary (:mod:`repro.sample`), present when the run used
+    #: fast-forward or interval sampling: mode-switch history, window
+    #: measurements, extrapolated cycles with confidence interval.
+    #: Empty on unsampled runs so cross-backend equality is unaffected.
+    sample: Dict[str, Any] = field(default_factory=dict)
 
     # -- derived metrics -------------------------------------------------------
 

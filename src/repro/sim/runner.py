@@ -32,7 +32,16 @@ def run_simulation(config: SimulationConfig, program: Any,
     crash-recovery loop: a dead mp worker triggers a restore from the
     last consistent checkpoint instead of failing the run (see
     :func:`repro.ckpt.recovery.run_with_recovery`).
+
+    When the config requests a fast-forward (``sample.ff_until``) and
+    names a snapshot library (``sample.library``), the run routes
+    through :func:`repro.sample.library.run_with_library`: the
+    fast-forward is primed once per shared prefix and every later run
+    forks from the stored switch-point checkpoint.
     """
+    if config.sample.ff_until > 0 and config.sample.library:
+        from repro.sample.library import run_with_library
+        return run_with_library(config, program, args)
     simulator = create_simulator(config)
     if config.ckpt.enabled:
         from repro.ckpt.recovery import run_with_recovery

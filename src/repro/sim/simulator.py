@@ -185,6 +185,23 @@ class Simulator:
         # empty on every undisturbed run.
         self.recoveries: List[Dict[str, Any]] = []
 
+        # Sampling (config.sample): functional fast-forward and
+        # interval sampling (:mod:`repro.sample`).  The controller is a
+        # periodic hook, so execution mode only ever changes between
+        # quanta — the same consistency boundary checkpoints use.
+        self.exec_functional = False
+        self.sample_controller = None
+        if config.sample.enabled:
+            from repro.sample.controller import SampleController
+            sample_channel = (
+                self.telemetry.channel(EventCategory.SAMPLE)
+                if self.telemetry is not None else None)
+            self.sample_controller = SampleController(
+                self, config.sample, sample_channel)
+            self.scheduler.add_periodic_hook(self.sample_controller, 1)
+            if config.sample.ff_until > 0:
+                self.set_execution_mode("functional")
+
         # Checkpointing (``--ckpt-dir``): a store when enabled, and a
         # periodic scheduler hook when a cadence is configured.  The
         # hook runs between quanta, when no thread is mid-op.
@@ -309,9 +326,32 @@ class Simulator:
         interpreter.notify_wake(timestamp)
         self.scheduler.wake(tile)
 
+    # -- execution mode (repro.sample) ---------------------------------------
+
+    def set_execution_mode(self, mode: str) -> None:
+        """Switch between ``detailed`` and ``functional`` execution.
+
+        Functional mode keeps every architectural state transition —
+        caches, directory, backing store, message delivery — on the
+        single shared code path while bypassing the timing layers: the
+        cores retire at unit cost, network and DRAM latencies are zero
+        and host-time charges are skipped.  Callers must only flip the
+        mode between scheduler quanta (the sample controller runs as a
+        periodic hook, which guarantees exactly that).
+        """
+        functional = mode == "functional"
+        if functional == self.exec_functional:
+            return
+        self.exec_functional = functional
+        self.engine.functional = functional
+        self.fabric.functional = functional
+        self.scheduler.functional = functional
+
     def _charge_message(self, message, locality) -> None:
         if self.sanitizers is not None:
             self.sanitizers.on_message(message)
+        if self.exec_functional:
+            return
         self.scheduler.charge(
             self.cost_model.message(locality, message.size_bytes))
         # Application-visible traffic blocks the waiting host thread for
@@ -418,6 +458,8 @@ class Simulator:
             main_result=main_interp.result if main_interp else None,
             recoveries=list(self.recoveries),
         )
+        if self.sample_controller is not None:
+            result.sample = self.sample_controller.summary(result)
         if self.profiler is not None:
             from repro.profile.report import build_profile
             self.host_profile = build_profile(

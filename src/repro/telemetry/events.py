@@ -46,6 +46,10 @@ class EventCategory(enum.IntFlag):
     #: span.begin/span.end/span.note with trace context, plus the
     #: straggler watchdog's straggler.warn.
     OBS = 0x800
+    #: Checkpoint-accelerated sampling (:mod:`repro.sample`): execution
+    #: mode switches, fast-forward completion, measurement windows,
+    #: snapshot-library hits and primes.
+    SAMPLE = 0x1000
 
 
 #: Every category, i.e. the mask for ``events: ["all"]``.

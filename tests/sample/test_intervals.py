@@ -1,0 +1,96 @@
+"""Phase geometry: warmup-first periods after the initial fast-forward."""
+
+import pytest
+
+from repro.common.config import SampleConfig
+from repro.sample.intervals import DETAIL, FF, WARMUP, Phase, phase_at
+
+
+def sample(ff_until=10000, period=5000, detail=1000, warmup=500):
+    config = SampleConfig(ff_until=ff_until, period=period,
+                          detail=detail, warmup=warmup)
+    config.validate()
+    return config
+
+
+class TestInitialFastForward:
+    def test_before_target_is_ff(self):
+        phase = phase_at(sample(), 0)
+        assert phase.name == FF
+        assert (phase.start, phase.end) == (0, 10000)
+
+    def test_last_ff_cycle(self):
+        assert phase_at(sample(), 9999).name == FF
+
+    def test_target_cycle_starts_warmup(self):
+        """``ff_until`` is the exact cycle detailed execution begins —
+        the contract the snapshot library's switch-point checkpoint
+        depends on."""
+        phase = phase_at(sample(), 10000)
+        assert phase.name == WARMUP
+        assert phase.start == 10000
+
+    def test_no_intervals_is_open_ended_detail(self):
+        config = SampleConfig(ff_until=10000)
+        config.validate()
+        phase = phase_at(config, 10000)
+        assert phase.name == DETAIL
+        assert (phase.start, phase.end) == (10000, None)
+
+    def test_no_ff_periods_start_at_zero(self):
+        config = sample(ff_until=0)
+        assert phase_at(config, 0).name == WARMUP
+        assert phase_at(config, 500).name == DETAIL
+
+
+class TestPeriodGeometry:
+    def test_warmup_then_detail_then_ff(self):
+        config = sample()  # base 10000: warmup 500, detail 1000, ff 3500
+        assert phase_at(config, 10499).name == WARMUP
+        assert phase_at(config, 10500).name == DETAIL
+        assert phase_at(config, 11499).name == DETAIL
+        assert phase_at(config, 11500).name == FF
+        assert phase_at(config, 14999).name == FF
+
+    def test_second_period_repeats(self):
+        config = sample()
+        assert phase_at(config, 15000).name == WARMUP
+        assert phase_at(config, 15500).name == DETAIL
+        assert phase_at(config, 16500).name == FF
+
+    def test_phase_bounds_are_absolute(self):
+        config = sample()
+        detail = phase_at(config, 16000)
+        assert (detail.start, detail.end) == (15500, 16500)
+        ff = phase_at(config, 17000)
+        assert (ff.start, ff.end) == (16500, 20000)
+
+    def test_zero_warmup_opens_with_detail(self):
+        config = sample(warmup=0)
+        assert phase_at(config, 10000).name == DETAIL
+
+    def test_full_duty_cycle_never_fast_forwards(self):
+        config = sample(period=1500, detail=1000, warmup=500)
+        for cycle in range(10000, 16000, 100):
+            assert phase_at(config, cycle).name in (WARMUP, DETAIL)
+
+
+class TestPhaseProperties:
+    def test_functional_only_for_ff(self):
+        assert Phase(FF, 0, 1).functional
+        assert not Phase(WARMUP, 0, 1).functional
+        assert not Phase(DETAIL, 0, 1).functional
+
+    def test_measured_only_for_detail(self):
+        assert Phase(DETAIL, 0, 1).measured
+        assert not Phase(WARMUP, 0, 1).measured
+        assert not Phase(FF, 0, 1).measured
+
+
+class TestValidation:
+    def test_windows_must_fit_period(self):
+        from repro.common.errors import ConfigError
+        config = SampleConfig(ff_until=100, period=1000, detail=800,
+                              warmup=300)
+        with pytest.raises(ConfigError):
+            config.validate()

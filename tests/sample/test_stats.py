@@ -1,0 +1,105 @@
+"""Extrapolation statistics: t table, CIs, gap reconstruction."""
+
+import pytest
+
+from repro.sample.stats import confidence_interval, extrapolate, t_critical
+
+
+def window(before, instructions, cycles):
+    return {"instructions_before": before, "instructions": instructions,
+            "cycles": cycles}
+
+
+class TestTCritical:
+    def test_exact_row(self):
+        assert t_critical(0.95, 5) == pytest.approx(2.571)
+
+    def test_df_snaps_down(self):
+        # 13 df is not tabulated; snapping down to 12 is conservative.
+        assert t_critical(0.95, 13) == pytest.approx(2.179)
+
+    def test_large_df_uses_normal(self):
+        assert t_critical(0.95, 1000) == pytest.approx(1.960)
+
+    def test_confidence_snaps_to_nearest(self):
+        assert t_critical(0.94, 5) == pytest.approx(2.571)
+        assert t_critical(0.91, 5) == pytest.approx(2.015)
+
+    def test_zero_df_rejected(self):
+        with pytest.raises(ValueError):
+            t_critical(0.95, 0)
+
+
+class TestConfidenceInterval:
+    def test_empty(self):
+        assert confidence_interval([]) == (0.0, 0.0)
+
+    def test_single_sample_has_no_width(self):
+        mean, half = confidence_interval([42.0])
+        assert mean == pytest.approx(42.0)
+        assert half == 0.0
+
+    def test_known_interval(self):
+        mean, half = confidence_interval([1.0, 2.0, 3.0], 0.95)
+        assert mean == pytest.approx(2.0)
+        # stderr = 1/sqrt(3), t(0.95, df=2) = 4.303
+        assert half == pytest.approx(4.303 / 3 ** 0.5, rel=1e-6)
+
+    def test_identical_samples_have_zero_width(self):
+        _mean, half = confidence_interval([5.0] * 10)
+        assert half == 0.0
+
+
+class TestExtrapolate:
+    def test_no_windows(self):
+        out = extrapolate([], total_instructions=1000)
+        assert out["windows"] == 0
+        assert out["cycles"] == 0
+        assert out["cycles_low"] == 0 and out["cycles_high"] == 0
+
+    def test_empty_windows_dropped(self):
+        out = extrapolate([window(0, 0, 0)], 1000)
+        assert out["windows"] == 0
+
+    def test_full_coverage_is_exact(self):
+        # Windows tile the whole instruction stream: nothing to
+        # reconstruct, the "extrapolation" is the measured total.
+        out = extrapolate([window(0, 500, 1000), window(500, 500, 1500)],
+                          total_instructions=1000)
+        assert out["cycles"] == 2500
+        assert out["measured_cycles"] == 2500
+
+    def test_gaps_costed_at_neighbour_cpi(self):
+        # One window of CPI 2 covering half the stream; the leading and
+        # trailing gaps are costed at that same (only) neighbour CPI.
+        out = extrapolate([window(250, 500, 1000)],
+                          total_instructions=1000)
+        assert out["cycles"] == 1000 + 500 * 2  # 500 gap instructions
+        assert out["windows"] == 1
+
+    def test_heterogeneous_gaps_use_local_cpi(self):
+        # Serial window (CPI 4) then parallel window (CPI 1).  The gap
+        # between them pools both neighbours; the tail uses the last.
+        windows = [window(0, 100, 400), window(200, 100, 100)]
+        out = extrapolate(windows, total_instructions=400)
+        gap_cpi = (400 + 100) / 200  # pooled neighbours = 2.5
+        expected = 400 + 100 + 100 * gap_cpi + 100 * 1.0
+        assert out["cycles"] == int(round(expected))
+
+    def test_single_window_has_degenerate_ci(self):
+        out = extrapolate([window(0, 100, 200)], 1000)
+        assert out["cpi_half_width"] == 0.0
+        assert out["cycles_low"] == out["cycles"] == out["cycles_high"]
+
+    def test_ci_brackets_estimate(self):
+        windows = [window(0, 100, 180), window(300, 100, 220),
+                   window(600, 100, 200)]
+        out = extrapolate(windows, total_instructions=1000)
+        assert out["cycles_low"] <= out["cycles"] <= out["cycles_high"]
+        assert out["cycles_low"] >= out["measured_cycles"]
+
+    def test_identical_cpi_windows_give_tight_ci(self):
+        windows = [window(i * 200, 100, 200) for i in range(4)]
+        out = extrapolate(windows, total_instructions=1000)
+        assert out["cpi_half_width"] == pytest.approx(0.0)
+        assert out["cycles_low"] == out["cycles"] == out["cycles_high"]

@@ -1,0 +1,136 @@
+"""Execution mode on the wire: SET_MODE, handshake, schema manifest."""
+
+import ast
+import json
+import pickle
+from pathlib import Path
+
+from repro.check.lint import (check_wire_manifest, package_root,
+                              wire_fingerprint)
+from repro.distrib.wire import (WIRE_VERSION, FrameKind, decode_frame,
+                                encode_frame)
+from repro.net.handshake import WIRE_VERSION as NET_WIRE_VERSION
+from repro.net.handshake import Welcome
+
+
+class TestSetModeFrame:
+    def test_round_trip(self):
+        for functional in (True, False):
+            blob = encode_frame(FrameKind.SET_MODE, functional)
+            kind, payload = decode_frame(blob)
+            assert kind is FrameKind.SET_MODE
+            assert payload is functional
+
+    def test_wire_version_covers_set_mode(self):
+        assert WIRE_VERSION >= 6
+
+    def test_conformance_manifest_lists_set_mode(self):
+        """SET_MODE is a coordinator-side cast; the protocol manifest
+        (check/wire_proto.json) must say so on both roles."""
+        proto = json.loads(
+            (package_root() / "check" / "wire_proto.json").read_text())
+        assert "SET_MODE" in proto["roles"]["coordinator"]["sends"]
+
+        def edges(role):
+            return [edge
+                    for phase in
+                    proto["phases"][role]["transitions"].values()
+                    for edge in phase]
+        assert "send SET_MODE" in edges("coordinator")
+        assert "recv SET_MODE" in edges("worker")
+
+
+class TestExecModeState:
+    def test_kernel_proxy_mode_pickles_with_shard(self):
+        """A checkpoint taken mid-fast-forward must resume functional:
+        the flag is plain pickled state, not reconstructed."""
+        from repro.common.config import SimulationConfig
+        from repro.distrib.worker import KernelProxy
+        config = SimulationConfig(num_tiles=2)
+        config.validate()
+        proxy = KernelProxy.__new__(KernelProxy)
+        proxy.config = config
+        proxy.exec_functional = True
+        clone = pickle.loads(pickle.dumps(
+            {"config": proxy.config,
+             "exec_functional": proxy.exec_functional}))
+        assert clone["exec_functional"] is True
+
+    def test_old_snapshots_default_to_detailed(self):
+        """Shards pickled before wire v6 lack the attribute; readers
+        use ``getattr(..., False)`` so they come back detailed."""
+        class OldShard:
+            pass
+        shard = OldShard()
+        assert bool(getattr(shard, "exec_functional", False)) is False
+
+
+class TestHandshakeMode:
+    def test_welcome_defaults_detailed(self):
+        welcome = Welcome(role="listener", net_version=NET_WIRE_VERSION,
+                          wire_version=WIRE_VERSION,
+                          config_fingerprint="f" * 16)
+        assert welcome.mode == "detailed"
+
+    def test_net_version_covers_mode(self):
+        assert NET_WIRE_VERSION >= 3
+
+    def test_listener_tracks_cluster_mode(self):
+        from repro.net.listener import NetListener
+        listener = NetListener.__new__(NetListener)
+        listener.mode = "detailed"
+        assert listener.mode == "detailed"
+
+
+class TestSchemaManifest:
+    """W001 drift guards for the new frame and handshake field."""
+
+    def _check(self, rel: str, record_key) -> list:
+        root = package_root()
+        path = root / rel
+        tree = ast.parse(path.read_text())
+        return check_wire_manifest(tree, str(path),
+                                   record_key=record_key)
+
+    def test_shipped_manifest_is_current(self):
+        """The checked-in wire_schema.json matches the live modules —
+        i.e. the SET_MODE/mode additions were accepted via
+        ``repro check --accept-wire-schema``."""
+        assert self._check("distrib/wire.py", None) == []
+        assert self._check("net/handshake.py", "net") == []
+
+    def test_mode_field_is_fingerprinted(self, tmp_path):
+        """Removing ``Welcome.mode`` must change the net fingerprint:
+        the manifest actually covers the new field."""
+        root = package_root()
+        source = (root / "net" / "handshake.py").read_text()
+        fingerprint, _ = wire_fingerprint(ast.parse(source))
+        stripped = source.replace('    mode: str = "detailed"\n', "")
+        assert stripped != source
+        stripped_fp, _ = wire_fingerprint(ast.parse(stripped))
+        assert stripped_fp != fingerprint
+
+    def test_stale_manifest_flags_drift(self, tmp_path):
+        root = package_root()
+        path = root / "distrib" / "wire.py"
+        tree = ast.parse(path.read_text())
+        _, version = wire_fingerprint(tree)
+        stale = tmp_path / "schema.json"
+        stale.write_text(json.dumps(
+            {"wire_version": version, "fingerprint": "0" * 16}))
+        findings = check_wire_manifest(tree, str(path), stale,
+                                       record_key=None)
+        assert [finding.rule for finding in findings] == ["W001"]
+
+    def test_accept_then_check_clean(self, tmp_path):
+        from repro.check.lint import accept_wire_schema
+        schema = tmp_path / "schema.json"
+        accept_wire_schema(schema_path=schema)
+        root = package_root()
+        for rel, key in (("distrib/wire.py", None),
+                         ("net/handshake.py", "net")):
+            path = root / Path(rel)
+            tree = ast.parse(path.read_text())
+            findings = check_wire_manifest(tree, str(path), schema,
+                                           record_key=key)
+            assert findings == []

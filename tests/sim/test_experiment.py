@@ -45,6 +45,34 @@ class TestRunStatistics:
         assert stats.error_percent(100.0) == pytest.approx(10.0)
 
 
+class TestDegenerateStatistics:
+    """Guards for empty, single-run and zero-mean populations — none
+    may raise (a sampled sweep can legitimately produce any of them)."""
+
+    def test_empty_means_are_zero(self):
+        stats = RunStatistics([])
+        assert stats.mean_cycles == 0.0
+        assert stats.mean_wall_clock == 0.0
+
+    def test_empty_cov_is_zero(self):
+        assert RunStatistics([]).cov_percent == 0.0
+
+    def test_single_run_cov_is_zero(self):
+        """n = 1 has no variance estimate; 0.0, not a DivisionError."""
+        assert RunStatistics([fake_result(100)]).cov_percent == 0.0
+
+    def test_zero_mean_cov_is_zero(self):
+        stats = RunStatistics([fake_result(0), fake_result(0)])
+        assert stats.cov_percent == 0.0
+
+    def test_empty_error_percent_is_zero(self):
+        assert RunStatistics([]).error_percent(100.0) == 0.0
+
+    def test_zero_baseline_error_percent_is_zero(self):
+        stats = RunStatistics([fake_result(100)])
+        assert stats.error_percent(0.0) == 0.0
+
+
 class TestRepeatRuns:
     def test_runs_vary_by_seed(self):
         stats = repeat_runs(tiny_config(2), noisy_program, runs=3)
